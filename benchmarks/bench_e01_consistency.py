@@ -1,0 +1,51 @@
+"""E1 — Consistency of every initialization algorithm (Section 4).
+
+Paper claim: with correct predictions (η = 0) each problem's algorithm
+with predictions terminates within its initialization algorithm's round
+bound — 3 rounds for MIS, 2 for Maximal Matching, 2 for (Δ+1)-Vertex
+Coloring, 1 for (2Δ−1)-Edge Coloring — and outputs the predictions.
+"""
+
+from repro.bench import Table, standard_graph_suite
+from repro.bench.algorithms import (
+    coloring_simple,
+    edge_coloring_simple,
+    matching_simple,
+    mis_simple,
+)
+from repro.core import run
+from repro.predictions import perfect_predictions
+from repro.problems import EDGE_COLORING, MATCHING, MIS, VERTEX_COLORING
+
+CASES = [
+    ("mis", MIS, mis_simple, 3),
+    ("matching", MATCHING, matching_simple, 2),
+    ("vertex-coloring", VERTEX_COLORING, coloring_simple, 2),
+    ("edge-coloring", EDGE_COLORING, edge_coloring_simple, 1),
+]
+
+
+def test_e01_consistency(once):
+    def experiment():
+        table = Table(
+            "E1: consistency (max rounds over graph suite, eta = 0)",
+            ["problem", "paper bound c(n)", "measured max rounds", "all valid"],
+        )
+        failures = []
+        for name, problem, factory, bound in CASES:
+            algorithm = factory()
+            worst = 0
+            valid = True
+            for graph in standard_graph_suite():
+                predictions = perfect_predictions(problem, graph, seed=1)
+                result = run(algorithm, graph, predictions)
+                worst = max(worst, result.rounds)
+                valid &= problem.is_solution(graph, result.outputs)
+            table.add_row(name, bound, worst, valid)
+            if worst > bound or not valid:
+                failures.append(name)
+        return table, failures
+
+    table, failures = once(experiment)
+    table.print()
+    assert not failures, failures

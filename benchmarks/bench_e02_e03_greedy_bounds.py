@@ -1,0 +1,80 @@
+"""E2/E3 — Greedy MIS round bounds (Lemmas 1 and 2).
+
+Paper claims: the Greedy MIS Algorithm finishes within
+``max μ₁(S)`` rounds (Lemma 1) and within ``max μ₂(S) + 1`` rounds
+(Lemma 2) over the components S; the worst case is matched on a line
+with sorted identifiers (Lemma 5's Ω(n) lower bound).
+"""
+
+from repro.algorithms.mis import GreedyMISAlgorithm
+from repro.bench import Table, standard_graph_suite
+from repro.core import run
+from repro.errors import mu1, mu2
+from repro.graphs import clique, line, sorted_path_ids, star
+from repro.problems import MIS
+
+
+def test_e02_lemma1_mu1_bound(once):
+    def experiment():
+        table = Table(
+            "E2 (Lemma 1): Greedy MIS rounds vs mu1 bound",
+            ["graph", "rounds", "max mu1(S)", "within bound"],
+        )
+        failures = []
+        for graph in standard_graph_suite():
+            result = run(GreedyMISAlgorithm(), graph)
+            bound = max(mu1(graph, c) for c in graph.components())
+            ok = result.rounds <= bound and MIS.is_solution(graph, result.outputs)
+            table.add_row(graph.name, result.rounds, bound, ok)
+            if not ok:
+                failures.append(graph.name)
+        return table, failures
+
+    table, failures = once(experiment)
+    table.print()
+    assert not failures
+
+
+def test_e03_lemma2_mu2_bound(once):
+    def experiment():
+        table = Table(
+            "E3 (Lemma 2): Greedy MIS rounds vs mu2+1 bound",
+            ["graph", "rounds", "max mu2(S)+1", "within bound"],
+        )
+        failures = []
+        graphs = list(standard_graph_suite()) + [clique(20), star(24)]
+        for graph in graphs:
+            result = run(GreedyMISAlgorithm(), graph)
+            bound = max(mu2(graph, c) for c in graph.components()) + 1
+            ok = result.rounds <= bound
+            table.add_row(graph.name, result.rounds, bound, ok)
+            if not ok:
+                failures.append(graph.name)
+        return table, failures
+
+    table, failures = once(experiment)
+    table.print()
+    assert not failures
+
+
+def test_e02_worst_case_sorted_line(once):
+    """The matching lower-bound witness: sorted ids force ~n rounds."""
+
+    def experiment():
+        table = Table(
+            "E2 witness: sorted-id lines realize the Omega(n) lower bound",
+            ["n", "rounds", "(n-5)/2 lower bound shape"],
+        )
+        rows = []
+        for n in (8, 16, 32, 64):
+            graph = sorted_path_ids(line(n))
+            result = run(GreedyMISAlgorithm(), graph)
+            rows.append((n, result.rounds))
+            table.add_row(n, result.rounds, (n - 5) // 2)
+        return table, rows
+
+    table, rows = once(experiment)
+    table.print()
+    for n, rounds in rows:
+        assert rounds >= (n - 5) / 2
+        assert rounds <= n

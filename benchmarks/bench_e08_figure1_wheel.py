@@ -1,0 +1,85 @@
+"""E8 — Figure 1: the wheel F_k and diameter non-monotonicity (Section 5).
+
+Paper construction: F_k has diameter 4, but the subgraph induced by its
+rim has diameter ⌊k/2⌋ and *is* an error component (center predicted 1,
+everything else 0).  All-ones predictions — strictly worse — produce an
+error component of *smaller* diameter (the whole graph, diameter 4).
+Hence the maximum error-component diameter is not a monotone measure and
+must not be used as an error measure on general graphs.
+"""
+
+from repro.bench import Table
+from repro.errors import component_diameters, error_components, eta1
+from repro.graphs import wheel_fk
+from repro.predictions import all_ones_mis
+
+
+def center_one_predictions(graph, k):
+    predictions = {v: 0 for v in graph.nodes}
+    predictions[2 * k + 1] = 1
+    return predictions
+
+
+def test_e08_wheel_diameter_non_monotonicity(once):
+    def experiment():
+        table = Table(
+            "E8 (Figure 1): F_k diameters — error-component vs whole graph",
+            [
+                "k",
+                "graph diameter",
+                "rim-component diameter (center=1 pred)",
+                "component diameter (all-ones pred)",
+            ],
+        )
+        rows = []
+        for k in (8, 12, 16, 24, 32):
+            graph = wheel_fk(k)
+            sparse = center_one_predictions(graph, k)
+            rim_diameter = max(
+                component_diameters(
+                    graph, error_components("mis", graph, sparse)
+                )
+            )
+            dense_diameter = max(
+                component_diameters(
+                    graph, error_components("mis", graph, all_ones_mis(graph))
+                )
+            )
+            table.add_row(k, graph.diameter(), rim_diameter, dense_diameter)
+            rows.append((k, graph.diameter(), rim_diameter, dense_diameter))
+        return table, rows
+
+    table, rows = once(experiment)
+    table.print()
+    for k, graph_diameter, rim_diameter, dense_diameter in rows:
+        assert graph_diameter == 4
+        assert rim_diameter == k // 2
+        assert dense_diameter == 4
+        # Non-monotonicity: worse predictions, smaller diameter (strict
+        # once the rim is long enough).
+        if k > 8:
+            assert dense_diameter < rim_diameter
+
+
+def test_e08_eta1_is_monotone_on_the_same_instances(once):
+    """Contrast: η₁ (built from the monotone μ₁) behaves correctly —
+    all-ones predictions never score lower than the sparse error."""
+
+    def experiment():
+        table = Table(
+            "E8: eta1 on the same F_k instances (monotone measure)",
+            ["k", "eta1 (center=1 pred)", "eta1 (all-ones pred)"],
+        )
+        rows = []
+        for k in (8, 16, 32):
+            graph = wheel_fk(k)
+            sparse = eta1(graph, center_one_predictions(graph, k))
+            dense = eta1(graph, all_ones_mis(graph))
+            table.add_row(k, sparse, dense)
+            rows.append((sparse, dense))
+        return table, rows
+
+    table, rows = once(experiment)
+    table.print()
+    for sparse, dense in rows:
+        assert dense >= sparse

@@ -1,0 +1,101 @@
+"""E9 — Figure 2: black/white grid components (Sections 5 and 9.1).
+
+Paper construction: on the 4-block colored grid, η₁ = n while η_bw = 4,
+so an algorithm whose rounds track η_bw stays constant as the grid grows.
+
+The second experiment exhibits the *round-count* separation the paper's
+symmetry-breaking argument promises: on a line with identifiers sorted
+along the path (the Greedy MIS Algorithm's Θ(n) worst case) and a 2-black
+/ 2-white block pattern, η₁ = n but η_bw = 2 — the plain greedy grinds
+through the line one node per round while U_bw finishes in O(1) rounds.
+"""
+
+from repro.bench import Table
+from repro.bench.algorithms import mis_blackwhite_simple
+from repro.core import run
+from repro.errors import eta1, eta_bw
+from repro.graphs import grid2d, line, sorted_path_ids
+from repro.predictions import grid_blackwhite_predictions
+from repro.problems import MIS
+
+
+def test_e09_grid_pattern_measures(once):
+    def experiment():
+        table = Table(
+            "E9 (Figure 2): grid pattern — eta1 grows with n, eta_bw stays 4",
+            ["grid", "n", "eta1", "eta_bw", "U_bw rounds", "valid"],
+        )
+        rows = []
+        for size in (8, 12, 16, 20):
+            graph = grid2d(size, size)
+            predictions = grid_blackwhite_predictions(graph)
+            e1 = eta1(graph, predictions)
+            ebw = eta_bw(graph, predictions)
+            result = run(mis_blackwhite_simple(), graph, predictions)
+            valid = MIS.is_solution(graph, result.outputs)
+            table.add_row(f"{size}x{size}", graph.n, e1, ebw, result.rounds, valid)
+            rows.append((graph.n, e1, ebw, result.rounds, valid))
+        return table, rows
+
+    table, rows = once(experiment)
+    table.print()
+    bw_rounds = [row[3] for row in rows]
+    for n, e1, ebw, rounds, valid in rows:
+        assert valid
+        assert e1 == n
+        assert ebw == 4
+    # Constant rounds across grid sizes: the eta_bw story.
+    assert max(bw_rounds) == min(bw_rounds)
+    assert max(bw_rounds) <= 4 * 4 + 4
+
+
+def block_pattern_line(n):
+    """Sorted-id line with the 2-black/2-white block pattern."""
+    graph = sorted_path_ids(line(n))
+    predictions = {v: (1 if (v - 1) % 4 < 2 else 0) for v in graph.nodes}
+    return graph, predictions
+
+
+def test_e09_round_separation_on_sorted_lines(once):
+    """U vs U_bw behind the *base* algorithm (which defines the black and
+    white components and outputs nothing on this pattern): the plain
+    greedy crawls the sorted line at Θ(n) while U_bw resolves every
+    2-node black/white component in O(1)."""
+
+    def experiment():
+        from repro.algorithms.mis import (
+            BlackWhiteGreedyMIS,
+            GreedyMISAlgorithm,
+            MISBaseAlgorithm,
+        )
+        from repro.core import SimpleTemplate
+
+        plain_algorithm = SimpleTemplate(MISBaseAlgorithm(), GreedyMISAlgorithm())
+        bw_algorithm = SimpleTemplate(MISBaseAlgorithm(), BlackWhiteGreedyMIS())
+        table = Table(
+            "E9: sorted-id line, block pattern — greedy U vs U_bw rounds",
+            ["n", "eta1", "eta_bw", "U rounds", "U_bw rounds"],
+        )
+        rows = []
+        for n in (16, 32, 64, 128):
+            graph, predictions = block_pattern_line(n)
+            e1 = eta1(graph, predictions)
+            ebw = eta_bw(graph, predictions)
+            plain = run(plain_algorithm, graph, predictions)
+            blackwhite = run(bw_algorithm, graph, predictions)
+            assert MIS.is_solution(graph, plain.outputs)
+            assert MIS.is_solution(graph, blackwhite.outputs)
+            table.add_row(n, e1, ebw, plain.rounds, blackwhite.rounds)
+            rows.append((n, e1, ebw, plain.rounds, blackwhite.rounds))
+        return table, rows
+
+    table, rows = once(experiment)
+    table.print()
+    bw_rounds = [row[4] for row in rows]
+    plain_rounds = [row[3] for row in rows]
+    for n, e1, ebw, plain, bw in rows:
+        assert ebw <= 2
+    # U_bw stays constant while the plain greedy grows linearly.
+    assert max(bw_rounds) == min(bw_rounds)
+    assert plain_rounds[-1] > 4 * bw_rounds[-1]
+    assert plain_rounds[-1] > plain_rounds[0]

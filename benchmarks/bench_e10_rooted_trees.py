@@ -1,0 +1,112 @@
+"""E10 — Rooted trees (Section 9.2 + Corollary 15).
+
+Paper claims:
+
+* Simple(Rooted-Tree Initialization, Algorithm 6) is consistent (3 rounds
+  on correct predictions) and finishes within ⌈η_t/2⌉ + 5 rounds;
+* the Parallel Template with the O(log* d) 3-coloring reference finishes
+  within min{⌈η_t/2⌉ + 5, O(log* d)} rounds (Corollary 15);
+* the directed-line 0-0-1 pattern has η₁ = 3k but η_t = 2, and the
+  rooted-tree initialization finishes it by round 2.
+"""
+
+from repro.algorithms.mis.rooted_tree import tree_coloring_round_bound
+from repro.bench import Table
+from repro.bench.algorithms import mis_rooted_parallel, mis_rooted_simple
+from repro.core import run
+from repro.errors import eta1, eta_t
+from repro.graphs import directed_line, random_rooted_tree
+from repro.predictions import (
+    directed_line_pattern,
+    noisy_predictions,
+    perfect_predictions,
+)
+from repro.problems import MIS
+
+
+def test_e10_simple_template_eta_t_bound(once):
+    def experiment():
+        algorithm = mis_rooted_simple()
+        table = Table(
+            "E10: rooted trees — Simple(rooted init, Algorithm 6) vs eta_t",
+            ["tree", "rate", "eta_t", "rounds", "bound ceil(eta_t/2)+5"],
+        )
+        failures = []
+        for seed in (1, 2, 3):
+            graph = random_rooted_tree(80, seed=seed)
+            for rate in (0.0, 0.2, 0.5, 1.0):
+                predictions = noisy_predictions(MIS, graph, rate, seed=seed)
+                result = run(algorithm, graph, predictions)
+                error = eta_t(graph, predictions)
+                bound = (error + 1) // 2 + 5
+                table.add_row(graph.name, rate, error, result.rounds, bound)
+                if not MIS.is_solution(graph, result.outputs):
+                    failures.append((seed, rate, "invalid"))
+                if result.rounds > bound:
+                    failures.append((seed, rate, result.rounds, bound))
+        return table, failures
+
+    table, failures = once(experiment)
+    table.print()
+    assert not failures, failures
+
+
+def test_e10_corollary15_parallel(once):
+    def experiment():
+        algorithm = mis_rooted_parallel()
+        table = Table(
+            "E10 (Corollary 15): Parallel rooted-tree MIS",
+            ["tree n", "rate", "eta_t", "rounds", "min bound"],
+        )
+        failures = []
+        for n in (60, 120):
+            graph = random_rooted_tree(n, seed=7)
+            cap = tree_coloring_round_bound(graph.d) + 12
+            for rate in (0.0, 0.3, 0.7):
+                predictions = noisy_predictions(MIS, graph, rate, seed=3)
+                result = run(algorithm, graph, predictions)
+                error = eta_t(graph, predictions)
+                bound = min((error + 1) // 2 + 7, cap)
+                table.add_row(n, rate, error, result.rounds, bound)
+                if not MIS.is_solution(graph, result.outputs):
+                    failures.append((n, rate, "invalid"))
+                if result.rounds > bound:
+                    failures.append((n, rate, result.rounds, bound))
+        return table, failures
+
+    table, failures = once(experiment)
+    table.print()
+    assert not failures, failures
+
+
+def test_e10_directed_line_example(once):
+    """The Section 9.2 example: η₁ = 3k, η_t = 2, resolved by round 2."""
+
+    def experiment():
+        algorithm = mis_rooted_simple()
+        table = Table(
+            "E10: directed line 0-0-1 pattern",
+            ["3k", "eta1", "eta_t", "rounds", "valid"],
+        )
+        rows = []
+        for k in (10, 20, 40):
+            graph = directed_line(3 * k)
+            predictions = directed_line_pattern(graph)
+            result = run(algorithm, graph, predictions)
+            valid = MIS.is_solution(graph, result.outputs)
+            table.add_row(
+                3 * k,
+                eta1(graph, predictions),
+                eta_t(graph, predictions),
+                result.rounds,
+                valid,
+            )
+            rows.append((3 * k, eta1(graph, predictions), result.rounds, valid))
+        return table, rows
+
+    table, rows = once(experiment)
+    table.print()
+    for n, e1, rounds, valid in rows:
+        assert valid
+        assert e1 == n
+        assert rounds <= 3

@@ -1,0 +1,131 @@
+"""E15 — Error-measure orderings and behaviour (Section 5).
+
+Paper claims, checked over a randomized instance sweep:
+
+* η₂ ≤ η₁ always, with large gaps on cliques/stars;
+* η_bw ≤ η₁ always; η_t ≤ η_bw ≤ η₁ on rooted trees;
+* μ₁ is monotone (components of induced subgraphs never score higher);
+* η_H (the rejected global Hamming measure) can exceed η₁ by a factor of
+  the component count.
+"""
+
+import random
+
+from repro.bench import Table
+from repro.errors import eta1, eta2, eta_bw, eta_hamming, eta_t, mu2
+from repro.errors.components import error_components
+from repro.graphs import clique, erdos_renyi, path_forest, random_rooted_tree, star
+from repro.predictions import all_ones_mis, all_zeros_mis
+
+
+def random_bits(graph, seed):
+    rng = random.Random(f"{seed}:bits")
+    return {v: rng.randint(0, 1) for v in graph.nodes}
+
+
+def test_e15_orderings_hold_on_random_instances(once):
+    def experiment():
+        violations = []
+        checked = 0
+        for seed in range(30):
+            graph = erdos_renyi(20, 0.2, seed=seed)
+            predictions = random_bits(graph, seed)
+            one = eta1(graph, predictions)
+            if eta2(graph, predictions) > one:
+                violations.append(("eta2", seed))
+            if eta_bw(graph, predictions) > one:
+                violations.append(("eta_bw", seed))
+            checked += 1
+        for seed in range(20):
+            graph = random_rooted_tree(25, seed=seed)
+            predictions = random_bits(graph, seed)
+            if not (
+                eta_t(graph, predictions)
+                <= eta_bw(graph, predictions)
+                <= eta1(graph, predictions)
+            ):
+                violations.append(("eta_t chain", seed))
+            checked += 1
+        table = Table(
+            "E15: ordering checks over random instances",
+            ["checks", "violations"],
+        )
+        table.add_row(checked, len(violations))
+        return table, violations
+
+    table, violations = once(experiment)
+    table.print()
+    assert not violations, violations
+
+
+def test_e15_eta2_gap_families(once):
+    def experiment():
+        table = Table(
+            "E15: eta1 vs eta2 on the paper's extremal families (all-ones)",
+            ["graph", "eta1", "eta2"],
+        )
+        rows = []
+        for graph in (clique(16), star(16), clique(32), star(32)):
+            predictions = all_ones_mis(graph)
+            rows.append(
+                (graph.name, eta1(graph, predictions), eta2(graph, predictions))
+            )
+            table.add_row(*rows[-1])
+        return table, rows
+
+    table, rows = once(experiment)
+    table.print()
+    for name, one, two in rows:
+        assert one == int(name.split("-")[1])
+        assert two == 2
+
+
+def test_e15_mu2_monotonicity(once):
+    def experiment():
+        violations = []
+        for seed in range(15):
+            graph = erdos_renyi(16, 0.25, seed=seed)
+            predictions = random_bits(graph, seed + 50)
+            for component in error_components("mis", graph, predictions):
+                members = sorted(component)
+                sub = members[: max(1, len(members) // 2)]
+                for piece in graph.subgraph(sub).components():
+                    if mu2(graph, piece) > mu2(graph, component):
+                        violations.append((seed, piece))
+        table = Table("E15: mu2 monotonicity", ["violations"])
+        table.add_row(len(violations))
+        return table, violations
+
+    table, violations = once(experiment)
+    table.print()
+    assert not violations
+
+
+def test_e15_hamming_is_global(once):
+    """η_H sums over components while η₁ takes the maximum — the paper's
+    reason for rejecting it."""
+
+    def experiment():
+        table = Table(
+            "E15: global eta_H vs local eta1 on path forests (all-zeros)",
+            ["#paths", "eta1", "eta_H"],
+        )
+        rows = []
+        for num_paths in (2, 4, 8):
+            graph = path_forest(num_paths, 3)
+            predictions = all_zeros_mis(graph)
+            rows.append(
+                (
+                    num_paths,
+                    eta1(graph, predictions),
+                    eta_hamming(graph, predictions),
+                )
+            )
+            table.add_row(*rows[-1])
+        return table, rows
+
+    table, rows = once(experiment)
+    table.print()
+    for num_paths, one, hamming in rows:
+        assert one == 3
+        assert hamming >= num_paths

@@ -1,0 +1,65 @@
+"""E16 — Stale predictions after graph churn (the Section 1.1 scenario).
+
+Paper motivation: "a maximal independent set has been computed on one
+network, but now a related network is being used."  We solve each problem
+on a network, perturb edges, reuse the old solution as predictions, and
+measure rounds vs the amount of churn.  Expected shape: rounds grow with
+churn (through the realized η₁) and stay far below the from-scratch cost
+for small churn.
+"""
+
+from repro.bench import Table
+from repro.bench.algorithms import (
+    coloring_simple,
+    edge_coloring_simple,
+    matching_simple,
+    mis_simple,
+)
+from repro.core import run
+from repro.errors import eta1
+from repro.graphs import connected_erdos_renyi, perturb_edges
+from repro.predictions import stale_predictions
+from repro.problems import EDGE_COLORING, MATCHING, MIS, VERTEX_COLORING
+
+CASES = [
+    ("mis", MIS, mis_simple),
+    ("matching", MATCHING, matching_simple),
+    ("vertex-coloring", VERTEX_COLORING, coloring_simple),
+    ("edge-coloring", EDGE_COLORING, edge_coloring_simple),
+]
+
+
+def test_e16_churn_sweep(once):
+    def experiment():
+        base_graph = connected_erdos_renyi(60, 0.05, seed=12)
+        table = Table(
+            "E16: stale predictions after edge churn (ER n=60)",
+            ["problem", "churn edges", "eta1", "rounds", "valid"],
+        )
+        failures = []
+        zero_churn_rounds = {}
+        for name, problem, factory in CASES:
+            algorithm = factory()
+            for churn in (0, 2, 5, 10, 20):
+                graph = perturb_edges(
+                    base_graph, add=churn, remove=churn, seed=churn + 1
+                )
+                predictions = stale_predictions(problem, base_graph, graph, seed=3)
+                result = run(algorithm, graph, predictions, max_rounds=20000)
+                error = eta1(graph, predictions, name)
+                valid = problem.is_solution(graph, result.outputs)
+                table.add_row(name, 2 * churn, error, result.rounds, valid)
+                if not valid:
+                    failures.append((name, churn))
+                if churn == 0:
+                    zero_churn_rounds[name] = result.rounds
+        return table, (failures, zero_churn_rounds)
+
+    table, (failures, zero_churn_rounds) = once(experiment)
+    table.print()
+    assert not failures, failures
+    # Zero churn = perfect predictions: consistency bounds hold.
+    assert zero_churn_rounds["mis"] <= 3
+    assert zero_churn_rounds["matching"] <= 2
+    assert zero_churn_rounds["vertex-coloring"] <= 2
+    assert zero_churn_rounds["edge-coloring"] <= 1

@@ -1,0 +1,90 @@
+"""E17 — Line lower bounds (Lemmas 4, 5, 13, 14; Theorem 6).
+
+Paper claims: every deterministic measure-uniform algorithm needs
+Ω(n) rounds on an n-node line (for MIS, 3-coloring, maximal matching and
+edge coloring).  Our measure-uniform algorithms are asymptotically
+optimal: on sorted-id lines (their worst case) they take Θ(n) rounds,
+between the (n−5)/2-type lower bounds and their own upper bounds.
+"""
+
+from repro.algorithms.coloring import PaletteGreedyColoringAlgorithm
+from repro.algorithms.edge_coloring import GreedyEdgeColoringAlgorithm
+from repro.algorithms.matching import GreedyMatchingAlgorithm
+from repro.algorithms.mis import GreedyMISAlgorithm
+from repro.bench import Table
+from repro.core import run
+from repro.graphs import line, sorted_path_ids
+from repro.problems import EDGE_COLORING, MATCHING, MIS, VERTEX_COLORING
+
+CASES = [
+    ("mis (Lemma 5)", MIS, GreedyMISAlgorithm, lambda n: (n - 5) / 2, lambda n: n),
+    (
+        "coloring (Lemma 4)",
+        VERTEX_COLORING,
+        PaletteGreedyColoringAlgorithm,
+        lambda n: (n - 3) / 2,
+        lambda n: n,
+    ),
+    (
+        "matching (Lemma 13)",
+        MATCHING,
+        GreedyMatchingAlgorithm,
+        lambda n: (n - 3) / 2,
+        lambda n: 3 * (n // 2) + 3,
+    ),
+    (
+        "edge coloring (Lemma 14)",
+        EDGE_COLORING,
+        GreedyEdgeColoringAlgorithm,
+        lambda n: (n - 3) / 2,
+        lambda n: 2 * n + 3,
+    ),
+]
+
+
+def test_e17_sorted_lines_theta_n(once):
+    def experiment():
+        table = Table(
+            "E17: measure-uniform algorithms on sorted-id lines",
+            ["problem", "n", "rounds", "lower-bound shape", "upper bound"],
+        )
+        failures = []
+        for name, problem, factory, lower, upper in CASES:
+            for n in (16, 32, 64):
+                graph = sorted_path_ids(line(n))
+                result = run(factory(), graph)
+                if problem.verify_solution(graph, result.outputs):
+                    failures.append((name, n, "invalid"))
+                table.add_row(
+                    name, n, result.rounds, f"{lower(n):.0f}", upper(n)
+                )
+                if not lower(n) <= result.rounds <= upper(n):
+                    failures.append((name, n, result.rounds))
+        return table, failures
+
+    table, failures = once(experiment)
+    table.print()
+    assert not failures, failures
+
+
+def test_e17_linear_growth(once):
+    """Round counts double (within slack) when n doubles: the Θ(n) shape."""
+
+    def experiment():
+        growth = {}
+        for name, problem, factory, lower, upper in CASES:
+            small = run(factory(), sorted_path_ids(line(32))).rounds
+            large = run(factory(), sorted_path_ids(line(64))).rounds
+            growth[name] = (small, large)
+        table = Table(
+            "E17: doubling n doubles the rounds",
+            ["problem", "rounds n=32", "rounds n=64", "ratio"],
+        )
+        for name, (small, large) in growth.items():
+            table.add_row(name, small, large, f"{large / small:.2f}")
+        return table, growth
+
+    table, growth = once(experiment)
+    table.print()
+    for name, (small, large) in growth.items():
+        assert 1.5 <= large / small <= 2.6, (name, small, large)

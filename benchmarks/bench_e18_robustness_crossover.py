@@ -1,0 +1,70 @@
+"""E18 — The robustness crossover (Sections 1.2 and 7, synthesized).
+
+The defining picture of algorithms with predictions: rounds as a function
+of prediction error, with the robust algorithm flattening at its
+reference cap while the prediction-only algorithm keeps degrading.
+
+Workload: sorted-id line (Greedy's Θ(n) worst case) with a growing
+corrupted segment.  Claims checked:
+
+* Simple = η₁ + 3 exactly on this family (tight degradation);
+* Parallel = min{η₁ + O(1), cap} where cap depends only on Δ and d;
+* the crossover sits where η₁ ≈ cap.
+"""
+
+from repro.algorithms.mis import ColoringMISReference
+from repro.bench import Table
+from repro.bench.algorithms import mis_parallel, mis_simple
+from repro.core import run
+from repro.errors import eta1
+from repro.graphs import line, sorted_path_ids
+from repro.predictions import perfect_predictions
+from repro.problems import MIS
+
+
+def corrupted(base, segment):
+    predictions = dict(base)
+    for node in range(1, segment + 1):
+        predictions[node] = 0
+    return predictions
+
+
+def test_e18_crossover(once):
+    def experiment():
+        n = 96
+        graph = sorted_path_ids(line(n))
+        base = perfect_predictions(MIS, graph, seed=1)
+        reference = ColoringMISReference()
+        cap = (
+            3
+            + reference.part1_bound(n, graph.delta, graph.d)
+            + 2
+            + reference.part2_bound(n, graph.delta, graph.d)
+        )
+        simple = mis_simple()
+        parallel = mis_parallel()
+        table = Table(
+            "E18: robustness crossover on the sorted-id line (n=96)",
+            ["corrupt L", "eta1", "simple rounds", "parallel rounds", "cap"],
+        )
+        rows = []
+        for segment in (0, 8, 16, 32, 48, 64, 96):
+            predictions = corrupted(base, segment)
+            error = eta1(graph, predictions)
+            simple_rounds = run(simple, graph, predictions).rounds
+            parallel_rounds = run(parallel, graph, predictions).rounds
+            table.add_row(segment, error, simple_rounds, parallel_rounds, cap)
+            rows.append((error, simple_rounds, parallel_rounds))
+        return table, (rows, cap)
+
+    table, (rows, cap) = once(experiment)
+    table.print()
+    for error, simple_rounds, parallel_rounds in rows:
+        # Simple: linear degradation, never better than consistency.
+        assert simple_rounds <= error + 3
+        # Parallel: min of the degradation curve and the cap.
+        assert parallel_rounds <= min(error + 5, cap)
+    # At full corruption the robust algorithm beats the simple one
+    # decisively (the whole point of robustness).
+    full_error = rows[-1]
+    assert full_error[2] < full_error[1] / 2

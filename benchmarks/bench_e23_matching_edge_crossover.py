@@ -1,0 +1,149 @@
+"""E23 — Robustness crossovers for Matching and Edge Coloring (Section 8).
+
+The E18 crossover for MIS relied on Corollary 12's n-independent
+reference.  With the line-graph Linial constructions (O(Δ² + log* d)
+edge coloring; matching via its color classes) the Matching and Edge
+Coloring problems get the same story: on sorted-id lines their greedy
+measure-uniform algorithms cost Θ(n), so past the reference cap the
+Consecutive Template flattens while the Simple Template keeps paying.
+"""
+
+from repro.algorithms.edge_coloring import (
+    EdgeColoringBaseAlgorithm,
+    EdgeColoringCleanupAlgorithm,
+    GreedyEdgeColoringAlgorithm,
+    LineGraphEdgeColoringAlgorithm,
+)
+from repro.algorithms.matching import (
+    ColoredMatchingAlgorithm,
+    GreedyMatchingAlgorithm,
+    MatchingCleanupAlgorithm,
+    MatchingInitializationAlgorithm,
+)
+from repro.bench import Table
+from repro.core import ConsecutiveTemplate, SimpleTemplate, run
+from repro.graphs import line, sorted_path_ids
+from repro.predictions import perfect_predictions
+from repro.problems import EDGE_COLORING, MATCHING, UNMATCHED
+
+
+def test_e23_matching_crossover(once):
+    def experiment():
+        reference = ColoredMatchingAlgorithm()
+        simple = SimpleTemplate(
+            MatchingInitializationAlgorithm(), GreedyMatchingAlgorithm()
+        )
+        robust = ConsecutiveTemplate(
+            MatchingInitializationAlgorithm(),
+            GreedyMatchingAlgorithm(),
+            MatchingCleanupAlgorithm(),
+            reference,
+        )
+        table = Table(
+            "E23: matching on sorted-id lines, all-bottom predictions",
+            ["n", "reference cap", "simple rounds", "consecutive rounds"],
+        )
+        rows = []
+        for n in (32, 64, 128, 256):
+            graph = sorted_path_ids(line(n))
+            cap = reference.round_bound(graph.n, graph.delta, graph.d)
+            # Adversarial worst case: everyone predicted unmatched, so the
+            # base algorithm outputs nothing and the whole line is one
+            # error component.
+            predictions = {v: UNMATCHED for v in graph.nodes}
+            simple_rounds = run(simple, graph, predictions, max_rounds=50000)
+            robust_rounds = run(robust, graph, predictions, max_rounds=50000)
+            assert MATCHING.is_solution(graph, simple_rounds.outputs)
+            assert MATCHING.is_solution(graph, robust_rounds.outputs)
+            table.add_row(n, cap, simple_rounds.rounds, robust_rounds.rounds)
+            rows.append((n, cap, simple_rounds.rounds, robust_rounds.rounds))
+        return table, rows
+
+    table, rows = once(experiment)
+    table.print()
+    # The robust composition's cost is capped (c + U-budget + c' + cap);
+    # the simple one grows linearly.
+    largest = rows[-1]
+    n, cap, simple_rounds, robust_rounds = largest
+    assert simple_rounds > 1.2 * n  # 3 rounds per 2 matched nodes
+    assert robust_rounds <= 2 + 2 * (cap + 1) + 3
+    assert robust_rounds < simple_rounds
+
+
+def test_e23_edge_coloring_crossover(once):
+    def experiment():
+        reference = LineGraphEdgeColoringAlgorithm()
+        simple = SimpleTemplate(
+            EdgeColoringBaseAlgorithm(), GreedyEdgeColoringAlgorithm()
+        )
+        robust = ConsecutiveTemplate(
+            EdgeColoringBaseAlgorithm(),
+            GreedyEdgeColoringAlgorithm(),
+            EdgeColoringCleanupAlgorithm(),
+            reference,
+        )
+        table = Table(
+            "E23: edge coloring on sorted-id lines, empty predictions",
+            ["n", "reference cap", "simple rounds", "consecutive rounds"],
+        )
+        rows = []
+        for n in (32, 64, 128, 256):
+            graph = sorted_path_ids(line(n))
+            cap = reference.round_bound(graph.n, graph.delta, graph.d)
+            # Adversarial worst case: no edge predictions at all.
+            predictions = {v: {} for v in graph.nodes}
+            simple_result = run(simple, graph, predictions, max_rounds=50000)
+            robust_result = run(robust, graph, predictions, max_rounds=50000)
+            assert EDGE_COLORING.is_solution(graph, simple_result.outputs)
+            assert EDGE_COLORING.is_solution(graph, robust_result.outputs)
+            table.add_row(n, cap, simple_result.rounds, robust_result.rounds)
+            rows.append((n, cap, simple_result.rounds, robust_result.rounds))
+        return table, rows
+
+    table, rows = once(experiment)
+    table.print()
+    n, cap, simple_rounds, robust_rounds = rows[-1]
+    assert simple_rounds > 1.5 * n
+    assert robust_rounds <= 2 + 2 * (cap + 1) + 3
+    assert robust_rounds < simple_rounds
+
+
+def test_e23_consistency_preserved(once):
+    """The robust compositions keep their consistency (2 and 1 rounds)."""
+
+    def experiment():
+        graph = sorted_path_ids(line(48))
+        matching_algorithm = ConsecutiveTemplate(
+            MatchingInitializationAlgorithm(),
+            GreedyMatchingAlgorithm(),
+            MatchingCleanupAlgorithm(),
+            ColoredMatchingAlgorithm(),
+        )
+        edge_algorithm = ConsecutiveTemplate(
+            EdgeColoringBaseAlgorithm(),
+            GreedyEdgeColoringAlgorithm(),
+            EdgeColoringCleanupAlgorithm(),
+            LineGraphEdgeColoringAlgorithm(),
+        )
+        matching_rounds = run(
+            matching_algorithm,
+            graph,
+            perfect_predictions(MATCHING, graph, seed=1),
+        ).rounds
+        edge_rounds = run(
+            edge_algorithm,
+            graph,
+            perfect_predictions(EDGE_COLORING, graph, seed=1),
+        ).rounds
+        table = Table(
+            "E23: consistency of the robust compositions",
+            ["problem", "rounds", "bound"],
+        )
+        table.add_row("matching", matching_rounds, 2)
+        table.add_row("edge-coloring", edge_rounds, 1)
+        return table, (matching_rounds, edge_rounds)
+
+    table, (matching_rounds, edge_rounds) = once(experiment)
+    table.print()
+    assert matching_rounds <= 2
+    assert edge_rounds <= 1

@@ -1,0 +1,19 @@
+"""Shared benchmark configuration.
+
+Every benchmark runs its experiment exactly once (``pedantic`` with one
+round): the quantities of interest are round *counts*, which are
+deterministic per seed, not wall-clock noise.  The printed tables are the
+measured counterparts of the paper's claims, collected in EXPERIMENTS.md.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run an experiment callable once under the benchmark fixture."""
+
+    def runner(func):
+        return benchmark.pedantic(func, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Figure 2 live: black/white components as a symmetry breaker.
+
+Recreates the paper's Figure 2 instance — a 2-D grid whose nodes are
+predicted in 2x2 black/white blocks — and shows why the η_bw error
+measure (Section 5) and the black/white alternating algorithm U_bw
+(Section 9.1) matter: η₁ equals the whole grid while η_bw = 4, and U_bw's
+round count is flat in the grid size.
+
+Also renders the pattern and the computed independent set as ASCII art.
+"""
+
+from repro import run
+from repro.algorithms.mis import BlackWhiteGreedyMIS, MISBaseAlgorithm
+from repro.core import SimpleTemplate
+from repro.errors import eta1, eta_bw
+from repro.graphs import grid2d
+from repro.predictions import grid_blackwhite_predictions
+from repro.problems import MIS
+
+
+def render(graph, values, chars) -> str:
+    size = max(i for i, _ in (graph.node_attrs(v)["pos"] for v in graph.nodes)) + 1
+    rows = []
+    for i in range(size):
+        row = []
+        for j in range(size):
+            node = i * size + j + 1
+            row.append(chars[values[node]])
+        rows.append("".join(row))
+    return "\n".join(rows)
+
+
+def main() -> None:
+    algorithm = SimpleTemplate(MISBaseAlgorithm(), BlackWhiteGreedyMIS())
+
+    print("pattern (#: predicted 1 / black, .: predicted 0 / white):")
+    demo = grid2d(8, 8)
+    predictions = grid_blackwhite_predictions(demo)
+    print(render(demo, predictions, {1: "#", 0: "."}))
+    print()
+
+    result = run(algorithm, demo, predictions)
+    print("computed maximal independent set (*: in the set):")
+    print(render(demo, result.outputs, {1: "*", 0: "."}))
+    print()
+
+    print(f"{'grid':>8}  {'eta1':>5}  {'eta_bw':>6}  {'U_bw rounds':>11}")
+    for size in (8, 12, 16, 24):
+        graph = grid2d(size, size)
+        preds = grid_blackwhite_predictions(graph)
+        res = run(algorithm, graph, preds)
+        assert MIS.is_solution(graph, res.outputs)
+        print(
+            f"{size}x{size:<5}  {eta1(graph, preds):>5}  "
+            f"{eta_bw(graph, preds):>6}  {res.rounds:>11}"
+        )
+
+    print()
+    print("eta1 grows with the grid; eta_bw and the rounds stay constant —")
+    print("splitting error components by prediction color breaks symmetry.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Simulating the machine-learning oracle.
+
+The paper treats the predictor as a black box "machine learning oracle".
+This example builds a plausible one with no ML dependency: an *ensemble
+predictor* that has seen solutions to k perturbed versions of the
+instance and predicts per-node by majority vote — then measures how the
+achieved prediction error η₁ and the algorithm's rounds respond to the
+predictor's training-data volume.
+
+It also demonstrates a trap specific to this problem family: correct
+predictions are NOT unique (Section 5 of the paper), so a diverse
+ensemble — each sample solving in a different order — majority-votes its
+way *away* from every valid solution.  A useful predictor for MIS must
+target one consistent solution, not average many.
+"""
+
+from repro import run
+from repro.bench.algorithms import mis_simple
+from repro.errors import eta1
+from repro.graphs import connected_erdos_renyi
+from repro.predictions import ensemble_predictions
+from repro.problems import MIS
+
+
+def main() -> None:
+    graph = connected_erdos_renyi(80, 0.04, seed=9)
+    algorithm = mis_simple()
+    print(f"instance: {graph.name} (n={graph.n}, m={graph.num_edges})")
+    print()
+    print("ensemble predictor: majority vote over k perturbed solutions")
+    header = (
+        f"{'k':>4}  {'consistent: eta1':>16}  {'rounds':>6}"
+        f"  {'diverse: eta1':>13}  {'rounds':>6}"
+    )
+    print(header)
+    for k in (0, 1, 3, 7, 15, 31):
+        consistent = ensemble_predictions(
+            MIS, graph, samples=k, churn=3, seed=4, consistent_order=True
+        )
+        diverse = ensemble_predictions(
+            MIS, graph, samples=k, churn=3, seed=4, consistent_order=False
+        )
+        consistent_run = run(algorithm, graph, consistent)
+        diverse_run = run(algorithm, graph, diverse)
+        assert MIS.is_solution(graph, consistent_run.outputs)
+        assert MIS.is_solution(graph, diverse_run.outputs)
+        print(
+            f"{k:>4}  {eta1(graph, consistent):>16}  {consistent_run.rounds:>6}"
+            f"  {eta1(graph, diverse):>13}  {diverse_run.rounds:>6}"
+        )
+
+    print()
+    print("a predictor aiming at one canonical solution improves with data;")
+    print("averaging many *different* valid solutions does not converge to")
+    print("any of them — solution multiplicity (paper, Section 5) in action.")
+
+
+if __name__ == "__main__":
+    main()

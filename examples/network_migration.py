@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Network migration: reuse yesterday's solution on today's network.
+
+The paper's motivating scenario (Section 1.1): a maximal independent set
+was computed on one network; a related network — same nodes, slightly
+different edges — is now in use.  Yesterday's solution becomes today's
+prediction; the algorithm with predictions repairs it in rounds
+proportional to the *localized* damage (η₁), not the network size.
+
+This example runs the scenario for all four problems of the paper across
+increasing churn, comparing against solving from scratch (no predictions:
+the all-wrong baseline for the same algorithm).
+"""
+
+from repro import run
+from repro.bench.algorithms import (
+    coloring_simple,
+    edge_coloring_simple,
+    matching_simple,
+    mis_simple,
+)
+from repro.errors import eta1
+from repro.graphs import connected_erdos_renyi, perturb_edges
+from repro.predictions import stale_predictions
+from repro.problems import EDGE_COLORING, MATCHING, MIS, VERTEX_COLORING
+
+PROBLEMS = [
+    ("MIS", MIS, mis_simple()),
+    ("Maximal Matching", MATCHING, matching_simple()),
+    ("(D+1)-Vertex Coloring", VERTEX_COLORING, coloring_simple()),
+    ("(2D-1)-Edge Coloring", EDGE_COLORING, edge_coloring_simple()),
+]
+
+
+def main() -> None:
+    yesterday = connected_erdos_renyi(120, 0.03, seed=21)
+    print(f"yesterday's network: n={yesterday.n}, m={yesterday.num_edges}")
+    print()
+
+    for title, problem, algorithm in PROBLEMS:
+        print(f"== {title} ==")
+        print(f"{'churned edges':>14}  {'eta1':>5}  {'rounds':>6}  valid")
+        for churn in (0, 3, 8, 20):
+            today = perturb_edges(yesterday, add=churn, remove=churn, seed=churn)
+            predictions = stale_predictions(problem, yesterday, today, seed=4)
+            result = run(algorithm, today, predictions, max_rounds=20000)
+            error = eta1(today, predictions, problem.name)
+            valid = problem.is_solution(today, result.outputs)
+            print(
+                f"{2 * churn:>14}  {error:>5}  {result.rounds:>6}  {valid}"
+            )
+        print()
+
+    print("small churn -> small error components -> a handful of rounds,")
+    print("independent of the network size: the value of predictions.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Quickstart: solve MIS with predictions on a random graph.
+
+Builds the paper's simplest algorithm with predictions — the Simple
+Template over the MIS Initialization Algorithm and the Greedy MIS
+Algorithm (Observation 7) — and runs it at several prediction qualities,
+printing the measured rounds next to the paper's η₁ + 3 bound.
+"""
+
+from repro import SimpleTemplate, run
+from repro.algorithms.mis import GreedyMISAlgorithm, MISInitializationAlgorithm
+from repro.errors import eta1
+from repro.graphs import connected_erdos_renyi
+from repro.predictions import noisy_predictions, perfect_predictions
+from repro.problems import MIS
+
+
+def main() -> None:
+    graph = connected_erdos_renyi(100, 0.04, seed=7)
+    algorithm = SimpleTemplate(
+        MISInitializationAlgorithm(), GreedyMISAlgorithm()
+    )
+    print(f"instance: {graph.name} (n={graph.n}, m={graph.num_edges})")
+    print(f"algorithm: {algorithm.name}")
+    print()
+    print(f"{'noise rate':>10}  {'eta1':>5}  {'rounds':>6}  {'bound':>6}  valid")
+
+    perfect = perfect_predictions(MIS, graph, seed=1)
+    for rate in (0.0, 0.05, 0.1, 0.25, 0.5, 1.0):
+        predictions = (
+            perfect
+            if rate == 0.0
+            else noisy_predictions(MIS, graph, rate, seed=2, base=perfect)
+        )
+        result = run(algorithm, graph, predictions)
+        error = eta1(graph, predictions)
+        valid = MIS.is_solution(graph, result.outputs)
+        print(
+            f"{rate:>10}  {error:>5}  {result.rounds:>6}  {error + 3:>6}  {valid}"
+        )
+
+    print()
+    print("perfect predictions finish in 3 rounds (consistency);")
+    print("worse predictions degrade linearly in the error, never beyond it.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Consistency / robustness / degradation study across all four templates.
+
+The canonical learning-augmented-algorithms picture: performance as a
+function of prediction error, one curve per template (Section 7).
+
+Workload: a line with identifiers sorted along the path — the Greedy MIS
+Algorithm's Θ(n) worst case — with a growing all-zeros segment corrupting
+otherwise-perfect predictions, so η₁ sweeps from 0 to n.  The Simple
+Template degrades linearly forever (rounds = η₁ + 3); the Parallel
+Template tracks the same curve until its reference's O(Δ² + log* d) cap
+becomes cheaper, then flattens — robustness in action.  The Consecutive
+and Interleaved Templates are robust with respect to *their* references
+(here Θ(n)-bounded), so their caps sit at ~2·r(n).
+"""
+
+from repro import run
+from repro.algorithms.mis import ColoringMISReference
+from repro.bench.algorithms import (
+    mis_consecutive,
+    mis_interleaved,
+    mis_parallel,
+    mis_simple,
+)
+from repro.errors import eta1
+from repro.graphs import line, sorted_path_ids
+from repro.predictions import perfect_predictions
+from repro.problems import MIS
+
+
+def main() -> None:
+    n = 96
+    graph = sorted_path_ids(line(n))
+    base = perfect_predictions(MIS, graph, seed=1)
+    algorithms = {
+        "simple": mis_simple(),
+        "consecutive": mis_consecutive(),
+        "interleaved": mis_interleaved(),
+        "parallel": mis_parallel(),
+    }
+    reference = ColoringMISReference()
+    parallel_cap = (
+        3
+        + reference.part1_bound(n, graph.delta, graph.d)
+        + reference.part2_bound(n, graph.delta, graph.d)
+    )
+
+    print(f"instance: sorted-id line, n={n} (greedy's Theta(n) worst case)")
+    print(f"parallel reference cap: ~{parallel_cap} rounds (Delta, d only)")
+    print()
+    header = f"{'corrupt L':>9}  {'eta1':>5}" + "".join(
+        f"  {name:>12}" for name in algorithms
+    )
+    print(header)
+
+    for segment in (0, 8, 16, 32, 64, 96):
+        predictions = dict(base)
+        for node in range(1, segment + 1):
+            predictions[node] = 0
+        error = eta1(graph, predictions)
+        row = f"{segment:>9}  {error:>5}"
+        for name, algorithm in algorithms.items():
+            result = run(algorithm, graph, predictions, max_rounds=50000)
+            assert MIS.is_solution(graph, result.outputs), name
+            row += f"  {result.rounds:>12}"
+        print(row)
+
+    print()
+    print("reading the curves:")
+    print(" * every template starts at 3 rounds (consistency);")
+    print(" * all track eta1 while the error is small (degradation);")
+    print(" * 'parallel' flattens at its reference cap once eta1 exceeds")
+    print("   it (robustness w.r.t. an n-independent reference), while")
+    print("   'simple' keeps paying eta1 + 3 all the way to n.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""MIS with predictions on rooted trees (Section 9.2 / Corollary 15).
+
+Runs the rooted-tree pipeline end-to-end: the 4-round rooted-tree
+initialization (whose surviving components are monochromatic), the
+roots-and-leaves measure-uniform algorithm (Algorithm 6), and the
+Corollary 15 Parallel-Template algorithm with a Cole–Vishkin-style
+O(log* d) 3-coloring reference — including the paper's directed-line
+example where η₁ = 3k but η_t = 2.
+"""
+
+from repro import run
+from repro.bench.algorithms import mis_rooted_parallel, mis_rooted_simple
+from repro.errors import eta1, eta_t
+from repro.graphs import directed_line, random_rooted_tree
+from repro.predictions import (
+    directed_line_pattern,
+    noisy_predictions,
+    perfect_predictions,
+)
+from repro.problems import MIS
+
+
+def main() -> None:
+    simple = mis_rooted_simple()
+    parallel = mis_rooted_parallel()
+
+    print("== random rooted trees, noisy predictions ==")
+    print(
+        f"{'n':>5}  {'rate':>5}  {'eta_t':>5}  {'simple rounds':>13}  "
+        f"{'parallel rounds':>15}"
+    )
+    for n in (60, 150):
+        graph = random_rooted_tree(n, seed=5)
+        base = perfect_predictions(MIS, graph, seed=1)
+        for rate in (0.0, 0.1, 0.4, 1.0):
+            predictions = (
+                base
+                if rate == 0.0
+                else noisy_predictions(MIS, graph, rate, seed=2, base=base)
+            )
+            res_simple = run(simple, graph, predictions)
+            res_parallel = run(parallel, graph, predictions)
+            assert MIS.is_solution(graph, res_simple.outputs)
+            assert MIS.is_solution(graph, res_parallel.outputs)
+            print(
+                f"{n:>5}  {rate:>5}  {eta_t(graph, predictions):>5}  "
+                f"{res_simple.rounds:>13}  {res_parallel.rounds:>15}"
+            )
+
+    print()
+    print("== the paper's directed-line example (white at depth 0 mod 3) ==")
+    print(f"{'3k':>5}  {'eta1':>5}  {'eta_t':>5}  {'rounds':>6}")
+    for k in (10, 30, 100):
+        graph = directed_line(3 * k)
+        predictions = directed_line_pattern(graph)
+        result = run(simple, graph, predictions)
+        assert MIS.is_solution(graph, result.outputs)
+        print(
+            f"{3 * k:>5}  {eta1(graph, predictions):>5}  "
+            f"{eta_t(graph, predictions):>5}  {result.rounds:>6}"
+        )
+
+    print()
+    print("the base algorithm sees the whole line as one error component")
+    print("(eta1 = 3k), yet the rooted-tree initialization resolves it in")
+    print("two rounds — the tree-specific measure eta_t tells the truth.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+All real metadata lives in ``pyproject.toml``; this file only enables
+``pip install -e . --no-build-isolation`` (legacy editable installs) on
+offline machines where PEP-517 editable builds cannot fetch ``wheel``.
+"""
+
+from setuptools import setup
+
+setup()

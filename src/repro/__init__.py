@@ -1,0 +1,63 @@
+"""repro — Distributed Graph Algorithms with Predictions.
+
+A synchronous message-passing framework reproducing Boyar, Ellen and
+Larsen, *Distributed Graph Algorithms with Predictions* (brief
+announcement at PODC 2025): the LOCAL/CONGEST simulator, the
+consistency/robustness/degradation framework, the four templates of
+Section 7, all four problems (MIS, Maximal Matching, (Δ+1)-Vertex
+Coloring, (2Δ−1)-Edge Coloring), their error measures, and the
+experiment harness that validates every quantitative claim.
+
+Quickstart::
+
+    from repro import run, SimpleTemplate
+    from repro.algorithms.mis import MISInitializationAlgorithm, GreedyMISAlgorithm
+    from repro.graphs import erdos_renyi
+    from repro.predictions import noisy_predictions
+    from repro.problems import MIS
+
+    graph = erdos_renyi(100, 0.05, seed=1)
+    algorithm = SimpleTemplate(MISInitializationAlgorithm(), GreedyMISAlgorithm())
+    predictions = noisy_predictions(MIS, graph, rate=0.1, seed=1)
+    result = run(algorithm, graph, predictions)
+    assert MIS.is_solution(graph, result.outputs)
+    print(result.rounds, "rounds")
+"""
+
+from repro.core import (
+    ConsecutiveTemplate,
+    HedgedConsecutiveTemplate,
+    DistributedAlgorithm,
+    FunctionalAlgorithm,
+    InterleavedTemplate,
+    ParallelTemplate,
+    PhasedAlgorithm,
+    SimpleTemplate,
+    TwoPartReference,
+    run,
+    run_with_trace,
+)
+from repro.graphs import DistGraph
+from repro.simulator import CONGEST, LOCAL, RunResult, SyncEngine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CONGEST",
+    "ConsecutiveTemplate",
+    "DistGraph",
+    "DistributedAlgorithm",
+    "FunctionalAlgorithm",
+    "HedgedConsecutiveTemplate",
+    "InterleavedTemplate",
+    "LOCAL",
+    "ParallelTemplate",
+    "PhasedAlgorithm",
+    "RunResult",
+    "SimpleTemplate",
+    "SyncEngine",
+    "TwoPartReference",
+    "__version__",
+    "run",
+    "run_with_trace",
+]

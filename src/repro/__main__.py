@@ -1,0 +1,6 @@
+"""``python -m repro`` — the command-line interface."""
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,11 @@
+"""Algorithm implementations, one subpackage per problem.
+
+Every algorithm from the paper is implemented as a per-node
+message-passing program:
+
+* :mod:`repro.algorithms.mis` — Sections 4, 6, 7, 9 and 10.
+* :mod:`repro.algorithms.matching` — Section 8.1.
+* :mod:`repro.algorithms.coloring` — Section 8.2 (plus the Linial-style
+  (Δ+1)-coloring used as a fault-tolerant reference part).
+* :mod:`repro.algorithms.edge_coloring` — Section 8.3.
+"""

@@ -1,0 +1,32 @@
+"""(Δ+1)-Vertex Coloring algorithms (Section 8.2).
+
+Includes the base and initialization algorithms, the measure-uniform
+palette algorithm, and a Linial-style (Δ+1)-coloring —
+``O(Δ² + log* d)`` rounds, independent of ``n``, fault tolerant — used
+both as a reference algorithm for the coloring problem and as the
+fault-tolerant part 1 of the Corollary 12 MIS reference.
+"""
+
+from repro.algorithms.coloring.base import VertexColoringBaseAlgorithm
+from repro.algorithms.coloring.greedy import PaletteGreedyColoringAlgorithm
+from repro.algorithms.coloring.initialization import (
+    VertexColoringInitializationAlgorithm,
+)
+from repro.algorithms.coloring.linial import (
+    LinialColoringAlgorithm,
+    LinialColoringProgram,
+    LinialColoringReference,
+    linial_round_bound,
+    linial_schedule,
+)
+
+__all__ = [
+    "LinialColoringAlgorithm",
+    "LinialColoringProgram",
+    "LinialColoringReference",
+    "PaletteGreedyColoringAlgorithm",
+    "VertexColoringBaseAlgorithm",
+    "VertexColoringInitializationAlgorithm",
+    "linial_round_bound",
+    "linial_schedule",
+]

@@ -1,0 +1,62 @@
+"""The (Δ+1)-Vertex Coloring Base Algorithm (Section 8.2).
+
+Two rounds: nodes exchange predicted colors; a node whose prediction is a
+legal color different from all its neighbors' predictions outputs it and
+terminates (informing its neighbors, who remove the color from their
+palettes).  A pruning algorithm.
+"""
+
+from __future__ import annotations
+
+from repro.core.algorithm import DistributedAlgorithm
+from repro.simulator.context import NodeContext
+from repro.simulator.program import Inbox, NodeProgram, Outbox
+
+
+class VertexColoringBaseProgram(NodeProgram):
+    """Per-node program of the coloring base algorithm."""
+
+    def __init__(self, tie_break_by_id: bool = False) -> None:
+        # The initialization variant keeps a predicted color as long as
+        # every neighbor with the *same* prediction has a smaller id.
+        self._tie_break_by_id = tie_break_by_id
+        self._keep = False
+
+    def compose(self, ctx: NodeContext) -> Outbox:
+        if ctx.round == 1:
+            return {other: ctx.prediction for other in ctx.active_neighbors}
+        return {}
+
+    def process(self, ctx: NodeContext, inbox: Inbox) -> None:
+        if ctx.round == 1:
+            color = ctx.prediction
+            palette_size = (ctx.delta or 0) + 1
+            legal = isinstance(color, int) and 1 <= color <= palette_size
+            if not legal:
+                return
+            if self._tie_break_by_id:
+                self._keep = all(
+                    other < ctx.node_id
+                    for other in ctx.neighbors
+                    if inbox.get(other) == color
+                )
+            else:
+                self._keep = all(
+                    inbox.get(other) != color for other in ctx.neighbors
+                )
+        elif ctx.round == 2 and self._keep:
+            ctx.set_output(ctx.prediction)
+            ctx.terminate()
+
+
+class VertexColoringBaseAlgorithm(DistributedAlgorithm):
+    """The 2-round (Δ+1)-Vertex Coloring Base Algorithm."""
+
+    name = "coloring-base"
+    uses_predictions = True
+
+    def build_program(self) -> NodeProgram:
+        return VertexColoringBaseProgram()
+
+    def round_bound(self, n: int, delta: int, d: int) -> int:
+        return 2

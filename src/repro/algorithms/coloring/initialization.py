@@ -1,0 +1,26 @@
+"""The (Δ+1)-Vertex Coloring initialization algorithm (Section 8.2).
+
+A node outputs its predicted color provided all of its neighbors with the
+same prediction have smaller identifiers.  Also a pruning algorithm; the
+extendable partial solution it produces contains the base algorithm's,
+so it is a reasonable initialization algorithm.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.coloring.base import VertexColoringBaseProgram
+from repro.core.algorithm import DistributedAlgorithm
+from repro.simulator.program import NodeProgram
+
+
+class VertexColoringInitializationAlgorithm(DistributedAlgorithm):
+    """The 2-round reasonable initialization algorithm for coloring."""
+
+    name = "coloring-init"
+    uses_predictions = True
+
+    def build_program(self) -> NodeProgram:
+        return VertexColoringBaseProgram(tie_break_by_id=True)
+
+    def round_bound(self, n: int, delta: int, d: int) -> int:
+        return 2

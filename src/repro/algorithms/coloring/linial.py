@@ -1,0 +1,249 @@
+"""Linial-style (Δ+1)-vertex coloring: O(Δ² + log* d) rounds, fault tolerant.
+
+This is the repository's stand-in for the ``O(Δ + log* d)`` coloring
+algorithms the paper cites (Barenboim–Elkin and relatives); see DESIGN.md
+for the substitution rationale.  The structure:
+
+1. **Linial color reduction** (the classic polynomial/cover-free-family
+   argument).  With colors in ``{0, ..., m−1}``, pick a prime ``q`` with
+   ``q ≥ kΔ + 1`` and ``q^(k+1) ≥ m`` and view each color as a degree-≤k
+   polynomial over GF(q) (its base-``q`` digits).  A node with color
+   ``c`` picks a point ``x`` where its polynomial differs from every
+   active neighbor's polynomial — at most ``kΔ < q`` points are spoiled —
+   and adopts the new color ``x·q + p_c(x) < q²``.  Properness is
+   preserved, and the color count drops from ``m`` to ``q²``.  Iterating
+   reaches ``O(Δ²)`` colors in a log*-type number of steps; all nodes
+   compute the identical ``(k, q)`` schedule from the shared ``(d, Δ)``.
+
+2. **Class-by-class final recoloring.**  For ``j = m_f−1, ..., 0``, one
+   round per class: each node of class ``j`` takes the smallest color of
+   ``{1, ..., Δ+1}`` not finalized by any neighbor.  Because at most
+   ``deg ≤ Δ`` colors are blocked, a color always exists; because classes
+   are independent sets, no two adjacent nodes choose in the same round.
+
+Every node terminates at the end of the common schedule (the paper's
+"wait until the known upper bound" convention), which makes the program
+trivially safe to run intercepted inside the Parallel Template.  The
+algorithm is *fault tolerant*: it only ever constrains against currently
+active neighbors and finalized colors, so nodes crashing (or being
+terminated by a concurrently running measure-uniform algorithm) never
+break properness — exactly the property Section 7.4 requires of a part-1
+reference.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.algorithm import DistributedAlgorithm, TwoPartReference
+from repro.simulator.context import NodeContext
+from repro.simulator.program import Inbox, NodeProgram, Outbox
+
+
+# ----------------------------------------------------------------------
+# Schedule computation (shared knowledge: all nodes derive it from (d, Δ))
+# ----------------------------------------------------------------------
+def _is_prime(value: int) -> bool:
+    if value < 2:
+        return False
+    if value % 2 == 0:
+        return value == 2
+    divisor = 3
+    while divisor * divisor <= value:
+        if value % divisor == 0:
+            return False
+        divisor += 2
+    return True
+
+
+def _next_prime(value: int) -> int:
+    candidate = max(2, value)
+    while not _is_prime(candidate):
+        candidate += 1
+    return candidate
+
+
+def linial_schedule(d: int, delta: int) -> Tuple[List[Tuple[int, int]], int]:
+    """The common (k, q) step schedule and final color count.
+
+    Returns ``(steps, m_final)`` where each step ``(k, q)`` reduces the
+    color count ``m`` to ``q²`` using degree-≤k polynomials over GF(q).
+    Steps are emitted while they strictly reduce the color count.
+    """
+    m = max(1, d)
+    steps: List[Tuple[int, int]] = []
+    while True:
+        best: Optional[Tuple[int, int]] = None
+        for k in (1, 2, 3, 4):
+            q = _next_prime(
+                max(k * delta + 1, math.ceil(m ** (1.0 / (k + 1))))
+            )
+            while q ** (k + 1) < m:
+                q = _next_prime(q + 1)
+            if q * q < m and (best is None or q * q < best[1] ** 2):
+                best = (k, q)
+        if best is None:
+            return steps, m
+        steps.append(best)
+        m = best[1] ** 2
+
+
+def linial_round_bound(d: int, delta: int) -> int:
+    """Total rounds of the coloring: Linial steps + one round per class."""
+    if delta <= 0:
+        return 1
+    steps, m_final = linial_schedule(d, delta)
+    return len(steps) + m_final
+
+
+def _poly_eval(digits: List[int], x: int, q: int) -> int:
+    value = 0
+    for coefficient in reversed(digits):
+        value = (value * x + coefficient) % q
+    return value
+
+
+def _digits(value: int, q: int, count: int) -> List[int]:
+    digits = []
+    for _ in range(count):
+        digits.append(value % q)
+        value //= q
+    return digits
+
+
+# ----------------------------------------------------------------------
+# The program
+# ----------------------------------------------------------------------
+class LinialColoringProgram(NodeProgram):
+    """Per-node program of the Linial-style (Δ+1)-coloring.
+
+    Args:
+        respect_neighbor_outputs: When true, colors already *output* by
+            terminated neighbors (``ctx.neighbor_outputs``) are treated
+            as finalized constraints — required when the coloring runs
+            after an initialization algorithm that let some nodes output
+            predicted colors (the list-coloring view of Section 8.2).
+            Leave false when the program runs intercepted as part 1 of
+            the Corollary 12 MIS reference, where terminated neighbors
+            carry MIS bits, not colors.
+    """
+
+    def __init__(self, respect_neighbor_outputs: bool = False) -> None:
+        self._respect_outputs = respect_neighbor_outputs
+        self._steps: List[Tuple[int, int]] = []
+        self._m_final = 0
+        self._total_rounds = 0
+        self._color = 0
+        self._final: Optional[int] = None
+        self._neighbor_finals: Dict[int, int] = {}
+
+    # -- knowledge ------------------------------------------------------
+    def setup(self, ctx: NodeContext) -> None:
+        delta = ctx.delta or 0
+        if delta <= 0:
+            ctx.set_output(1)
+            ctx.terminate()
+            return
+        self._steps, self._m_final = linial_schedule(ctx.d, delta)
+        self._total_rounds = len(self._steps) + self._m_final
+        self._color = ctx.node_id - 1
+
+    # -- rounds ----------------------------------------------------------
+    def compose(self, ctx: NodeContext) -> Outbox:
+        payload = (self._color, self._final)
+        return {other: payload for other in ctx.active_neighbors}
+
+    def process(self, ctx: NodeContext, inbox: Inbox) -> None:
+        delta = ctx.delta or 0
+        round_index = ctx.round
+        neighbor_colors: Dict[int, int] = {}
+        for sender, payload in inbox.items():
+            color, final = payload
+            neighbor_colors[sender] = color
+            if final is not None:
+                self._neighbor_finals[sender] = final
+        if self._respect_outputs:
+            for sender, value in ctx.neighbor_outputs.items():
+                if isinstance(value, int):
+                    self._neighbor_finals[sender] = value
+
+        if round_index <= len(self._steps):
+            k, q = self._steps[round_index - 1]
+            self._color = self._linial_step(ctx, k, q, neighbor_colors)
+        else:
+            class_index = self._m_final - (round_index - len(self._steps))
+            if self._final is None and self._color == class_index:
+                blocked = set(self._neighbor_finals.values())
+                choice = 1
+                while choice in blocked:
+                    choice += 1
+                if choice > delta + 1:
+                    raise RuntimeError(
+                        f"node {ctx.node_id}: no free color in 1..{delta + 1}"
+                    )
+                self._final = choice
+
+        if round_index >= self._total_rounds:
+            assert self._final is not None
+            ctx.set_output(self._final)
+            ctx.terminate()
+
+    def _linial_step(
+        self, ctx: NodeContext, k: int, q: int, neighbor_colors: Dict[int, int]
+    ) -> int:
+        own = _digits(self._color, q, k + 1)
+        spoiled = set()
+        for other, color in neighbor_colors.items():
+            if other not in ctx.active_neighbors:
+                continue
+            theirs = _digits(color, q, k + 1)
+            for x in range(q):
+                if _poly_eval(own, x, q) == _poly_eval(theirs, x, q):
+                    spoiled.add(x)
+        for x in range(q):
+            if x not in spoiled:
+                return x * q + _poly_eval(own, x, q)
+        raise RuntimeError(
+            f"node {ctx.node_id}: no safe evaluation point (q={q}, k={k}, "
+            f"{len(neighbor_colors)} neighbors) — schedule invariant broken"
+        )
+
+
+class LinialColoringAlgorithm(DistributedAlgorithm):
+    """The Linial-style (Δ+1)-coloring as a standalone algorithm.
+
+    Usable directly on the (Δ+1)-Vertex Coloring problem and as the
+    reference ``R`` in the Simple and Consecutive Templates for coloring.
+    """
+
+    name = "linial-coloring"
+
+    def __init__(self, respect_neighbor_outputs: bool = True) -> None:
+        self._respect = respect_neighbor_outputs
+
+    def build_program(self) -> NodeProgram:
+        return LinialColoringProgram(respect_neighbor_outputs=self._respect)
+
+    def round_bound(self, n: int, delta: int, d: int) -> int:
+        return linial_round_bound(d, delta)
+
+
+class LinialColoringReference(TwoPartReference):
+    """The coloring as a Parallel-Template reference for the coloring problem.
+
+    The whole algorithm is fault tolerant, so part 1 is everything and its
+    stored color is the node's final output (``part1_outputs_are_final``).
+    """
+
+    name = "linial-coloring-ref"
+    part1_outputs_are_final = True
+
+    def __init__(self, respect_neighbor_outputs: bool = True) -> None:
+        self._respect = respect_neighbor_outputs
+
+    def build_part1(self) -> NodeProgram:
+        return LinialColoringProgram(respect_neighbor_outputs=self._respect)
+
+    def part1_bound(self, n: int, delta: int, d: int) -> int:
+        return linial_round_bound(d, delta)

@@ -1,0 +1,17 @@
+"""(2Δ−1)-Edge Coloring algorithms (Section 8.3).
+
+The base algorithm (≤2 rounds), the 2-hop-dominance measure-uniform
+algorithm, and the clean-up algorithm.
+"""
+
+from repro.algorithms.edge_coloring.base import EdgeColoringBaseAlgorithm
+from repro.algorithms.edge_coloring.cleanup import EdgeColoringCleanupAlgorithm
+from repro.algorithms.edge_coloring.greedy import GreedyEdgeColoringAlgorithm
+from repro.algorithms.edge_coloring.linegraph import LineGraphEdgeColoringAlgorithm
+
+__all__ = [
+    "EdgeColoringBaseAlgorithm",
+    "EdgeColoringCleanupAlgorithm",
+    "GreedyEdgeColoringAlgorithm",
+    "LineGraphEdgeColoringAlgorithm",
+]

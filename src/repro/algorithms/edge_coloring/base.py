@@ -1,0 +1,91 @@
+"""The (2Δ−1)-Edge Coloring Base Algorithm (Section 8.3).
+
+Round 1: each node sends its predicted color for each incident edge,
+provided none of its other edges share that predicted color; an edge
+whose endpoints propose the same color is output by both.  A node with
+all incident edges colored terminates at the end of round 1.  Round 2:
+remaining nodes exchange the colors they output so palettes stay
+consistent.  If the predictions are correct the algorithm terminates in
+one round; otherwise it takes two.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.algorithm import DistributedAlgorithm
+from repro.simulator.context import NodeContext
+from repro.simulator.program import Inbox, NodeProgram, Outbox
+
+
+class EdgeColoringBaseProgram(NodeProgram):
+    """Per-node program of the edge-coloring base algorithm."""
+
+    def setup(self, ctx: NodeContext) -> None:
+        if not ctx.neighbors:
+            # No incident edges: the (vacuous) output is complete.
+            ctx.terminate()
+
+    def _proposals(self, ctx: NodeContext) -> Dict[int, int]:
+        prediction = ctx.prediction or {}
+        if not isinstance(prediction, dict):
+            return {}
+        palette_size = max(1, 2 * (ctx.delta or 1) - 1)
+        counts: Dict[int, int] = {}
+        for color in prediction.values():
+            if isinstance(color, int):
+                counts[color] = counts.get(color, 0) + 1
+        return {
+            other: color
+            for other, color in prediction.items()
+            if other in ctx.neighbors
+            and isinstance(color, int)
+            and 1 <= color <= palette_size
+            and counts.get(color) == 1
+        }
+
+    def compose(self, ctx: NodeContext) -> Outbox:
+        if ctx.round == 1:
+            return {
+                other: ("propose", color)
+                for other, color in self._proposals(ctx).items()
+                if other in ctx.active_neighbors
+            }
+        if ctx.round == 2:
+            fixed = {
+                other: ctx.output_part(other)
+                for other in ctx.neighbors
+                if ctx.output_part(other) is not None
+            }
+            return {
+                other: ("fixed", sorted(fixed.values()))
+                for other in ctx.active_neighbors
+                if other not in fixed
+            }
+        return {}
+
+    def process(self, ctx: NodeContext, inbox: Inbox) -> None:
+        if ctx.round == 1:
+            proposals = self._proposals(ctx)
+            for other, color in proposals.items():
+                received = inbox.get(other)
+                if received == ("propose", color):
+                    ctx.set_output_part(other, color)
+            if all(ctx.output_part(other) is not None for other in ctx.neighbors):
+                ctx.terminate()
+        # Round 2's "fixed" broadcasts only synchronize palette knowledge;
+        # the measure-uniform algorithm rebuilds palettes from scratch, so
+        # no state needs to be retained here.
+
+
+class EdgeColoringBaseAlgorithm(DistributedAlgorithm):
+    """The ≤2-round edge-coloring base (and initialization) algorithm."""
+
+    name = "edge-coloring-base"
+    uses_predictions = True
+
+    def build_program(self) -> NodeProgram:
+        return EdgeColoringBaseProgram()
+
+    def round_bound(self, n: int, delta: int, d: int) -> int:
+        return 2

@@ -1,0 +1,53 @@
+"""The (2Δ−1)-Edge Coloring clean-up algorithm (Section 8.3).
+
+One round: each active node sends the colors it has output along its
+uncolored edges, so both endpoints of every uncolored edge agree on its
+palette.  In this repository the measure-uniform algorithm rebuilds its
+palette knowledge from refresh rounds, so the clean-up also serves nodes
+whose last incident edge was colored from the other side: they detect
+completeness and terminate.
+"""
+
+from __future__ import annotations
+
+from repro.core.algorithm import DistributedAlgorithm
+from repro.simulator.context import NodeContext
+from repro.simulator.program import Inbox, NodeProgram, Outbox
+
+
+class EdgeColoringCleanupProgram(NodeProgram):
+    """Per-node program of the edge-coloring clean-up."""
+
+    def compose(self, ctx: NodeContext) -> Outbox:
+        if ctx.round != 1:
+            return {}
+        used = sorted(
+            ctx.output_part(other)
+            for other in ctx.neighbors
+            if ctx.output_part(other) is not None
+        )
+        return {
+            other: ("used", tuple(used))
+            for other in ctx.active_neighbors
+            if ctx.output_part(other) is None
+        }
+
+    def process(self, ctx: NodeContext, inbox: Inbox) -> None:
+        if ctx.round != 1:
+            return
+        if all(ctx.output_part(other) is not None for other in ctx.neighbors) or (
+            not ctx.active_neighbors
+        ):
+            ctx.terminate()
+
+
+class EdgeColoringCleanupAlgorithm(DistributedAlgorithm):
+    """The one-round edge-coloring clean-up algorithm."""
+
+    name = "edge-coloring-cleanup"
+
+    def build_program(self) -> NodeProgram:
+        return EdgeColoringCleanupProgram()
+
+    def round_bound(self, n: int, delta: int, d: int) -> int:
+        return 1

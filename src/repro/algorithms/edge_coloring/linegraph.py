@@ -1,0 +1,305 @@
+"""(2Δ−1)-edge coloring via Linial on the line graph: O(Δ² + log* d), n-free.
+
+Edge coloring a graph is vertex coloring its line graph.  Each edge is a
+*virtual node*, hosted by its higher-identifier endpoint (the manager),
+whose virtual identifier encodes the endpoint pair (distinct, bounded by
+``(d+1)²``); virtual neighbors are the edges sharing an endpoint, so the
+virtual maximum degree is ``2Δ − 2`` and the Linial-style coloring
+(:class:`~repro.algorithms.coloring.linial.LinialColoringProgram`)
+finishes with at most ``2Δ − 1`` colors — exactly the (2Δ−1)-Edge
+Coloring problem — in a number of virtual rounds depending only on Δ and
+d.
+
+Simulation structure:
+
+* **round 1 (bootstrap)** — every node broadcasts its neighbor list, so
+  the manager of edge ``{u, v}`` learns both stars and hence the edge's
+  full virtual neighborhood;
+* **rounds 2k, 2k+1 (virtual round k)** — virtual messages from edge
+  ``e`` to an adjacent edge ``e'`` travel through their shared endpoint
+  (or directly when the managers are adjacent/identical), buffered so
+  every virtual node sees synchronous virtual rounds;
+* **completion** — when a virtual node outputs its color, the manager
+  records its side and notifies the other endpoint.
+
+This gives the Maximal Matching and (2Δ−1)-Edge Coloring problems a
+reference algorithm whose worst case is independent of ``n`` — enabling
+the same robustness-crossover story as MIS enjoys via Corollary 12 (see
+the E23 benchmark).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.algorithms.coloring.linial import (
+    LinialColoringProgram,
+    linial_round_bound,
+)
+from repro.core.algorithm import DistributedAlgorithm
+from repro.simulator.context import NodeContext
+from repro.simulator.program import Inbox, NodeProgram, Outbox
+
+
+def edge_id(u: int, v: int, d: int) -> int:
+    """The virtual identifier of edge ``{u, v}``: distinct, ≥ 1."""
+    low, high = min(u, v), max(u, v)
+    return low * (d + 1) + high
+
+
+def decode_edge(identifier: int, d: int) -> Tuple[int, int]:
+    """Inverse of :func:`edge_id` (returns ``(low, high)``)."""
+    return identifier // (d + 1), identifier % (d + 1)
+
+
+def line_graph_round_bound(d: int, delta: int) -> int:
+    """Real-round bound: bootstrap + 2 per virtual round + completion."""
+    if delta <= 0:
+        return 1
+    virtual_delta = max(0, 2 * delta - 2)
+    virtual_d = (d + 1) * (d + 1)
+    if virtual_delta == 0:
+        virtual_rounds = 1
+    else:
+        virtual_rounds = linial_round_bound(virtual_d, virtual_delta)
+    return 1 + 2 * virtual_rounds + 2
+
+
+class _VirtualEdgeContext:
+    """The context a virtual edge-node presents to the Linial program.
+
+    Provides exactly the knowledge the coloring uses: virtual identifier,
+    virtual neighbor set, Δ and d of the line graph, and write-once
+    output capture.  The virtual node count ``n`` is unknown (and unused:
+    the Linial schedule depends only on d and Δ).
+    """
+
+    def __init__(
+        self,
+        identifier: int,
+        neighbors: frozenset,
+        virtual_d: int,
+        virtual_delta: int,
+    ) -> None:
+        self.node_id = identifier
+        self.neighbors = neighbors
+        self.active_neighbors = set(neighbors)
+        self.neighbor_outputs: Dict[int, Any] = {}
+        self.crashed_neighbors: set = set()
+        self.n = 0  # unknown; never consulted by the Linial schedule
+        self.d = virtual_d
+        self.delta = virtual_delta
+        self.prediction = None
+        self.attrs: Dict[str, Any] = {}
+        self.round = 0
+        self.finished = False
+        self.result: Optional[int] = None
+
+    @property
+    def degree(self) -> int:
+        return len(self.neighbors)
+
+    def is_local_maximum(self) -> bool:
+        return all(other < self.node_id for other in self.active_neighbors)
+
+    def set_output(self, value: Any) -> None:
+        self.result = value
+
+    def terminate(self) -> None:
+        self.finished = True
+
+
+class LineGraphColoringProgram(NodeProgram):
+    """Host program: simulates one Linial virtual node per managed edge."""
+
+    def __init__(self) -> None:
+        # edge id -> (program, virtual context); built after the bootstrap.
+        self._managed: Dict[int, Tuple[LinialColoringProgram, _VirtualEdgeContext]] = {}
+        self._inboxes: Dict[int, Dict[int, Any]] = {}
+        self._to_forward: List[Tuple[int, int, Any]] = []
+        self._neighbor_stars: Dict[int, frozenset] = {}
+        self._neighbor_used: Dict[int, frozenset] = {}
+        # Managed edges whose final color has been sent to the other
+        # endpoint; termination waits for completeness of this set, so
+        # the program is safe to run with intercepted outputs (where the
+        # engine's termination announcement does not exist).
+        self._announced: set = set()
+
+    # -- lifecycle ---------------------------------------------------------
+    def setup(self, ctx: NodeContext) -> None:
+        if not ctx.neighbors:
+            ctx.terminate()
+
+    def _build_virtual_nodes(self, ctx: NodeContext) -> None:
+        delta = ctx.delta or 1
+        virtual_delta = max(0, 2 * delta - 2)
+        virtual_d = (ctx.d + 1) * (ctx.d + 1)
+        for other in ctx.neighbors:
+            if ctx.node_id < other:
+                continue  # managed by the other endpoint
+            if ctx.output_part(other) is not None:
+                continue  # already colored by an earlier component
+            identifier = edge_id(ctx.node_id, other, ctx.d)
+            neighbors = set()
+            for w in ctx.neighbors:
+                if w != other:
+                    neighbors.add(edge_id(ctx.node_id, w, ctx.d))
+            for w in self._neighbor_stars.get(other, frozenset()):
+                if w != ctx.node_id:
+                    neighbors.add(edge_id(other, w, ctx.d))
+            virtual_ctx = _VirtualEdgeContext(
+                identifier, frozenset(neighbors), virtual_d, virtual_delta
+            )
+            # List-coloring constraints: colors already used at either
+            # endpoint (by an initialization or measure-uniform component
+            # that ran earlier) are injected as pseudo neighbor outputs,
+            # which the Linial program folds into its final palette.
+            blocked = set(self._my_used_colors(ctx))
+            blocked.update(self._neighbor_used.get(other, frozenset()))
+            for index, color in enumerate(sorted(blocked)):
+                virtual_ctx.neighbor_outputs[-(index + 1)] = color
+            program = LinialColoringProgram(respect_neighbor_outputs=True)
+            program.setup(virtual_ctx)
+            self._managed[identifier] = (program, virtual_ctx)
+            self._inboxes[identifier] = {}
+
+    def _my_used_colors(self, ctx: NodeContext):
+        return {
+            ctx.output_part(w)
+            for w in ctx.neighbors
+            if ctx.output_part(w) is not None
+        }
+
+    # -- routing helpers ------------------------------------------------------
+    def _route(
+        self,
+        ctx: NodeContext,
+        outbox: Dict[int, List[tuple]],
+        src: int,
+        dst: int,
+        payload: Any,
+    ) -> None:
+        """Move a virtual message one hop toward dst's manager."""
+        if dst in self._managed:
+            self._inboxes[dst][src] = payload
+            return
+        dst_low, dst_high = decode_edge(dst, ctx.d)
+        manager = dst_high
+        if manager in ctx.neighbors:
+            outbox.setdefault(manager, []).append(("d", dst, src, payload))
+            return
+        src_low, src_high = decode_edge(src, ctx.d)
+        shared = {src_low, src_high} & {dst_low, dst_high}
+        shared.discard(ctx.node_id)
+        if not shared:
+            return  # not actually adjacent; drop
+        relay = min(shared)
+        outbox.setdefault(relay, []).append(("f", dst, src, payload))
+
+    # -- rounds --------------------------------------------------------------
+    def compose(self, ctx: NodeContext) -> Outbox:
+        outbox: Dict[int, List[tuple]] = {}
+        if ctx.round == 1:
+            star = (
+                "star",
+                tuple(sorted(ctx.neighbors)),
+                tuple(sorted(self._my_used_colors(ctx))),
+            )
+            return {other: [star] for other in ctx.active_neighbors}
+
+        if ctx.round % 2 == 0:
+            # Round A of a virtual round: virtual compose + first hop.
+            for identifier, (program, virtual_ctx) in sorted(self._managed.items()):
+                if virtual_ctx.finished:
+                    continue
+                virtual_ctx.round += 1
+                virtual_out = program.compose(virtual_ctx) or {}
+                for dst, payload in virtual_out.items():
+                    self._route(ctx, outbox, identifier, dst, payload)
+        else:
+            # Round B: forward relayed messages.
+            for dst, src, payload in self._to_forward:
+                self._route(ctx, outbox, src, dst, payload)
+            self._to_forward = []
+        # Any round: announce freshly finished edge colors to the other
+        # endpoint, exactly once each.
+        for identifier, (program, virtual_ctx) in sorted(self._managed.items()):
+            if (
+                virtual_ctx.finished
+                and virtual_ctx.result is not None
+                and identifier not in self._announced
+            ):
+                low, high = decode_edge(identifier, ctx.d)
+                other = low if high == ctx.node_id else high
+                outbox.setdefault(other, []).append(
+                    ("final", identifier, 0, virtual_ctx.result)
+                )
+                self._announced.add(identifier)
+        return outbox
+
+    def process(self, ctx: NodeContext, inbox: Inbox) -> None:
+        if ctx.round == 1:
+            for sender, items in inbox.items():
+                for kind, star, used in items:
+                    if kind == "star":
+                        self._neighbor_stars[sender] = frozenset(star)
+                        self._neighbor_used[sender] = frozenset(used)
+            self._build_virtual_nodes(ctx)
+            return
+
+        for sender, items in inbox.items():
+            for kind, dst, src, payload in items:
+                if kind == "d":
+                    if dst in self._inboxes:
+                        self._inboxes[dst][src] = payload
+                elif kind == "f":
+                    self._to_forward.append((dst, src, payload))
+                elif kind == "final":
+                    low, high = decode_edge(dst, ctx.d)
+                    other = low if high == ctx.node_id else high
+                    if ctx.output_part(other) is None:
+                        ctx.set_output_part(other, payload)
+
+        if ctx.round % 2 == 1 and ctx.round > 1:
+            # End of a virtual round: deliver gathered inboxes.
+            for identifier, (program, virtual_ctx) in sorted(self._managed.items()):
+                if virtual_ctx.finished:
+                    continue
+                program.process(virtual_ctx, self._inboxes[identifier])
+                self._inboxes[identifier] = {}
+                if virtual_ctx.finished and virtual_ctx.result is not None:
+                    low, high = decode_edge(identifier, ctx.d)
+                    other = low if high == ctx.node_id else high
+                    if ctx.output_part(other) is None:
+                        ctx.set_output_part(other, virtual_ctx.result)
+
+        # A terminated manager's announced output carries our edge color.
+        for sender, value in ctx.neighbor_outputs.items():
+            if isinstance(value, dict) and ctx.output_part(sender) is None:
+                color = value.get(ctx.node_id)
+                if color is not None:
+                    ctx.set_output_part(sender, color)
+
+        all_finished_announced = all(
+            identifier in self._announced
+            for identifier, (program, virtual_ctx) in self._managed.items()
+            if virtual_ctx.finished and virtual_ctx.result is not None
+        )
+        if (
+            ctx.neighbors
+            and all_finished_announced
+            and all(ctx.output_part(other) is not None for other in ctx.neighbors)
+        ):
+            ctx.terminate()
+
+
+class LineGraphEdgeColoringAlgorithm(DistributedAlgorithm):
+    """(2Δ−1)-edge coloring in O(Δ² + log* d) rounds (n-independent)."""
+
+    name = "linegraph-edge-coloring"
+
+    def build_program(self) -> NodeProgram:
+        return LineGraphColoringProgram()
+
+    def round_bound(self, n: int, delta: int, d: int) -> int:
+        return line_graph_round_bound(d, delta)

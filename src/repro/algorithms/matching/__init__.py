@@ -1,0 +1,22 @@
+"""Maximal Matching algorithms (Section 8.1).
+
+The 2-round base algorithm, the reasonable initialization algorithm, the
+proposal-based measure-uniform algorithm (3-round groups), and the
+clean-up algorithm.
+"""
+
+from repro.algorithms.matching.base import MatchingBaseAlgorithm
+from repro.algorithms.matching.cleanup import MatchingCleanupAlgorithm
+from repro.algorithms.matching.greedy import GreedyMatchingAlgorithm
+from repro.algorithms.matching.initialization import (
+    MatchingInitializationAlgorithm,
+)
+from repro.algorithms.matching.via_coloring import ColoredMatchingAlgorithm
+
+__all__ = [
+    "ColoredMatchingAlgorithm",
+    "GreedyMatchingAlgorithm",
+    "MatchingBaseAlgorithm",
+    "MatchingCleanupAlgorithm",
+    "MatchingInitializationAlgorithm",
+]

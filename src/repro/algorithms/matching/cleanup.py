@@ -1,0 +1,50 @@
+"""The Maximal Matching clean-up algorithm (Section 8.1).
+
+One round: every active node that already knows it is matched to a
+neighbor outputs the match (informing its other neighbors through the
+engine's announcement) and terminates.  Together with the measure-uniform
+algorithm's 3-round group structure, cutting at group boundaries always
+leaves an extendable partial solution, so in our compositions this
+clean-up is a no-op safety net — exactly the paper's role for it.
+"""
+
+from __future__ import annotations
+
+from repro.core.algorithm import DistributedAlgorithm
+from repro.problems.matching import UNMATCHED
+from repro.simulator.context import NodeContext
+from repro.simulator.program import Inbox, NodeProgram
+
+
+class MatchingCleanupProgram(NodeProgram):
+    """Per-node program of the matching clean-up."""
+
+    def process(self, ctx: NodeContext, inbox: Inbox) -> None:
+        if ctx.round != 1:
+            return
+        # A neighbor may have terminated naming this node as its partner
+        # while this node was cut off mid-handshake; honor the match.
+        for other, value in ctx.neighbor_outputs.items():
+            if value == ctx.node_id:
+                ctx.set_output(other)
+                ctx.terminate()
+                return
+        # With every neighbor decided and matched, the node is safely
+        # unmatched (the extendability condition of Section 8.1).
+        if not ctx.active_neighbors and all(
+            value != UNMATCHED for value in ctx.neighbor_outputs.values()
+        ):
+            ctx.set_output(UNMATCHED)
+            ctx.terminate()
+
+
+class MatchingCleanupAlgorithm(DistributedAlgorithm):
+    """The one-round matching clean-up algorithm."""
+
+    name = "matching-cleanup"
+
+    def build_program(self) -> NodeProgram:
+        return MatchingCleanupProgram()
+
+    def round_bound(self, n: int, delta: int, d: int) -> int:
+        return 1

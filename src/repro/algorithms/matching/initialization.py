@@ -1,0 +1,26 @@
+"""The reasonable Maximal Matching initialization algorithm (Section 8.1).
+
+Identical to the base algorithm except that a node outputs ⊥ even when
+its prediction is a partner, provided all of its neighbors are matched —
+always at least as good as the base algorithm, but not a pruning
+algorithm (an output may differ from the prediction).
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.matching.base import MatchingBaseProgram
+from repro.core.algorithm import DistributedAlgorithm
+from repro.simulator.program import NodeProgram
+
+
+class MatchingInitializationAlgorithm(DistributedAlgorithm):
+    """The 2-round reasonable initialization algorithm for matching."""
+
+    name = "matching-init"
+    uses_predictions = True
+
+    def build_program(self) -> NodeProgram:
+        return MatchingBaseProgram(allow_unpredicted_bottom=True)
+
+    def round_bound(self, n: int, delta: int, d: int) -> int:
+        return 2

@@ -1,0 +1,58 @@
+"""Maximal Independent Set algorithms.
+
+Implements every MIS algorithm the paper uses:
+
+* :class:`~repro.algorithms.mis.base.MISBaseAlgorithm` — the 3-round
+  pruning base algorithm (Section 4) that defines error components.
+* :class:`~repro.algorithms.mis.initialization.MISInitializationAlgorithm`
+  — the reasonable initialization algorithm with identifier tie-breaking.
+* :class:`~repro.algorithms.mis.greedy.GreedyMISAlgorithm` — Algorithm 1,
+  the measure-uniform workhorse (Lemmas 1 and 2).
+* :class:`~repro.algorithms.mis.cleanup.MISCleanupAlgorithm` — the
+  one-round clean-up (Section 7.2).
+* :class:`~repro.algorithms.mis.luby.LubyMISAlgorithm` — Luby's randomized
+  algorithm (Section 10).
+* :class:`~repro.algorithms.mis.color_reduction.ColoringMISReference` —
+  the two-part reference of Corollary 12 (fault-tolerant coloring, then
+  greedy-augmented color reduction).
+* :class:`~repro.algorithms.mis.clustering.ClusteringMISReference` — the
+  phased clustering reference of Corollary 10 (substituted; see DESIGN.md).
+* :class:`~repro.algorithms.mis.blackwhite.BlackWhiteGreedyMIS` — the
+  black/white alternating measure-uniform algorithm (Section 9.1).
+* :mod:`~repro.algorithms.mis.rooted_tree` — the rooted-tree
+  initialization, Algorithm 6, and the Corollary 15 reference.
+"""
+
+from repro.algorithms.mis.alternating import AlternatingColorWrapper
+from repro.algorithms.mis.base import MISBaseAlgorithm
+from repro.algorithms.mis.blackwhite import BlackWhiteGreedyMIS
+from repro.algorithms.mis.cleanup import MISCleanupAlgorithm
+from repro.algorithms.mis.clustering import ClusteringMISReference
+from repro.algorithms.mis.color_reduction import (
+    ColoringMISReference,
+    LinialMISAlgorithm,
+)
+from repro.algorithms.mis.greedy import GreedyMISAlgorithm
+from repro.algorithms.mis.initialization import MISInitializationAlgorithm
+from repro.algorithms.mis.luby import LubyMISAlgorithm
+from repro.algorithms.mis.rooted_tree import (
+    RootedTreeColoringMISReference,
+    RootedTreeMISInitialization,
+    RootsAndLeavesMISAlgorithm,
+)
+
+__all__ = [
+    "AlternatingColorWrapper",
+    "BlackWhiteGreedyMIS",
+    "ClusteringMISReference",
+    "ColoringMISReference",
+    "GreedyMISAlgorithm",
+    "LinialMISAlgorithm",
+    "LubyMISAlgorithm",
+    "MISBaseAlgorithm",
+    "MISCleanupAlgorithm",
+    "MISInitializationAlgorithm",
+    "RootedTreeColoringMISReference",
+    "RootedTreeMISInitialization",
+    "RootsAndLeavesMISAlgorithm",
+]

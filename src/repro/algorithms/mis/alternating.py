@@ -1,0 +1,153 @@
+"""The generic black/white alternation combinator (Section 9.1).
+
+The paper describes U_bw generically:
+
+    Suppose we have a measure-uniform algorithm, U, ... that can be
+    divided into short phases. ... Then we can obtain another
+    measure-uniform algorithm, U_bw, by alternately running phases on the
+    black nodes and the white nodes.  When U is running on the black
+    (white) nodes, it ignores the white (black) nodes, except that,
+    before a black (white) node outputs 1 and terminates, it informs all
+    its active neighbors. ... If necessary, at the end of each phase, a
+    clean-up algorithm is performed.
+
+:class:`AlternatingColorWrapper` implements exactly that, for *any*
+phase-divisible measure-uniform MIS algorithm (Greedy, Luby, ...): each
+node runs a private instance of U whose context is filtered to its own
+color class, phases alternate black/white, and the problem's clean-up
+runs between phases (new 1-outputs are visible across colors through the
+engine's termination announcements — the paper's "informs all its active
+neighbors").
+
+The specialized :class:`~repro.algorithms.mis.blackwhite.
+BlackWhiteGreedyMIS` remains the paper-faithful tight integration for
+Greedy (clean-up folded into the phases); this combinator is the
+framework-level generalization.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.algorithm import DistributedAlgorithm
+from repro.core.composition import SubContext
+from repro.simulator.context import NodeContext
+from repro.simulator.program import Inbox, NodeProgram, Outbox
+
+BLACK = 1
+WHITE = 0
+
+
+class AlternatingColorProgram(NodeProgram):
+    """Per-node driver of the generic U_bw.
+
+    Round 1 exchanges prediction colors.  Then blocks of
+    ``phase_length + 1`` rounds alternate: ``phase_length`` rounds of the
+    wrapped algorithm on the current color class, then one clean-up round
+    in which any active node adjacent to a new 1-output retires with 0.
+    """
+
+    def __init__(self, child: NodeProgram, phase_length: int) -> None:
+        self._child = child
+        self._phase_length = phase_length
+        self._child_ctx: Optional[SubContext] = None
+        self._neighbor_colors: Dict[int, int] = {}
+        self._colors_known = False
+
+    def _my_color(self, ctx: NodeContext) -> int:
+        return BLACK if ctx.prediction == 1 else WHITE
+
+    def _block_stage(self, round_index: int) -> tuple:
+        """Map a global round to (color, stage) within the block cycle.
+
+        Returns ``("exchange", None)`` for round 1; afterwards blocks of
+        ``phase_length + 1`` rounds alternate black and white, with the
+        last round of each block being the clean-up.
+        """
+        if round_index == 1:
+            return ("exchange", None)
+        offset = round_index - 2
+        block = offset // (self._phase_length + 1)
+        within = offset % (self._phase_length + 1)
+        color = BLACK if block % 2 == 0 else WHITE
+        if within == self._phase_length:
+            return ("cleanup", color)
+        return ("phase", color)
+
+    def _ensure_child_ctx(self, ctx: NodeContext) -> SubContext:
+        if self._child_ctx is None:
+            mine = self._my_color(ctx)
+            colors = self._neighbor_colors
+
+            def same_color(other: int) -> bool:
+                return colors.get(other) == mine
+
+            self._child_ctx = SubContext(ctx, neighbor_filter=same_color)
+            self._child.setup(self._child_ctx)
+        return self._child_ctx
+
+    def compose(self, ctx: NodeContext) -> Outbox:
+        stage, color = self._block_stage(ctx.round)
+        if stage == "exchange":
+            return {
+                other: ("color", self._my_color(ctx))
+                for other in ctx.active_neighbors
+            }
+        if stage == "phase" and color == self._my_color(ctx):
+            child_ctx = self._ensure_child_ctx(ctx)
+            if not child_ctx.finished:
+                child_ctx.round += 1
+                return self._child.compose(child_ctx) or {}
+        return {}
+
+    def process(self, ctx: NodeContext, inbox: Inbox) -> None:
+        stage, color = self._block_stage(ctx.round)
+        if stage == "exchange":
+            for sender, payload in inbox.items():
+                if isinstance(payload, tuple) and payload[0] == "color":
+                    self._neighbor_colors[sender] = payload[1]
+            return
+        if stage == "phase" and color == self._my_color(ctx):
+            child_ctx = self._ensure_child_ctx(ctx)
+            if not child_ctx.finished:
+                self._child.process(child_ctx, inbox)
+            return
+        if stage == "cleanup":
+            if any(value == 1 for value in ctx.neighbor_outputs.values()):
+                ctx.set_output(0)
+                ctx.terminate()
+
+
+class AlternatingColorWrapper(DistributedAlgorithm):
+    """U_bw for any phase-divisible measure-uniform MIS algorithm.
+
+    Args:
+        measure_uniform: The wrapped algorithm (its
+            ``safe_pause_interval`` becomes the default phase length).
+        phase_length: Rounds of the wrapped algorithm per color phase;
+            must be a multiple of its safe pause interval.
+    """
+
+    uses_predictions = True
+
+    def __init__(
+        self,
+        measure_uniform: DistributedAlgorithm,
+        phase_length: Optional[int] = None,
+    ) -> None:
+        interval = measure_uniform.safe_pause_interval
+        self._phase_length = phase_length or interval
+        if self._phase_length % interval:
+            raise ValueError(
+                f"phase length {self._phase_length} is not a multiple of "
+                f"{measure_uniform.name}'s safe pause interval {interval}"
+            )
+        self._measure_uniform = measure_uniform
+        self.name = f"alternating({measure_uniform.name})"
+        # One full cycle = black phase + clean-up + white phase + clean-up.
+        self.safe_pause_interval = 2 * (self._phase_length + 1)
+
+    def build_program(self) -> NodeProgram:
+        return AlternatingColorProgram(
+            self._measure_uniform.build_program(), self._phase_length
+        )

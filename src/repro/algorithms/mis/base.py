@@ -1,0 +1,64 @@
+"""The MIS Base Algorithm (Section 4).
+
+A 3-round pruning algorithm: the nodes with prediction 1 whose neighbors
+all have prediction 0 form an independent set ``I``; in round 2 the nodes
+of ``I`` notify their neighbors, output 1 and terminate; in round 3 the
+neighbors of ``I`` output 0 and terminate.  Every node that outputs a
+value outputs its prediction, and the resulting partial solution is
+extendable and maximal among pruning algorithms' independent sets.
+
+The base algorithm is part of the MIS problem definition: the components
+induced by the nodes it leaves active are the *error components* from
+which every error measure is built.
+"""
+
+from __future__ import annotations
+
+from repro.core.algorithm import DistributedAlgorithm
+from repro.simulator.context import NodeContext
+from repro.simulator.program import Inbox, NodeProgram, Outbox
+
+
+class MISBaseProgram(NodeProgram):
+    """Per-node program of the MIS Base Algorithm."""
+
+    JOIN = "in"
+
+    def __init__(self) -> None:
+        self._in_independent_set = False
+        self._dominated = False
+
+    def compose(self, ctx: NodeContext) -> Outbox:
+        if ctx.round == 1:
+            return {other: ctx.prediction for other in ctx.active_neighbors}
+        if ctx.round == 2 and self._in_independent_set:
+            return {other: self.JOIN for other in ctx.active_neighbors}
+        return {}
+
+    def process(self, ctx: NodeContext, inbox: Inbox) -> None:
+        if ctx.round == 1:
+            self._in_independent_set = ctx.prediction == 1 and all(
+                inbox.get(other) == 0 for other in ctx.neighbors
+            )
+        elif ctx.round == 2:
+            if self._in_independent_set:
+                ctx.set_output(1)
+                ctx.terminate()
+            elif self.JOIN in inbox.values():
+                self._dominated = True
+        elif ctx.round == 3 and self._dominated:
+            ctx.set_output(0)
+            ctx.terminate()
+
+
+class MISBaseAlgorithm(DistributedAlgorithm):
+    """The MIS Base Algorithm as a reusable initialization component."""
+
+    name = "mis-base"
+    uses_predictions = True
+
+    def build_program(self) -> NodeProgram:
+        return MISBaseProgram()
+
+    def round_bound(self, n: int, delta: int, d: int) -> int:
+        return 3

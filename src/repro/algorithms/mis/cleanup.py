@@ -1,0 +1,36 @@
+"""The one-round MIS clean-up algorithm (Section 7.2).
+
+A clean-up algorithm extends a partial solution so that it becomes
+extendable: for MIS it suffices that every active node with a neighbor
+that output 1 outputs 0 (after informing its active neighbors — handled
+by the engine's output announcement).
+"""
+
+from __future__ import annotations
+
+from repro.core.algorithm import DistributedAlgorithm
+from repro.simulator.context import NodeContext
+from repro.simulator.program import Inbox, NodeProgram
+
+
+class MISCleanupProgram(NodeProgram):
+    """Per-node program of the MIS clean-up."""
+
+    def process(self, ctx: NodeContext, inbox: Inbox) -> None:
+        if ctx.round == 1 and any(
+            value == 1 for value in ctx.neighbor_outputs.values()
+        ):
+            ctx.set_output(0)
+            ctx.terminate()
+
+
+class MISCleanupAlgorithm(DistributedAlgorithm):
+    """The one-round MIS clean-up algorithm."""
+
+    name = "mis-cleanup"
+
+    def build_program(self) -> NodeProgram:
+        return MISCleanupProgram()
+
+    def round_bound(self, n: int, delta: int, d: int) -> int:
+        return 1

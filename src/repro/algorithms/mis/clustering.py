@@ -1,0 +1,252 @@
+"""The phased clustering MIS reference (Corollary 10; substituted).
+
+The paper's reference is the Ghaffari–Grunau–Haeupler–Ilchi–Rozhoň
+deterministic clustering: each phase clusters at least half of the
+remaining nodes into non-adjacent low-diameter clusters, computes an MIS
+inside each cluster, and cleans up.  We substitute a seeded
+Miller–Peng–Xu-style decomposition (see DESIGN.md): every phase,
+
+1. each active node draws a truncated exponential shift and the shifted
+   BFS race partitions the active nodes into clusters of radius ≤ T;
+2. the *interiors* (nodes all of whose active neighbors share their
+   cluster) of different clusters are non-adjacent;
+3. each connected interior component gathers its topology by flooding for
+   the (shared) diameter bound and every member locally computes the same
+   greedy MIS of the component, so all interior nodes output;
+4. a clean-up round retires the remaining neighbors of new 1-outputs.
+
+Each phase is expected to retire at least half of the remaining nodes
+(checked empirically in the benchmarks), each phase ends in an extendable
+partial solution, and every node computes the identical phase bound
+``r_i(n, Δ, d)`` from shared knowledge — the three properties the
+Interleaved Template (Lemma 9) requires.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, Optional, Set, Tuple
+
+from repro.core.algorithm import PhasedAlgorithm
+from repro.simulator.context import NodeContext
+from repro.simulator.program import Inbox, NodeProgram, Outbox
+
+
+def _phase_estimate(phase_index: int, n: int) -> int:
+    """Shared estimate of the remaining node count in a given phase."""
+    return max(2, math.ceil(n / (2 ** (phase_index - 1))))
+
+
+def _race_rounds(n_estimate: int, delta: int) -> int:
+    """Shift truncation bound T: radius budget of the BFS race."""
+    beta = 1.0 / (2.0 * (delta + 1))
+    return max(2, math.ceil(math.log(n_estimate) / beta) + 1)
+
+
+def clustering_phase_bound(phase_index: int, n: int, delta: int) -> int:
+    """Node-computable round bound of one clustering phase."""
+    estimate = _phase_estimate(phase_index, n)
+    race = _race_rounds(estimate, max(1, delta))
+    gather = 2 * race + 4
+    # race + interior exchange + gather + decide + clean-up
+    return race + 1 + gather + 1 + 1
+
+
+class ClusteringPhaseProgram(NodeProgram):
+    """One phase of the clustering MIS (LOCAL model: gather messages)."""
+
+    def __init__(self, phase_index: int) -> None:
+        self._phase_index = phase_index
+        self._race = 0
+        self._gather = 0
+        self._shift = 0
+        self._cluster: Optional[Tuple[int, int]] = None  # (priority, center)
+        self._claimed_round: Optional[int] = None
+        self._interior = False
+        self._neighbor_clusters: Dict[int, int] = {}
+        # Flood knowledge: node -> frozenset of its interior neighbors.
+        self._topology: Dict[int, FrozenSet[int]] = {}
+        self._decided = False
+
+    # -- shared schedule -------------------------------------------------
+    def setup(self, ctx: NodeContext) -> None:
+        estimate = _phase_estimate(self._phase_index, ctx.n)
+        delta = max(1, ctx.delta or 1)
+        self._race = _race_rounds(estimate, delta)
+        self._gather = 2 * self._race + 4
+        beta = 1.0 / (2.0 * (delta + 1))
+        self._shift = min(int(ctx.rng.expovariate(beta)), self._race - 1)
+
+    # -- round dispatch ----------------------------------------------------
+    def _stage(self, round_index: int) -> Tuple[str, int]:
+        if round_index <= self._race:
+            return "race", round_index
+        if round_index == self._race + 1:
+            return "interior", 0
+        gather_start = self._race + 2
+        if round_index < gather_start + self._gather:
+            return "gather", round_index - gather_start
+        if round_index == gather_start + self._gather:
+            return "decide", 0
+        return "cleanup", 0
+
+    def compose(self, ctx: NodeContext) -> Outbox:
+        stage, step = self._stage(ctx.round)
+        if stage == "race":
+            start = self._race - self._shift
+            if self._cluster is None and ctx.round == start:
+                # Become a cluster center.
+                self._cluster = (self._shift, ctx.node_id)
+                self._claimed_round = ctx.round - 1
+            if (
+                self._cluster is not None
+                and self._claimed_round is not None
+                and self._claimed_round == ctx.round - 1
+            ):
+                payload = ("claim", self._cluster)
+                return {other: payload for other in ctx.active_neighbors}
+            return {}
+        if stage == "interior":
+            center = self._cluster[1] if self._cluster else ctx.node_id
+            return {other: ("cluster", center) for other in ctx.active_neighbors}
+        if stage == "gather" and self._interior:
+            payload = (
+                "topo",
+                tuple(sorted(self._topology)),
+                tuple(
+                    (node, tuple(sorted(neighbors)))
+                    for node, neighbors in sorted(self._topology.items())
+                ),
+            )
+            return {
+                other: payload
+                for other in ctx.active_neighbors
+                if self._neighbor_clusters.get(other) == self._my_center(ctx)
+                and other in self._interior_neighbors(ctx)
+            }
+        return {}
+
+    def _my_center(self, ctx: NodeContext) -> int:
+        return self._cluster[1] if self._cluster else ctx.node_id
+
+    def _interior_neighbors(self, ctx: NodeContext) -> Set[int]:
+        return set(self._topology.get(ctx.node_id, frozenset())) & set(
+            ctx.active_neighbors
+        )
+
+    def process(self, ctx: NodeContext, inbox: Inbox) -> None:
+        stage, step = self._stage(ctx.round)
+        if stage == "race":
+            if self._cluster is None:
+                claims = [
+                    payload[1]
+                    for payload in inbox.values()
+                    if isinstance(payload, tuple) and payload[0] == "claim"
+                ]
+                if claims:
+                    # Adopt the strongest claim: larger shift first (it
+                    # started earlier relative to its center), then id.
+                    self._cluster = max(
+                        (tuple(claim) for claim in claims),
+                        key=lambda claim: (claim[0], claim[1]),
+                    )
+                    self._claimed_round = ctx.round
+        elif stage == "interior":
+            self._neighbor_clusters = {
+                sender: payload[1]
+                for sender, payload in inbox.items()
+                if isinstance(payload, tuple) and payload[0] == "cluster"
+            }
+            mine = self._my_center(ctx)
+            self._interior = all(
+                self._neighbor_clusters.get(other) == mine
+                for other in ctx.active_neighbors
+            )
+            if self._interior:
+                interior_neighbors = frozenset(
+                    other
+                    for other in ctx.active_neighbors
+                    if self._neighbor_clusters.get(other) == mine
+                )
+                # Neighbors sharing the cluster may still be non-interior;
+                # that is discovered during the gather (non-interior nodes
+                # never send topology, so edges to them are pruned).
+                self._topology = {ctx.node_id: interior_neighbors}
+        elif stage == "gather" and self._interior:
+            confirmed: Set[int] = set()
+            for sender, payload in inbox.items():
+                if isinstance(payload, tuple) and payload[0] == "topo":
+                    confirmed.add(sender)
+                    for node, neighbors in payload[2]:
+                        known = self._topology.get(node, frozenset())
+                        self._topology[node] = known | frozenset(neighbors)
+            if step == 0:
+                # First gather round: prune same-cluster neighbors that
+                # turned out to be non-interior (they sent nothing).
+                mine = self._topology[ctx.node_id]
+                silent = {
+                    other
+                    for other in mine
+                    if other not in confirmed
+                }
+                self._topology[ctx.node_id] = mine - silent
+        elif stage == "decide":
+            if self._interior:
+                self._decide(ctx)
+        elif stage == "cleanup":
+            if not self._decided and any(
+                value == 1 for value in ctx.neighbor_outputs.values()
+            ):
+                ctx.set_output(0)
+                ctx.terminate()
+
+    def _decide(self, ctx: NodeContext) -> None:
+        # Restrict to my connected interior component and compute the
+        # same deterministic greedy MIS everywhere.
+        component = self._component_of(ctx.node_id)
+        chosen: Set[int] = set()
+        for node in sorted(component):
+            neighbors = self._true_neighbors(node, component)
+            if not any(other in chosen for other in neighbors):
+                chosen.add(node)
+        self._decided = True
+        ctx.set_output(1 if ctx.node_id in chosen else 0)
+        ctx.terminate()
+
+    def _true_neighbors(self, node: int, component: Set[int]) -> Set[int]:
+        # An edge is real only if both endpoints confirm it (pruning
+        # removed edges to non-interior nodes on one side only).
+        return {
+            other
+            for other in self._topology.get(node, frozenset())
+            if other in component and node in self._topology.get(other, frozenset())
+        }
+
+    def _component_of(self, start: int) -> Set[int]:
+        members = {start}
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for other in self._topology.get(node, frozenset()):
+                if other in members or node not in self._topology.get(
+                    other, frozenset()
+                ):
+                    continue
+                members.add(other)
+                frontier.append(other)
+        return members
+
+
+class ClusteringMISReference(PhasedAlgorithm):
+    """The phased clustering MIS reference (LOCAL; Corollary 10's R)."""
+
+    name = "clustering-mis"
+
+    def phase_bound(self, phase_index: int, n: int, delta: int, d: int) -> int:
+        return clustering_phase_bound(phase_index, n, delta)
+
+    def num_phases(self, n: int, delta: int, d: int) -> int:
+        return max(1, math.ceil(math.log2(max(2, n))) + 1)
+
+    def build_phase_program(self, phase_index: int) -> NodeProgram:
+        return ClusteringPhaseProgram(phase_index)

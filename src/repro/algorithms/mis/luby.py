@@ -1,0 +1,70 @@
+"""Luby's randomized MIS algorithm (Section 10).
+
+Each 2-round phase: every active node draws a random priority and sends it
+to its active neighbors; a node whose priority beats all of its active
+neighbors' joins the independent set (output 1), and notified neighbors
+leave (output 0).  Priorities are ``(random value, identifier)`` pairs, so
+ties are impossible and the process matches the random-permutation view
+the paper uses in its Section 10 analysis.
+
+The algorithm is randomized but fully reproducible: priorities come from
+the per-node seeded streams, so a run is a deterministic function of
+``(graph, seed)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.algorithm import DistributedAlgorithm
+from repro.simulator.context import NodeContext
+from repro.simulator.program import Inbox, NodeProgram, Outbox
+
+
+class LubyMISProgram(NodeProgram):
+    """Per-node program of Luby's algorithm (2-round phases)."""
+
+    JOIN = "in"
+
+    def __init__(self) -> None:
+        self._priority: Optional[Tuple[float, int]] = None
+        self._neighbor_priorities: dict = {}
+
+    def compose(self, ctx: NodeContext) -> Outbox:
+        if ctx.round % 2 == 1:
+            self._priority = (ctx.rng.random(), ctx.node_id)
+            return {other: self._priority for other in ctx.active_neighbors}
+        if self._wins(ctx):
+            return {other: self.JOIN for other in ctx.active_neighbors}
+        return {}
+
+    def _wins(self, ctx: NodeContext) -> bool:
+        relevant = {
+            other: priority
+            for other, priority in self._neighbor_priorities.items()
+            if other in ctx.active_neighbors
+        }
+        return all(tuple(priority) < self._priority for priority in relevant.values())
+
+    def process(self, ctx: NodeContext, inbox: Inbox) -> None:
+        if ctx.round % 2 == 1:
+            self._neighbor_priorities = {
+                other: tuple(value) for other, value in inbox.items()
+            }
+        else:
+            if self._wins(ctx):
+                ctx.set_output(1)
+                ctx.terminate()
+            elif self.JOIN in inbox.values():
+                ctx.set_output(0)
+                ctx.terminate()
+
+
+class LubyMISAlgorithm(DistributedAlgorithm):
+    """Luby's randomized MIS (O(log n) phases in expectation)."""
+
+    name = "luby-mis"
+    safe_pause_interval = 2
+
+    def build_program(self) -> NodeProgram:
+        return LubyMISProgram()

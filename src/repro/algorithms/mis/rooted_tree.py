@@ -1,0 +1,341 @@
+"""MIS on rooted trees (Section 9.2).
+
+Three components:
+
+* :class:`RootedTreeMISInitialization` — the 4-round initialization
+  algorithm whose surviving components are *monochromatic* (all black or
+  all white), enabling the η_t error measure.
+* :class:`RootsAndLeavesMISAlgorithm` — Algorithm 6, the measure-uniform
+  algorithm that repeatedly adds every component root and leaf to the
+  independent set.
+* :class:`RootedTreeColoringMISReference` — Corollary 15's two-part
+  reference: a fault-tolerant Cole–Vishkin/GPS 3-coloring in O(log* d)
+  rounds (part 1, outputs stored locally), then a 2-round sweep that
+  turns the 3-coloring into an MIS (part 2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.core.algorithm import DistributedAlgorithm, TwoPartReference
+from repro.simulator.context import NodeContext
+from repro.simulator.program import Inbox, NodeProgram, Outbox
+
+
+def _parent(ctx) -> Optional[int]:
+    """The node's parent id, or ``None`` at a root."""
+    return ctx.attrs.get("parent")
+
+
+def _active_parent(ctx) -> Optional[int]:
+    parent = _parent(ctx)
+    if parent is not None and parent in ctx.active_neighbors:
+        return parent
+    return None
+
+
+def _active_children(ctx):
+    parent = _parent(ctx)
+    return [other for other in ctx.active_neighbors if other != parent]
+
+
+# ----------------------------------------------------------------------
+# Initialization
+# ----------------------------------------------------------------------
+class RootedTreeMISInitProgram(NodeProgram):
+    """Per-node program of the MIS Rooted Tree Initialization Algorithm.
+
+    Round 1 exchanges predictions; round 2 outputs 1 at every black node
+    without a black parent (the set ``I``); round 3 retires the neighbors
+    of ``I`` with 0 and outputs 1 at every white node with no neighbor in
+    ``I`` and no white parent; round 4 retires the neighbors of the
+    round-3 joiners.  Afterwards the active components are monochromatic,
+    and if the predictions are correct all nodes terminate by round 3.
+    """
+
+    JOIN = "in"
+
+    def __init__(self) -> None:
+        self._parent_prediction: Any = None
+        self._in_independent_set = False
+        self._dominated = False
+        self._white_joiner = False
+
+    def compose(self, ctx: NodeContext) -> Outbox:
+        if ctx.round == 1:
+            return {other: ctx.prediction for other in ctx.active_neighbors}
+        if ctx.round == 2 and self._in_independent_set:
+            return {other: self.JOIN for other in ctx.active_neighbors}
+        if ctx.round == 3 and self._white_joiner:
+            return {other: self.JOIN for other in ctx.active_neighbors}
+        return {}
+
+    def process(self, ctx: NodeContext, inbox: Inbox) -> None:
+        if ctx.round == 1:
+            parent = _parent(ctx)
+            self._parent_prediction = inbox.get(parent) if parent else None
+            self._in_independent_set = (
+                ctx.prediction == 1 and self._parent_prediction != 1
+            )
+        elif ctx.round == 2:
+            if self._in_independent_set:
+                ctx.set_output(1)
+                ctx.terminate()
+                return
+            if self.JOIN in inbox.values():
+                self._dominated = True
+            is_white = ctx.prediction != 1
+            parent_is_white = (
+                _parent(ctx) is not None and self._parent_prediction != 1
+            )
+            # The round-3 join decision uses only round-≤2 knowledge, so it
+            # is fixed here and the notification goes out in round 3's send.
+            self._white_joiner = (
+                not self._dominated and is_white and not parent_is_white
+            )
+        elif ctx.round == 3:
+            if self._dominated:
+                ctx.set_output(0)
+                ctx.terminate()
+            elif self._white_joiner:
+                ctx.set_output(1)
+                ctx.terminate()
+            elif self.JOIN in inbox.values():
+                # A neighbor joined in round 3; output 0 in round 4.
+                self._dominated = True
+        elif ctx.round == 4:
+            if self._dominated:
+                ctx.set_output(0)
+                ctx.terminate()
+
+
+class RootedTreeMISInitialization(DistributedAlgorithm):
+    """The 4-round rooted-tree initialization (3 rounds when η = 0)."""
+
+    name = "rooted-tree-mis-init"
+    uses_predictions = True
+
+    def build_program(self) -> NodeProgram:
+        return RootedTreeMISInitProgram()
+
+    def round_bound(self, n: int, delta: int, d: int) -> int:
+        return 4
+
+
+# ----------------------------------------------------------------------
+# Algorithm 6
+# ----------------------------------------------------------------------
+class RootsAndLeavesProgram(NodeProgram):
+    """Per-node program of Algorithm 6.
+
+    Odd rounds: the root of each active component outputs 1 (notifying
+    its children); every leaf notifies its parent and outputs 1 unless its
+    parent is the root (then 0).  Even rounds: every notified node
+    outputs 0.  A monochromatic path component of ``h`` nodes loses from
+    both ends, finishing in about ``h/2`` rounds.
+    """
+
+    ROOT = "root"
+    LEAF = "leaf"
+
+    def __init__(self) -> None:
+        self._is_root = False
+        self._is_leaf = False
+        self._dominated = False
+
+    def compose(self, ctx: NodeContext) -> Outbox:
+        if ctx.round % 2 == 1:
+            self._is_root = _active_parent(ctx) is None
+            children = _active_children(ctx)
+            self._is_leaf = not self._is_root and not children
+            if self._is_root:
+                return {other: self.ROOT for other in children}
+            if self._is_leaf:
+                parent = _active_parent(ctx)
+                return {parent: self.LEAF} if parent is not None else {}
+        return {}
+
+    def process(self, ctx: NodeContext, inbox: Inbox) -> None:
+        if ctx.round % 2 == 1:
+            if self._is_root:
+                ctx.set_output(1)
+                ctx.terminate()
+            elif self._is_leaf:
+                parent = _parent(ctx)
+                if inbox.get(parent) == self.ROOT:
+                    ctx.set_output(0)
+                else:
+                    ctx.set_output(1)
+                ctx.terminate()
+            elif inbox:
+                # A root parent or a leaf child joined the set.
+                self._dominated = True
+        else:
+            if self._dominated:
+                ctx.set_output(0)
+                ctx.terminate()
+
+
+class RootsAndLeavesMISAlgorithm(DistributedAlgorithm):
+    """Algorithm 6: the measure-uniform MIS algorithm for rooted forests."""
+
+    name = "roots-and-leaves-mis"
+    safe_pause_interval = 2
+
+    def build_program(self) -> NodeProgram:
+        return RootsAndLeavesProgram()
+
+
+# ----------------------------------------------------------------------
+# Cole–Vishkin/GPS 3-coloring (Corollary 15's fault-tolerant part 1)
+# ----------------------------------------------------------------------
+def cole_vishkin_steps(d: int) -> int:
+    """Number of bit-index steps until colors fit in 3 bits (log* d-ish).
+
+    Every node derives the identical count from the shared ``d``.
+    """
+    bits = max(3, d.bit_length())
+    steps = 0
+    while bits > 3:
+        bits = max(3, (2 * (bits - 1)).bit_length())
+        steps += 1
+    # Two extra steps guarantee colors settle below 6 even at the 3-bit
+    # fixed point (one step maps 8 colors into {0..5}).
+    return steps + 2
+
+
+def tree_coloring_round_bound(d: int) -> int:
+    """Total rounds of the 3-coloring: CV steps + 3×(shift+recolor) + output."""
+    return cole_vishkin_steps(d) + 6 + 1
+
+
+class TreeColoring3Program(NodeProgram):
+    """Fault-tolerant 3-coloring of a rooted forest in O(log* d) rounds.
+
+    Cole–Vishkin bit reduction against the parent's color (a node whose
+    parent is gone — root, crashed, or terminated by a concurrently
+    running algorithm — uses a fictitious parent differing in bit 0),
+    followed by the standard shift-down-and-recolor elimination of colors
+    6, 5 and 4 (0-based: 5, 4, 3), and a final round that outputs the
+    color (1-based: {1, 2, 3}).
+    """
+
+    def __init__(self) -> None:
+        self._color = 0
+        self._steps = 0
+        self._total = 0
+
+    def setup(self, ctx: NodeContext) -> None:
+        self._color = ctx.node_id
+        self._steps = cole_vishkin_steps(ctx.d)
+        self._total = tree_coloring_round_bound(ctx.d)
+
+    def compose(self, ctx: NodeContext) -> Outbox:
+        return {other: self._color for other in ctx.active_neighbors}
+
+    def process(self, ctx: NodeContext, inbox: Inbox) -> None:
+        round_index = ctx.round
+        parent = _parent(ctx)
+        parent_color = inbox.get(parent) if parent is not None else None
+
+        if round_index <= self._steps:
+            self._color = self._cv_step(self._color, parent_color)
+        elif round_index <= self._steps + 6:
+            stage = round_index - self._steps - 1  # 0..5
+            target = 5 - (stage // 2)  # eliminate colors 5, 4, 3
+            if stage % 2 == 0:
+                # Shift down: adopt the parent's color; a root picks
+                # (own + 1) mod 3 — different from its own color (which
+                # its children adopt) and never a color that an earlier
+                # stage already eliminated.
+                if parent_color is not None:
+                    self._color = parent_color
+                else:
+                    self._color = (self._color + 1) % 3
+            else:
+                if self._color == target:
+                    blocked = set(inbox.values())
+                    choice = 0
+                    while choice in blocked:
+                        choice += 1
+                    assert choice <= 2, "shift-down left more than 2 colors"
+                    self._color = choice
+
+        if round_index >= self._total:
+            ctx.set_output(self._color + 1)
+            ctx.terminate()
+
+    @staticmethod
+    def _cv_step(own: int, parent_color: Optional[int]) -> int:
+        reference = parent_color if parent_color is not None else own ^ 1
+        differing = own ^ reference
+        index = (differing & -differing).bit_length() - 1 if differing else 0
+        bit = (own >> index) & 1
+        return 2 * index + bit
+
+
+class MISFrom3ColoringProgram(NodeProgram):
+    """Part 2 of Corollary 15: MIS from a 3-coloring in 2 rounds.
+
+    Round 1: color-1 nodes join; their neighbors leave.  Round 2: color-2
+    nodes join (notifying color-3 neighbors); color-3 nodes join unless
+    notified.
+    """
+
+    JOIN = "in"
+
+    def __init__(self, color: Optional[int]) -> None:
+        if color is None:
+            raise ValueError("part 2 requires the color stored by part 1")
+        self._color = int(color)
+        self._neighbor_colors: Dict[int, int] = {}
+
+    def compose(self, ctx: NodeContext) -> Outbox:
+        if ctx.round == 1:
+            return {other: self._color for other in ctx.active_neighbors}
+        if ctx.round == 2 and self._color == 2:
+            return {
+                other: self.JOIN
+                for other in ctx.active_neighbors
+                if self._neighbor_colors.get(other) == 3
+            }
+        return {}
+
+    def process(self, ctx: NodeContext, inbox: Inbox) -> None:
+        if ctx.round == 1:
+            self._neighbor_colors = {
+                sender: int(color) for sender, color in inbox.items()
+            }
+            if self._color == 1:
+                ctx.set_output(1)
+                ctx.terminate()
+            elif 1 in self._neighbor_colors.values():
+                ctx.set_output(0)
+                ctx.terminate()
+        elif ctx.round == 2:
+            if self._color == 2:
+                ctx.set_output(1)
+                ctx.terminate()
+            elif self._color == 3:
+                ctx.set_output(0 if self.JOIN in inbox.values() else 1)
+                ctx.terminate()
+
+
+class RootedTreeColoringMISReference(TwoPartReference):
+    """Corollary 15's reference: O(log* d) 3-coloring, then the 2-round MIS."""
+
+    name = "tree-coloring-mis-ref"
+    part1_outputs_are_final = False
+
+    def build_part1(self) -> NodeProgram:
+        return TreeColoring3Program()
+
+    def part1_bound(self, n: int, delta: int, d: int) -> int:
+        return tree_coloring_round_bound(d)
+
+    def build_part2(self, part1_result: Any) -> NodeProgram:
+        return MISFrom3ColoringProgram(part1_result)
+
+    def part2_bound(self, n: int, delta: int, d: int) -> int:
+        return 2

@@ -1,0 +1,191 @@
+"""Canonical algorithm constructions used by benchmarks and examples.
+
+Each factory assembles one of the paper's example algorithms-with-
+predictions from its components, exactly as the corresponding result
+states (Observation 7, Lemma 8, Corollaries 10, 12, 15, Sections 8 and 9).
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.coloring import (
+    LinialColoringAlgorithm,
+    LinialColoringReference,
+    PaletteGreedyColoringAlgorithm,
+    VertexColoringInitializationAlgorithm,
+)
+from repro.algorithms.edge_coloring import (
+    EdgeColoringBaseAlgorithm,
+    EdgeColoringCleanupAlgorithm,
+    GreedyEdgeColoringAlgorithm,
+)
+from repro.algorithms.edge_coloring.greedy import GreedyEdgeColoringProgram
+from repro.algorithms.matching import (
+    GreedyMatchingAlgorithm,
+    MatchingCleanupAlgorithm,
+    MatchingInitializationAlgorithm,
+)
+from repro.algorithms.matching.greedy import GreedyMatchingProgram
+from repro.algorithms.mis import (
+    BlackWhiteGreedyMIS,
+    ClusteringMISReference,
+    ColoringMISReference,
+    GreedyMISAlgorithm,
+    MISCleanupAlgorithm,
+    MISInitializationAlgorithm,
+    RootedTreeColoringMISReference,
+    RootedTreeMISInitialization,
+    RootsAndLeavesMISAlgorithm,
+)
+from repro.algorithms.mis.greedy import GreedyMISProgram
+from repro.core import (
+    ConsecutiveTemplate,
+    FunctionalAlgorithm,
+    InterleavedTemplate,
+    ParallelTemplate,
+    SimpleTemplate,
+)
+from repro.simulator.program import NodeProgram
+
+
+def greedy_mis_reference() -> FunctionalAlgorithm:
+    """Greedy MIS wrapped with its trivial worst-case bound (usable as R)."""
+    return FunctionalAlgorithm(
+        "greedy-mis-ref",
+        GreedyMISProgram,
+        round_bound=lambda n, delta, d: n + 1,
+        safe_pause_interval=2,
+    )
+
+
+def mis_simple() -> SimpleTemplate:
+    """Observation 7's example: MIS Initialization + Greedy MIS."""
+    return SimpleTemplate(MISInitializationAlgorithm(), GreedyMISAlgorithm())
+
+
+def mis_consecutive() -> ConsecutiveTemplate:
+    """Lemma 8's shape with Greedy MIS doubling as the bounded reference."""
+    return ConsecutiveTemplate(
+        MISInitializationAlgorithm(),
+        GreedyMISAlgorithm(),
+        MISCleanupAlgorithm(),
+        greedy_mis_reference(),
+    )
+
+
+def mis_interleaved() -> InterleavedTemplate:
+    """Corollary 10's algorithm (clustering reference per DESIGN.md)."""
+    return InterleavedTemplate(
+        MISInitializationAlgorithm(),
+        GreedyMISAlgorithm(),
+        ClusteringMISReference(),
+    )
+
+
+def mis_parallel() -> ParallelTemplate:
+    """Corollary 12's algorithm (coloring reference)."""
+    return ParallelTemplate(
+        MISInitializationAlgorithm(),
+        GreedyMISAlgorithm(),
+        ColoringMISReference(),
+    )
+
+
+def mis_blackwhite_simple() -> SimpleTemplate:
+    """Section 9.1: initialization + the black/white alternating U_bw."""
+    return SimpleTemplate(MISInitializationAlgorithm(), BlackWhiteGreedyMIS())
+
+
+def mis_rooted_simple() -> SimpleTemplate:
+    """Section 9.2: rooted-tree initialization + Algorithm 6."""
+    return SimpleTemplate(
+        RootedTreeMISInitialization(), RootsAndLeavesMISAlgorithm()
+    )
+
+
+def mis_rooted_parallel() -> ParallelTemplate:
+    """Corollary 15's algorithm for rooted trees."""
+    return ParallelTemplate(
+        RootedTreeMISInitialization(),
+        RootsAndLeavesMISAlgorithm(),
+        RootedTreeColoringMISReference(),
+    )
+
+
+def matching_simple() -> SimpleTemplate:
+    """Section 8.1: matching initialization + the 3-round-group greedy."""
+    return SimpleTemplate(
+        MatchingInitializationAlgorithm(), GreedyMatchingAlgorithm()
+    )
+
+
+def matching_consecutive() -> ConsecutiveTemplate:
+    """Section 8.1 under the Consecutive Template."""
+    reference = FunctionalAlgorithm(
+        "greedy-matching-ref",
+        GreedyMatchingProgram,
+        round_bound=lambda n, delta, d: 3 * (max(n, 2) // 2) + 3,
+        safe_pause_interval=3,
+    )
+    return ConsecutiveTemplate(
+        MatchingInitializationAlgorithm(),
+        GreedyMatchingAlgorithm(),
+        MatchingCleanupAlgorithm(),
+        reference,
+    )
+
+
+def _noop_cleanup() -> FunctionalAlgorithm:
+    return FunctionalAlgorithm(
+        "noop-cleanup", NodeProgram, round_bound=lambda n, delta, d: 1
+    )
+
+
+def coloring_simple() -> SimpleTemplate:
+    """Section 8.2: coloring initialization + the palette greedy."""
+    return SimpleTemplate(
+        VertexColoringInitializationAlgorithm(),
+        PaletteGreedyColoringAlgorithm(),
+    )
+
+
+def coloring_consecutive() -> ConsecutiveTemplate:
+    """Section 8.2 with the Linial-style coloring as the reference."""
+    return ConsecutiveTemplate(
+        VertexColoringInitializationAlgorithm(),
+        PaletteGreedyColoringAlgorithm(),
+        _noop_cleanup(),
+        LinialColoringAlgorithm(),
+    )
+
+
+def coloring_parallel() -> ParallelTemplate:
+    """Section 8.2 under the Parallel Template (coloring is fully
+    fault tolerant, so part 1 is the whole reference)."""
+    return ParallelTemplate(
+        VertexColoringInitializationAlgorithm(),
+        PaletteGreedyColoringAlgorithm(),
+        LinialColoringReference(),
+    )
+
+
+def edge_coloring_simple() -> SimpleTemplate:
+    """Section 8.3: edge-coloring base + the 2-hop-dominance greedy."""
+    return SimpleTemplate(
+        EdgeColoringBaseAlgorithm(), GreedyEdgeColoringAlgorithm()
+    )
+
+
+def edge_coloring_consecutive() -> ConsecutiveTemplate:
+    """Section 8.3 under the Consecutive Template."""
+    reference = FunctionalAlgorithm(
+        "greedy-edge-coloring-ref",
+        GreedyEdgeColoringProgram,
+        round_bound=lambda n, delta, d: 2 * n + 3,
+        safe_pause_interval=2,
+    )
+    return ConsecutiveTemplate(
+        EdgeColoringBaseAlgorithm(),
+        GreedyEdgeColoringAlgorithm(),
+        EdgeColoringCleanupAlgorithm(),
+        reference,
+    )

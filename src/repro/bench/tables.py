@@ -1,0 +1,49 @@
+"""Plain-text table rendering for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+
+class Table:
+    """A fixed-column table rendered in monospace.
+
+    Benchmarks print these tables; EXPERIMENTS.md embeds them verbatim as
+    the measured counterpart of each paper claim.
+    """
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *values: Any) -> None:
+        """Append one row (values are str()-ed)."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append([str(value) for value in values])
+
+    def render(self) -> str:
+        """The table as a multi-line string."""
+        widths = [len(column) for column in self.columns]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+
+        def line(cells: Sequence[str]) -> str:
+            return "  ".join(
+                cell.ljust(widths[index]) for index, cell in enumerate(cells)
+            ).rstrip()
+
+        separator = "-" * (sum(widths) + 2 * (len(widths) - 1))
+        parts = [self.title, separator, line(self.columns), separator]
+        parts.extend(line(row) for row in self.rows)
+        parts.append(separator)
+        return "\n".join(parts)
+
+    def print(self) -> None:
+        """Render to stdout (used by the benchmark modules)."""
+        print()
+        print(self.render())

@@ -1,0 +1,74 @@
+"""Workload builders shared by the benchmark modules."""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Mapping, Sequence, Tuple
+
+from repro.graphs import (
+    DistGraph,
+    caterpillar,
+    clique,
+    connected_erdos_renyi,
+    erdos_renyi,
+    grid2d,
+    line,
+    random_regular,
+    random_tree,
+    ring,
+    star,
+)
+from repro.predictions import noisy_predictions, perfect_predictions
+from repro.problems.base import GraphProblem
+
+Instance = Tuple[str, DistGraph, Mapping[int, Any]]
+
+
+def standard_graph_suite(scale: int = 1) -> List[DistGraph]:
+    """The graph families exercised by most experiments.
+
+    ``scale`` multiplies the base sizes (benchmarks use scale 1; stress
+    tests can go larger).
+    """
+    base = 24 * scale
+    return [
+        line(base),
+        ring(base),
+        star(base),
+        clique(12 * scale),
+        grid2d(4 * scale, 6 * scale),
+        caterpillar(8 * scale, 2),
+        random_tree(base, seed=7),
+        erdos_renyi(base, 0.15, seed=7),
+        connected_erdos_renyi(base, 0.1, seed=8),
+        random_regular(base, 3, seed=9),
+    ]
+
+
+def noise_sweep_instances(
+    problem: GraphProblem,
+    graph: DistGraph,
+    rates: Sequence[float] = (0.0, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0),
+    seeds: Sequence[int] = (0, 1, 2),
+) -> Iterator[Instance]:
+    """Instances with noise-corrupted predictions across a rate sweep."""
+    for rate in rates:
+        for seed in seeds:
+            predictions = noisy_predictions(problem, graph, rate, seed=seed)
+            yield f"{graph.name}/p={rate}/s={seed}", graph, predictions
+
+
+def mis_instance_suite(
+    problem: GraphProblem, scale: int = 1, seeds: Sequence[int] = (0, 1)
+) -> Iterator[Instance]:
+    """Perfect + noisy predictions over the standard graph suite."""
+    for graph in standard_graph_suite(scale):
+        yield f"{graph.name}/perfect", graph, perfect_predictions(
+            problem, graph, seed=1
+        )
+        for rate in (0.2, 0.6, 1.0):
+            for seed in seeds:
+                yield (
+                    f"{graph.name}/p={rate}/s={seed}",
+                    graph,
+                    noisy_predictions(problem, graph, rate, seed=seed),
+                )

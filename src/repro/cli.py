@@ -1,0 +1,312 @@
+"""Command-line interface: run algorithms-with-predictions from a shell.
+
+Examples::
+
+    python -m repro list
+    python -m repro run --problem mis --template simple \
+        --graph gnp:100:0.05 --noise 0.2
+    python -m repro sweep --problem mis --template parallel \
+        --graph grid:10:10 --rates 0,0.1,0.3,1.0 --csv sweep.csv
+    python -m repro example robustness
+
+Graph specs: ``line:N``, ``ring:N``, ``star:N``, ``clique:N``,
+``grid:R:C``, ``gnp:N:P[:SEED]``, ``regular:N:DEG[:SEED]``, ``tree:N``,
+``rtree:N[:SEED]``, ``dline:N``, ``wheel:K``, ``paths:COUNT:LEN``,
+``sortedline:N``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from repro.bench.algorithms import (
+    coloring_consecutive,
+    coloring_parallel,
+    coloring_simple,
+    edge_coloring_consecutive,
+    edge_coloring_simple,
+    matching_consecutive,
+    matching_simple,
+    mis_blackwhite_simple,
+    mis_consecutive,
+    mis_interleaved,
+    mis_parallel,
+    mis_rooted_parallel,
+    mis_rooted_simple,
+    mis_simple,
+)
+from repro.core import run
+from repro.core.analysis import sweep as run_sweep
+from repro.errors import eta1
+from repro.graphs import (
+    DistGraph,
+    clique,
+    directed_line,
+    erdos_renyi,
+    grid2d,
+    line,
+    path_forest,
+    random_regular,
+    random_rooted_tree,
+    random_tree,
+    ring,
+    sorted_path_ids,
+    star,
+    wheel_fk,
+)
+from repro.predictions import noisy_predictions, perfect_predictions
+from repro.problems import EDGE_COLORING, MATCHING, MIS, VERTEX_COLORING
+
+PROBLEMS = {
+    "mis": MIS,
+    "matching": MATCHING,
+    "vertex-coloring": VERTEX_COLORING,
+    "edge-coloring": EDGE_COLORING,
+}
+
+TEMPLATES: Dict[str, Dict[str, Callable]] = {
+    "mis": {
+        "simple": mis_simple,
+        "consecutive": mis_consecutive,
+        "interleaved": mis_interleaved,
+        "parallel": mis_parallel,
+        "blackwhite": mis_blackwhite_simple,
+        "rooted-simple": mis_rooted_simple,
+        "rooted-parallel": mis_rooted_parallel,
+    },
+    "matching": {
+        "simple": matching_simple,
+        "consecutive": matching_consecutive,
+    },
+    "vertex-coloring": {
+        "simple": coloring_simple,
+        "consecutive": coloring_consecutive,
+        "parallel": coloring_parallel,
+    },
+    "edge-coloring": {
+        "simple": edge_coloring_simple,
+        "consecutive": edge_coloring_consecutive,
+    },
+}
+
+EXAMPLES = {
+    "quickstart": "examples.quickstart",
+    "migration": "examples.network_migration",
+    "grid": "examples.grid_blackwhite",
+    "rooted": "examples.rooted_tree_forest",
+    "robustness": "examples.robustness_study",
+    "tradeoff": "examples.tradeoff_tuning",
+    "learned": "examples.learned_predictor",
+}
+
+
+def parse_graph(spec: str) -> DistGraph:
+    """Parse a ``family:args`` graph spec (see module docstring)."""
+    parts = spec.split(":")
+    family, args = parts[0], [p for p in parts[1:]]
+
+    def arg(index: int, default=None, cast=int):
+        if index < len(args):
+            return cast(args[index])
+        if default is None:
+            raise SystemExit(f"graph spec {spec!r}: missing argument {index + 1}")
+        return default
+
+    if family == "line":
+        return line(arg(0))
+    if family == "sortedline":
+        return sorted_path_ids(line(arg(0)))
+    if family == "ring":
+        return ring(arg(0))
+    if family == "star":
+        return star(arg(0))
+    if family == "clique":
+        return clique(arg(0))
+    if family == "grid":
+        return grid2d(arg(0), arg(1))
+    if family == "gnp":
+        return erdos_renyi(arg(0), arg(1, cast=float), seed=arg(2, default=0))
+    if family == "regular":
+        return random_regular(arg(0), arg(1), seed=arg(2, default=0))
+    if family == "tree":
+        return random_tree(arg(0), seed=arg(1, default=0))
+    if family == "rtree":
+        return random_rooted_tree(arg(0), seed=arg(1, default=0))
+    if family == "dline":
+        return directed_line(arg(0))
+    if family == "wheel":
+        return wheel_fk(arg(0))
+    if family == "paths":
+        return path_forest(arg(0), arg(1))
+    raise SystemExit(f"unknown graph family {family!r}")
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    print("problems and templates:")
+    for problem, templates in TEMPLATES.items():
+        print(f"  {problem}: {', '.join(sorted(templates))}")
+    print()
+    print("graph families: line ring star clique grid gnp regular tree")
+    print("                rtree dline wheel paths sortedline")
+    print()
+    print(f"examples: {', '.join(sorted(EXAMPLES))}")
+    return 0
+
+
+def _build(args: argparse.Namespace):
+    problem = PROBLEMS.get(args.problem)
+    if problem is None:
+        raise SystemExit(f"unknown problem {args.problem!r}")
+    factory = TEMPLATES[args.problem].get(args.template)
+    if factory is None:
+        raise SystemExit(
+            f"unknown template {args.template!r} for {args.problem} "
+            f"(choose from {sorted(TEMPLATES[args.problem])})"
+        )
+    return problem, factory(), parse_graph(args.graph)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    problem, algorithm, graph = _build(args)
+    base = perfect_predictions(problem, graph, seed=args.seed)
+    if args.noise > 0:
+        predictions = noisy_predictions(
+            problem, graph, args.noise, seed=args.seed, base=base
+        )
+    else:
+        predictions = base
+    result = run(
+        algorithm, graph, predictions, seed=args.seed, max_rounds=args.max_rounds
+    )
+    violations = problem.verify_solution(graph, result.outputs)
+    error = eta1(graph, predictions, problem.name)
+    print(f"instance   : {graph.name} (n={graph.n}, m={graph.num_edges})")
+    print(f"algorithm  : {algorithm.name}")
+    print(f"noise rate : {args.noise}")
+    print(f"eta1       : {error}")
+    print(f"rounds     : {result.rounds}")
+    print(f"messages   : {result.message_count} ({result.total_bits} bits)")
+    print(f"max msg    : {result.max_message_bits} bits "
+          f"(CONGEST-ok: {result.congest_compatible(graph.n)})")
+    print(f"valid      : {not violations}")
+    if violations:
+        for violation in violations[:5]:
+            print(f"  ! {violation}")
+        return 1
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    problem, algorithm, graph = _build(args)
+    rates = [float(r) for r in args.rates.split(",")]
+
+    def instances():
+        for rate in rates:
+            for seed in range(args.repeats):
+                yield (
+                    f"p={rate}/s={seed}",
+                    graph,
+                    noisy_predictions(problem, graph, rate, seed=seed),
+                )
+
+    measure = lambda g, p: eta1(g, p, problem.name)
+    result = run_sweep(
+        algorithm, problem, instances(), measure, max_rounds=args.max_rounds
+    )
+    print(f"{'error':>6}  {'max rounds':>10}")
+    for error, rounds in result.rounds_by_error():
+        print(f"{error:>6}  {rounds:>10}")
+    print(f"\nall valid: {result.all_valid}")
+    if args.csv:
+        result.to_csv(args.csv)
+        print(f"wrote {args.csv}")
+    return 0 if result.all_valid else 1
+
+
+def cmd_reproduce(args: argparse.Namespace) -> int:
+    """Run the E1..E24 benchmark suite (requires a source checkout)."""
+    import os
+
+    if not os.path.isdir(args.benchmarks):
+        raise SystemExit(
+            f"benchmark directory {args.benchmarks!r} not found — run from a "
+            "source checkout or pass --benchmarks"
+        )
+    import pytest
+
+    argv = [args.benchmarks, "--benchmark-only", "-p", "no:cacheprovider"]
+    if args.tables:
+        argv.append("-s")
+    return pytest.main(argv)
+
+
+def cmd_example(args: argparse.Namespace) -> int:
+    module_name = EXAMPLES.get(args.name)
+    if module_name is None:
+        raise SystemExit(
+            f"unknown example {args.name!r} (choose from {sorted(EXAMPLES)})"
+        )
+    import importlib
+    import os
+
+    sys.path.insert(0, os.getcwd())
+    module = importlib.import_module(module_name)
+    module.main()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distributed graph algorithms with predictions",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list problems, templates, graphs")
+
+    run_parser = subparsers.add_parser("run", help="run one instance")
+    sweep_parser = subparsers.add_parser("sweep", help="noise-rate sweep")
+    for sub in (run_parser, sweep_parser):
+        sub.add_argument("--problem", default="mis", help="problem name")
+        sub.add_argument("--template", default="simple", help="template name")
+        sub.add_argument("--graph", default="gnp:60:0.08", help="graph spec")
+        sub.add_argument("--seed", type=int, default=0)
+        sub.add_argument("--max-rounds", type=int, default=None)
+    run_parser.add_argument("--noise", type=float, default=0.0)
+    sweep_parser.add_argument(
+        "--rates", default="0,0.1,0.3,0.6,1.0", help="comma-separated rates"
+    )
+    sweep_parser.add_argument("--repeats", type=int, default=2)
+    sweep_parser.add_argument("--csv", default=None, help="write CSV here")
+
+    example_parser = subparsers.add_parser("example", help="run a bundled example")
+    example_parser.add_argument("name", help=f"one of {sorted(EXAMPLES)}")
+
+    reproduce_parser = subparsers.add_parser(
+        "reproduce", help="run the full E1..E24 experiment suite"
+    )
+    reproduce_parser.add_argument("--benchmarks", default="benchmarks")
+    reproduce_parser.add_argument(
+        "--tables", action="store_true", help="print the measured tables"
+    )
+
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": cmd_list,
+        "run": cmd_run,
+        "sweep": cmd_sweep,
+        "example": cmd_example,
+        "reproduce": cmd_reproduce,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

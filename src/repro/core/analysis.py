@@ -1,0 +1,175 @@
+"""Empirical evaluation of the framework's quality notions (Section 1.2).
+
+The paper defines how an algorithm with predictions is judged:
+
+* **consistency** c(n) — rounds when η = 0;
+* **f(η)-degradation** — rounds ≤ f(η) + c(n) + O(1);
+* **robustness w.r.t. R** — rounds ∈ O(round complexity of R);
+* **smoothness** — all three with f not growing too quickly.
+
+These helpers run an algorithm over instance/prediction sweeps, record
+``(η, rounds)`` pairs, and check the paper's inequalities
+instance-by-instance, so each benchmark can assert the bound it
+reproduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.core.algorithm import DistributedAlgorithm
+from repro.core.runner import run
+from repro.graphs.graph import DistGraph
+from repro.problems.base import GraphProblem, Outputs
+
+#: An error measure: (graph, predictions) -> non-negative int.
+ErrorMeasure = Callable[[DistGraph, Mapping[int, Any]], int]
+
+
+@dataclass
+class SweepPoint:
+    """One executed instance of a sweep."""
+
+    label: str
+    error: int
+    rounds: int
+    valid: bool
+    n: int
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class SweepResult:
+    """All points of a degradation/robustness sweep."""
+
+    points: List[SweepPoint] = field(default_factory=list)
+
+    @property
+    def all_valid(self) -> bool:
+        """Whether every run produced a correct solution."""
+        return all(point.valid for point in self.points)
+
+    def max_rounds(self) -> int:
+        """Largest observed round count."""
+        return max((point.rounds for point in self.points), default=0)
+
+    def violations(
+        self, bound: Callable[[SweepPoint], int]
+    ) -> List[Tuple[SweepPoint, int]]:
+        """Points whose rounds exceed a per-point bound."""
+        result = []
+        for point in self.points:
+            limit = bound(point)
+            if point.rounds > limit:
+                result.append((point, limit))
+        return result
+
+    def rounds_by_error(self) -> List[Tuple[int, int]]:
+        """Sorted (error, max rounds at that error) series — the
+        degradation curve a learning-augmented plot shows."""
+        by_error: Dict[int, int] = {}
+        for point in self.points:
+            by_error[point.error] = max(by_error.get(point.error, 0), point.rounds)
+        return sorted(by_error.items())
+
+    def to_csv(self, path: str) -> None:
+        """Write the sweep as CSV (label, n, error, rounds, valid)."""
+        import csv
+
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["label", "n", "error", "rounds", "valid"])
+            for point in self.points:
+                writer.writerow(
+                    [point.label, point.n, point.error, point.rounds, point.valid]
+                )
+
+
+def sweep(
+    algorithm: DistributedAlgorithm,
+    problem: GraphProblem,
+    instances: Iterable[Tuple[str, DistGraph, Mapping[int, Any]]],
+    error_measure: ErrorMeasure,
+    *,
+    max_rounds: Optional[int] = None,
+    seed: int = 0,
+) -> SweepResult:
+    """Run ``algorithm`` over labelled (graph, predictions) instances.
+
+    Each run is verified against the problem definition; the realized
+    error is computed by ``error_measure``.
+    """
+    result = SweepResult()
+    for label, graph, predictions in instances:
+        outcome = run(
+            algorithm, graph, predictions, max_rounds=max_rounds, seed=seed
+        )
+        result.points.append(
+            SweepPoint(
+                label=label,
+                error=error_measure(graph, predictions),
+                rounds=outcome.rounds,
+                valid=problem.is_solution(graph, outcome.outputs),
+                n=graph.n,
+            )
+        )
+    return result
+
+
+def check_consistency(
+    algorithm: DistributedAlgorithm,
+    problem: GraphProblem,
+    graph: DistGraph,
+    perfect: Outputs,
+    consistency_bound: int,
+    *,
+    seed: int = 0,
+) -> Tuple[bool, int]:
+    """Whether the algorithm meets its consistency bound on η = 0 input.
+
+    Returns ``(ok, rounds)`` where ok requires both a correct solution and
+    ``rounds <= consistency_bound``.
+    """
+    outcome = run(algorithm, graph, perfect, seed=seed)
+    ok = (
+        problem.is_solution(graph, outcome.outputs)
+        and outcome.rounds <= consistency_bound
+    )
+    return ok, outcome.rounds
+
+
+def check_robustness(
+    sweep_result: SweepResult,
+    reference_bound: Callable[[int], int],
+    factor: float = 1.0,
+) -> List[SweepPoint]:
+    """Points violating robustness: rounds > factor · reference_bound(n).
+
+    ``reference_bound`` maps the instance size to the reference
+    algorithm's worst-case rounds; robustness w.r.t. R allows a constant
+    factor on top.
+    """
+    return [
+        point
+        for point in sweep_result.points
+        if point.rounds > factor * reference_bound(point.n)
+    ]
+
+
+def degradation_slope(sweep_result: SweepResult) -> float:
+    """Least-squares slope of rounds vs error (the empirical f(η) rate).
+
+    A linearly-degrading algorithm shows a slope ≤ its degradation
+    constant (1 for η₁-degrading, 2 for 2η₁-degrading, ...).
+    """
+    points = [(p.error, p.rounds) for p in sweep_result.points if p.error > 0]
+    if len(points) < 2:
+        return 0.0
+    mean_x = sum(x for x, _ in points) / len(points)
+    mean_y = sum(y for _, y in points) / len(points)
+    numerator = sum((x - mean_x) * (y - mean_y) for x, y in points)
+    denominator = sum((x - mean_x) ** 2 for x, y in points)
+    if denominator == 0:
+        return 0.0
+    return numerator / denominator

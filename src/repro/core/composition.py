@@ -1,0 +1,334 @@
+"""Composition machinery: sub-contexts and time-sliced programs.
+
+The templates of Section 7 combine component algorithms by *time
+slicing*: because every node knows ``n``, ``d`` and ``Δ``, all nodes
+compute the same switching rounds, so during any given round every active
+node is executing the same component (the paper: a node "should wait until
+the number of rounds that has elapsed in a phase is the known upper bound
+for that phase, before starting the next phase").  The Parallel Template
+additionally runs two components in the *same* rounds, with tagged
+messages.
+
+A :class:`SubContext` is the window a component program gets onto the real
+node context: it keeps a private round counter (so a component paused and
+resumed by the Interleaved Template sees consecutive rounds) and can
+intercept outputs (so the Parallel Template's part-1 reference stores its
+results locally instead of producing real outputs — Algorithm 5).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.simulator.context import NodeContext
+from repro.simulator.program import Inbox, NodeProgram, Outbox
+
+_UNSET = object()
+
+
+class SubContext:
+    """A component algorithm's view of its node's context.
+
+    Read-only knowledge (identifier, neighbors, ``n``, ``d``, ``Δ``,
+    prediction, attributes, active neighbors, neighbor outputs) is
+    delegated to the underlying :class:`NodeContext`; the round counter is
+    private to the component, and output calls are either passed through
+    (the component's outputs are the node's outputs) or intercepted and
+    stored locally (Parallel Template part 1).
+    """
+
+    def __init__(
+        self,
+        base: NodeContext,
+        intercept_outputs: bool = False,
+        neighbor_filter: Optional[Callable[[int], bool]] = None,
+    ) -> None:
+        self._base = base
+        self._intercept = intercept_outputs
+        self._neighbor_filter = neighbor_filter
+        self.round = 0
+        self.finished = False
+        self._stored: Any = _UNSET
+        self._stored_parts: Dict[Any, Any] = {}
+
+    # -- delegated knowledge ------------------------------------------
+    @property
+    def node_id(self) -> int:
+        return self._base.node_id
+
+    @property
+    def neighbors(self):
+        return self._base.neighbors
+
+    @property
+    def n(self) -> int:
+        return self._base.n
+
+    @property
+    def d(self) -> int:
+        return self._base.d
+
+    @property
+    def delta(self):
+        return self._base.delta
+
+    @property
+    def prediction(self):
+        return self._base.prediction
+
+    @property
+    def attrs(self):
+        return self._base.attrs
+
+    @property
+    def rng(self):
+        return self._base.rng
+
+    @property
+    def degree(self) -> int:
+        return self._base.degree
+
+    @property
+    def active_neighbors(self):
+        """Active neighbors, restricted by the component's filter.
+
+        A filter realizes "run U on the subgraph induced by ..." (e.g. the
+        black nodes, Section 9.1): the component only ever sees — and can
+        only message — the neighbors the filter admits.
+        """
+        if self._neighbor_filter is None:
+            return self._base.active_neighbors
+        return {
+            other
+            for other in self._base.active_neighbors
+            if self._neighbor_filter(other)
+        }
+
+    @property
+    def neighbor_outputs(self):
+        return self._base.neighbor_outputs
+
+    @property
+    def crashed_neighbors(self):
+        return self._base.crashed_neighbors
+
+    def is_local_maximum(self) -> bool:
+        return all(other < self.node_id for other in self.active_neighbors)
+
+    # -- outputs -------------------------------------------------------
+    @property
+    def has_output(self) -> bool:
+        if self._intercept:
+            return self._stored is not _UNSET or bool(self._stored_parts)
+        return self._base.has_output
+
+    @property
+    def output(self) -> Any:
+        if self._intercept:
+            if self._stored is not _UNSET:
+                return self._stored
+            return dict(self._stored_parts) if self._stored_parts else None
+        return self._base.output
+
+    def set_output(self, value: Any) -> None:
+        if self._intercept:
+            self._stored = value
+        else:
+            self._base.set_output(value)
+
+    def set_output_part(self, key: Any, value: Any) -> None:
+        if self._intercept:
+            self._stored_parts[key] = value
+        else:
+            self._base.set_output_part(key, value)
+
+    def output_part(self, key: Any, default: Any = None) -> Any:
+        if self._intercept:
+            return self._stored_parts.get(key, default)
+        return self._base.output_part(key, default)
+
+    def terminate(self) -> None:
+        self.finished = True
+        if not self._intercept:
+            self._base.terminate()
+
+    @property
+    def terminate_requested(self) -> bool:
+        """Whether this component's node is stopping (nested drivers).
+
+        Allows a :class:`SlicedProgram` to run as a component of another
+        one: passthrough components reflect the real node's state, while
+        intercepted components reflect their own ``finished`` flag.
+        """
+        if self._intercept:
+            return self.finished
+        return self._base.terminate_requested
+
+    @property
+    def stored_result(self) -> Any:
+        """Locally stored result of an intercepted component."""
+        if self._stored is not _UNSET:
+            return self._stored
+        return dict(self._stored_parts) if self._stored_parts else None
+
+
+class Slice:
+    """One entry of a template's time-slice schedule.
+
+    Attributes:
+        key: Label (``"B"``, ``"U"``, ``"C"``, ``"R"``, ...) used in
+            traces and error messages.
+        duration: Number of rounds, or ``None`` for a final unbounded
+            slice.
+        builder: Callable producing the slice's fresh program; called
+            lazily when the slice starts with the hosting
+            :class:`SlicedProgram` as its argument (so part 2 of a
+            Parallel reference can consume part 1's stored result via
+            ``host.last_parallel_result``).
+        parallel_builder: When present, a second program run in the same
+            rounds with tagged messages, its outputs intercepted
+            (Parallel Template part 1).
+        resume: Component identity for pause/resume: slices sharing a
+            ``resume`` key reuse one program and one sub-context, whose
+            private round counter keeps advancing across slices (the
+            Interleaved Template's measure-uniform component).
+    """
+
+    def __init__(
+        self,
+        key: str,
+        duration: Optional[int],
+        builder: Callable[["SlicedProgram"], NodeProgram],
+        parallel_builder: Optional[Callable[["SlicedProgram"], NodeProgram]] = None,
+        resume: Optional[str] = None,
+    ) -> None:
+        self.key = key
+        self.duration = duration
+        self.builder = builder
+        self.parallel_builder = parallel_builder
+        self.resume = resume
+
+
+class SlicedProgram(NodeProgram):
+    """Drives component programs according to a slice schedule.
+
+    The schedule is produced per node from the context (all nodes compute
+    identical schedules because they compute them from the shared values
+    ``n``, ``Δ``, ``d``), and may be an infinite generator; the program
+    materializes slices on demand.
+    """
+
+    #: Message tag used for the primary component in a parallel slice.
+    PRIMARY = "u"
+    #: Message tag used for the intercepted component in a parallel slice.
+    SECONDARY = "r"
+
+    def __init__(self, schedule_factory: Callable[[NodeContext], Any]) -> None:
+        self._schedule_factory = schedule_factory
+        self._iterator = None
+        self._slice: Optional[Slice] = None
+        self._rounds_left: Optional[int] = None
+        self._program: Optional[NodeProgram] = None
+        self._subctx: Optional[SubContext] = None
+        self._parallel_program: Optional[NodeProgram] = None
+        self._parallel_subctx: Optional[SubContext] = None
+        self._resumable: Dict[str, Any] = {}
+        self.last_parallel_result: Any = None
+
+    # ------------------------------------------------------------------
+    def setup(self, ctx: NodeContext) -> None:
+        self._iterator = iter(self._schedule_factory(ctx))
+        self._advance(ctx)
+        # The first slice's component may terminate during setup (a
+        # "0-round" action), which SubContext passes through to the engine.
+
+    def _advance(self, ctx: NodeContext) -> None:
+        """Move to the next slice and instantiate its program(s)."""
+        try:
+            next_slice = next(self._iterator)
+        except StopIteration:
+            raise RuntimeError(
+                f"node {ctx.node_id}: slice schedule exhausted while active"
+            )
+        self._slice = next_slice
+        self._rounds_left = next_slice.duration
+        if next_slice.resume is not None and next_slice.resume in self._resumable:
+            self._program, self._subctx = self._resumable[next_slice.resume]
+            needs_setup = False
+        else:
+            self._program = next_slice.builder(self)
+            self._subctx = SubContext(ctx)
+            needs_setup = True
+            if next_slice.resume is not None:
+                self._resumable[next_slice.resume] = (self._program, self._subctx)
+        if needs_setup:
+            self._program.setup(self._subctx)
+        if next_slice.parallel_builder is not None:
+            self._parallel_program = next_slice.parallel_builder(self)
+            self._parallel_subctx = SubContext(ctx, intercept_outputs=True)
+            self._parallel_program.setup(self._parallel_subctx)
+        else:
+            self._parallel_program = None
+            self._parallel_subctx = None
+        # Degenerate zero-duration slices skip straight ahead.
+        if self._rounds_left == 0:
+            self._finish_slice(ctx)
+            if not ctx.terminate_requested:
+                self._advance(ctx)
+
+    def _finish_slice(self, ctx: NodeContext) -> None:
+        if self._parallel_subctx is not None:
+            self.last_parallel_result = self._parallel_subctx.stored_result
+
+    # ------------------------------------------------------------------
+    def compose(self, ctx: NodeContext) -> Outbox:
+        if self._slice is None:
+            return {}
+        outbox: Outbox = {}
+        primary_out: Outbox = {}
+        if not self._subctx.finished:
+            self._subctx.round += 1
+            primary_out = self._program.compose(self._subctx) or {}
+        if self._parallel_program is None:
+            return primary_out
+        secondary_out: Outbox = {}
+        if not self._parallel_subctx.finished:
+            self._parallel_subctx.round += 1
+            secondary_out = self._parallel_program.compose(self._parallel_subctx) or {}
+        for receiver in set(primary_out) | set(secondary_out):
+            payload: Dict[str, Any] = {}
+            if receiver in primary_out:
+                payload[self.PRIMARY] = primary_out[receiver]
+            if receiver in secondary_out:
+                payload[self.SECONDARY] = secondary_out[receiver]
+            outbox[receiver] = payload
+        return outbox
+
+    def process(self, ctx: NodeContext, inbox: Inbox) -> None:
+        if self._slice is None:
+            return
+        if self._parallel_program is None:
+            if not self._subctx.finished:
+                self._program.process(self._subctx, inbox)
+        else:
+            primary_in = {
+                sender: payload[self.PRIMARY]
+                for sender, payload in inbox.items()
+                if isinstance(payload, dict) and self.PRIMARY in payload
+            }
+            secondary_in = {
+                sender: payload[self.SECONDARY]
+                for sender, payload in inbox.items()
+                if isinstance(payload, dict) and self.SECONDARY in payload
+            }
+            if not self._subctx.finished:
+                self._program.process(self._subctx, primary_in)
+            if not self._parallel_subctx.finished:
+                self._parallel_program.process(self._parallel_subctx, secondary_in)
+        if ctx.terminate_requested:
+            return
+        if self._rounds_left is not None:
+            self._rounds_left -= 1
+            if self._rounds_left == 0:
+                self._finish_slice(ctx)
+                self._advance(ctx)

@@ -1,0 +1,83 @@
+"""High-level execution entry points.
+
+``run(algorithm, graph, predictions)`` is the one-call API most examples
+and benchmarks use: it builds one program per node, executes the
+synchronous engine, and returns the :class:`~repro.simulator.metrics.
+RunResult` whose ``rounds`` field is the paper's performance measure.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional, Tuple
+
+from repro.core.algorithm import DistributedAlgorithm
+from repro.graphs.graph import DistGraph
+from repro.simulator.engine import SyncEngine
+from repro.simulator.metrics import RunResult
+from repro.simulator.models import ExecutionModel
+from repro.simulator.trace import TraceRecorder
+
+
+def run(
+    algorithm: DistributedAlgorithm,
+    graph: DistGraph,
+    predictions: Optional[Mapping[int, Any]] = None,
+    *,
+    model: Optional[ExecutionModel] = None,
+    max_rounds: Optional[int] = None,
+    seed: int = 0,
+    crash_rounds: Optional[Mapping[int, int]] = None,
+) -> RunResult:
+    """Run ``algorithm`` on ``graph`` and return the execution record.
+
+    Args:
+        algorithm: Any :class:`DistributedAlgorithm` (including templates).
+        graph: The instance.
+        predictions: Per-node predictions; required when the algorithm
+            declares ``uses_predictions``.
+        model: Execution model override (defaults to the algorithm's).
+        max_rounds: Round budget override.
+        seed: Seed for per-node random streams (randomized algorithms).
+        crash_rounds: Optional fault injection (tests of fault tolerance).
+    """
+    if algorithm.uses_predictions and predictions is None:
+        raise ValueError(
+            f"{algorithm.name or type(algorithm).__name__} requires predictions"
+        )
+    engine = SyncEngine(
+        graph,
+        lambda node: algorithm.build_program(),
+        predictions=predictions,
+        model=model or algorithm.model,
+        max_rounds=max_rounds,
+        seed=seed,
+        crash_rounds=crash_rounds,
+    )
+    return engine.run()
+
+
+def run_with_trace(
+    algorithm: DistributedAlgorithm,
+    graph: DistGraph,
+    predictions: Optional[Mapping[int, Any]] = None,
+    *,
+    model: Optional[ExecutionModel] = None,
+    max_rounds: Optional[int] = None,
+    seed: int = 0,
+) -> Tuple[RunResult, TraceRecorder]:
+    """Like :func:`run` but also return the full event trace."""
+    if algorithm.uses_predictions and predictions is None:
+        raise ValueError(
+            f"{algorithm.name or type(algorithm).__name__} requires predictions"
+        )
+    trace = TraceRecorder()
+    engine = SyncEngine(
+        graph,
+        lambda node: algorithm.build_program(),
+        predictions=predictions,
+        model=model or algorithm.model,
+        max_rounds=max_rounds,
+        seed=seed,
+        trace=trace,
+    )
+    return engine.run(), trace

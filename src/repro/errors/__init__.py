@@ -1,0 +1,59 @@
+"""Error measures for predictions (Section 5 of the paper).
+
+An error measure η maps a problem instance and predictions to a
+non-negative integer.  The paper's recipe: run the problem's *base
+algorithm* (a fixed, simple pruning algorithm — part of the problem
+definition), take the components induced by the still-active nodes (the
+*error components*), apply a monotone measure μ to each, and take the
+maximum.  This package computes error components and the measures
+μ₁ (component size), μ₂ = 2·min(α, τ), plus the alternative error
+measures η_bw (black/white components), η_t (rooted-tree monochromatic
+heights) and the global measure η_H (Hamming distance) the paper argues
+against.
+"""
+
+from repro.errors.components import (
+    black_white_components,
+    edge_coloring_base_partial,
+    error_components,
+    matching_base_partial,
+    mis_base_partial,
+    vertex_coloring_base_partial,
+)
+from repro.errors.exact import (
+    SearchBudgetExceeded,
+    max_independent_set_size,
+    min_vertex_cover_size,
+)
+from repro.errors.measures import (
+    component_diameters,
+    eta1,
+    eta2,
+    eta_bw,
+    eta_hamming,
+    eta_t,
+    mu1,
+    mu2,
+    mu2_bounds,
+)
+
+__all__ = [
+    "SearchBudgetExceeded",
+    "black_white_components",
+    "component_diameters",
+    "edge_coloring_base_partial",
+    "error_components",
+    "eta1",
+    "eta2",
+    "eta_bw",
+    "eta_hamming",
+    "eta_t",
+    "matching_base_partial",
+    "max_independent_set_size",
+    "min_vertex_cover_size",
+    "mis_base_partial",
+    "mu1",
+    "mu2",
+    "mu2_bounds",
+    "vertex_coloring_base_partial",
+]

@@ -1,0 +1,80 @@
+"""Graph instances, generators and identifier schemes.
+
+Instances of distributed graph problems are graphs whose nodes carry
+distinct identifiers from ``{1, ..., d}`` (Section 2 of the paper).  The
+:class:`~repro.graphs.graph.DistGraph` class is the instance type consumed
+by the simulator; the generator modules provide every graph family the
+paper's constructions and our benchmarks need, including the wheel ``F_k``
+of Figure 1 and the grid of Figure 2.
+"""
+
+from repro.graphs.graph import DistGraph
+from repro.graphs.generators import (
+    caterpillar,
+    clique,
+    complete_bipartite,
+    complete_kary_tree,
+    empty_graph,
+    grid2d,
+    hypercube,
+    line,
+    path_forest,
+    ring,
+    star,
+    torus,
+    wheel_fk,
+)
+from repro.graphs.random_graphs import (
+    barabasi_albert,
+    connected_erdos_renyi,
+    erdos_renyi,
+    random_regular,
+    random_tree,
+)
+from repro.graphs.rooted_trees import (
+    directed_line,
+    from_parents,
+    random_rooted_tree,
+    strict_binary_tree,
+)
+from repro.graphs.identifiers import (
+    random_ids_from_domain,
+    relabel,
+    sequential_ids,
+    sorted_path_ids,
+)
+from repro.graphs.churn import perturb_edges, perturb_nodes
+from repro.graphs.validation import validate_instance
+
+__all__ = [
+    "DistGraph",
+    "barabasi_albert",
+    "caterpillar",
+    "clique",
+    "complete_bipartite",
+    "complete_kary_tree",
+    "connected_erdos_renyi",
+    "directed_line",
+    "empty_graph",
+    "erdos_renyi",
+    "from_parents",
+    "grid2d",
+    "hypercube",
+    "line",
+    "path_forest",
+    "perturb_edges",
+    "perturb_nodes",
+    "random_ids_from_domain",
+    "random_regular",
+    "random_rooted_tree",
+    "random_tree",
+    "relabel",
+    "ring",
+    "sequential_ids",
+    "sorted_path_ids",
+    "star",
+    "strict_binary_tree",
+    "torus",
+    "validate_instance",
+    "wheel_fk",
+]

@@ -1,0 +1,104 @@
+"""Graph churn: perturbing an instance into a "related network".
+
+The paper motivates predictions with exactly this scenario (Section 1.1):
+
+    a maximal independent set has been computed on one network, but now a
+    related network is being used.  It might have the same set of nodes,
+    but a slightly different set of edges or some nodes ... may have been
+    added or removed.
+
+These helpers produce the perturbed network; the old solution becomes the
+prediction via :mod:`repro.predictions.stale`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from repro.graphs.graph import DistGraph
+
+
+def perturb_edges(
+    graph: DistGraph,
+    add: int = 0,
+    remove: int = 0,
+    seed: int = 0,
+) -> DistGraph:
+    """Add and remove random edges (node set unchanged).
+
+    ``add`` random non-edges become edges and ``remove`` random existing
+    edges disappear (clamped to availability).  Deterministic per seed.
+    """
+    rng = random.Random(f"{seed}:edge-churn")
+    edges = set(graph.edges())
+
+    removable = sorted(edges)
+    rng.shuffle(removable)
+    for edge in removable[: min(remove, len(removable))]:
+        edges.discard(edge)
+
+    candidates: List[Tuple[int, int]] = []
+    nodes = list(graph.nodes)
+    # For large graphs, rejection-sample rather than materializing all
+    # non-edges.
+    attempts = 0
+    added = 0
+    existing = set(graph.edges())
+    while added < add and attempts < 50 * max(1, add):
+        attempts += 1
+        u, v = rng.sample(nodes, 2)
+        edge = (min(u, v), max(u, v))
+        if edge in existing or edge in edges or edge in candidates:
+            continue
+        candidates.append(edge)
+        added += 1
+    edges.update(candidates)
+
+    adjacency: Dict[int, List[int]] = {node: [] for node in graph.nodes}
+    for u, v in edges:
+        adjacency[u].append(v)
+    attrs = {
+        node: dict(graph.node_attrs(node))
+        for node in graph.nodes
+        if graph.node_attrs(node)
+    }
+    return DistGraph(adjacency, d=graph.d, attrs=attrs, name=f"{graph.name}+churn")
+
+
+def perturb_nodes(
+    graph: DistGraph,
+    remove: int = 0,
+    add: int = 0,
+    attach_degree: int = 2,
+    seed: int = 0,
+) -> DistGraph:
+    """Remove random nodes and add fresh ones attached to random survivors.
+
+    New nodes receive identifiers above the current maximum (``d`` grows
+    accordingly) and attach to ``attach_degree`` random existing nodes.
+    """
+    rng = random.Random(f"{seed}:node-churn")
+    survivors = list(graph.nodes)
+    rng.shuffle(survivors)
+    removed = set(survivors[: min(remove, max(0, len(survivors) - 1))])
+    keep = [node for node in graph.nodes if node not in removed]
+
+    adjacency: Dict[int, List[int]] = {
+        node: [other for other in graph.neighbors(node) if other not in removed]
+        for node in keep
+    }
+    next_id = (max(graph.nodes) if graph.nodes else 0) + 1
+    for _ in range(add):
+        targets = rng.sample(keep, min(attach_degree, len(keep))) if keep else []
+        adjacency[next_id] = list(targets)
+        keep.append(next_id)
+        next_id += 1
+
+    attrs = {
+        node: dict(graph.node_attrs(node))
+        for node in keep
+        if node in graph and graph.node_attrs(node)
+    }
+    d = max(graph.d, next_id - 1)
+    return DistGraph(adjacency, d=d, attrs=attrs, name=f"{graph.name}+nodechurn")

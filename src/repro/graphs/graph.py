@@ -1,0 +1,228 @@
+"""The distributed graph instance type.
+
+A :class:`DistGraph` is an immutable undirected graph whose nodes are
+distinct positive integer identifiers drawn from ``{1, ..., d}``, exactly
+the instance shape of Section 2 of the paper.  It also carries optional
+per-node attributes used by structured instances (grid coordinates, rooted
+tree parent pointers).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
+
+
+class DistGraph:
+    """An undirected graph instance for the synchronous model.
+
+    Args:
+        adjacency: Mapping from node id to an iterable of neighbor ids.
+            Symmetry is enforced: an edge listed in either direction is
+            present in both.
+        d: Upper bound on the largest identifier; defaults to the largest
+            identifier present.
+        attrs: Optional per-node attribute mappings (e.g. ``parent`` /
+            ``is_root`` for rooted trees, ``pos`` for grids).
+        name: Optional human-readable instance name.
+    """
+
+    def __init__(
+        self,
+        adjacency: Mapping[int, Iterable[int]],
+        d: Optional[int] = None,
+        attrs: Optional[Mapping[int, Mapping[str, Any]]] = None,
+        name: str = "",
+    ) -> None:
+        neighbor_sets: Dict[int, set] = {int(v): set() for v in adjacency}
+        for node, neighbors in adjacency.items():
+            node = int(node)
+            for other in neighbors:
+                other = int(other)
+                if other == node:
+                    raise ValueError(f"self-loop at node {node}")
+                if other not in neighbor_sets:
+                    raise ValueError(
+                        f"edge ({node}, {other}) references unknown node {other}"
+                    )
+                neighbor_sets[node].add(other)
+                neighbor_sets[other].add(node)
+
+        self._adjacency: Dict[int, FrozenSet[int]] = {
+            node: frozenset(neighbors) for node, neighbors in neighbor_sets.items()
+        }
+        self.nodes: Tuple[int, ...] = tuple(sorted(self._adjacency))
+        if any(node < 1 for node in self.nodes):
+            raise ValueError("node identifiers must be positive integers")
+        self.n = len(self.nodes)
+        self.d = d if d is not None else (max(self.nodes) if self.nodes else 0)
+        if self.nodes and self.d < max(self.nodes):
+            raise ValueError(
+                f"identifier bound d={self.d} below largest id {max(self.nodes)}"
+            )
+        self._attrs: Dict[int, Dict[str, Any]] = {
+            int(node): dict(mapping) for node, mapping in (attrs or {}).items()
+        }
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    def neighbors(self, node: int) -> FrozenSet[int]:
+        """The neighbor set of ``node``."""
+        return self._adjacency[node]
+
+    def degree(self, node: int) -> int:
+        """Number of neighbors of ``node``."""
+        return len(self._adjacency[node])
+
+    @property
+    def delta(self) -> int:
+        """Maximum degree of the graph (0 for the empty graph)."""
+        return max((len(nbrs) for nbrs in self._adjacency.values()), default=0)
+
+    def node_attrs(self, node: int) -> Mapping[str, Any]:
+        """Per-node attribute mapping (may be empty)."""
+        return self._attrs.get(node, {})
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether ``{u, v}`` is an edge."""
+        return v in self._adjacency.get(u, frozenset())
+
+    def edges(self) -> List[Tuple[int, int]]:
+        """All edges as ``(min, max)`` pairs, sorted."""
+        return sorted(
+            (min(u, v), max(u, v))
+            for u in self.nodes
+            for v in self._adjacency[u]
+            if u < v
+        )
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges."""
+        return sum(len(nbrs) for nbrs in self._adjacency.values()) // 2
+
+    def __contains__(self, node: int) -> bool:
+        return node in self._adjacency
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.nodes)
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return f"<DistGraph{label} n={self.n} m={self.num_edges} d={self.d}>"
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def subgraph(self, nodes: Iterable[int], name: str = "") -> "DistGraph":
+        """The subgraph induced by ``nodes`` (identifier bound preserved)."""
+        keep = set(nodes)
+        unknown = keep - set(self._adjacency)
+        if unknown:
+            raise ValueError(f"unknown nodes in subgraph request: {sorted(unknown)}")
+        adjacency = {
+            node: [other for other in self._adjacency[node] if other in keep]
+            for node in keep
+        }
+        attrs = {node: self._attrs[node] for node in keep if node in self._attrs}
+        return DistGraph(adjacency, d=self.d, attrs=attrs, name=name or self.name)
+
+    def components(self) -> List[FrozenSet[int]]:
+        """Connected components, each as a frozenset, sorted by min id."""
+        seen: set = set()
+        components: List[FrozenSet[int]] = []
+        for start in self.nodes:
+            if start in seen:
+                continue
+            queue = deque([start])
+            seen.add(start)
+            members = {start}
+            while queue:
+                node = queue.popleft()
+                for other in self._adjacency[node]:
+                    if other not in seen:
+                        seen.add(other)
+                        members.add(other)
+                        queue.append(other)
+            components.append(frozenset(members))
+        return sorted(components, key=min)
+
+    def is_connected(self) -> bool:
+        """Whether the graph has at most one component."""
+        return len(self.components()) <= 1
+
+    def bfs_distances(self, source: int) -> Dict[int, int]:
+        """Hop distances from ``source`` to every reachable node."""
+        distances = {source: 0}
+        queue = deque([source])
+        while queue:
+            node = queue.popleft()
+            for other in self._adjacency[node]:
+                if other not in distances:
+                    distances[other] = distances[node] + 1
+                    queue.append(other)
+        return distances
+
+    def diameter(self) -> int:
+        """Diameter of a connected graph (max pairwise hop distance).
+
+        Raises ``ValueError`` on disconnected or empty graphs, where the
+        diameter is undefined.
+        """
+        if self.n == 0 or not self.is_connected():
+            raise ValueError("diameter is defined for nonempty connected graphs")
+        best = 0
+        for node in self.nodes:
+            distances = self.bfs_distances(node)
+            best = max(best, max(distances.values()))
+        return best
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def to_networkx(self):
+        """Export to a ``networkx.Graph`` (node attributes preserved)."""
+        import networkx as nx
+
+        nx_graph = nx.Graph()
+        nx_graph.add_nodes_from(self.nodes)
+        nx_graph.add_edges_from(self.edges())
+        for node, mapping in self._attrs.items():
+            nx_graph.nodes[node].update(mapping)
+        return nx_graph
+
+    @classmethod
+    def from_networkx(
+        cls, nx_graph, d: Optional[int] = None, name: str = ""
+    ) -> "DistGraph":
+        """Build from a ``networkx.Graph`` whose nodes are positive ints."""
+        adjacency = {node: list(nx_graph.neighbors(node)) for node in nx_graph.nodes}
+        attrs = {
+            node: dict(data) for node, data in nx_graph.nodes(data=True) if data
+        }
+        return cls(adjacency, d=d, attrs=attrs, name=name)
+
+    def with_attrs(self, attrs: Mapping[int, Mapping[str, Any]]) -> "DistGraph":
+        """A copy with the given per-node attributes merged in."""
+        merged: Dict[int, Dict[str, Any]] = {
+            node: dict(mapping) for node, mapping in self._attrs.items()
+        }
+        for node, mapping in attrs.items():
+            merged.setdefault(int(node), {}).update(mapping)
+        adjacency = {node: list(self._adjacency[node]) for node in self.nodes}
+        return DistGraph(adjacency, d=self.d, attrs=merged, name=self.name)

@@ -1,0 +1,92 @@
+"""Identifier assignment schemes.
+
+The paper's model gives nodes distinct identifiers from ``{1, ..., d}``
+with ``d`` in ``n^{O(1)}``.  Identifier choice matters: the greedy
+measure-uniform algorithms break symmetry by identifier comparison, so a
+path whose ids increase monotonically is their worst case (one termination
+per round — the matching upper-bound witness to the Ω(n) line lower bounds
+of Lemmas 4, 5, 13 and 14).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Mapping, Optional
+
+from repro.graphs.graph import DistGraph
+
+
+def relabel(
+    graph: DistGraph, mapping: Mapping[int, int], d: Optional[int] = None
+) -> DistGraph:
+    """Relabel nodes through a bijective ``old id -> new id`` mapping."""
+    if set(mapping) != set(graph.nodes):
+        raise ValueError("relabel mapping must cover exactly the graph's nodes")
+    if len(set(mapping.values())) != graph.n:
+        raise ValueError("relabel mapping must be injective")
+    adjacency = {
+        mapping[node]: [mapping[other] for other in graph.neighbors(node)]
+        for node in graph.nodes
+    }
+    attrs = {
+        mapping[node]: dict(graph.node_attrs(node))
+        for node in graph.nodes
+        if graph.node_attrs(node)
+    }
+    # Parent pointers must follow the relabeling.
+    for new_attrs in attrs.values():
+        if new_attrs.get("parent") is not None:
+            new_attrs["parent"] = mapping[new_attrs["parent"]]
+    return DistGraph(adjacency, d=d, attrs=attrs, name=graph.name)
+
+
+def sequential_ids(graph: DistGraph) -> DistGraph:
+    """Relabel to ids ``1..n`` in increasing order of current id."""
+    mapping = {node: index + 1 for index, node in enumerate(graph.nodes)}
+    return relabel(graph, mapping)
+
+
+def random_ids_from_domain(graph: DistGraph, d: int, seed: int = 0) -> DistGraph:
+    """Assign distinct random ids from ``{1, ..., d}``.
+
+    ``d`` may far exceed ``n`` — this is how experiments probe dependence
+    on the identifier-domain size (the log* d terms in the paper's bounds).
+    """
+    if d < graph.n:
+        raise ValueError(f"domain size {d} below node count {graph.n}")
+    rng = random.Random(f"{seed}:ids")
+    new_ids = rng.sample(range(1, d + 1), graph.n)
+    mapping = dict(zip(graph.nodes, new_ids))
+    return relabel(graph, mapping, d=d)
+
+
+def sorted_path_ids(graph: DistGraph, reverse: bool = False) -> DistGraph:
+    """Assign ids increasing along a path instance (adversarial for greedy).
+
+    With ids increasing along the path, the Greedy MIS Algorithm admits one
+    new MIS node every other round starting from the large end, realizing
+    its Θ(n) worst case.  Requires the instance to be a path; ``reverse``
+    makes ids decrease instead.
+    """
+    endpoints = [v for v in graph.nodes if graph.degree(v) <= 1]
+    if graph.n > 1 and (
+        len(endpoints) != 2 or any(graph.degree(v) > 2 for v in graph.nodes)
+    ):
+        raise ValueError("sorted_path_ids requires a path instance")
+    order = []
+    if graph.n == 1:
+        order = [graph.nodes[0]]
+    elif graph.n > 1:
+        current = min(endpoints)
+        previous = None
+        while current is not None:
+            order.append(current)
+            successors = [
+                other for other in graph.neighbors(current) if other != previous
+            ]
+            previous = current
+            current = successors[0] if successors else None
+    if reverse:
+        order.reverse()
+    mapping: Dict[int, int] = {node: index + 1 for index, node in enumerate(order)}
+    return relabel(graph, mapping)

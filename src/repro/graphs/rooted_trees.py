@@ -1,0 +1,124 @@
+"""Rooted tree instances (Section 9.2).
+
+In a rooted tree each node knows whether it is the root and, if not, which
+neighbor is its parent (Section 9.2).  We encode that knowledge in node
+attributes: ``is_root`` (bool) and ``parent`` (the parent's id, or ``None``
+at the root).  Rooted forests are supported — each component carries its
+own root — because measure-uniform algorithms run on induced sub-forests.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from repro.graphs.graph import DistGraph
+
+
+def from_parents(parents: Mapping[int, Optional[int]], name: str = "") -> DistGraph:
+    """Build a rooted forest from a ``node -> parent`` mapping.
+
+    Roots map to ``None``.  Raises on cycles or unknown parents.
+    """
+    adjacency: Dict[int, List[int]] = {int(v): [] for v in parents}
+    for node, parent in parents.items():
+        if parent is None:
+            continue
+        if parent not in adjacency:
+            raise ValueError(f"node {node} has unknown parent {parent}")
+        adjacency[int(node)].append(int(parent))
+    attrs = {
+        int(node): {"parent": parent, "is_root": parent is None}
+        for node, parent in parents.items()
+    }
+    graph = DistGraph(adjacency, attrs=attrs, name=name or "rooted-forest")
+    _check_acyclic(parents)
+    return graph
+
+
+def _check_acyclic(parents: Mapping[int, Optional[int]]) -> None:
+    for start in parents:
+        seen = {start}
+        node: Optional[int] = parents[start]
+        while node is not None:
+            if node in seen:
+                raise ValueError(f"parent pointers contain a cycle through {node}")
+            seen.add(node)
+            node = parents[node]
+
+
+def directed_line(n: int) -> DistGraph:
+    """A rooted path of ``n`` nodes: node 1 is the root, ``i``'s parent is ``i-1``.
+
+    This is the "directed line" of the Section 9.2 example (η₁ = 3k while
+    η_t = 2 under the 0-0-1 coloring pattern).
+    """
+    parents: Dict[int, Optional[int]] = {1: None}
+    for v in range(2, n + 1):
+        parents[v] = v - 1
+    graph = from_parents(parents, name=f"dline-{n}")
+    return graph
+
+
+def random_rooted_tree(
+    n: int, seed: int = 0, max_children: Optional[int] = None
+) -> DistGraph:
+    """A random rooted tree on ``n`` nodes with ids ``1..n`` (node 1 root).
+
+    Each node ``v > 1`` attaches to a uniformly random earlier node,
+    optionally restricted to nodes with fewer than ``max_children``
+    children (a uniform random recursive tree when unrestricted).
+    """
+    rng = random.Random(f"{seed}:rooted")
+    parents: Dict[int, Optional[int]] = {1: None}
+    children_count: Dict[int, int] = {1: 0}
+    for v in range(2, n + 1):
+        candidates = [
+            u
+            for u in range(1, v)
+            if max_children is None or children_count[u] < max_children
+        ]
+        parent = rng.choice(candidates)
+        parents[v] = parent
+        children_count[parent] += 1
+        children_count[v] = 0
+    return from_parents(parents, name=f"rtree-{n}-s{seed}")
+
+
+def strict_binary_tree(height: int) -> DistGraph:
+    """A complete strict binary tree of the given height (root id 1).
+
+    Every internal node has exactly two children — the tree family of the
+    Balliu et al. result cited in Section 9.2.
+    """
+    parents: Dict[int, Optional[int]] = {1: None}
+    total = 2 ** (height + 1) - 1
+    for v in range(2, total + 1):
+        parents[v] = v // 2
+    return from_parents(parents, name=f"btree-h{height}")
+
+
+def tree_parent(graph: DistGraph, node: int) -> Optional[int]:
+    """Parent of ``node`` in a rooted instance, or ``None`` at a root."""
+    return graph.node_attrs(node).get("parent")
+
+
+def tree_children(graph: DistGraph, node: int) -> List[int]:
+    """Children of ``node``: its neighbors other than its parent."""
+    parent = tree_parent(graph, node)
+    return sorted(other for other in graph.neighbors(node) if other != parent)
+
+
+def tree_height(graph: DistGraph, roots: Optional[Iterable[int]] = None) -> int:
+    """Height (edge count of the longest root-to-leaf path) of the forest."""
+    if roots is None:
+        roots = [v for v in graph.nodes if graph.node_attrs(v).get("is_root")]
+    best = 0
+    for root in roots:
+        stack = [(root, 0)]
+        while stack:
+            node, depth = stack.pop()
+            best = max(best, depth)
+            for child in tree_children(graph, node):
+                stack.append((child, depth + 1))
+    return best

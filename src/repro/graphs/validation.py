@@ -1,0 +1,63 @@
+"""Instance validation.
+
+Checks that a :class:`~repro.graphs.graph.DistGraph` is a well-formed
+instance of the paper's model: distinct positive identifiers bounded by
+``d``, symmetric adjacency without self-loops, and (for rooted instances)
+consistent parent pointers.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.graphs.graph import DistGraph
+
+
+def validate_instance(graph: DistGraph, rooted: bool = False) -> List[str]:
+    """Return a list of problems (empty when the instance is valid)."""
+    problems: List[str] = []
+    seen = set()
+    for node in graph.nodes:
+        if node < 1:
+            problems.append(f"node id {node} is not positive")
+        if node > graph.d:
+            problems.append(f"node id {node} exceeds d={graph.d}")
+        if node in seen:
+            problems.append(f"duplicate node id {node}")
+        seen.add(node)
+        for other in graph.neighbors(node):
+            if other == node:
+                problems.append(f"self-loop at {node}")
+            if node not in graph.neighbors(other):
+                problems.append(f"asymmetric edge ({node}, {other})")
+
+    if rooted:
+        problems.extend(_validate_rooted(graph))
+    return problems
+
+
+def _validate_rooted(graph: DistGraph) -> List[str]:
+    problems: List[str] = []
+    for component in graph.components():
+        roots = [
+            node for node in component if graph.node_attrs(node).get("is_root")
+        ]
+        if len(roots) != 1:
+            problems.append(
+                f"component {sorted(component)[:5]}... has {len(roots)} roots"
+            )
+    for node in graph.nodes:
+        attrs = graph.node_attrs(node)
+        if "parent" not in attrs and "is_root" not in attrs:
+            problems.append(f"node {node} lacks rooted-tree attributes")
+            continue
+        parent = attrs.get("parent")
+        if attrs.get("is_root"):
+            if parent is not None:
+                problems.append(f"root {node} has parent {parent}")
+        else:
+            if parent is None:
+                problems.append(f"non-root {node} has no parent")
+            elif parent not in graph.neighbors(node):
+                problems.append(f"parent {parent} of {node} is not a neighbor")
+    return problems

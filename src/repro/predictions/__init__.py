@@ -1,0 +1,33 @@
+"""Prediction generators.
+
+The paper treats the predictor as a black box (a machine-learning oracle
+"or some other source"); what matters to an algorithm with predictions is
+the realized prediction error.  These generators produce per-node
+predictions across the whole quality spectrum: perfect (η = 0),
+noise-corrupted at a tunable rate, adversarial patterns (including the
+Figure 2 grid pattern and the Section 9.2 directed-line pattern), and
+*stale* predictions obtained by solving a related network and reusing the
+old solution — the paper's own motivating scenario.
+"""
+
+from repro.predictions.generators import (
+    all_ones_mis,
+    all_zeros_mis,
+    directed_line_pattern,
+    grid_blackwhite_predictions,
+    noisy_predictions,
+    perfect_predictions,
+)
+from repro.predictions.learned import ensemble_predictions
+from repro.predictions.stale import stale_predictions
+
+__all__ = [
+    "all_ones_mis",
+    "all_zeros_mis",
+    "directed_line_pattern",
+    "ensemble_predictions",
+    "grid_blackwhite_predictions",
+    "noisy_predictions",
+    "perfect_predictions",
+    "stale_predictions",
+]

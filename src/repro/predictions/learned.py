@@ -1,0 +1,118 @@
+"""A simulated learning-based predictor.
+
+The paper's predictions "may come from a machine learning oracle or some
+other source that is treated as a black box" (Section 1).  This module
+provides a plausible such black box without any ML dependency: an
+*ensemble predictor* that has seen solutions to ``k`` perturbed versions
+of the instance (yesterday's networks, staging environments, simulation
+runs, ...) and predicts by per-node majority vote.
+
+The knob ``k`` plays the role of training data volume: more samples give
+predictions closer to a solution of the actual instance, so the realized
+error η decreases — which is exactly the regime the framework's
+consistency/degradation guarantees reward.  For value problems
+(matching, colorings) the majority is taken per node over the sampled
+values, falling back to the problem default on ties.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any
+
+from repro.graphs.churn import perturb_edges
+from repro.graphs.graph import DistGraph
+from repro.problems.base import GraphProblem, Outputs
+from repro.problems.matching import UNMATCHED
+
+
+def _majority(values, default):
+    counter = Counter(
+        value if not isinstance(value, dict) else tuple(sorted(value.items()))
+        for value in values
+    )
+    if not counter:
+        return default
+    (winner, count), *rest = counter.most_common(2)
+    if rest and rest[0][1] == count:
+        return default  # tie: abstain to the default
+    if isinstance(winner, tuple) and winner and isinstance(winner[0], tuple):
+        return dict(winner)
+    return winner
+
+
+def _default(problem: GraphProblem) -> Any:
+    return {
+        "mis": 0,
+        "matching": UNMATCHED,
+        "vertex-coloring": 1,
+        "edge-coloring": {},
+    }[problem.name]
+
+
+def ensemble_predictions(
+    problem: GraphProblem,
+    graph: DistGraph,
+    samples: int,
+    churn: int = 3,
+    seed: int = 0,
+    consistent_order: bool = True,
+) -> Outputs:
+    """Predict by majority vote over solutions of perturbed instances.
+
+    Args:
+        problem: The target problem.
+        graph: The actual instance being predicted for.
+        samples: Ensemble size k (0 returns all-default predictions — an
+            untrained predictor).
+        churn: Edges added *and* removed per sampled instance; larger
+            churn means noisier training data.
+        seed: Base seed; each sample perturbs and solves with its own
+            derived seed.
+        consistent_order: When true (default), every sample is solved in
+            the same canonical node order, so the ensemble converges to
+            one solution and more samples mean smaller error.  When
+            false, each sample uses a random order — and because correct
+            predictions are *not unique* (the paper's Section 5 point),
+            the majority over many different valid solutions is usually
+            not close to any solution: diversity hurts.  The
+            ``learned_predictor.py`` example measures both regimes.
+    """
+    if samples < 0:
+        raise ValueError(f"samples must be non-negative, got {samples}")
+    votes = {node: [] for node in graph.nodes}
+    for index in range(samples):
+        sample_graph = perturb_edges(
+            graph, add=churn, remove=churn, seed=seed * 1009 + index
+        )
+        order = (
+            None
+            if consistent_order
+            else _sample_order(sample_graph, seed * 2003 + index)
+        )
+        solution = problem.solve_sequential(sample_graph, order=order)
+        for node in graph.nodes:
+            if node in solution:
+                value = solution[node]
+                if problem.name == "edge-coloring":
+                    value = {
+                        other: color
+                        for other, color in (value or {}).items()
+                        if other in graph.neighbors(node)
+                    }
+                elif problem.name == "matching" and value != UNMATCHED:
+                    if value not in graph.neighbors(node):
+                        value = UNMATCHED
+                votes[node].append(value)
+    default = _default(problem)
+    return {
+        node: _majority(values, default) for node, values in votes.items()
+    }
+
+
+def _sample_order(graph: DistGraph, seed: int):
+    import random
+
+    order = list(graph.nodes)
+    random.Random(f"{seed}:order").shuffle(order)
+    return order

@@ -1,0 +1,62 @@
+"""Stale predictions: the paper's motivating scenario (Section 1.1).
+
+    "a maximal independent set has been computed on one network, but now
+    a related network is being used."
+
+Solve the problem on the *old* network, perturb the network (see
+:mod:`repro.graphs.churn`), and hand the old solution to the new
+instance as its predictions.  Nodes that did not exist in the old network
+receive a problem-appropriate default.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.graphs.graph import DistGraph
+from repro.problems.base import GraphProblem, Outputs
+from repro.problems.matching import UNMATCHED
+
+
+def _default_prediction(problem: GraphProblem, graph: DistGraph, node: int):
+    if problem.name == "mis":
+        return 0
+    if problem.name == "matching":
+        return UNMATCHED
+    if problem.name == "vertex-coloring":
+        return 1
+    if problem.name == "edge-coloring":
+        return {}
+    raise ValueError(f"no default prediction for problem {problem.name!r}")
+
+
+def stale_predictions(
+    problem: GraphProblem,
+    old_graph: DistGraph,
+    new_graph: DistGraph,
+    seed: Optional[int] = None,
+) -> Outputs:
+    """Solve on ``old_graph`` and reuse the solution on ``new_graph``.
+
+    For edge coloring, only entries for edges that still exist survive;
+    for matching, a stale partner that is no longer a neighbor is kept
+    verbatim (the initialization algorithms tolerate illegal predictions,
+    and a vanished partner is precisely the kind of error churn causes).
+    """
+    from repro.predictions.generators import perfect_predictions
+
+    old_solution = perfect_predictions(problem, old_graph, seed=seed)
+    predictions: Outputs = {}
+    for node in new_graph.nodes:
+        if node not in old_solution:
+            predictions[node] = _default_prediction(problem, new_graph, node)
+            continue
+        value = old_solution[node]
+        if problem.name == "edge-coloring":
+            value = {
+                other: color
+                for other, color in (value or {}).items()
+                if other in new_graph.neighbors(node)
+            }
+        predictions[node] = value
+    return predictions

@@ -1,0 +1,27 @@
+"""Distributed graph problem definitions.
+
+Each problem module defines the output convention of Section 2/8 of the
+paper, full- and partial-solution verifiers, the *extendable partial
+solution* checker central to the framework (Section 3), and a greedy
+sequential solver used to manufacture perfect predictions and to
+cross-check distributed outputs.
+"""
+
+from repro.problems.base import GraphProblem
+from repro.problems.edge_coloring import EDGE_COLORING, EdgeColoringProblem
+from repro.problems.matching import MATCHING, MaximalMatchingProblem, UNMATCHED
+from repro.problems.mis import MIS, MaximalIndependentSetProblem
+from repro.problems.vertex_coloring import VERTEX_COLORING, VertexColoringProblem
+
+__all__ = [
+    "EDGE_COLORING",
+    "EdgeColoringProblem",
+    "GraphProblem",
+    "MATCHING",
+    "MIS",
+    "MaximalIndependentSetProblem",
+    "MaximalMatchingProblem",
+    "UNMATCHED",
+    "VERTEX_COLORING",
+    "VertexColoringProblem",
+]

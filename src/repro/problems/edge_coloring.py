@@ -1,0 +1,129 @@
+"""The (2Δ−1)-Edge Coloring problem (Section 8.3).
+
+Each node outputs one color per incident edge (possibly in different
+rounds); both endpoints of an edge must output the same color for it, and
+all edges incident to a node get distinct colors from ``{1, ..., 2Δ−1}``.
+A node's output is represented as a dict ``neighbor id -> color``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.graphs.graph import DistGraph
+from repro.problems.base import GraphProblem, Outputs
+
+
+class EdgeColoringProblem(GraphProblem):
+    """(2Δ−1)-Edge Coloring: outputs map each incident edge to a color."""
+
+    name = "edge-coloring"
+
+    def num_colors(self, graph: DistGraph) -> int:
+        """The palette size for this instance: 2Δ − 1 (at least 1)."""
+        return max(1, 2 * graph.delta - 1)
+
+    # ------------------------------------------------------------------
+    def verify_solution(self, graph: DistGraph, outputs: Outputs) -> List[str]:
+        problems = self.check_outputs_complete(graph, outputs)
+        if problems:
+            return problems
+        for node in graph.nodes:
+            value = outputs[node] or {}
+            missing = set(graph.neighbors(node)) - set(value)
+            if missing:
+                problems.append(
+                    f"node {node} left edges to {sorted(missing)} uncolored"
+                )
+        problems.extend(self.verify_partial(graph, outputs))
+        return problems
+
+    def verify_partial(self, graph: DistGraph, outputs: Outputs) -> List[str]:
+        problems: List[str] = []
+        palette_size = self.num_colors(graph)
+        for node, value in sorted(outputs.items()):
+            value = value or {}
+            if not isinstance(value, dict):
+                problems.append(
+                    f"node {node} output {value!r}, expected a dict edge->color"
+                )
+                continue
+            for other, color in sorted(value.items()):
+                if other not in graph.neighbors(node):
+                    problems.append(
+                        f"node {node} colored non-incident edge to {other}"
+                    )
+                    continue
+                if not isinstance(color, int) or not 1 <= color <= palette_size:
+                    problems.append(
+                        f"edge ({node},{other}) got {color!r}, expected a color "
+                        f"in 1..{palette_size}"
+                    )
+                partner_value = outputs.get(other)
+                if partner_value is not None and other in outputs:
+                    partner_color = (partner_value or {}).get(node)
+                    if other > node and partner_color != color:
+                        problems.append(
+                            f"edge ({node},{other}) colored {color} by {node} "
+                            f"but {partner_color!r} by {other}"
+                        )
+            colors_used = list((value or {}).values())
+            if len(colors_used) != len(set(colors_used)):
+                problems.append(f"node {node} reused a color on two edges")
+        return problems
+
+    def extendability_violations(
+        self, graph: DistGraph, outputs: Outputs
+    ) -> List[str]:
+        """Any proper partial (2Δ−1)-edge-coloring is extendable.
+
+        Each uncolored edge always retains a palette (colors unused at both
+        endpoints) larger than the number of adjacent uncolored edges
+        (Section 8.3), so properness is the whole condition.
+        """
+        return self.verify_partial(graph, outputs)
+
+    # ------------------------------------------------------------------
+    def solve_sequential(
+        self, graph: DistGraph, order: Optional[Sequence[int]] = None
+    ) -> Outputs:
+        """Greedy edge coloring: each edge takes the smallest free color.
+
+        Edges are processed in the order induced by ``order`` on their
+        endpoints (lexicographic by position).
+        """
+        node_order = list(order) if order is not None else list(graph.nodes)
+        position = {node: index for index, node in enumerate(node_order)}
+        edges = sorted(
+            graph.edges(),
+            key=lambda edge: tuple(sorted((position[edge[0]], position[edge[1]]))),
+        )
+        used_at: Dict[int, Set[int]] = {node: set() for node in graph.nodes}
+        edge_color: Dict[Tuple[int, int], int] = {}
+        for u, v in edges:
+            color = 1
+            while color in used_at[u] or color in used_at[v]:
+                color += 1
+            edge_color[(u, v)] = color
+            used_at[u].add(color)
+            used_at[v].add(color)
+        outputs: Outputs = {node: {} for node in graph.nodes}
+        for (u, v), color in edge_color.items():
+            outputs[u][v] = color
+            outputs[v][u] = color
+        return outputs
+
+    # ------------------------------------------------------------------
+    def colored_edges(self, outputs: Outputs) -> Dict[Tuple[int, int], int]:
+        """Edges colored consistently by both endpoints, as ``(min, max)``."""
+        result: Dict[Tuple[int, int], int] = {}
+        for node, value in outputs.items():
+            for other, color in (value or {}).items():
+                partner = outputs.get(other) or {}
+                if partner.get(node) == color:
+                    result[(min(node, other), max(node, other))] = color
+        return result
+
+
+#: Singleton instance used throughout the repository.
+EDGE_COLORING = EdgeColoringProblem()

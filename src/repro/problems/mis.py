@@ -1,0 +1,155 @@
+"""The Maximal Independent Set problem (Section 3).
+
+Each node outputs a bit; the nodes outputting 1 must form a maximal
+independent set.  Predictions are one bit per node (1 = predicted in the
+set).  The two kinds of prediction error (Section 1.1): two adjacent nodes
+both predicted 1 (not independent), or a node and all its neighbors
+predicted 0 (not maximal).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Set
+
+from repro.graphs.graph import DistGraph
+from repro.problems.base import GraphProblem, Outputs
+
+
+class MaximalIndependentSetProblem(GraphProblem):
+    """MIS: output 1 to join the independent set, 0 otherwise."""
+
+    name = "mis"
+
+    # ------------------------------------------------------------------
+    def verify_solution(self, graph: DistGraph, outputs: Outputs) -> List[str]:
+        problems = self.check_outputs_complete(graph, outputs)
+        if problems:
+            return problems
+        problems.extend(self.verify_partial(graph, outputs))
+        return problems
+
+    def verify_partial(self, graph: DistGraph, outputs: Outputs) -> List[str]:
+        """MIS conditions on the subgraph induced by the decided nodes."""
+        problems: List[str] = []
+        for node, value in outputs.items():
+            if value not in (0, 1):
+                problems.append(f"node {node} output {value!r}, expected 0 or 1")
+        chosen = {node for node, value in outputs.items() if value == 1}
+        for node in chosen:
+            for other in graph.neighbors(node):
+                if other in chosen and other > node:
+                    problems.append(f"adjacent nodes {node} and {other} both output 1")
+        for node, value in outputs.items():
+            if value == 0 and not any(
+                other in chosen for other in graph.neighbors(node)
+            ):
+                problems.append(f"node {node} output 0 without a decided 1-neighbor")
+        return problems
+
+    def extendability_violations(
+        self, graph: DistGraph, outputs: Outputs
+    ) -> List[str]:
+        """The paper's extendability conditions for MIS (Section 3).
+
+        A partial solution is extendable exactly when:
+
+        * the 1-nodes form an independent set of the whole graph;
+        * every neighbor of a 1-node is decided (necessarily 0);
+        * every decided 0-node has a decided 1-neighbor (this is already
+          part of being a *partial solution* — a valid MIS of the induced
+          subgraph — and is what every algorithm in the paper guarantees:
+          a node outputs 0 only after seeing a neighbor output 1).
+
+        Together the conditions are necessary and sufficient; the
+        exhaustive small-graph suite verifies agreement with brute force
+        over every partial assignment of every 4-node graph.
+        """
+        problems: List[str] = []
+        chosen = {node for node, value in outputs.items() if value == 1}
+        for node in sorted(chosen):
+            for other in sorted(graph.neighbors(node)):
+                if other in chosen and other > node:
+                    problems.append(f"adjacent 1-nodes {node}, {other}")
+                if other not in outputs:
+                    problems.append(
+                        f"neighbor {other} of 1-node {node} is undecided"
+                    )
+        for node, value in sorted(outputs.items()):
+            if value == 0 and not any(
+                other in chosen for other in graph.neighbors(node)
+            ):
+                problems.append(f"0-node {node} has no decided 1-neighbor")
+        return problems
+
+    # ------------------------------------------------------------------
+    def solve_sequential(
+        self, graph: DistGraph, order: Optional[Sequence[int]] = None
+    ) -> Outputs:
+        """Greedy MIS: scan nodes in order, add when no neighbor is in yet."""
+        order = list(order) if order is not None else list(graph.nodes)
+        chosen: Set[int] = set()
+        for node in order:
+            if not any(other in chosen for other in graph.neighbors(node)):
+                chosen.add(node)
+        return {node: (1 if node in chosen else 0) for node in graph.nodes}
+
+    # ------------------------------------------------------------------
+    # Exact machinery for small instances (tests and the η_H measure)
+    # ------------------------------------------------------------------
+    def all_maximal_independent_sets(self, graph: DistGraph) -> Iterable[Set[int]]:
+        """Enumerate every maximal independent set (small graphs only).
+
+        Maximal independent sets of ``G`` are the maximal cliques of the
+        complement; we enumerate with a simple Bron–Kerbosch on the
+        complement adjacency, adequate for the instance sizes where exact
+        enumeration is ever needed.
+        """
+        nodes = list(graph.nodes)
+        complement = {
+            v: {u for u in nodes if u != v and not graph.has_edge(u, v)}
+            for v in nodes
+        }
+
+        results: List[Set[int]] = []
+
+        def expand(r: Set[int], p: Set[int], x: Set[int]) -> None:
+            if not p and not x:
+                results.append(set(r))
+                return
+            pivot_pool = p | x
+            pivot = max(pivot_pool, key=lambda v: len(complement[v] & p))
+            for v in sorted(p - complement[pivot]):
+                expand(r | {v}, p & complement[v], x & complement[v])
+                p = p - {v}
+                x = x | {v}
+
+        expand(set(), set(nodes), set())
+        return results
+
+    def is_extendable_exact(self, graph: DistGraph, outputs: Outputs) -> bool:
+        """Brute-force extendability (exponential; tests only).
+
+        Checks that for *every* maximal independent set of the remainder
+        graph, the union with the partial solution solves the whole graph.
+        """
+        if self.verify_partial(graph, outputs):
+            return False
+        remainder_nodes = [node for node in graph.nodes if node not in outputs]
+        remainder = graph.subgraph(remainder_nodes)
+        remainder_solutions = self.all_maximal_independent_sets(remainder)
+        for chosen in remainder_solutions:
+            combined = dict(outputs)
+            combined.update(
+                {node: (1 if node in chosen else 0) for node in remainder_nodes}
+            )
+            if self.verify_solution(graph, combined):
+                return False
+        return True
+
+    def independent_set_of(self, outputs: Outputs) -> Set[int]:
+        """The set of nodes with output 1."""
+        return {node for node, value in outputs.items() if value == 1}
+
+
+#: Singleton instance used throughout the repository.
+MIS = MaximalIndependentSetProblem()

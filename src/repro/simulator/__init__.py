@@ -1,0 +1,41 @@
+"""Synchronous message-passing simulator (LOCAL / CONGEST models).
+
+This subpackage is the substrate of the whole repository: every algorithm
+from the paper is written as a :class:`~repro.simulator.program.NodeProgram`
+and executed by the :class:`~repro.simulator.engine.SyncEngine`, which
+implements the synchronous round structure of Section 2 of the paper:
+
+    In each round, each active node can send a possibly different message
+    to each of its neighbors, receive all messages sent to it that round
+    from all of its neighbors, do some computation and update its state,
+    optionally assign a value to its local output, and terminate if this
+    is the node's last output.
+
+The engine also implements the paper's convention (Section 7) that, prior
+to terminating, nodes inform their active neighbors about their output
+values: a terminated neighbor's output becomes visible in the *following*
+round, exactly when an explicit notification message would have arrived.
+"""
+
+from repro.simulator.context import NodeContext
+from repro.simulator.engine import RoundLimitExceeded, SyncEngine
+from repro.simulator.message import estimate_bits
+from repro.simulator.metrics import NodeRecord, RunResult
+from repro.simulator.models import CONGEST, LOCAL, ExecutionModel
+from repro.simulator.program import NodeProgram
+from repro.simulator.trace import TraceEvent, TraceRecorder
+
+__all__ = [
+    "CONGEST",
+    "LOCAL",
+    "ExecutionModel",
+    "NodeContext",
+    "NodeProgram",
+    "NodeRecord",
+    "RoundLimitExceeded",
+    "RunResult",
+    "SyncEngine",
+    "TraceEvent",
+    "TraceRecorder",
+    "estimate_bits",
+]

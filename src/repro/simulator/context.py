@@ -1,0 +1,163 @@
+"""Per-node execution context.
+
+A :class:`NodeContext` is the only window a :class:`~repro.simulator.program.
+NodeProgram` has onto the world.  It carries exactly the knowledge the
+paper's model grants a node (Section 2): its own identifier, the identifiers
+of its neighbors, the values ``n``, ``d`` and (when the instance provides
+it) ``Delta``, plus the node's prediction.  It also tracks which neighbors
+are still active and what terminated neighbors output, mirroring the
+paper's convention that nodes announce their outputs before terminating.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, FrozenSet, Mapping, Optional
+
+_UNSET = object()
+
+
+class OutputAlreadySet(RuntimeError):
+    """Raised when a program assigns a node's output twice.
+
+    The paper's model gives each node write-once output variables;
+    reassignment is always an algorithm bug, so the simulator fails loudly.
+    """
+
+
+class NodeContext:
+    """Local state and knowledge of one node during a simulation.
+
+    Programs read the public attributes and call :meth:`set_output`,
+    :meth:`set_output_part` and :meth:`terminate`.  The engine owns the
+    bookkeeping attributes (``round``, ``active_neighbors``,
+    ``neighbor_outputs``, ``crashed_neighbors``).
+
+    Attributes:
+        node_id: This node's identifier (unique, from ``{1, ..., d}``).
+        neighbors: Identifiers of all neighbors, as a frozenset.
+        n: Number of nodes in the graph.
+        d: Upper bound on the largest identifier.
+        delta: Maximum degree of the graph, when known to nodes.
+        prediction: This node's prediction of its output (may be ``None``).
+        attrs: Extra per-node instance knowledge (e.g. ``parent`` and
+            ``is_root`` for rooted trees).
+        round: Current round number; 0 during ``setup``.
+        active_neighbors: Neighbors that have neither terminated nor
+            crashed, updated by the engine between rounds.
+        neighbor_outputs: Outputs of terminated neighbors, visible from the
+            round after their termination.
+        crashed_neighbors: Neighbors removed by fault injection.
+        rng: Per-node deterministic random stream (for the paper's
+            randomized algorithms; deterministic algorithms never use it).
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        neighbors: FrozenSet[int],
+        n: int,
+        d: int,
+        delta: Optional[int],
+        prediction: Any = None,
+        attrs: Optional[Mapping[str, Any]] = None,
+        seed: int = 0,
+    ) -> None:
+        self.node_id = node_id
+        self.neighbors = frozenset(neighbors)
+        self.n = n
+        self.d = d
+        self.delta = delta
+        self.prediction = prediction
+        self.attrs: Dict[str, Any] = dict(attrs or {})
+        self.round = 0
+        self.active_neighbors = set(self.neighbors)
+        self.neighbor_outputs: Dict[int, Any] = {}
+        self.crashed_neighbors: set = set()
+        self.rng = random.Random(f"{seed}:{node_id}")
+
+        self._output: Any = _UNSET
+        self._output_parts: Dict[Any, Any] = {}
+        self._terminate_requested = False
+        self.terminated = False
+        self.termination_round: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Knowledge helpers
+    # ------------------------------------------------------------------
+    @property
+    def degree(self) -> int:
+        """Number of neighbors in the original graph."""
+        return len(self.neighbors)
+
+    def is_local_maximum(self) -> bool:
+        """Whether this node's id exceeds every *active* neighbor's id.
+
+        This is the symmetry-breaking test used throughout the paper's
+        measure-uniform algorithms (Algorithm 1 and its relatives).
+        """
+        return all(other < self.node_id for other in self.active_neighbors)
+
+    # ------------------------------------------------------------------
+    # Output management
+    # ------------------------------------------------------------------
+    @property
+    def output(self) -> Any:
+        """The node's output: the scalar output, or the dict of parts."""
+        if self._output is not _UNSET:
+            return self._output
+        if self._output_parts:
+            return dict(self._output_parts)
+        return None
+
+    @property
+    def has_output(self) -> bool:
+        """Whether any output (scalar or part) has been assigned."""
+        return self._output is not _UNSET or bool(self._output_parts)
+
+    def set_output(self, value: Any) -> None:
+        """Assign the node's (write-once) output value."""
+        if self._output is not _UNSET:
+            raise OutputAlreadySet(
+                f"node {self.node_id} output already set to {self._output!r}"
+            )
+        if self._output_parts:
+            raise OutputAlreadySet(
+                f"node {self.node_id} already has per-part outputs"
+            )
+        self._output = value
+
+    def set_output_part(self, key: Any, value: Any) -> None:
+        """Assign one component of a multi-part output.
+
+        Used by problems whose nodes output several values — e.g. in
+        (2Δ−1)-Edge Coloring a node outputs one color per incident edge,
+        possibly in different rounds (Section 8.3).
+        """
+        if self._output is not _UNSET:
+            raise OutputAlreadySet(
+                f"node {self.node_id} already has a scalar output"
+            )
+        if key in self._output_parts:
+            raise OutputAlreadySet(
+                f"node {self.node_id} output part {key!r} already set"
+            )
+        self._output_parts[key] = value
+
+    def output_part(self, key: Any, default: Any = None) -> Any:
+        """Read back a previously assigned output part."""
+        return self._output_parts.get(key, default)
+
+    def terminate(self) -> None:
+        """Request termination at the end of the current round.
+
+        Per the model, a node terminates immediately after assigning its
+        last output; the engine records the round and deactivates the node
+        once the round's processing completes.
+        """
+        self._terminate_requested = True
+
+    @property
+    def terminate_requested(self) -> bool:
+        """Whether :meth:`terminate` was called this round (engine use)."""
+        return self._terminate_requested

@@ -1,0 +1,238 @@
+"""The synchronous round-based execution engine.
+
+:class:`SyncEngine` executes one :class:`~repro.simulator.program.
+NodeProgram` per node under the model of Section 2 of the paper: rounds are
+synchronous; in each round every active node composes messages (from its
+state at the end of the previous round), all messages are delivered, then
+every active node processes its inbox, may assign outputs, and may
+terminate.  Messages a node sends in its final round are delivered normally
+— the paper's "notifies its neighbors ... outputs ... and terminates".
+
+After a node terminates, the engine exposes its output to its neighbors at
+the start of the following round (``ctx.neighbor_outputs``), which is
+exactly the information and the timing an explicit final-round notification
+message provides.  This keeps composed algorithms (the templates of
+Section 7) faithful to the paper without every component re-implementing
+the notification handshake.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Mapping, Optional, Union
+
+from repro.simulator.context import NodeContext
+from repro.simulator.message import estimate_bits
+from repro.simulator.metrics import NodeRecord, RunResult
+from repro.simulator.models import LOCAL, ExecutionModel
+from repro.simulator.program import NodeProgram
+from repro.simulator.trace import TraceRecorder
+
+
+class RoundLimitExceeded(RuntimeError):
+    """Raised when a run exceeds its round budget without terminating.
+
+    Every algorithm in the paper has a finite worst-case round complexity;
+    hitting this limit always indicates a bug (e.g. deadlocked composition
+    or a non-terminating wait).
+    """
+
+
+class BandwidthExceeded(RuntimeError):
+    """Raised in strict CONGEST mode when a message exceeds the budget."""
+
+
+ProgramSource = Union[Mapping[int, NodeProgram], Callable[[int], NodeProgram]]
+
+
+class SyncEngine:
+    """Runs node programs over a graph in synchronous rounds.
+
+    Args:
+        graph: A :class:`~repro.graphs.graph.DistGraph` (or any object with
+            ``nodes``, ``neighbors(v)``, ``n``, ``d``, ``delta`` and
+            ``node_attrs(v)``).
+        programs: Either a mapping ``node -> NodeProgram`` or a factory
+            ``node -> NodeProgram`` called once per node.
+        predictions: Optional mapping ``node -> prediction`` handed to each
+            node's context (the per-node prediction of Section 1.1).
+        model: Execution model for bandwidth accounting.
+        max_rounds: Round budget; defaults to ``8 * n + 64``.
+        seed: Base seed for the per-node random streams.
+        trace: Optional :class:`TraceRecorder` receiving every event.
+        crash_rounds: Optional fault injection — mapping ``node -> round``;
+            the node executes that round and then vanishes without output.
+    """
+
+    def __init__(
+        self,
+        graph: Any,
+        programs: ProgramSource,
+        *,
+        predictions: Optional[Mapping[int, Any]] = None,
+        model: ExecutionModel = LOCAL,
+        max_rounds: Optional[int] = None,
+        seed: int = 0,
+        trace: Optional[TraceRecorder] = None,
+        crash_rounds: Optional[Mapping[int, int]] = None,
+    ) -> None:
+        self.graph = graph
+        self.model = model
+        self.trace = trace
+        self.max_rounds = max_rounds if max_rounds is not None else 8 * graph.n + 64
+        self._crash_rounds = dict(crash_rounds or {})
+        predictions = predictions or {}
+
+        self.programs: Dict[int, NodeProgram] = {}
+        self.contexts: Dict[int, NodeContext] = {}
+        for node in sorted(graph.nodes):
+            if callable(programs):
+                program = programs(node)
+            else:
+                program = programs[node]
+            self.programs[node] = program
+            self.contexts[node] = NodeContext(
+                node_id=node,
+                neighbors=frozenset(graph.neighbors(node)),
+                n=graph.n,
+                d=graph.d,
+                delta=graph.delta,
+                prediction=predictions.get(node),
+                attrs=graph.node_attrs(node),
+                seed=seed,
+            )
+
+        self._active = set(self.graph.nodes)
+        self._result = RunResult(model=model)
+        for node in self.graph.nodes:
+            self._result.records[node] = NodeRecord(node_id=node)
+
+    # ------------------------------------------------------------------
+    def run(self, stop_after: Optional[int] = None) -> RunResult:
+        """Execute until every node terminates (or faults/limits stop it).
+
+        With ``stop_after``, execute at most that many rounds and return
+        the partial record without raising — how tests observe the partial
+        solution a bounded component (e.g. a base algorithm) leaves behind.
+        """
+        self._setup_phase()
+        round_index = 0
+        while self._active:
+            if stop_after is not None and round_index >= stop_after:
+                break
+            round_index += 1
+            if round_index > self.max_rounds:
+                raise RoundLimitExceeded(
+                    f"{len(self._active)} node(s) still active after "
+                    f"{self.max_rounds} rounds: {sorted(self._active)[:10]}"
+                )
+            self._run_round(round_index)
+        self._result.rounds = max(
+            (
+                record.termination_round
+                for record in self._result.records.values()
+                if record.termination_round is not None
+            ),
+            default=0,
+        )
+        return self._result
+
+    # ------------------------------------------------------------------
+    def _setup_phase(self) -> None:
+        for node in sorted(self._active):
+            ctx = self.contexts[node]
+            ctx.round = 0
+            self.programs[node].setup(ctx)
+        self._finalize_round(0)
+
+    def _run_round(self, round_index: int) -> None:
+        inboxes: Dict[int, Dict[int, Any]] = {node: {} for node in self._active}
+
+        # Compose phase: every active node decides its messages using state
+        # from the end of the previous round.
+        for node in sorted(self._active):
+            ctx = self.contexts[node]
+            ctx.round = round_index
+            outbox = self.programs[node].compose(ctx) or {}
+            for receiver, payload in outbox.items():
+                if receiver not in ctx.neighbors:
+                    raise ValueError(
+                        f"node {node} sent to non-neighbor {receiver} "
+                        f"in round {round_index}"
+                    )
+                if self.trace is not None:
+                    self.trace.record(
+                        round_index, "send", node, {"to": receiver, "payload": payload}
+                    )
+                # Messages to nodes that already terminated or crashed are
+                # dropped: the recipient no longer participates.  (A sender
+                # learns of a neighbor's termination only in the following
+                # round, so such sends are legitimate.)
+                if receiver not in self._active:
+                    continue
+                self._account_message(payload)
+                inboxes[receiver][node] = payload
+
+        # Process phase: every active node consumes its inbox.
+        for node in sorted(self._active):
+            self.programs[node].process(self.contexts[node], inboxes[node])
+
+        self._finalize_round(round_index)
+
+    def _account_message(self, payload: Any) -> None:
+        bits = estimate_bits(payload)
+        self._result.message_count += 1
+        self._result.total_bits += bits
+        self._result.max_message_bits = max(self._result.max_message_bits, bits)
+        if not self.model.allows(bits, self.graph.n):
+            self._result.bandwidth_violations += 1
+            if self.model.strict:
+                raise BandwidthExceeded(
+                    f"{bits}-bit message exceeds "
+                    f"{self.model.bandwidth_bits(self.graph.n)}-bit budget"
+                )
+
+    def _finalize_round(self, round_index: int) -> None:
+        terminated = [
+            node
+            for node in sorted(self._active)
+            if self.contexts[node].terminate_requested
+        ]
+        crashed = [
+            node
+            for node in sorted(self._active)
+            if self._crash_rounds.get(node) == round_index
+            and node not in terminated
+        ]
+
+        for node in terminated:
+            ctx = self.contexts[node]
+            ctx.terminated = True
+            ctx.termination_round = round_index
+            record = self._result.records[node]
+            record.output = ctx.output
+            record.termination_round = round_index
+            self._result.outputs[node] = ctx.output
+            self._active.discard(node)
+            if self.trace is not None:
+                self.trace.record(round_index, "output", node, {"value": ctx.output})
+                self.trace.record(round_index, "terminate", node)
+
+        for node in crashed:
+            self._result.records[node].crashed = True
+            self._active.discard(node)
+            if self.trace is not None:
+                self.trace.record(round_index, "crash", node)
+
+        # Neighbors observe terminations/crashes from the next round on —
+        # the same timing as the paper's explicit final-round notification.
+        for node in terminated:
+            output = self.contexts[node].output
+            for neighbor in self.contexts[node].neighbors:
+                neighbor_ctx = self.contexts[neighbor]
+                neighbor_ctx.active_neighbors.discard(node)
+                neighbor_ctx.neighbor_outputs[node] = output
+        for node in crashed:
+            for neighbor in self.contexts[node].neighbors:
+                neighbor_ctx = self.contexts[neighbor]
+                neighbor_ctx.active_neighbors.discard(node)
+                neighbor_ctx.crashed_neighbors.add(node)

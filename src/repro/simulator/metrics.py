@@ -1,0 +1,79 @@
+"""Run metrics: what a simulation measures.
+
+The paper's performance measure is "the number of rounds until all
+processes terminate" (Section 1); :class:`RunResult` records that number
+together with per-node termination rounds, message/bit counts and CONGEST
+bandwidth accounting, so that every quantitative claim in the paper can be
+checked against an actual execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.simulator.models import ExecutionModel
+
+
+@dataclass
+class NodeRecord:
+    """Per-node outcome of a run.
+
+    Attributes:
+        node_id: The node.
+        output: The node's final output (``None`` if it crashed).
+        termination_round: Round in which the node terminated (0 for
+            termination during setup), or ``None`` if it never did.
+        crashed: Whether fault injection removed the node.
+    """
+
+    node_id: int
+    output: Any = None
+    termination_round: Optional[int] = None
+    crashed: bool = False
+
+
+@dataclass
+class RunResult:
+    """Complete record of one synchronous execution.
+
+    Attributes:
+        outputs: Final output of every node that terminated.
+        records: Per-node :class:`NodeRecord`.
+        rounds: Number of rounds until all (non-crashed) nodes terminated —
+            the paper's round complexity of the execution.
+        message_count: Number of point-to-point messages delivered.
+        total_bits: Sum of estimated message sizes.
+        max_message_bits: Width of the largest single message.
+        bandwidth_violations: Messages exceeding the model's budget.
+        model: The execution model the run was accounted against.
+    """
+
+    outputs: Dict[int, Any] = field(default_factory=dict)
+    records: Dict[int, NodeRecord] = field(default_factory=dict)
+    rounds: int = 0
+    message_count: int = 0
+    total_bits: int = 0
+    max_message_bits: int = 0
+    bandwidth_violations: int = 0
+    model: Optional[ExecutionModel] = None
+
+    def termination_round(self, node_id: int) -> Optional[int]:
+        """Round in which ``node_id`` terminated, or ``None``."""
+        record = self.records.get(node_id)
+        return record.termination_round if record else None
+
+    @property
+    def all_terminated(self) -> bool:
+        """Whether every non-crashed node produced an output and stopped."""
+        return all(
+            record.crashed or record.termination_round is not None
+            for record in self.records.values()
+        )
+
+    def congest_compatible(self, n: int) -> bool:
+        """Whether every message of the run fit a CONGEST budget for ``n``."""
+        from repro.simulator.models import CONGEST
+
+        budget = CONGEST.bandwidth_bits(n)
+        return budget is None or self.max_message_bits <= budget

@@ -1,0 +1,59 @@
+"""Execution models: LOCAL and CONGEST.
+
+The paper works primarily in the LOCAL model (unbounded messages) and notes
+that some of its algorithms also fit CONGEST (messages of ``O(log n)``
+bits).  An :class:`ExecutionModel` tells the engine what bandwidth budget a
+message has; the engine records the widest message of each run so tests can
+assert that an algorithm declared CONGEST-compatible stays within budget.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class ExecutionModel:
+    """A synchronous message-passing model.
+
+    Attributes:
+        name: Human-readable model name.
+        bandwidth_factor: Messages may be at most
+            ``bandwidth_factor * ceil(log2(n + 1))`` bits, or unbounded when
+            ``None`` (the LOCAL model).
+        strict: When true the engine raises on a bandwidth violation;
+            otherwise violations are only recorded in the run metrics.
+    """
+
+    name: str
+    bandwidth_factor: Optional[int] = None
+    strict: bool = False
+
+    def bandwidth_bits(self, n: int) -> Optional[int]:
+        """Maximum message width in bits for an ``n``-node graph.
+
+        Returns ``None`` when the model places no bound (LOCAL).
+        """
+        if self.bandwidth_factor is None:
+            return None
+        return self.bandwidth_factor * max(1, math.ceil(math.log2(n + 1)))
+
+    def allows(self, message_bits: int, n: int) -> bool:
+        """Whether a message of ``message_bits`` bits fits this model."""
+        budget = self.bandwidth_bits(n)
+        return budget is None or message_bits <= budget
+
+
+#: The LOCAL model: unbounded bandwidth (Linial).
+LOCAL = ExecutionModel(name="LOCAL", bandwidth_factor=None)
+
+#: The CONGEST model: O(log n)-bit messages (Peleg).  The factor of 32
+#: absorbs the constant hidden in O(log n); strictness is opt-in per run.
+CONGEST = ExecutionModel(name="CONGEST", bandwidth_factor=32)
+
+
+def strict_congest(factor: int = 32) -> ExecutionModel:
+    """A CONGEST model that raises on bandwidth violations."""
+    return ExecutionModel(name="CONGEST", bandwidth_factor=factor, strict=True)

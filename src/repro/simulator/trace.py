@@ -1,0 +1,77 @@
+"""Execution tracing for debugging and fine-grained tests.
+
+A :class:`TraceRecorder` attached to an engine run records every send,
+output and termination with its round number.  Tests use traces to check
+*when* something happened (e.g. that the MIS Base Algorithm's independent
+set terminates in round 2 and its neighbors in round 3), not merely that
+the final solution is correct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One observable event of a run.
+
+    Attributes:
+        round: Round in which the event happened (0 = setup).
+        kind: ``"send"``, ``"output"``, ``"terminate"`` or ``"crash"``.
+        node: The acting node.
+        data: Event payload — for sends, ``{"to": ..., "payload": ...}``;
+            for outputs, ``{"value": ...}``; empty otherwise.
+    """
+
+    round: int
+    kind: str
+    node: int
+    data: Any = None
+
+
+class TraceRecorder:
+    """Collects :class:`TraceEvent` objects during a run."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def record(self, round_index: int, kind: str, node: int, data: Any = None) -> None:
+        """Append one event (called by the engine)."""
+        self.events.append(TraceEvent(round_index, kind, node, data))
+
+    def of_kind(self, kind: str) -> Iterator[TraceEvent]:
+        """All events of the given kind, in order."""
+        return (event for event in self.events if event.kind == kind)
+
+    def sends_in_round(self, round_index: int) -> List[TraceEvent]:
+        """All send events of one round."""
+        return [
+            event
+            for event in self.events
+            if event.kind == "send" and event.round == round_index
+        ]
+
+    def termination_rounds(self) -> Dict[int, int]:
+        """Map node -> round of its terminate event."""
+        return {
+            event.node: event.round for event in self.events if event.kind == "terminate"
+        }
+
+    def messages_between(self, sender: int, receiver: int) -> List[TraceEvent]:
+        """All sends from ``sender`` to ``receiver``, in order."""
+        return [
+            event
+            for event in self.events
+            if event.kind == "send"
+            and event.node == sender
+            and event.data.get("to") == receiver
+        ]
+
+    def first_round_of(self, kind: str) -> Optional[int]:
+        """Round of the first event of ``kind``, or ``None``."""
+        for event in self.events:
+            if event.kind == kind:
+                return event.round
+        return None

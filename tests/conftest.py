@@ -1,0 +1,56 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graphs import (
+    DistGraph,
+    clique,
+    erdos_renyi,
+    grid2d,
+    line,
+    ring,
+    star,
+)
+
+
+def random_graph(n: int, p: float, seed: int) -> DistGraph:
+    """A seeded G(n, p) instance (helper for hypothesis-style loops)."""
+    return erdos_renyi(n, p, seed=seed)
+
+
+def random_predictions_bits(graph: DistGraph, seed: int) -> dict:
+    """Uniformly random MIS predictions."""
+    rng = random.Random(f"{seed}:predbits")
+    return {node: rng.randint(0, 1) for node in graph.nodes}
+
+
+@pytest.fixture
+def triangle() -> DistGraph:
+    """K3 with ids 1, 2, 3."""
+    return clique(3)
+
+
+@pytest.fixture
+def path5() -> DistGraph:
+    """A 5-node path 1-2-3-4-5."""
+    return line(5)
+
+
+@pytest.fixture
+def small_zoo() -> list:
+    """A small assortment of graph shapes for cross-shape checks."""
+    return [
+        line(1),
+        line(2),
+        line(7),
+        ring(6),
+        star(8),
+        clique(5),
+        grid2d(3, 4),
+        erdos_renyi(15, 0.25, seed=4),
+        erdos_renyi(12, 0.0, seed=4),
+    ]

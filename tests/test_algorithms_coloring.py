@@ -1,0 +1,189 @@
+"""Tests for the vertex-coloring algorithms (Section 8.2 + Linial)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.coloring import (
+    LinialColoringAlgorithm,
+    PaletteGreedyColoringAlgorithm,
+    VertexColoringBaseAlgorithm,
+    VertexColoringInitializationAlgorithm,
+    linial_round_bound,
+    linial_schedule,
+)
+from repro.core import run
+from repro.errors import vertex_coloring_base_partial
+from repro.graphs import (
+    clique,
+    erdos_renyi,
+    grid2d,
+    line,
+    random_ids_from_domain,
+    random_regular,
+    ring,
+    star,
+)
+from repro.predictions import noisy_predictions, perfect_predictions
+from repro.problems import VERTEX_COLORING
+from repro.simulator import SyncEngine
+
+from tests.conftest import random_graph
+
+
+def partial_run(algorithm, graph, predictions, rounds):
+    engine = SyncEngine(
+        graph, lambda v: algorithm.build_program(), predictions=predictions
+    )
+    return engine.run(stop_after=rounds).outputs
+
+
+class TestBaseAndInitialization:
+    def test_base_matches_pure_function(self):
+        for seed in range(8):
+            graph = random_graph(14, 0.3, seed)
+            predictions = noisy_predictions(
+                VERTEX_COLORING, graph, 0.4, seed=seed
+            )
+            outputs = partial_run(
+                VertexColoringBaseAlgorithm(), graph, predictions, 2
+            )
+            assert outputs == vertex_coloring_base_partial(graph, predictions)
+
+    def test_base_consistency_two_rounds(self, path5):
+        predictions = perfect_predictions(VERTEX_COLORING, path5)
+        outputs = partial_run(
+            VertexColoringBaseAlgorithm(), path5, predictions, 2
+        )
+        assert outputs == predictions
+
+    def test_initialization_contains_base(self):
+        for seed in range(8):
+            graph = random_graph(14, 0.3, seed)
+            predictions = noisy_predictions(
+                VERTEX_COLORING, graph, 0.5, seed=seed
+            )
+            base = partial_run(
+                VertexColoringBaseAlgorithm(), graph, predictions, 2
+            )
+            init = partial_run(
+                VertexColoringInitializationAlgorithm(), graph, predictions, 2
+            )
+            assert set(base).issubset(set(init))
+
+    def test_initialization_tie_breaks_same_prediction(self, triangle):
+        predictions = {1: 2, 2: 2, 3: 2}
+        init = partial_run(
+            VertexColoringInitializationAlgorithm(), triangle, predictions, 2
+        )
+        assert init == {3: 2}
+
+    def test_partials_are_extendable(self):
+        graph = random_graph(15, 0.3, 5)
+        predictions = noisy_predictions(VERTEX_COLORING, graph, 0.6, seed=1)
+        init = partial_run(
+            VertexColoringInitializationAlgorithm(), graph, predictions, 2
+        )
+        assert VERTEX_COLORING.is_extendable(graph, init)
+
+
+class TestPaletteGreedy:
+    def test_valid_everywhere(self, small_zoo):
+        for graph in small_zoo:
+            result = run(PaletteGreedyColoringAlgorithm(), graph)
+            assert VERTEX_COLORING.is_solution(graph, result.outputs), graph.name
+
+    def test_round_bound_is_component_size(self):
+        for seed in range(8):
+            graph = random_graph(14, 0.25, seed)
+            result = run(PaletteGreedyColoringAlgorithm(), graph)
+            bound = max((len(c) for c in graph.components()), default=1)
+            assert result.rounds <= bound
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_valid_on_random_graphs(self, seed):
+        graph = random_graph(13, 0.35, seed)
+        result = run(PaletteGreedyColoringAlgorithm(), graph)
+        assert VERTEX_COLORING.is_solution(graph, result.outputs)
+
+
+class TestLinialSchedule:
+    def test_schedule_reduces_colors(self):
+        steps, final = linial_schedule(10**6, 4)
+        assert steps
+        m = 10**6
+        for k, q in steps:
+            assert q >= k * 4 + 1
+            assert q ** (k + 1) >= m
+            assert q * q < m
+            m = q * q
+        assert final == m
+
+    def test_final_color_count_is_delta_squared_ish(self):
+        for delta in (2, 3, 5, 8):
+            _, final = linial_schedule(10**6, delta)
+            assert final <= (4 * delta + 2) ** 2
+
+    def test_round_bound_independent_of_n(self):
+        # Depends on d and delta only.
+        assert linial_round_bound(1000, 4) == linial_round_bound(1000, 4)
+
+    def test_round_bound_grows_slowly_in_d(self):
+        small = linial_round_bound(10**2, 3)
+        large = linial_round_bound(10**8, 3)
+        assert large <= small + 6  # log*-type growth in d
+
+
+class TestLinialColoring:
+    def test_valid_coloring(self):
+        for graph in (line(12), ring(9), star(7), grid2d(4, 4), clique(5)):
+            result = run(LinialColoringAlgorithm(), graph)
+            assert VERTEX_COLORING.is_solution(graph, result.outputs), graph.name
+
+    def test_respects_declared_bound(self):
+        graph = grid2d(5, 5)
+        algorithm = LinialColoringAlgorithm()
+        result = run(algorithm, graph)
+        assert result.rounds <= algorithm.round_bound(
+            graph.n, graph.delta, graph.d
+        )
+
+    def test_large_id_domain(self):
+        graph = random_ids_from_domain(ring(12), d=10**6, seed=3)
+        result = run(LinialColoringAlgorithm(), graph)
+        assert VERTEX_COLORING.is_solution(graph, result.outputs)
+
+    def test_congest_width(self):
+        """The coloring sends only integers: CONGEST-compatible."""
+        graph = random_regular(16, 3, seed=2)
+        result = run(LinialColoringAlgorithm(), graph)
+        assert result.congest_compatible(graph.n)
+
+    def test_fault_tolerance_under_crashes(self):
+        """Crashing nodes mid-run never breaks properness of survivors —
+        the Section 7.4 requirement on a Parallel-Template part 1."""
+        graph = erdos_renyi(24, 0.2, seed=3)
+        algorithm = LinialColoringAlgorithm(respect_neighbor_outputs=False)
+        crash_rounds = {3: 1, 8: 2, 15: 4, 20: 6}
+        result = run(algorithm, graph, crash_rounds=crash_rounds)
+        survivors = {
+            v: out for v, out in result.outputs.items() if v not in crash_rounds
+        }
+        for node, color in survivors.items():
+            for other in graph.neighbors(node):
+                if other in survivors:
+                    assert survivors[other] != color
+
+    def test_isolated_nodes_color_one(self):
+        from repro.graphs import empty_graph
+
+        result = run(LinialColoringAlgorithm(), empty_graph(4))
+        assert set(result.outputs.values()) == {1}
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_valid_on_random_graphs(self, seed):
+        graph = random_graph(14, 0.3, seed)
+        result = run(LinialColoringAlgorithm(), graph)
+        assert VERTEX_COLORING.is_solution(graph, result.outputs)

@@ -1,0 +1,226 @@
+"""Tests for the matching and edge-coloring algorithms (Sections 8.1, 8.3)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.edge_coloring import (
+    EdgeColoringBaseAlgorithm,
+    EdgeColoringCleanupAlgorithm,
+    GreedyEdgeColoringAlgorithm,
+)
+from repro.algorithms.matching import (
+    GreedyMatchingAlgorithm,
+    MatchingBaseAlgorithm,
+    MatchingCleanupAlgorithm,
+    MatchingInitializationAlgorithm,
+)
+from repro.core import run
+from repro.errors import edge_coloring_base_partial, matching_base_partial
+from repro.graphs import clique, empty_graph, grid2d, line, ring, star
+from repro.predictions import noisy_predictions, perfect_predictions
+from repro.problems import EDGE_COLORING, MATCHING, UNMATCHED
+from repro.simulator import SyncEngine
+
+from tests.conftest import random_graph
+
+
+def partial_run(algorithm, graph, predictions, rounds):
+    engine = SyncEngine(
+        graph, lambda v: algorithm.build_program(), predictions=predictions
+    )
+    return engine.run(stop_after=rounds).outputs
+
+
+class TestMatchingBase:
+    def test_consistency_two_rounds(self, path5):
+        predictions = MATCHING.solve_sequential(path5)
+        outputs = partial_run(MatchingBaseAlgorithm(), path5, predictions, 2)
+        assert outputs == predictions
+
+    def test_matches_pure_function(self):
+        for seed in range(10):
+            graph = random_graph(14, 0.3, seed)
+            predictions = noisy_predictions(MATCHING, graph, 0.4, seed=seed)
+            outputs = partial_run(MatchingBaseAlgorithm(), graph, predictions, 2)
+            assert outputs == matching_base_partial(graph, predictions)
+
+    def test_initialization_contains_base(self):
+        for seed in range(8):
+            graph = random_graph(14, 0.3, seed)
+            predictions = noisy_predictions(MATCHING, graph, 0.5, seed=seed)
+            base = partial_run(MatchingBaseAlgorithm(), graph, predictions, 2)
+            init = partial_run(
+                MatchingInitializationAlgorithm(), graph, predictions, 2
+            )
+            assert set(base).issubset(set(init))
+            assert all(init[v] == base[v] for v in base if base[v] != UNMATCHED)
+
+    def test_partials_extendable(self):
+        graph = random_graph(15, 0.3, 3)
+        predictions = noisy_predictions(MATCHING, graph, 0.6, seed=2)
+        outputs = partial_run(
+            MatchingInitializationAlgorithm(), graph, predictions, 2
+        )
+        assert MATCHING.is_extendable(graph, outputs)
+
+
+class TestGreedyMatching:
+    def test_valid_everywhere(self, small_zoo):
+        for graph in small_zoo:
+            result = run(GreedyMatchingAlgorithm(), graph)
+            assert MATCHING.is_solution(graph, result.outputs), graph.name
+
+    def test_round_bound_three_halves(self):
+        """Section 8.1: at most 3·⌊s/2⌋ rounds per component (+O(1))."""
+        for seed in range(10):
+            graph = random_graph(16, 0.25, seed)
+            result = run(GreedyMatchingAlgorithm(), graph)
+            biggest = max((len(c) for c in graph.components()), default=1)
+            assert result.rounds <= 3 * (biggest // 2) + 3
+
+    def test_isolated_nodes_terminate_immediately(self):
+        result = run(GreedyMatchingAlgorithm(), empty_graph(5))
+        assert result.rounds == 0
+        assert all(v == UNMATCHED for v in result.outputs.values())
+
+    def test_star_matches_one_pair(self):
+        result = run(GreedyMatchingAlgorithm(), star(6))
+        assert len(MATCHING.matched_edges(result.outputs)) == 1
+
+    def test_group_boundaries_extendable(self):
+        graph = random_graph(14, 0.3, 7)
+        for stop in (3, 6, 9):
+            engine = SyncEngine(
+                graph, lambda v: GreedyMatchingAlgorithm().build_program()
+            )
+            outputs = engine.run(stop_after=stop).outputs
+            assert MATCHING.is_extendable(graph, outputs)
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_valid_on_random_graphs(self, seed):
+        graph = random_graph(13, 0.3, seed)
+        result = run(GreedyMatchingAlgorithm(), graph)
+        assert MATCHING.is_solution(graph, result.outputs)
+
+
+class TestMatchingCleanup:
+    def test_honors_partner_claims(self, path5):
+        from repro.simulator.program import NodeProgram
+
+        class ClaimPartner(NodeProgram):
+            def setup(self, ctx):
+                ctx.set_output(2)
+                ctx.terminate()
+
+        cleanup = MatchingCleanupAlgorithm()
+        programs = {
+            v: (ClaimPartner() if v == 1 else cleanup.build_program())
+            for v in path5.nodes
+        }
+        outputs = SyncEngine(path5, programs).run(stop_after=2).outputs
+        assert outputs[2] == 1
+
+
+class TestEdgeColoringBase:
+    def test_correct_predictions_one_round(self, path5):
+        predictions = EDGE_COLORING.solve_sequential(path5)
+        engine = SyncEngine(
+            path5,
+            lambda v: EdgeColoringBaseAlgorithm().build_program(),
+            predictions=predictions,
+        )
+        result = engine.run(stop_after=2)
+        assert result.rounds <= 1
+        assert EDGE_COLORING.is_solution(path5, result.outputs)
+
+    def test_matches_pure_function_on_colored_edges(self):
+        for seed in range(8):
+            graph = random_graph(12, 0.3, seed)
+            predictions = noisy_predictions(EDGE_COLORING, graph, 0.4, seed=seed)
+            pure = edge_coloring_base_partial(graph, predictions)
+            engine = SyncEngine(
+                graph,
+                lambda v: EdgeColoringBaseAlgorithm().build_program(),
+                predictions=predictions,
+            )
+            engine.run(stop_after=2)
+            # Gather partial per-edge outputs from every node's context
+            # (non-terminated nodes hold colored edges too).
+            partial = {
+                v: ctx.output for v, ctx in engine.contexts.items() if ctx.output
+            }
+            assert EDGE_COLORING.colored_edges(partial) == (
+                EDGE_COLORING.colored_edges(pure)
+            )
+
+    def test_isolated_node_terminates_in_setup(self):
+        result = run(
+            EdgeColoringBaseAlgorithm(), empty_graph(3), predictions={}
+        )
+        assert result.rounds == 0
+
+
+class TestGreedyEdgeColoring:
+    def test_valid_everywhere(self, small_zoo):
+        for graph in small_zoo:
+            result = run(GreedyEdgeColoringAlgorithm(), graph)
+            assert EDGE_COLORING.is_solution(graph, result.outputs), graph.name
+
+    def test_dense_graphs(self):
+        for graph in (clique(6), grid2d(4, 4), star(7), ring(9)):
+            result = run(GreedyEdgeColoringAlgorithm(), graph)
+            assert EDGE_COLORING.is_solution(graph, result.outputs)
+
+    def test_round_bound_linear(self):
+        """Section 8.3: at most 2s + O(1) rounds per component."""
+        for seed in range(8):
+            graph = random_graph(14, 0.25, seed)
+            result = run(GreedyEdgeColoringAlgorithm(), graph)
+            biggest = max((len(c) for c in graph.components()), default=1)
+            assert result.rounds <= 2 * biggest + 3
+
+    def test_two_hop_dominance_prevents_conflicts_on_star(self):
+        # All edges share the center: only one node may act per act round.
+        result = run(GreedyEdgeColoringAlgorithm(), star(8))
+        assert EDGE_COLORING.is_solution(star(8), result.outputs)
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_valid_on_random_graphs(self, seed):
+        graph = random_graph(12, 0.3, seed)
+        result = run(GreedyEdgeColoringAlgorithm(), graph)
+        assert EDGE_COLORING.is_solution(graph, result.outputs)
+
+
+class TestEdgeColoringCleanup:
+    def test_completes_nodes_whose_edges_are_colored(self, path5):
+        from repro.simulator.program import NodeProgram
+
+        class PreColored(NodeProgram):
+            def setup(self, ctx):
+                for other in ctx.neighbors:
+                    ctx.set_output_part(other, other)
+
+            def process(self, ctx, inbox):
+                pass
+
+        # Node 1's edge is pre-colored from 2's side; cleanup should let a
+        # fully-colored node terminate.
+        cleanup = EdgeColoringCleanupAlgorithm()
+
+        class OneEdge(NodeProgram):
+            def setup(self, ctx):
+                ctx.set_output_part(2, 2)
+
+            def process(self, ctx, inbox):
+                if ctx.round == 1:
+                    ctx.terminate()
+
+        programs = {
+            v: (OneEdge() if v == 1 else cleanup.build_program())
+            for v in line(2).nodes
+        }
+        graph = line(2)
+        outputs = SyncEngine(graph, programs).run(stop_after=2).outputs
+        assert 1 in outputs

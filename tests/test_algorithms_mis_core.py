@@ -1,0 +1,209 @@
+"""Tests for the core MIS algorithms: base, initialization, greedy,
+clean-up, Luby (Sections 4, 6, 10)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.mis import (
+    GreedyMISAlgorithm,
+    LubyMISAlgorithm,
+    MISBaseAlgorithm,
+    MISCleanupAlgorithm,
+    MISInitializationAlgorithm,
+)
+from repro.core import run
+from repro.errors import mis_base_partial, mu1, mu2
+from repro.graphs import clique, erdos_renyi, line, ring, sorted_path_ids, star
+from repro.predictions import perfect_predictions
+from repro.problems import MIS
+from repro.simulator import SyncEngine, TraceRecorder
+
+from tests.conftest import random_graph, random_predictions_bits
+
+
+def partial_run(algorithm, graph, predictions, rounds):
+    """Run a bounded component standalone and return the partial outputs."""
+    engine = SyncEngine(
+        graph, lambda v: algorithm.build_program(), predictions=predictions
+    )
+    return engine.run(stop_after=rounds).outputs
+
+
+class TestMISBaseAlgorithm:
+    def test_consistency_three_rounds_exact(self, path5):
+        """With correct predictions the base algorithm is the whole run:
+        the set terminates in round 2, its neighbors in round 3."""
+        predictions = {1: 1, 2: 0, 3: 1, 4: 0, 5: 1}
+        trace = TraceRecorder()
+        engine = SyncEngine(
+            line(5),
+            lambda v: MISBaseAlgorithm().build_program(),
+            predictions=predictions,
+            trace=trace,
+        )
+        result = engine.run()
+        assert result.rounds == 3
+        rounds = trace.termination_rounds()
+        assert rounds[1] == rounds[3] == rounds[5] == 2
+        assert rounds[2] == rounds[4] == 3
+
+    def test_matches_pure_base_partial(self):
+        for seed in range(10):
+            graph = random_graph(14, 0.3, seed)
+            predictions = random_predictions_bits(graph, seed)
+            outputs = partial_run(MISBaseAlgorithm(), graph, predictions, 3)
+            assert outputs == mis_base_partial(graph, predictions)
+
+    def test_is_pruning_algorithm(self):
+        graph = random_graph(16, 0.25, 4)
+        predictions = random_predictions_bits(graph, 11)
+        outputs = partial_run(MISBaseAlgorithm(), graph, predictions, 3)
+        assert all(outputs[v] == predictions[v] for v in outputs)
+
+
+class TestMISInitializationAlgorithm:
+    def test_consistency_three_rounds(self, path5):
+        predictions = {1: 1, 2: 0, 3: 1, 4: 0, 5: 1}
+        outputs = partial_run(MISInitializationAlgorithm(), path5, predictions, 3)
+        assert outputs == predictions
+
+    def test_contains_base_partial(self):
+        """A reasonable initialization algorithm's partial solution must
+        contain the base algorithm's (Section 4)."""
+        for seed in range(12):
+            graph = random_graph(14, 0.3, seed)
+            predictions = random_predictions_bits(graph, seed + 3)
+            base = mis_base_partial(graph, predictions)
+            init = partial_run(
+                MISInitializationAlgorithm(), graph, predictions, 3
+            )
+            assert set(base).issubset(set(init))
+            assert all(init[v] == base[v] for v in base)
+
+    def test_breaks_ties_by_identifier(self):
+        """All-ones predictions: the initialization algorithm still
+        extracts an independent set by id tie-breaking, the base does not."""
+        graph = line(5)
+        predictions = {v: 1 for v in graph.nodes}
+        base = partial_run(MISBaseAlgorithm(), graph, predictions, 3)
+        init = partial_run(MISInitializationAlgorithm(), graph, predictions, 3)
+        assert base == {}
+        assert init  # at least the local maxima output
+        assert init[5] == 1
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_always_extendable(self, seed):
+        graph = random_graph(13, 0.3, seed)
+        predictions = random_predictions_bits(graph, seed + 1)
+        outputs = partial_run(MISInitializationAlgorithm(), graph, predictions, 3)
+        assert MIS.is_extendable(graph, outputs)
+
+
+class TestGreedyMIS:
+    def test_produces_valid_mis(self, small_zoo):
+        for graph in small_zoo:
+            result = run(GreedyMISAlgorithm(), graph)
+            assert MIS.is_solution(graph, result.outputs), graph.name
+
+    def test_lemma1_round_bound(self):
+        """Lemma 1: rounds ≤ max component size (μ₁)."""
+        for seed in range(15):
+            graph = random_graph(18, 0.2, seed)
+            result = run(GreedyMISAlgorithm(), graph)
+            bound = max(mu1(graph, c) for c in graph.components())
+            assert result.rounds <= bound
+
+    def test_lemma2_round_bound(self):
+        """Lemma 2: rounds ≤ max μ₂ + 1."""
+        for seed in range(15):
+            graph = random_graph(16, 0.3, seed)
+            result = run(GreedyMISAlgorithm(), graph)
+            bound = max(mu2(graph, c) for c in graph.components()) + 1
+            assert result.rounds <= bound
+
+    def test_clique_finishes_fast(self):
+        # μ₂(clique) = 2, so at most 3 rounds regardless of size.
+        for n in (5, 10, 20):
+            result = run(GreedyMISAlgorithm(), clique(n))
+            assert result.rounds <= 3
+
+    def test_star_finishes_fast(self):
+        result = run(GreedyMISAlgorithm(), star(20))
+        assert result.rounds <= 3
+
+    def test_sorted_line_is_worst_case(self):
+        """Ids increasing along a path: one node joins every other round,
+        realizing the Ω(n) lower bound of Lemma 5."""
+        graph = sorted_path_ids(line(20))
+        result = run(GreedyMISAlgorithm(), graph)
+        assert result.rounds >= graph.n - 2
+
+    def test_measure_uniformity(self):
+        """Running on a subgraph costs what the subgraph costs, not the
+        host graph (the defining property of Section 6)."""
+        graph = sorted_path_ids(line(30))
+        small = graph.subgraph(range(1, 7))
+        assert run(GreedyMISAlgorithm(), small).rounds <= 6
+
+    def test_partial_solutions_extendable_every_even_round(self):
+        graph = erdos_renyi(14, 0.3, seed=6)
+        for stop in (2, 4, 6):
+            engine = SyncEngine(
+                graph, lambda v: GreedyMISAlgorithm().build_program()
+            )
+            outputs = engine.run(stop_after=stop).outputs
+            assert MIS.is_extendable(graph, outputs)
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_valid_on_random_graphs(self, seed):
+        graph = random_graph(15, 0.3, seed)
+        result = run(GreedyMISAlgorithm(), graph)
+        assert MIS.is_solution(graph, result.outputs)
+
+
+class TestCleanup:
+    def test_retires_dominated_nodes(self, path5):
+        """A node with a 1-neighbor already on record outputs 0."""
+        from repro.simulator.program import NodeProgram
+
+        class SeedOne(NodeProgram):
+            def setup(self, ctx):
+                ctx.set_output(1)
+                ctx.terminate()
+
+        cleanup = MISCleanupAlgorithm()
+        programs = {
+            v: (SeedOne() if v == 3 else cleanup.build_program())
+            for v in path5.nodes
+        }
+        engine = SyncEngine(path5, programs)
+        outputs = engine.run(stop_after=2).outputs
+        assert outputs[3] == 1
+        assert outputs[2] == 0 and outputs[4] == 0
+        assert 1 not in outputs and 5 not in outputs
+
+    def test_noop_without_ones(self, path5):
+        engine = SyncEngine(
+            path5, lambda v: MISCleanupAlgorithm().build_program()
+        )
+        assert engine.run(stop_after=2).outputs == {}
+
+
+class TestLuby:
+    def test_produces_valid_mis(self):
+        for seed in range(6):
+            graph = erdos_renyi(25, 0.2, seed=seed)
+            result = run(LubyMISAlgorithm(), graph, seed=seed)
+            assert MIS.is_solution(graph, result.outputs)
+
+    def test_logarithmic_scaling(self):
+        """Expected O(log n) phases: rounds grow far slower than n."""
+        small = run(LubyMISAlgorithm(), erdos_renyi(30, 0.2, seed=1), seed=1)
+        large = run(LubyMISAlgorithm(), erdos_renyi(300, 0.02, seed=1), seed=1)
+        assert large.rounds <= 4 * max(small.rounds, 8)
+
+    def test_ring_fast(self):
+        result = run(LubyMISAlgorithm(), ring(60), seed=2)
+        assert result.rounds <= 30  # far below the 60-round greedy worst case

@@ -1,0 +1,112 @@
+"""Tests for the MIS reference algorithms: the Corollary 12 two-part
+coloring reference and the Corollary 10 clustering reference."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.mis import ClusteringMISReference, ColoringMISReference
+from repro.algorithms.mis.color_reduction import MISFromColoringProgram
+from repro.core import run
+from repro.graphs import clique, erdos_renyi, grid2d, line, random_regular, ring
+from repro.problems import MIS, VERTEX_COLORING
+from repro.simulator import SyncEngine
+
+from tests.conftest import random_graph
+
+
+class TestMISFromColoring:
+    def _run_from_coloring(self, graph):
+        coloring = VERTEX_COLORING.solve_sequential(graph)
+        programs = {
+            v: MISFromColoringProgram(coloring[v]) for v in graph.nodes
+        }
+        return SyncEngine(graph, programs).run()
+
+    def test_valid_mis_from_greedy_coloring(self, small_zoo):
+        for graph in small_zoo:
+            result = self._run_from_coloring(graph)
+            assert MIS.is_solution(graph, result.outputs), graph.name
+
+    def test_round_bound_delta_plus_constant(self):
+        for seed in range(8):
+            graph = random_graph(16, 0.3, seed)
+            result = self._run_from_coloring(graph)
+            assert result.rounds <= graph.delta + 3
+
+    def test_greedy_augmentation_accelerates_paths(self):
+        """On a 2-colorable path the sweep needs only O(1) color rounds,
+        and the augmentation admits extra local maxima."""
+        graph = line(30)
+        result = self._run_from_coloring(graph)
+        assert result.rounds <= 5
+
+    def test_requires_color(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            MISFromColoringProgram(None)
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_valid_on_random_graphs(self, seed):
+        graph = random_graph(13, 0.35, seed)
+        result = self._run_from_coloring(graph)
+        assert MIS.is_solution(graph, result.outputs)
+
+
+class TestColoringMISReferenceBounds:
+    def test_part_bounds_are_positive(self):
+        reference = ColoringMISReference()
+        assert reference.part1_bound(100, 4, 100) > 0
+        assert reference.part2_bound(100, 4, 100) == 7
+
+    def test_part1_bound_independent_of_n(self):
+        reference = ColoringMISReference()
+        assert reference.part1_bound(10, 4, 500) == reference.part1_bound(
+            10**6, 4, 500
+        )
+
+
+class TestClusteringReference:
+    def test_standalone_produces_valid_mis(self):
+        for graph in (line(20), ring(16), grid2d(5, 5)):
+            result = run(ClusteringMISReference(), graph, max_rounds=20000)
+            assert MIS.is_solution(graph, result.outputs), graph.name
+
+    def test_random_graphs(self):
+        for seed in range(4):
+            graph = erdos_renyi(40, 0.08, seed=seed)
+            result = run(ClusteringMISReference(), graph, max_rounds=20000)
+            assert MIS.is_solution(graph, result.outputs)
+
+    def test_phase_bound_is_node_computable_and_decreasing(self):
+        reference = ClusteringMISReference()
+        bounds = [reference.phase_bound(i, 256, 4, 256) for i in range(1, 8)]
+        assert all(b > 0 for b in bounds)
+        assert bounds == sorted(bounds, reverse=True)
+
+    def test_each_phase_ends_extendable(self):
+        graph = random_regular(24, 3, seed=5)
+        reference = ClusteringMISReference()
+        bound = reference.phase_bound(1, graph.n, graph.delta, graph.d)
+        engine = SyncEngine(
+            graph, lambda v: reference.build_program(), seed=3
+        )
+        outputs = engine.run(stop_after=bound).outputs
+        assert MIS.is_extendable(graph, outputs)
+
+    def test_first_phase_retires_at_least_half_on_average(self):
+        """The halving property Lemma 9 relies on, checked empirically."""
+        total_nodes = 0
+        total_retired = 0
+        reference = ClusteringMISReference()
+        for seed in range(5):
+            graph = random_regular(30, 3, seed=seed)
+            bound = reference.phase_bound(1, graph.n, graph.delta, graph.d)
+            engine = SyncEngine(
+                graph, lambda v: reference.build_program(), seed=seed
+            )
+            outputs = engine.run(stop_after=bound).outputs
+            total_nodes += graph.n
+            total_retired += len(outputs)
+        assert total_retired >= total_nodes / 2

@@ -1,0 +1,248 @@
+"""Tests for the rooted-tree MIS algorithms and the black/white
+alternating algorithm (Sections 9.1 and 9.2)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.mis import (
+    BlackWhiteGreedyMIS,
+    RootedTreeColoringMISReference,
+    RootedTreeMISInitialization,
+    RootsAndLeavesMISAlgorithm,
+)
+from repro.algorithms.mis.rooted_tree import (
+    MISFrom3ColoringProgram,
+    TreeColoring3Program,
+    cole_vishkin_steps,
+    tree_coloring_round_bound,
+)
+from repro.core import run, SimpleTemplate
+from repro.errors import eta_t, mis_base_partial
+from repro.graphs import (
+    directed_line,
+    grid2d,
+    random_rooted_tree,
+    strict_binary_tree,
+)
+from repro.predictions import (
+    directed_line_pattern,
+    grid_blackwhite_predictions,
+    noisy_predictions,
+    perfect_predictions,
+)
+from repro.problems import MIS
+from repro.simulator import SyncEngine
+
+from tests.conftest import random_predictions_bits
+
+
+def partial_run(algorithm, graph, predictions, rounds, seed=0):
+    engine = SyncEngine(
+        graph,
+        lambda v: algorithm.build_program(),
+        predictions=predictions,
+        seed=seed,
+    )
+    return engine.run(stop_after=rounds).outputs
+
+
+class TestRootedTreeInitialization:
+    def test_correct_predictions_finish_by_round_three(self):
+        graph = random_rooted_tree(60, seed=1)
+        predictions = perfect_predictions(MIS, graph)
+        engine = SyncEngine(
+            graph,
+            lambda v: RootedTreeMISInitialization().build_program(),
+            predictions=predictions,
+        )
+        result = engine.run(stop_after=4)
+        assert result.outputs == predictions
+        assert result.rounds <= 3
+
+    def test_partial_always_extendable(self):
+        for seed in range(10):
+            graph = random_rooted_tree(25, seed=seed)
+            predictions = random_predictions_bits(graph, seed)
+            outputs = partial_run(
+                RootedTreeMISInitialization(), graph, predictions, 4
+            )
+            assert MIS.is_extendable(graph, outputs), (seed, outputs)
+
+    def test_remaining_components_monochromatic(self):
+        """The defining property of the rooted-tree initialization."""
+        for seed in range(10):
+            graph = random_rooted_tree(30, seed=seed)
+            predictions = random_predictions_bits(graph, seed + 4)
+            outputs = partial_run(
+                RootedTreeMISInitialization(), graph, predictions, 4
+            )
+            active = [v for v in graph.nodes if v not in outputs]
+            remainder = graph.subgraph(active)
+            for component in remainder.components():
+                colors = {predictions[v] for v in component}
+                assert len(colors) == 1, (seed, component, colors)
+
+    def test_contains_base_partial(self):
+        for seed in range(8):
+            graph = random_rooted_tree(25, seed=seed)
+            predictions = random_predictions_bits(graph, seed + 7)
+            base = mis_base_partial(graph, predictions)
+            init = partial_run(
+                RootedTreeMISInitialization(), graph, predictions, 4
+            )
+            assert set(base).issubset(set(init))
+
+    def test_directed_line_example_terminates_by_round_two(self):
+        """Section 9.2: the 0-0-1 pattern is fully resolved in 2 rounds."""
+        graph = directed_line(30)
+        predictions = directed_line_pattern(graph)
+        engine = SyncEngine(
+            graph,
+            lambda v: RootedTreeMISInitialization().build_program(),
+            predictions=predictions,
+        )
+        result = engine.run(stop_after=4)
+        assert len(result.outputs) == graph.n
+        assert result.rounds <= 3
+        assert MIS.is_solution(graph, result.outputs)
+
+
+class TestRootsAndLeaves:
+    def test_valid_on_rooted_trees(self):
+        for seed in range(8):
+            graph = random_rooted_tree(40, seed=seed)
+            result = run(RootsAndLeavesMISAlgorithm(), graph)
+            assert MIS.is_solution(graph, result.outputs)
+
+    def test_directed_line_halving_speed(self):
+        """A path of h nodes finishes in about h/2 rounds."""
+        graph = directed_line(40)
+        result = run(RootsAndLeavesMISAlgorithm(), graph)
+        assert result.rounds <= 40 // 2 + 2
+
+    def test_star_tree_is_constant(self):
+        graph = random_rooted_tree(30, seed=1, max_children=29)
+        result = run(RootsAndLeavesMISAlgorithm(), graph)
+        assert result.rounds <= 4
+
+    def test_binary_tree_height_bound(self):
+        graph = strict_binary_tree(5)  # height 5, 63 nodes
+        result = run(RootsAndLeavesMISAlgorithm(), graph)
+        assert result.rounds <= 5 + 2
+
+
+class TestSimpleTemplateOnRootedTrees:
+    def test_eta_t_degradation_bound(self):
+        """Section 9.2: Simple(rooted-init, Algorithm 6) finishes within
+        ceil(η_t / 2) + 5 rounds."""
+        algorithm = SimpleTemplate(
+            RootedTreeMISInitialization(), RootsAndLeavesMISAlgorithm()
+        )
+        for seed in range(10):
+            graph = random_rooted_tree(50, seed=seed)
+            for rate in (0.1, 0.4, 0.9):
+                predictions = noisy_predictions(MIS, graph, rate, seed=seed)
+                result = run(algorithm, graph, predictions)
+                assert MIS.is_solution(graph, result.outputs)
+                bound = (eta_t(graph, predictions) + 1) // 2 + 5
+                assert result.rounds <= bound, (seed, rate, result.rounds, bound)
+
+
+class TestTreeColoring:
+    def test_cole_vishkin_steps_log_star_growth(self):
+        assert cole_vishkin_steps(10**9) <= cole_vishkin_steps(10**3) + 3
+
+    def test_three_coloring_proper(self):
+        for seed in range(6):
+            graph = random_rooted_tree(40, seed=seed)
+            engine = SyncEngine(
+                graph, lambda v: TreeColoring3Program()
+            )
+            result = engine.run()
+            colors = result.outputs
+            assert set(colors.values()) <= {1, 2, 3}
+            for u, v in graph.edges():
+                assert colors[u] != colors[v]
+
+    def test_round_bound_respected(self):
+        graph = random_rooted_tree(60, seed=2)
+        engine = SyncEngine(graph, lambda v: TreeColoring3Program())
+        result = engine.run()
+        assert result.rounds <= tree_coloring_round_bound(graph.d)
+
+    def test_fault_tolerance(self):
+        graph = random_rooted_tree(40, seed=4)
+        engine = SyncEngine(
+            graph,
+            lambda v: TreeColoring3Program(),
+            crash_rounds={5: 2, 11: 3, 17: 5},
+        )
+        result = engine.run()
+        survivors = result.outputs
+        for u, v in graph.edges():
+            if u in survivors and v in survivors:
+                assert survivors[u] != survivors[v]
+
+    def test_congest_width(self):
+        graph = random_rooted_tree(30, seed=5)
+        engine = SyncEngine(graph, lambda v: TreeColoring3Program())
+        result = engine.run()
+        assert result.congest_compatible(graph.n)
+
+    def test_mis_from_3_coloring(self):
+        for seed in range(6):
+            graph = random_rooted_tree(35, seed=seed)
+            coloring = SyncEngine(
+                graph, lambda v: TreeColoring3Program()
+            ).run().outputs
+            programs = {
+                v: MISFrom3ColoringProgram(coloring[v]) for v in graph.nodes
+            }
+            result = SyncEngine(graph, programs).run()
+            assert result.rounds <= 2
+            assert MIS.is_solution(graph, result.outputs)
+
+
+class TestCorollary15:
+    def test_round_complexity_bound(self):
+        """min{ceil(η_t/2) + 5, O(log* d)} with validity throughout."""
+        from repro.core import ParallelTemplate
+
+        algorithm = ParallelTemplate(
+            RootedTreeMISInitialization(),
+            RootsAndLeavesMISAlgorithm(),
+            RootedTreeColoringMISReference(),
+        )
+        reference_cap = tree_coloring_round_bound(10**4) + 12
+        for seed in range(6):
+            graph = random_rooted_tree(60, seed=seed)
+            for rate in (0.0, 0.3, 1.0):
+                predictions = noisy_predictions(MIS, graph, rate, seed=seed)
+                result = run(algorithm, graph, predictions)
+                assert MIS.is_solution(graph, result.outputs)
+                eta = eta_t(graph, predictions)
+                assert result.rounds <= min((eta + 1) // 2 + 7, reference_cap)
+
+
+class TestBlackWhiteGreedy:
+    def test_valid_mis(self):
+        for seed in range(6):
+            from repro.graphs import erdos_renyi
+
+            graph = erdos_renyi(25, 0.2, seed=seed)
+            predictions = random_predictions_bits(graph, seed)
+            result = run(BlackWhiteGreedyMIS(), graph, predictions)
+            assert MIS.is_solution(graph, result.outputs)
+
+    def test_figure2_grid_runs_in_constant_rounds(self):
+        """Section 9.1 + Figure 2: U_bw finishes in O(η_bw) = O(1) rounds
+        on the grid pattern, independent of n."""
+        rounds = []
+        for size in (8, 12, 16):
+            graph = grid2d(size, size)
+            predictions = grid_blackwhite_predictions(graph)
+            result = run(BlackWhiteGreedyMIS(), graph, predictions)
+            assert MIS.is_solution(graph, result.outputs)
+            rounds.append(result.rounds)
+        assert max(rounds) == min(rounds)  # constant across sizes
+        assert max(rounds) <= 16

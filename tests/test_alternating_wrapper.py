@@ -1,0 +1,158 @@
+"""Tests for the generic black/white alternation combinator (Section 9.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.mis import (
+    AlternatingColorWrapper,
+    BlackWhiteGreedyMIS,
+    GreedyMISAlgorithm,
+    LubyMISAlgorithm,
+    MISBaseAlgorithm,
+)
+from repro.core import SimpleTemplate, run
+from repro.graphs import erdos_renyi, grid2d, line, sorted_path_ids
+from repro.predictions import grid_blackwhite_predictions, noisy_predictions
+from repro.problems import MIS
+
+from tests.conftest import random_graph, random_predictions_bits
+
+
+def wrapped(child=None, phase_length=None):
+    return SimpleTemplate(
+        MISBaseAlgorithm(),
+        AlternatingColorWrapper(child or GreedyMISAlgorithm(), phase_length),
+    )
+
+
+class TestConstruction:
+    def test_phase_length_defaults_to_safe_interval(self):
+        wrapper = AlternatingColorWrapper(GreedyMISAlgorithm())
+        assert wrapper.name == "alternating(greedy-mis)"
+        assert wrapper.safe_pause_interval == 2 * (2 + 1)
+
+    def test_misaligned_phase_length_rejected(self):
+        with pytest.raises(ValueError, match="multiple"):
+            AlternatingColorWrapper(GreedyMISAlgorithm(), phase_length=3)
+
+    def test_longer_phases_allowed(self):
+        wrapper = AlternatingColorWrapper(GreedyMISAlgorithm(), phase_length=4)
+        assert wrapper.safe_pause_interval == 10
+
+
+class TestWithGreedyChild:
+    def test_valid_on_random_instances(self):
+        algorithm = wrapped()
+        for seed in range(8):
+            graph = random_graph(25, 0.2, seed)
+            predictions = random_predictions_bits(graph, seed)
+            result = run(algorithm, graph, predictions)
+            assert MIS.is_solution(graph, result.outputs), seed
+
+    def test_constant_rounds_on_figure2_grid(self):
+        algorithm = wrapped()
+        rounds = []
+        for size in (8, 16):
+            graph = grid2d(size, size)
+            predictions = grid_blackwhite_predictions(graph)
+            result = run(algorithm, graph, predictions)
+            assert MIS.is_solution(graph, result.outputs)
+            rounds.append(result.rounds)
+        assert rounds[0] == rounds[1]
+
+    def test_beats_plain_greedy_on_sorted_block_line(self):
+        graph = sorted_path_ids(line(96))
+        predictions = {v: (1 if (v - 1) % 4 < 2 else 0) for v in graph.nodes}
+        plain = SimpleTemplate(MISBaseAlgorithm(), GreedyMISAlgorithm())
+        plain_rounds = run(plain, graph, predictions).rounds
+        wrapped_rounds = run(wrapped(), graph, predictions).rounds
+        assert wrapped_rounds * 4 < plain_rounds
+
+    def test_comparable_to_specialized_implementation(self):
+        """The generic wrapper tracks the hand-written U_bw within a
+        small constant factor on the grid pattern."""
+        graph = grid2d(12, 12)
+        predictions = grid_blackwhite_predictions(graph)
+        special = SimpleTemplate(MISBaseAlgorithm(), BlackWhiteGreedyMIS())
+        special_rounds = run(special, graph, predictions).rounds
+        generic_rounds = run(wrapped(), graph, predictions).rounds
+        assert generic_rounds <= 3 * special_rounds
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_property_random_graphs(self, seed):
+        graph = random_graph(14, 0.3, seed)
+        predictions = random_predictions_bits(graph, seed + 1)
+        result = run(wrapped(), graph, predictions)
+        assert MIS.is_solution(graph, result.outputs)
+
+
+class TestWithLubyChild:
+    def test_valid_on_random_instances(self):
+        algorithm = wrapped(LubyMISAlgorithm())
+        for seed in range(6):
+            graph = erdos_renyi(25, 0.2, seed=seed)
+            predictions = random_predictions_bits(graph, seed)
+            result = run(algorithm, graph, predictions, seed=seed)
+            assert MIS.is_solution(graph, result.outputs), seed
+
+    def test_reproducible(self):
+        algorithm = wrapped(LubyMISAlgorithm())
+        graph = erdos_renyi(20, 0.25, seed=2)
+        predictions = random_predictions_bits(graph, 4)
+        first = run(algorithm, graph, predictions, seed=9).outputs
+        second = run(algorithm, graph, predictions, seed=9).outputs
+        assert first == second
+
+
+class TestUbwInsideTemplates:
+    """Section 9.1: 'This measure-uniform algorithm could be combined
+    with a reference algorithm, using whichever template is appropriate.'"""
+
+    def test_ubw_in_parallel_template(self):
+        from repro.algorithms.mis import (
+            ColoringMISReference,
+            MISInitializationAlgorithm,
+        )
+        from repro.core import ParallelTemplate
+
+        algorithm = ParallelTemplate(
+            MISInitializationAlgorithm(),
+            BlackWhiteGreedyMIS(),
+            ColoringMISReference(),
+        )
+        for seed in range(5):
+            graph = random_graph(24, 0.2, seed)
+            predictions = random_predictions_bits(graph, seed)
+            result = run(algorithm, graph, predictions)
+            assert MIS.is_solution(graph, result.outputs), seed
+
+    def test_ubw_in_parallel_template_on_grid_pattern(self):
+        from repro.algorithms.mis import (
+            ColoringMISReference,
+            MISInitializationAlgorithm,
+        )
+        from repro.core import ParallelTemplate
+
+        algorithm = ParallelTemplate(
+            MISInitializationAlgorithm(),
+            BlackWhiteGreedyMIS(),
+            ColoringMISReference(),
+        )
+        graph = grid2d(12, 12)
+        predictions = grid_blackwhite_predictions(graph)
+        result = run(algorithm, graph, predictions)
+        assert MIS.is_solution(graph, result.outputs)
+        # eta_bw = 4: finishes far below the coloring reference cap.
+        assert result.rounds <= 16
+
+
+class TestLongerPhases:
+    def test_phase_length_four_still_valid(self):
+        algorithm = wrapped(phase_length=4)
+        for seed in range(5):
+            graph = random_graph(20, 0.25, seed)
+            predictions = random_predictions_bits(graph, seed + 2)
+            result = run(algorithm, graph, predictions)
+            assert MIS.is_solution(graph, result.outputs)

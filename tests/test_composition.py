@@ -1,0 +1,193 @@
+"""Tests for the composition machinery (SubContext, SlicedProgram)."""
+
+import pytest
+
+from repro.core.composition import Slice, SlicedProgram, SubContext
+from repro.graphs import line, ring
+from repro.simulator import NodeProgram, SyncEngine
+from repro.simulator.context import NodeContext
+
+
+def make_context(**overrides):
+    defaults = dict(
+        node_id=1, neighbors=frozenset({2, 3}), n=3, d=3, delta=2
+    )
+    defaults.update(overrides)
+    return NodeContext(**defaults)
+
+
+class TestSubContext:
+    def test_delegates_knowledge(self):
+        base = make_context(prediction=1)
+        sub = SubContext(base)
+        assert sub.node_id == 1
+        assert sub.neighbors == frozenset({2, 3})
+        assert sub.prediction == 1
+        assert sub.n == 3 and sub.d == 3 and sub.delta == 2
+        assert sub.degree == 2
+
+    def test_private_round_counter(self):
+        base = make_context()
+        base.round = 10
+        sub = SubContext(base)
+        sub.round = 2
+        assert base.round == 10 and sub.round == 2
+
+    def test_passthrough_outputs_reach_base(self):
+        base = make_context()
+        sub = SubContext(base)
+        sub.set_output(5)
+        sub.terminate()
+        assert base.output == 5
+        assert base.terminate_requested
+        assert sub.finished
+
+    def test_intercepted_outputs_stay_local(self):
+        base = make_context()
+        sub = SubContext(base, intercept_outputs=True)
+        sub.set_output(7)
+        sub.terminate()
+        assert base.output is None
+        assert not base.terminate_requested
+        assert sub.finished
+        assert sub.stored_result == 7
+
+    def test_intercepted_parts(self):
+        base = make_context()
+        sub = SubContext(base, intercept_outputs=True)
+        sub.set_output_part("a", 1)
+        sub.set_output_part("b", 2)
+        assert sub.stored_result == {"a": 1, "b": 2}
+        assert sub.output_part("a") == 1
+        assert not base.has_output
+
+    def test_local_maximum_follows_active_set(self):
+        base = make_context(node_id=5, neighbors=frozenset({2, 9}))
+        sub = SubContext(base)
+        assert not sub.is_local_maximum()
+        base.active_neighbors.discard(9)
+        assert sub.is_local_maximum()
+
+
+class _Counter(NodeProgram):
+    """Records the virtual rounds it was driven at."""
+
+    def __init__(self, log, tag):
+        self._log = log
+        self._tag = tag
+
+    def process(self, ctx, inbox):
+        self._log.append((self._tag, ctx.round))
+
+
+class _FinishAt(NodeProgram):
+    def __init__(self, at_round, output):
+        self._at = at_round
+        self._output = output
+
+    def process(self, ctx, inbox):
+        if ctx.round >= self._at:
+            ctx.set_output(self._output)
+            ctx.terminate()
+
+
+class TestSlicedProgram:
+    def test_sequential_slices_get_fresh_rounds(self):
+        log = []
+
+        def schedule(ctx):
+            yield Slice("a", 2, lambda host: _Counter(log, "a"))
+            yield Slice("b", None, lambda host: _FinishAt(2, "done"))
+
+        graph = line(1)
+        result = SyncEngine(graph, lambda v: SlicedProgram(schedule)).run()
+        assert log == [("a", 1), ("a", 2)]
+        assert result.outputs[1] == "done"
+        assert result.rounds == 4  # 2 for slice a + 2 for slice b
+
+    def test_resume_keeps_round_counter(self):
+        log = []
+
+        def schedule(ctx):
+            yield Slice("u", 2, lambda host: _Counter(log, "u"), resume="u")
+            yield Slice("x", 1, lambda host: _Counter(log, "x"))
+            yield Slice("u", 2, lambda host: _Counter(log, "u"), resume="u")
+            yield Slice("end", None, lambda host: _FinishAt(1, 0))
+
+        SyncEngine(line(1), lambda v: SlicedProgram(schedule)).run()
+        assert [entry for entry in log if entry[0] == "u"] == [
+            ("u", 1),
+            ("u", 2),
+            ("u", 3),
+            ("u", 4),
+        ]
+        assert ("x", 1) in log
+
+    def test_parallel_slice_tags_and_intercepts(self):
+        class Talker(NodeProgram):
+            def compose(self, ctx):
+                return {other: f"hi-{ctx.node_id}" for other in ctx.active_neighbors}
+
+            def process(self, ctx, inbox):
+                pass
+
+        class Secret(NodeProgram):
+            def compose(self, ctx):
+                return {other: "psst" for other in ctx.active_neighbors}
+
+            def process(self, ctx, inbox):
+                if ctx.round == 2:
+                    ctx.set_output("secret-result")
+                    ctx.terminate()
+
+        emitted = {}
+
+        class Emit(NodeProgram):
+            def process(self, ctx, inbox):
+                emitted[ctx.node_id] = ctx  # inspect below
+
+        def schedule(ctx):
+            yield Slice(
+                "par",
+                3,
+                lambda host: Talker(),
+                parallel_builder=lambda host: Secret(),
+            )
+            yield Slice(
+                "emit",
+                None,
+                lambda host: _FinishAt(1, host.last_parallel_result),
+            )
+
+        result = SyncEngine(line(2), lambda v: SlicedProgram(schedule)).run()
+        assert result.outputs == {1: "secret-result", 2: "secret-result"}
+
+    def test_exhausted_schedule_raises(self):
+        def schedule(ctx):
+            yield Slice("only", 1, lambda host: _Counter([], "o"))
+
+        with pytest.raises(RuntimeError, match="exhausted"):
+            SyncEngine(line(1), lambda v: SlicedProgram(schedule)).run()
+
+    def test_early_termination_skips_rest(self):
+        log = []
+
+        def schedule(ctx):
+            yield Slice("a", 5, lambda host: _FinishAt(1, "early"))
+            yield Slice("b", None, lambda host: _Counter(log, "b"))
+
+        result = SyncEngine(line(1), lambda v: SlicedProgram(schedule)).run()
+        assert result.outputs[1] == "early"
+        assert result.rounds == 1
+        assert log == []
+
+
+class TestRoundupHelper:
+    def test_roundup(self):
+        from repro.core.templates import _roundup
+
+        assert _roundup(5, 2) == 6
+        assert _roundup(4, 2) == 4
+        assert _roundup(0, 2) == 2
+        assert _roundup(7, 1) == 7
+        assert _roundup(7, 3) == 9

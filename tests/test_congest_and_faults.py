@@ -1,0 +1,165 @@
+"""CONGEST-compatibility and fault-tolerance coverage.
+
+The paper works in LOCAL "for simplicity" but notes that some algorithms
+also fit CONGEST.  Here we pin down which of ours do: everything except
+the clustering reference (whose intra-cluster gather ships topology maps)
+sends O(log n)-bit messages.  We also exercise the fault-tolerance
+contract of the Parallel Template's part-1 components under engine-level
+crash injection.
+"""
+
+import pytest
+
+from repro.algorithms.coloring import (
+    LinialColoringAlgorithm,
+    PaletteGreedyColoringAlgorithm,
+    VertexColoringBaseAlgorithm,
+)
+from repro.algorithms.edge_coloring import GreedyEdgeColoringAlgorithm
+from repro.algorithms.matching import GreedyMatchingAlgorithm
+from repro.algorithms.mis import (
+    BlackWhiteGreedyMIS,
+    ClusteringMISReference,
+    GreedyMISAlgorithm,
+    LinialMISAlgorithm,
+    LubyMISAlgorithm,
+    MISBaseAlgorithm,
+    MISInitializationAlgorithm,
+)
+from repro.bench.algorithms import (
+    matching_simple,
+    mis_parallel,
+    mis_simple,
+)
+from repro.core import run
+from repro.graphs import erdos_renyi, random_ids_from_domain, random_regular, ring
+from repro.predictions import noisy_predictions
+from repro.problems import MATCHING, MIS, VERTEX_COLORING
+
+
+class TestCongestCompatibility:
+    """Max message width stays within the CONGEST budget."""
+
+    CONGEST_ALGORITHMS = [
+        ("greedy-mis", GreedyMISAlgorithm, MIS, False),
+        ("luby-mis", LubyMISAlgorithm, MIS, False),
+        ("linial-mis", LinialMISAlgorithm, MIS, False),
+        ("greedy-matching", GreedyMatchingAlgorithm, MATCHING, False),
+        ("palette-coloring", PaletteGreedyColoringAlgorithm, VERTEX_COLORING, False),
+        ("linial-coloring", LinialColoringAlgorithm, VERTEX_COLORING, False),
+    ]
+
+    @pytest.mark.parametrize(
+        "name,factory,problem,needs_predictions",
+        CONGEST_ALGORITHMS,
+        ids=[case[0] for case in CONGEST_ALGORITHMS],
+    )
+    def test_prediction_free_algorithms(
+        self, name, factory, problem, needs_predictions
+    ):
+        graph = erdos_renyi(40, 0.12, seed=3)
+        result = run(factory(), graph)
+        assert problem.is_solution(graph, result.outputs)
+        assert result.congest_compatible(graph.n), result.max_message_bits
+
+    def test_prediction_exchanging_algorithms(self):
+        """Base/initialization algorithms send one prediction per edge."""
+        graph = erdos_renyi(30, 0.15, seed=4)
+        for problem, algorithm in [
+            (MIS, mis_simple()),
+            (MATCHING, matching_simple()),
+        ]:
+            predictions = noisy_predictions(problem, graph, 0.3, seed=5)
+            result = run(algorithm, graph, predictions)
+            assert result.congest_compatible(graph.n)
+
+    def test_blackwhite_is_congest(self):
+        graph = erdos_renyi(30, 0.15, seed=6)
+        predictions = noisy_predictions(MIS, graph, 0.5, seed=1)
+        result = run(BlackWhiteGreedyMIS(), graph, predictions)
+        assert result.congest_compatible(graph.n)
+
+    def test_parallel_template_is_congest(self):
+        """Corollary 12's composition stays CONGEST: tagged pairs of
+        O(log n)-bit component messages."""
+        graph = random_regular(32, 3, seed=2)
+        predictions = noisy_predictions(MIS, graph, 0.4, seed=2)
+        result = run(mis_parallel(), graph, predictions)
+        assert result.congest_compatible(graph.n)
+
+    def test_clustering_reference_is_local_only(self):
+        """The gather stage ships topology maps: declared (and measured)
+        beyond CONGEST width — matching its LOCAL-model declaration."""
+        graph = random_regular(24, 3, seed=3)
+        result = run(ClusteringMISReference(), graph, max_rounds=20000)
+        assert MIS.is_solution(graph, result.outputs)
+        assert not result.congest_compatible(graph.n)
+
+    def test_edge_coloring_width_scales_with_degree(self):
+        """The edge-coloring refresh lists uncolored neighbor ids: within
+        O(Δ log n) — CONGEST only for bounded degree."""
+        graph = ring(24)
+        result = run(GreedyEdgeColoringAlgorithm(), graph)
+        assert result.congest_compatible(graph.n)
+
+    def test_large_id_domain_still_congest(self):
+        """log d-bit identifiers with d = n^3 still fit the budget."""
+        graph = random_ids_from_domain(ring(16), d=16**3, seed=1)
+        result = run(GreedyMISAlgorithm(), graph)
+        assert result.congest_compatible(graph.n)
+
+
+class TestFaultToleranceContracts:
+    def test_greedy_mis_not_fault_tolerant_contract_is_documented(self):
+        """Not a contract violation test — a documentation pin: greedy's
+        correctness among survivors still holds for 1-outputs (no two
+        adjacent 1s), even though dominated nodes may be left hanging."""
+        graph = erdos_renyi(24, 0.2, seed=7)
+        result = run(
+            GreedyMISAlgorithm(),
+            graph,
+            crash_rounds={5: 2, 9: 4},
+            max_rounds=1000,
+        )
+        ones = {v for v, out in result.outputs.items() if out == 1}
+        for node in ones:
+            assert not (graph.neighbors(node) & ones)
+
+    def test_linial_coloring_survives_repeated_crashes(self):
+        graph = erdos_renyi(36, 0.12, seed=8)
+        crash_rounds = {v: (v % 7) + 1 for v in list(graph.nodes)[:10]}
+        result = run(
+            LinialColoringAlgorithm(respect_neighbor_outputs=False),
+            graph,
+            crash_rounds=crash_rounds,
+        )
+        survivors = {
+            v: out for v, out in result.outputs.items() if v not in crash_rounds
+        }
+        for node, color in survivors.items():
+            for other in graph.neighbors(node):
+                if other in survivors:
+                    assert survivors[other] != color
+
+    def test_parallel_template_with_mid_run_crashes(self):
+        """Crashing nodes during the PAR slice: all survivors still
+        produce a valid MIS of the surviving subgraph."""
+        graph = random_regular(30, 3, seed=4)
+        predictions = noisy_predictions(MIS, graph, 0.4, seed=4)
+        crash_rounds = {3: 4, 11: 6, 19: 9}
+        result = run(
+            mis_parallel(), graph, predictions, crash_rounds=crash_rounds
+        )
+        survivors = [v for v in graph.nodes if v not in crash_rounds]
+        surviving_graph = graph.subgraph(survivors)
+        outputs = {v: result.outputs[v] for v in survivors if v in result.outputs}
+        # Independence must hold outright among survivors.
+        ones = {v for v, out in outputs.items() if out == 1}
+        for node in ones:
+            assert not (surviving_graph.neighbors(node) & ones)
+        # Every surviving 0 must be dominated by a 1 (possibly a crashed
+        # one that had already terminated — check against all outputs).
+        all_ones = {v for v, out in result.outputs.items() if out == 1}
+        for node, out in outputs.items():
+            if out == 0:
+                assert graph.neighbors(node) & all_ones

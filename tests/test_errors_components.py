@@ -1,0 +1,202 @@
+"""Tests for base partial solutions and error components (Sections 4, 8)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import run
+from repro.errors import (
+    black_white_components,
+    edge_coloring_base_partial,
+    error_components,
+    matching_base_partial,
+    mis_base_partial,
+    vertex_coloring_base_partial,
+)
+from repro.errors.components import edge_error_components
+from repro.graphs import clique, grid2d, line, ring, star
+from repro.predictions import (
+    all_ones_mis,
+    all_zeros_mis,
+    grid_blackwhite_predictions,
+    noisy_predictions,
+    perfect_predictions,
+)
+from repro.problems import EDGE_COLORING, MATCHING, MIS, UNMATCHED, VERTEX_COLORING
+
+from tests.conftest import random_graph, random_predictions_bits
+
+
+class TestMISBasePartial:
+    def test_correct_predictions_fully_output(self, path5):
+        predictions = {1: 1, 2: 0, 3: 1, 4: 0, 5: 1}
+        outputs = mis_base_partial(path5, predictions)
+        assert outputs == predictions
+
+    def test_all_ones_outputs_nothing(self, path5):
+        assert mis_base_partial(path5, all_ones_mis(path5)) == {}
+
+    def test_all_zeros_outputs_nothing(self, path5):
+        assert mis_base_partial(path5, all_zeros_mis(path5)) == {}
+
+    def test_pruning_property_outputs_equal_predictions(self):
+        graph = random_graph(20, 0.2, 3)
+        predictions = random_predictions_bits(graph, 7)
+        outputs = mis_base_partial(graph, predictions)
+        assert all(outputs[v] == predictions[v] for v in outputs)
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_base_partial_always_extendable(self, seed):
+        graph = random_graph(15, 0.25, seed)
+        predictions = random_predictions_bits(graph, seed + 1)
+        outputs = mis_base_partial(graph, predictions)
+        assert MIS.is_extendable(graph, outputs)
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_pure_function_matches_simulated_base_algorithm(self, seed):
+        from repro.algorithms.mis import MISBaseAlgorithm
+        from repro.simulator import SyncEngine
+
+        graph = random_graph(12, 0.3, seed)
+        predictions = random_predictions_bits(graph, seed + 5)
+        pure = mis_base_partial(graph, predictions)
+        algorithm = MISBaseAlgorithm()
+        engine = SyncEngine(
+            graph,
+            lambda v: algorithm.build_program(),
+            predictions=predictions,
+        )
+        result = engine.run(stop_after=3)
+        assert result.outputs == pure
+
+
+class TestErrorComponents:
+    def test_no_error_no_components(self, path5):
+        predictions = perfect_predictions(MIS, path5)
+        assert error_components("mis", path5, predictions) == []
+
+    def test_all_ones_single_component_per_component(self, path5):
+        components = error_components("mis", path5, all_ones_mis(path5))
+        assert components == [frozenset({1, 2, 3, 4, 5})]
+
+    def test_unknown_problem_rejected(self, path5):
+        import pytest
+
+        with pytest.raises(ValueError):
+            error_components("nope", path5, {})
+
+    def test_partial_error_isolates_components(self):
+        graph = line(7)
+        # Correct except node 4 flipped to 1 adjacent to 3 (also 1).
+        predictions = {1: 1, 2: 0, 3: 1, 4: 1, 5: 0, 6: 0, 7: 1}
+        components = error_components("mis", graph, predictions)
+        assert components  # some error exists
+        union = set().union(*components)
+        assert 7 not in union  # the far end is unaffected
+
+
+class TestBlackWhiteComponents:
+    def test_grid_pattern_components_are_small(self):
+        graph = grid2d(12, 12)
+        predictions = grid_blackwhite_predictions(graph)
+        black, white = black_white_components(graph, predictions)
+        assert black and white
+        assert max(len(c) for c in black + white) == 4
+
+    def test_uniform_prediction_components_match_error_components(self, path5):
+        predictions = all_ones_mis(path5)
+        black, white = black_white_components(path5, predictions)
+        assert [set(c) for c in black] == [{1, 2, 3, 4, 5}]
+        assert white == []
+
+
+class TestMatchingBasePartial:
+    def test_correct_predictions_fully_output(self, path5):
+        predictions = MATCHING.solve_sequential(path5)
+        outputs = matching_base_partial(path5, predictions)
+        assert outputs == predictions
+
+    def test_unreciprocated_prediction_ignored(self, path5):
+        predictions = {1: 2, 2: 3, 3: 2, 4: UNMATCHED, 5: UNMATCHED}
+        outputs = matching_base_partial(path5, predictions)
+        assert outputs.get(2) == 3 and outputs.get(3) == 2
+        assert 1 not in outputs
+
+    def test_bottom_requires_matched_neighbors(self, path5):
+        predictions = {1: UNMATCHED, 2: UNMATCHED, 3: UNMATCHED, 4: 5, 5: 4}
+        outputs = matching_base_partial(path5, predictions)
+        assert 1 not in outputs and 2 not in outputs
+        assert outputs[4] == 5
+
+    def test_partial_is_extendable(self):
+        graph = random_graph(14, 0.3, 2)
+        predictions = noisy_predictions(MATCHING, graph, 0.3, seed=5)
+        outputs = matching_base_partial(graph, predictions)
+        assert MATCHING.is_extendable(graph, outputs)
+
+
+class TestColoringBasePartials:
+    def test_vertex_coloring_correct_predictions(self, path5):
+        predictions = VERTEX_COLORING.solve_sequential(path5)
+        assert vertex_coloring_base_partial(path5, predictions) == predictions
+
+    def test_vertex_coloring_conflicts_suppressed(self, triangle):
+        predictions = {1: 1, 2: 1, 3: 2}
+        outputs = vertex_coloring_base_partial(triangle, predictions)
+        assert 1 not in outputs and 2 not in outputs
+        assert outputs[3] == 2
+
+    def test_vertex_coloring_illegal_color_suppressed(self, path5):
+        predictions = {1: 99, 2: 2, 3: 1, 4: 2, 5: 1}
+        outputs = vertex_coloring_base_partial(path5, predictions)
+        assert 1 not in outputs
+
+    def test_vertex_coloring_partial_extendable(self):
+        graph = random_graph(14, 0.3, 4)
+        predictions = noisy_predictions(VERTEX_COLORING, graph, 0.4, seed=2)
+        outputs = vertex_coloring_base_partial(graph, predictions)
+        assert VERTEX_COLORING.is_extendable(graph, outputs)
+
+    def test_edge_coloring_correct_predictions(self, path5):
+        predictions = EDGE_COLORING.solve_sequential(path5)
+        outputs = edge_coloring_base_partial(path5, predictions)
+        assert outputs == {v: p for v, p in predictions.items() if p}
+
+    def test_edge_coloring_disagreement_suppressed(self, path5):
+        predictions = {
+            1: {2: 1},
+            2: {1: 2, 3: 3},
+            3: {2: 3, 4: 1},
+            4: {3: 1, 5: 2},
+            5: {4: 2},
+        }
+        outputs = edge_coloring_base_partial(path5, predictions)
+        assert 2 not in (outputs.get(1) or {})
+        assert (outputs.get(3) or {}).get(2) == 3
+
+    def test_edge_coloring_duplicate_color_suppressed(self, path5):
+        predictions = {
+            1: {2: 1},
+            2: {1: 1, 3: 1},
+            3: {2: 1, 4: 2},
+            4: {3: 2, 5: 3},
+            5: {4: 3},
+        }
+        outputs = edge_coloring_base_partial(path5, predictions)
+        # Node 2 predicted color 1 twice: both of its proposals are void.
+        assert 2 not in outputs or not outputs[2]
+
+    def test_edge_error_components_cover_uncolored_edges(self, path5):
+        predictions = {v: {} for v in path5.nodes}
+        components = edge_error_components(path5, predictions)
+        assert len(components) == 1
+        nodes, edges = components[0]
+        assert nodes == frozenset(path5.nodes)
+        assert edges == frozenset(path5.edges())
+
+    def test_partial_is_extendable(self):
+        graph = random_graph(12, 0.3, 8)
+        predictions = noisy_predictions(EDGE_COLORING, graph, 0.4, seed=3)
+        outputs = edge_coloring_base_partial(graph, predictions)
+        assert EDGE_COLORING.is_extendable(graph, outputs)

@@ -1,0 +1,108 @@
+"""Tests for exact α / τ computation (repro.errors.exact)."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors.exact import max_independent_set_size, min_vertex_cover_size
+from repro.graphs import (
+    clique,
+    complete_bipartite,
+    erdos_renyi,
+    grid2d,
+    line,
+    ring,
+    star,
+    wheel_fk,
+)
+
+
+def brute_force_alpha(graph) -> int:
+    nodes = list(graph.nodes)
+    best = 0
+    for size in range(len(nodes), 0, -1):
+        if size <= best:
+            break
+        for subset in itertools.combinations(nodes, size):
+            chosen = set(subset)
+            if all(
+                not graph.has_edge(u, v)
+                for u in chosen
+                for v in chosen
+                if u < v
+            ):
+                best = max(best, size)
+                break
+    return best
+
+
+class TestKnownValues:
+    def test_path_alpha(self):
+        assert max_independent_set_size(line(1)) == 1
+        assert max_independent_set_size(line(2)) == 1
+        assert max_independent_set_size(line(5)) == 3
+        assert max_independent_set_size(line(6)) == 3
+
+    def test_cycle_alpha(self):
+        assert max_independent_set_size(ring(5)) == 2
+        assert max_independent_set_size(ring(6)) == 3
+        assert max_independent_set_size(ring(7)) == 3
+
+    def test_clique_alpha_is_one(self):
+        assert max_independent_set_size(clique(7)) == 1
+
+    def test_star_alpha_is_leaves(self):
+        assert max_independent_set_size(star(8)) == 7
+
+    def test_complete_bipartite(self):
+        assert max_independent_set_size(complete_bipartite(3, 5)) == 5
+
+    def test_grid_alpha_is_half(self):
+        assert max_independent_set_size(grid2d(4, 4)) == 8
+        assert max_independent_set_size(grid2d(5, 5)) == 13
+
+    def test_wheel(self):
+        # All six spoke nodes form a maximum independent set (each spoke
+        # node blocks its rim node and the center).
+        graph = wheel_fk(6)
+        assert max_independent_set_size(graph) == 6
+
+    def test_tau_complement_identity(self):
+        for graph in (line(7), ring(8), star(5), clique(4)):
+            assert (
+                min_vertex_cover_size(graph)
+                == graph.n - max_independent_set_size(graph)
+            )
+
+    def test_subset_restriction(self):
+        graph = ring(8)
+        assert max_independent_set_size(graph, nodes=[1, 2, 3]) == 2
+
+    def test_empty_subset(self):
+        assert max_independent_set_size(line(4), nodes=[]) == 0
+
+
+class TestAgainstBruteForce:
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_brute_force_sparse(self, seed):
+        graph = erdos_renyi(11, 0.2, seed=seed)
+        assert max_independent_set_size(graph) == brute_force_alpha(graph)
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_brute_force_dense(self, seed):
+        graph = erdos_renyi(10, 0.6, seed=seed)
+        assert max_independent_set_size(graph) == brute_force_alpha(graph)
+
+
+class TestScaling:
+    def test_moderate_grid_is_fast(self):
+        # 8x8 grid: 64 nodes; the reductions must keep this quick.
+        assert max_independent_set_size(grid2d(8, 8)) == 32
+
+    def test_large_sparse_random(self):
+        graph = erdos_renyi(60, 0.05, seed=3)
+        alpha = max_independent_set_size(graph)
+        assert 0 < alpha <= 60

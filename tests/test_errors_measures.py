@@ -1,0 +1,191 @@
+"""Tests for the error measures of Section 5 (and Section 9)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import (
+    component_diameters,
+    error_components,
+    eta1,
+    eta2,
+    eta_bw,
+    eta_hamming,
+    eta_t,
+    mu1,
+    mu2,
+)
+from repro.graphs import (
+    clique,
+    directed_line,
+    grid2d,
+    line,
+    random_rooted_tree,
+    star,
+    wheel_fk,
+)
+from repro.predictions import (
+    all_ones_mis,
+    all_zeros_mis,
+    directed_line_pattern,
+    grid_blackwhite_predictions,
+    noisy_predictions,
+    perfect_predictions,
+)
+from repro.problems import MIS
+
+from tests.conftest import random_graph, random_predictions_bits
+
+
+class TestMu:
+    def test_mu1_is_size(self):
+        graph = line(9)
+        assert mu1(graph) == 9
+        assert mu1(graph, nodes=[1, 2, 3]) == 3
+
+    def test_mu2_on_clique_is_two(self):
+        # α = 1 for a clique, so μ₂ = 2·min(α, τ) = 2.
+        assert mu2(clique(8)) == 2
+
+    def test_mu2_on_star_is_two(self):
+        # τ = 1 for a star.
+        assert mu2(star(9)) == 2
+
+    def test_mu2_at_most_mu1(self):
+        for graph in (line(8), clique(5), star(7), grid2d(3, 4)):
+            assert mu2(graph) <= mu1(graph)
+
+    def test_mu1_monotone_under_subgraphs(self):
+        graph = grid2d(4, 4)
+        for component in graph.subgraph(range(1, 9)).components():
+            assert mu1(graph, component) <= mu1(graph)
+
+
+class TestEtaBasics:
+    def test_zero_error_on_perfect_predictions(self, small_zoo):
+        for graph in small_zoo:
+            predictions = perfect_predictions(MIS, graph)
+            assert eta1(graph, predictions) == 0
+            assert eta2(graph, predictions) == 0
+            assert eta_bw(graph, predictions) == 0
+
+    def test_all_ones_eta1_is_component_size(self, path5):
+        assert eta1(path5, all_ones_mis(path5)) == 5
+
+    def test_all_zeros_eta1_is_component_size(self, path5):
+        assert eta1(path5, all_zeros_mis(path5)) == 5
+
+    def test_eta2_le_eta1(self):
+        for seed in range(10):
+            graph = random_graph(16, 0.25, seed)
+            predictions = random_predictions_bits(graph, seed)
+            assert eta2(graph, predictions) <= eta1(graph, predictions)
+
+    def test_eta2_much_smaller_on_clique(self):
+        graph = clique(10)
+        predictions = all_ones_mis(graph)
+        assert eta1(graph, predictions) == 10
+        assert eta2(graph, predictions) == 2
+
+    def test_eta2_much_smaller_on_star(self):
+        graph = star(10)
+        predictions = all_ones_mis(graph)
+        assert eta1(graph, predictions) == 10
+        assert eta2(graph, predictions) == 2
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_error_zero_iff_no_components(self, seed):
+        graph = random_graph(12, 0.3, seed)
+        predictions = random_predictions_bits(graph, seed + 2)
+        components = error_components("mis", graph, predictions)
+        assert (eta1(graph, predictions) == 0) == (not components)
+
+
+class TestEtaBW:
+    def test_figure2_grid_pattern(self):
+        """The paper's Figure 2 example: η₁ = n while η_bw = 4."""
+        graph = grid2d(12, 12)
+        predictions = grid_blackwhite_predictions(graph)
+        assert eta1(graph, predictions) == graph.n
+        assert eta_bw(graph, predictions) == 4
+
+    def test_eta_bw_at_most_eta1(self):
+        for seed in range(10):
+            graph = random_graph(16, 0.25, seed)
+            predictions = random_predictions_bits(graph, seed + 3)
+            assert eta_bw(graph, predictions) <= eta1(graph, predictions)
+
+    def test_uniform_prediction_makes_them_equal(self, path5):
+        predictions = all_ones_mis(path5)
+        assert eta_bw(path5, predictions) == eta1(path5, predictions)
+
+
+class TestEtaT:
+    def test_directed_line_pattern_example(self):
+        """Section 9.2: η₁ = 3k but η_t = 2."""
+        graph = directed_line(30)
+        predictions = directed_line_pattern(graph)
+        assert eta1(graph, predictions) == 30
+        assert eta_t(graph, predictions) == 2
+
+    def test_eta_t_ordering(self):
+        for seed in range(8):
+            graph = random_rooted_tree(20, seed=seed)
+            predictions = random_predictions_bits(graph, seed + 9)
+            t = eta_t(graph, predictions)
+            bw = eta_bw(graph, predictions)
+            one = eta1(graph, predictions)
+            assert t <= bw <= one
+
+    def test_eta_t_zero_on_perfect(self):
+        graph = random_rooted_tree(25, seed=2)
+        predictions = perfect_predictions(MIS, graph)
+        assert eta_t(graph, predictions) == 0
+
+    def test_all_ones_on_directed_line(self):
+        graph = directed_line(10)
+        predictions = all_ones_mis(graph)
+        assert eta_t(graph, predictions) == 10
+
+
+class TestEtaHamming:
+    def test_zero_on_correct_predictions(self, path5):
+        predictions = {1: 1, 2: 0, 3: 1, 4: 0, 5: 1}
+        assert eta_hamming(path5, predictions) == 0
+
+    def test_single_flip(self, path5):
+        predictions = {1: 1, 2: 0, 3: 1, 4: 0, 5: 0}
+        assert eta_hamming(path5, predictions) == 1
+
+    def test_global_measure_counts_all_components(self):
+        """The weakness the paper highlights: η_H sums over components."""
+        from repro.graphs import path_forest
+
+        graph = path_forest(4, 3)
+        predictions = all_zeros_mis(graph)
+        # Each 3-path needs at least one flip; eta1 sees only the largest.
+        assert eta_hamming(graph, predictions) >= 4
+        assert eta1(graph, predictions) == 3
+
+
+class TestDiameterNonMonotonicity:
+    def test_figure1_wheel_argument(self):
+        """Figure 1: the rim error component has far larger diameter than
+        the whole graph, so max component diameter is not usable."""
+        k = 12
+        graph = wheel_fk(k)
+        # Center predicted 1, everything else 0: the error components are
+        # the rim (spokes are dominated... compute from the base algorithm).
+        predictions = {v: 0 for v in graph.nodes}
+        predictions[2 * k + 1] = 1
+        components = error_components("mis", graph, predictions)
+        diameters = component_diameters(graph, components)
+        assert max(diameters) == k // 2
+        assert graph.diameter() == 4
+
+        # The worse prediction (all ones) yields a *smaller* diameter.
+        worse = all_ones_mis(graph)
+        worse_components = error_components("mis", graph, worse)
+        worse_diameters = component_diameters(graph, worse_components)
+        assert max(worse_diameters) == 4
+        assert max(worse_diameters) < max(diameters)

@@ -1,0 +1,171 @@
+"""Exhaustive verification on all small labeled graphs.
+
+Property tests sample; these tests enumerate.  Over *every* labeled
+graph on up to 4 nodes (64 graphs) and every prediction vector (16 per
+graph) we check the full pipeline: template validity, the Observation 7
+bounds, extendability soundness of the canonical checker against brute
+force, and the error-measure orderings.  Any regression in the base
+algorithm, the templates, or the measures shows up here with a minimal
+counterexample.
+"""
+
+import itertools
+
+import pytest
+
+from repro.bench.algorithms import mis_parallel, mis_simple
+from repro.core import run
+from repro.errors import eta1, eta2, eta_bw, mis_base_partial
+from repro.graphs import DistGraph
+from repro.problems import MIS
+
+
+def all_labeled_graphs(n):
+    """Every labeled simple graph on nodes 1..n."""
+    pairs = list(itertools.combinations(range(1, n + 1), 2))
+    for mask in range(2 ** len(pairs)):
+        adjacency = {v: [] for v in range(1, n + 1)}
+        for index, (u, v) in enumerate(pairs):
+            if mask >> index & 1:
+                adjacency[u].append(v)
+        yield DistGraph(adjacency, name=f"g{n}-{mask}")
+
+
+def all_prediction_vectors(n):
+    for bits in itertools.product((0, 1), repeat=n):
+        yield dict(zip(range(1, n + 1), bits))
+
+
+class TestExhaustiveSimpleTemplate:
+    def test_all_4_node_graphs_all_predictions(self):
+        algorithm = mis_simple()
+        failures = []
+        for graph in all_labeled_graphs(4):
+            for predictions in all_prediction_vectors(4):
+                result = run(algorithm, graph, predictions)
+                if not MIS.is_solution(graph, result.outputs):
+                    failures.append((graph.name, predictions, "invalid"))
+                    continue
+                error = eta1(graph, predictions)
+                if result.rounds > error + 3:
+                    failures.append(
+                        (graph.name, predictions, result.rounds, error)
+                    )
+        assert not failures, failures[:5]
+
+    def test_all_3_node_graphs_parallel_template(self):
+        algorithm = mis_parallel()
+        for graph in all_labeled_graphs(3):
+            for predictions in all_prediction_vectors(3):
+                result = run(algorithm, graph, predictions)
+                assert MIS.is_solution(graph, result.outputs), (
+                    graph.name,
+                    predictions,
+                )
+                assert result.rounds <= eta2(graph, predictions) + 5
+
+
+class TestExhaustiveExtendability:
+    def test_canonical_checker_exact_on_all_4_node_partials(self):
+        """The canonical extendability conditions agree with brute force
+        on every partial assignment of every 4-node graph — 64 × 3^4
+        cases.  (Given partial-solution validity, which already forces
+        every 0-node to have a decided 1-neighbor, the paper's two
+        remaining conditions are necessary *and* sufficient.)"""
+        mismatches = []
+        for graph in all_labeled_graphs(4):
+            for assignment in itertools.product((None, 0, 1), repeat=4):
+                outputs = {
+                    node: value
+                    for node, value in zip(range(1, 5), assignment)
+                    if value is not None
+                }
+                canonical = MIS.is_extendable(graph, outputs)
+                exact = MIS.is_extendable_exact(graph, outputs)
+                if canonical != exact:
+                    mismatches.append((graph.name, outputs, canonical, exact))
+        assert not mismatches, mismatches[:5]
+
+    def test_base_partial_canonically_extendable_everywhere(self):
+        for graph in all_labeled_graphs(4):
+            for predictions in all_prediction_vectors(4):
+                outputs = mis_base_partial(graph, predictions)
+                assert MIS.is_extendable(graph, outputs), (
+                    graph.name,
+                    predictions,
+                )
+
+
+class TestExhaustiveOtherProblems:
+    def test_matching_all_3_node_graphs_all_predictions(self):
+        from repro.bench.algorithms import matching_simple
+        from repro.problems import MATCHING, UNMATCHED
+
+        algorithm = matching_simple()
+        for graph in all_labeled_graphs(3):
+            spaces = [
+                [UNMATCHED, *sorted(graph.neighbors(node))]
+                for node in graph.nodes
+            ]
+            for combo in itertools.product(*spaces):
+                predictions = dict(zip(graph.nodes, combo))
+                result = run(algorithm, graph, predictions)
+                assert MATCHING.is_solution(graph, result.outputs), (
+                    graph.name,
+                    predictions,
+                )
+
+    def test_vertex_coloring_all_3_node_graphs_all_predictions(self):
+        from repro.bench.algorithms import coloring_simple
+        from repro.problems import VERTEX_COLORING
+
+        algorithm = coloring_simple()
+        for graph in all_labeled_graphs(3):
+            palette = range(1, graph.delta + 2)
+            for combo in itertools.product(palette, repeat=3):
+                predictions = dict(zip(graph.nodes, combo))
+                result = run(algorithm, graph, predictions)
+                assert VERTEX_COLORING.is_solution(graph, result.outputs), (
+                    graph.name,
+                    predictions,
+                )
+
+    def test_edge_coloring_all_3_node_graphs_all_predictions(self):
+        from repro.bench.algorithms import edge_coloring_simple
+        from repro.problems import EDGE_COLORING
+
+        algorithm = edge_coloring_simple()
+        for graph in all_labeled_graphs(3):
+            palette = range(1, max(1, 2 * graph.delta - 1) + 1)
+            node_spaces = []
+            for node in graph.nodes:
+                neighbors = sorted(graph.neighbors(node))
+                entries = [
+                    dict(zip(neighbors, colors))
+                    for colors in itertools.product(palette, repeat=len(neighbors))
+                ]
+                node_spaces.append(entries)
+            for combo in itertools.product(*node_spaces):
+                predictions = dict(zip(graph.nodes, combo))
+                result = run(algorithm, graph, predictions)
+                assert EDGE_COLORING.is_solution(graph, result.outputs), (
+                    graph.name,
+                    predictions,
+                )
+
+
+class TestExhaustiveMeasures:
+    def test_orderings_on_all_small_instances(self):
+        for graph in all_labeled_graphs(4):
+            for predictions in all_prediction_vectors(4):
+                one = eta1(graph, predictions)
+                assert eta2(graph, predictions) <= one
+                assert eta_bw(graph, predictions) <= one
+
+    def test_zero_error_iff_predictions_solve(self):
+        """η₁ = 0 exactly when the predictions are a correct solution."""
+        for graph in all_labeled_graphs(4):
+            for predictions in all_prediction_vectors(4):
+                zero = eta1(graph, predictions) == 0
+                solves = MIS.is_solution(graph, dict(predictions))
+                assert zero == solves, (graph.name, predictions)

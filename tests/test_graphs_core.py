@@ -1,0 +1,163 @@
+"""Tests for the DistGraph instance type."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import DistGraph, line, ring, grid2d
+from repro.graphs.validation import validate_instance
+
+
+class TestConstruction:
+    def test_adjacency_is_symmetrized(self):
+        graph = DistGraph({1: [2], 2: [], 3: []})
+        assert graph.has_edge(2, 1)
+        assert graph.has_edge(1, 2)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            DistGraph({1: [1]})
+
+    def test_unknown_endpoint_rejected(self):
+        with pytest.raises(ValueError, match="unknown node"):
+            DistGraph({1: [9]})
+
+    def test_non_positive_ids_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            DistGraph({0: []})
+
+    def test_d_defaults_to_max_id(self):
+        graph = DistGraph({3: [], 7: []})
+        assert graph.d == 7
+
+    def test_d_below_max_id_rejected(self):
+        with pytest.raises(ValueError, match="identifier bound"):
+            DistGraph({5: []}, d=4)
+
+    def test_empty_graph(self):
+        graph = DistGraph({})
+        assert graph.n == 0
+        assert graph.delta == 0
+        assert graph.edges() == []
+
+
+class TestAccessors:
+    def test_degree_and_delta(self):
+        graph = DistGraph({1: [2, 3], 2: [3], 3: []})
+        assert graph.degree(1) == 2
+        assert graph.delta == 2
+
+    def test_edges_sorted_canonical(self):
+        graph = DistGraph({1: [], 2: [1], 3: [1]})
+        assert graph.edges() == [(1, 2), (1, 3)]
+
+    def test_num_edges(self):
+        assert ring(6).num_edges == 6
+        assert line(6).num_edges == 5
+
+    def test_contains_iter_len(self):
+        graph = line(4)
+        assert 3 in graph
+        assert 9 not in graph
+        assert list(graph) == [1, 2, 3, 4]
+        assert len(graph) == 4
+
+    def test_node_attrs_default_empty(self):
+        assert line(2).node_attrs(1) == {}
+
+    def test_with_attrs_merges(self):
+        graph = line(2).with_attrs({1: {"x": 5}})
+        assert graph.node_attrs(1)["x"] == 5
+
+
+class TestDerivedGraphs:
+    def test_subgraph_induces_edges(self):
+        graph = ring(6)
+        sub = graph.subgraph([1, 2, 3])
+        assert sub.edges() == [(1, 2), (2, 3)]
+        assert sub.d == graph.d
+
+    def test_subgraph_unknown_node_rejected(self):
+        with pytest.raises(ValueError, match="unknown nodes"):
+            line(3).subgraph([1, 99])
+
+    def test_components_of_disconnected(self):
+        graph = DistGraph({1: [2], 2: [], 3: [4], 4: [], 5: []})
+        components = graph.components()
+        assert components == [
+            frozenset({1, 2}),
+            frozenset({3, 4}),
+            frozenset({5}),
+        ]
+
+    def test_is_connected(self):
+        assert ring(5).is_connected()
+        assert not DistGraph({1: [], 2: []}).is_connected()
+
+    def test_bfs_distances(self):
+        distances = line(5).bfs_distances(1)
+        assert distances == {1: 0, 2: 1, 3: 2, 4: 3, 5: 4}
+
+    def test_diameter_line(self):
+        assert line(5).diameter() == 4
+
+    def test_diameter_ring(self):
+        assert ring(8).diameter() == 4
+
+    def test_diameter_undefined_for_disconnected(self):
+        with pytest.raises(ValueError):
+            DistGraph({1: [], 2: []}).diameter()
+
+
+class TestConversions:
+    def test_networkx_roundtrip(self):
+        graph = grid2d(3, 3)
+        back = DistGraph.from_networkx(graph.to_networkx())
+        assert back.edges() == graph.edges()
+        assert back.node_attrs(1)["pos"] == (0, 0)
+
+    def test_validate_clean_instance(self):
+        assert validate_instance(ring(5)) == []
+
+
+@st.composite
+def random_adjacency(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=n),
+                st.integers(min_value=1, max_value=n),
+            ),
+            max_size=20,
+        )
+    )
+    adjacency = {v: [] for v in range(1, n + 1)}
+    for u, v in edges:
+        if u != v:
+            adjacency[u].append(v)
+    return adjacency
+
+
+class TestProperties:
+    @given(random_adjacency())
+    @settings(max_examples=60, deadline=None)
+    def test_components_partition_nodes(self, adjacency):
+        graph = DistGraph(adjacency)
+        components = graph.components()
+        covered = set()
+        for component in components:
+            assert not (covered & component)
+            covered |= component
+        assert covered == set(graph.nodes)
+
+    @given(random_adjacency())
+    @settings(max_examples=60, deadline=None)
+    def test_handshake_lemma(self, adjacency):
+        graph = DistGraph(adjacency)
+        assert sum(graph.degree(v) for v in graph.nodes) == 2 * graph.num_edges
+
+    @given(random_adjacency())
+    @settings(max_examples=60, deadline=None)
+    def test_validation_accepts_constructed_graphs(self, adjacency):
+        assert validate_instance(DistGraph(adjacency)) == []

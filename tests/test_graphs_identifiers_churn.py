@@ -1,0 +1,106 @@
+"""Tests for identifier schemes and graph churn."""
+
+import pytest
+
+from repro.graphs import (
+    erdos_renyi,
+    line,
+    perturb_edges,
+    perturb_nodes,
+    random_ids_from_domain,
+    random_rooted_tree,
+    relabel,
+    sequential_ids,
+    sorted_path_ids,
+    star,
+    validate_instance,
+)
+
+
+class TestRelabel:
+    def test_edges_follow_relabeling(self):
+        graph = line(3)
+        relabeled = relabel(graph, {1: 10, 2: 20, 3: 30})
+        assert relabeled.edges() == [(10, 20), (20, 30)]
+
+    def test_incomplete_mapping_rejected(self):
+        with pytest.raises(ValueError, match="cover"):
+            relabel(line(3), {1: 10})
+
+    def test_non_injective_rejected(self):
+        with pytest.raises(ValueError, match="injective"):
+            relabel(line(3), {1: 5, 2: 5, 3: 6})
+
+    def test_parent_pointers_follow(self):
+        graph = random_rooted_tree(10, seed=1)
+        mapping = {v: v + 100 for v in graph.nodes}
+        relabeled = relabel(graph, mapping)
+        assert validate_instance(relabeled, rooted=True) == []
+
+    def test_sequential_ids(self):
+        graph = relabel(line(3), {1: 7, 2: 13, 3: 22})
+        assert sequential_ids(graph).nodes == (1, 2, 3)
+
+
+class TestRandomIds:
+    def test_ids_within_domain(self):
+        graph = random_ids_from_domain(line(10), d=1000, seed=3)
+        assert all(1 <= v <= 1000 for v in graph.nodes)
+        assert graph.d == 1000
+        assert len(set(graph.nodes)) == 10
+
+    def test_domain_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            random_ids_from_domain(line(10), d=5)
+
+    def test_seeded(self):
+        a = random_ids_from_domain(line(10), d=100, seed=1)
+        b = random_ids_from_domain(line(10), d=100, seed=1)
+        assert a.nodes == b.nodes
+
+
+class TestSortedPathIds:
+    def test_ids_increase_along_path(self):
+        graph = sorted_path_ids(line(6))
+        # Endpoint 1 connects to 2, etc.
+        assert graph.edges() == [(1, 2), (2, 3), (3, 4), (4, 5), (5, 6)]
+
+    def test_reverse(self):
+        graph = sorted_path_ids(line(4), reverse=True)
+        assert graph.edges() == [(1, 2), (2, 3), (3, 4)]
+
+    def test_rejects_non_path(self):
+        with pytest.raises(ValueError, match="path"):
+            sorted_path_ids(star(5))
+
+
+class TestChurn:
+    def test_edge_removal(self):
+        graph = erdos_renyi(30, 0.3, seed=2)
+        perturbed = perturb_edges(graph, remove=10, seed=1)
+        assert perturbed.num_edges == graph.num_edges - 10
+        assert perturbed.nodes == graph.nodes
+
+    def test_edge_addition(self):
+        graph = line(20)
+        perturbed = perturb_edges(graph, add=5, seed=1)
+        assert perturbed.num_edges == graph.num_edges + 5
+
+    def test_edge_churn_seeded(self):
+        graph = erdos_renyi(25, 0.2, seed=3)
+        a = perturb_edges(graph, add=3, remove=3, seed=9)
+        b = perturb_edges(graph, add=3, remove=3, seed=9)
+        assert a.edges() == b.edges()
+
+    def test_node_removal(self):
+        graph = erdos_renyi(20, 0.3, seed=4)
+        perturbed = perturb_nodes(graph, remove=5, seed=1)
+        assert perturbed.n == 15
+        assert validate_instance(perturbed) == []
+
+    def test_node_addition_gets_fresh_ids(self):
+        graph = line(10)
+        perturbed = perturb_nodes(graph, add=3, seed=1)
+        assert perturbed.n == 13
+        assert max(perturbed.nodes) == 13
+        assert perturbed.d >= 13

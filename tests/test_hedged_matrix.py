@@ -1,0 +1,112 @@
+"""The hedged (trade-off) template works for every problem's components.
+
+The HedgedConsecutiveTemplate is problem-agnostic: B/U/C/R for matching,
+vertex coloring and edge coloring slot in exactly like MIS.  This matrix
+pins that generality.
+"""
+
+import pytest
+
+from repro import HedgedConsecutiveTemplate, run
+from repro.algorithms.coloring import (
+    LinialColoringAlgorithm,
+    PaletteGreedyColoringAlgorithm,
+    VertexColoringInitializationAlgorithm,
+)
+from repro.algorithms.edge_coloring import (
+    EdgeColoringBaseAlgorithm,
+    EdgeColoringCleanupAlgorithm,
+    GreedyEdgeColoringAlgorithm,
+    LineGraphEdgeColoringAlgorithm,
+)
+from repro.algorithms.matching import (
+    ColoredMatchingAlgorithm,
+    GreedyMatchingAlgorithm,
+    MatchingCleanupAlgorithm,
+    MatchingInitializationAlgorithm,
+)
+from repro.core import FunctionalAlgorithm
+from repro.graphs import erdos_renyi, line, sorted_path_ids
+from repro.predictions import noisy_predictions, perfect_predictions
+from repro.problems import EDGE_COLORING, MATCHING, VERTEX_COLORING
+from repro.simulator.program import NodeProgram
+
+
+def _noop_cleanup():
+    return FunctionalAlgorithm(
+        "noop-cleanup", NodeProgram, round_bound=lambda n, delta, d: 1
+    )
+
+
+def matching_hedged(trust):
+    return HedgedConsecutiveTemplate(
+        MatchingInitializationAlgorithm(),
+        GreedyMatchingAlgorithm(),
+        MatchingCleanupAlgorithm(),
+        ColoredMatchingAlgorithm(),
+        trust=trust,
+    )
+
+
+def coloring_hedged(trust):
+    return HedgedConsecutiveTemplate(
+        VertexColoringInitializationAlgorithm(),
+        PaletteGreedyColoringAlgorithm(),
+        _noop_cleanup(),
+        LinialColoringAlgorithm(),
+        trust=trust,
+    )
+
+
+def edge_hedged(trust):
+    return HedgedConsecutiveTemplate(
+        EdgeColoringBaseAlgorithm(),
+        GreedyEdgeColoringAlgorithm(),
+        EdgeColoringCleanupAlgorithm(),
+        LineGraphEdgeColoringAlgorithm(),
+        trust=trust,
+    )
+
+
+CASES = [
+    ("matching", MATCHING, matching_hedged, 2),
+    ("vertex-coloring", VERTEX_COLORING, coloring_hedged, 2),
+    ("edge-coloring", EDGE_COLORING, edge_hedged, 1),
+]
+
+
+@pytest.mark.parametrize(
+    "name,problem,factory,consistency",
+    CASES,
+    ids=[case[0] for case in CASES],
+)
+class TestHedgedMatrix:
+    def test_consistency_across_trust_levels(
+        self, name, problem, factory, consistency
+    ):
+        graph = erdos_renyi(20, 0.2, seed=13)
+        predictions = perfect_predictions(problem, graph, seed=1)
+        for trust in (0.0, 1.0):
+            result = run(factory(trust), graph, predictions, max_rounds=50000)
+            assert problem.is_solution(graph, result.outputs)
+            assert result.rounds <= consistency, (name, trust)
+
+    def test_valid_under_noise(self, name, problem, factory, consistency):
+        graph = erdos_renyi(20, 0.2, seed=13)
+        for trust in (0.0, 0.5):
+            for rate in (0.4, 1.0):
+                predictions = noisy_predictions(problem, graph, rate, seed=2)
+                result = run(
+                    factory(trust), graph, predictions, max_rounds=50000
+                )
+                assert problem.is_solution(graph, result.outputs), (
+                    name,
+                    trust,
+                    rate,
+                )
+
+    def test_valid_on_sorted_lines(self, name, problem, factory, consistency):
+        graph = sorted_path_ids(line(24))
+        predictions = noisy_predictions(problem, graph, 0.7, seed=3)
+        result = run(factory(0.25), graph, predictions, max_rounds=50000)
+        assert problem.is_solution(graph, result.outputs), name

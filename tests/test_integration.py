@@ -1,0 +1,158 @@
+"""Cross-cutting integration tests: every problem × template × noise level.
+
+These are the "does the whole pipeline hold together" tests: templates
+composed from each problem's components must produce verified solutions at
+every prediction quality, and be consistent at η = 0.
+"""
+
+import pytest
+
+from repro.algorithms.coloring import (
+    LinialColoringAlgorithm,
+    LinialColoringReference,
+    PaletteGreedyColoringAlgorithm,
+    VertexColoringInitializationAlgorithm,
+)
+from repro.algorithms.edge_coloring import (
+    EdgeColoringBaseAlgorithm,
+    EdgeColoringCleanupAlgorithm,
+    GreedyEdgeColoringAlgorithm,
+)
+from repro.algorithms.matching import (
+    GreedyMatchingAlgorithm,
+    MatchingCleanupAlgorithm,
+    MatchingInitializationAlgorithm,
+)
+from repro.algorithms.matching.greedy import GreedyMatchingProgram
+from repro.algorithms.mis import (
+    ClusteringMISReference,
+    ColoringMISReference,
+    GreedyMISAlgorithm,
+    MISCleanupAlgorithm,
+    MISInitializationAlgorithm,
+)
+from repro.algorithms.mis.greedy import GreedyMISProgram
+from repro.core import (
+    ConsecutiveTemplate,
+    FunctionalAlgorithm,
+    InterleavedTemplate,
+    ParallelTemplate,
+    SimpleTemplate,
+    run,
+)
+from repro.graphs import connected_erdos_renyi, erdos_renyi, grid2d, line
+from repro.predictions import noisy_predictions, perfect_predictions
+from repro.problems import EDGE_COLORING, MATCHING, MIS, VERTEX_COLORING
+
+RATES = (0.0, 0.25, 0.75, 1.0)
+
+GRAPHS = [
+    line(16),
+    grid2d(4, 5),
+    erdos_renyi(24, 0.15, seed=11),
+    connected_erdos_renyi(20, 0.1, seed=12),
+]
+
+
+def mis_algorithms():
+    init = MISInitializationAlgorithm()
+    greedy = GreedyMISAlgorithm()
+    cleanup = MISCleanupAlgorithm()
+    reference = FunctionalAlgorithm(
+        "greedy-ref",
+        GreedyMISProgram,
+        round_bound=lambda n, delta, d: n + 1,
+        safe_pause_interval=2,
+    )
+    return [
+        SimpleTemplate(init, greedy),
+        ConsecutiveTemplate(init, greedy, cleanup, reference),
+        InterleavedTemplate(init, greedy, ClusteringMISReference()),
+        ParallelTemplate(init, greedy, ColoringMISReference()),
+    ]
+
+
+def matching_algorithms():
+    init = MatchingInitializationAlgorithm()
+    greedy = GreedyMatchingAlgorithm()
+    cleanup = MatchingCleanupAlgorithm()
+    reference = FunctionalAlgorithm(
+        "matching-ref",
+        GreedyMatchingProgram,
+        round_bound=lambda n, delta, d: 3 * (max(n, 2) // 2) + 3,
+        safe_pause_interval=3,
+    )
+    return [
+        SimpleTemplate(init, greedy),
+        ConsecutiveTemplate(init, greedy, cleanup, reference),
+    ]
+
+
+def coloring_algorithms():
+    init = VertexColoringInitializationAlgorithm()
+    greedy = PaletteGreedyColoringAlgorithm()
+    noop_cleanup = FunctionalAlgorithm(
+        "noop",
+        lambda: __import__(
+            "repro.simulator.program", fromlist=["NodeProgram"]
+        ).NodeProgram(),
+        round_bound=lambda n, delta, d: 1,
+    )
+    return [
+        SimpleTemplate(init, greedy),
+        ConsecutiveTemplate(init, greedy, noop_cleanup, LinialColoringAlgorithm()),
+        ParallelTemplate(init, greedy, LinialColoringReference()),
+    ]
+
+
+def edge_coloring_algorithms():
+    init = EdgeColoringBaseAlgorithm()
+    greedy = GreedyEdgeColoringAlgorithm()
+    cleanup = EdgeColoringCleanupAlgorithm()
+    from repro.algorithms.edge_coloring.greedy import GreedyEdgeColoringProgram
+
+    reference = FunctionalAlgorithm(
+        "edge-ref",
+        GreedyEdgeColoringProgram,
+        round_bound=lambda n, delta, d: 2 * n + 3,
+        safe_pause_interval=2,
+    )
+    return [
+        SimpleTemplate(init, greedy),
+        ConsecutiveTemplate(init, greedy, cleanup, reference),
+    ]
+
+
+CASES = (
+    [(MIS, alg) for alg in mis_algorithms()]
+    + [(MATCHING, alg) for alg in matching_algorithms()]
+    + [(VERTEX_COLORING, alg) for alg in coloring_algorithms()]
+    + [(EDGE_COLORING, alg) for alg in edge_coloring_algorithms()]
+)
+
+
+@pytest.mark.parametrize(
+    "problem,algorithm", CASES, ids=[f"{p.name}/{a.name}" for p, a in CASES]
+)
+class TestEveryTemplateEveryProblem:
+    def test_valid_at_all_noise_levels(self, problem, algorithm):
+        for graph in GRAPHS:
+            for rate in RATES:
+                predictions = noisy_predictions(problem, graph, rate, seed=7)
+                result = run(
+                    algorithm, graph, predictions, max_rounds=20000
+                )
+                violations = problem.verify_solution(graph, result.outputs)
+                assert not violations, (
+                    graph.name,
+                    rate,
+                    violations[:3],
+                )
+
+    def test_consistent_on_perfect_predictions(self, problem, algorithm):
+        consistency = algorithm.initialization.round_bound(0, 0, 0)
+        for graph in GRAPHS:
+            predictions = perfect_predictions(problem, graph, seed=3)
+            result = run(algorithm, graph, predictions, max_rounds=20000)
+            assert problem.is_solution(graph, result.outputs)
+            assert result.rounds <= consistency, (graph.name, result.rounds)

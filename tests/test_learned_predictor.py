@@ -1,0 +1,89 @@
+"""Tests for the simulated learning-based (ensemble) predictor."""
+
+import pytest
+
+from repro.bench.algorithms import matching_simple, mis_simple
+from repro.core import run
+from repro.errors import eta1
+from repro.graphs import connected_erdos_renyi, line
+from repro.predictions import ensemble_predictions
+from repro.problems import EDGE_COLORING, MATCHING, MIS, UNMATCHED, VERTEX_COLORING
+
+
+GRAPH = connected_erdos_renyi(50, 0.06, seed=11)
+
+
+class TestEnsemblePredictor:
+    def test_negative_samples_rejected(self):
+        with pytest.raises(ValueError):
+            ensemble_predictions(MIS, GRAPH, samples=-1)
+
+    def test_zero_samples_is_untrained_default(self):
+        predictions = ensemble_predictions(MIS, GRAPH, samples=0)
+        assert set(predictions.values()) == {0}
+
+    def test_predictions_cover_all_nodes(self):
+        predictions = ensemble_predictions(MIS, GRAPH, samples=3, seed=1)
+        assert set(predictions) == set(GRAPH.nodes)
+
+    def test_deterministic_per_seed(self):
+        first = ensemble_predictions(MIS, GRAPH, samples=5, seed=2)
+        second = ensemble_predictions(MIS, GRAPH, samples=5, seed=2)
+        assert first == second
+
+    def test_more_consistent_samples_reduce_error(self):
+        errors = {
+            k: eta1(
+                GRAPH,
+                ensemble_predictions(
+                    MIS, GRAPH, samples=k, churn=2, seed=3, consistent_order=True
+                ),
+            )
+            for k in (0, 1, 9)
+        }
+        assert errors[1] < errors[0]
+        assert errors[9] <= errors[1]
+
+    def test_diverse_ensembles_do_not_converge(self):
+        """Solution multiplicity (paper §5): majority over many *different*
+        valid solutions drifts away from all of them."""
+        small = eta1(
+            GRAPH,
+            ensemble_predictions(
+                MIS, GRAPH, samples=1, churn=2, seed=3, consistent_order=False
+            ),
+        )
+        large = eta1(
+            GRAPH,
+            ensemble_predictions(
+                MIS, GRAPH, samples=25, churn=2, seed=3, consistent_order=False
+            ),
+        )
+        assert large > small
+
+    def test_algorithms_solve_with_ensemble_predictions(self):
+        for k in (0, 1, 5):
+            predictions = ensemble_predictions(MIS, GRAPH, samples=k, seed=4)
+            result = run(mis_simple(), GRAPH, predictions)
+            assert MIS.is_solution(GRAPH, result.outputs), k
+
+    def test_matching_ensemble_is_well_typed(self):
+        predictions = ensemble_predictions(MATCHING, GRAPH, samples=4, seed=5)
+        for node, value in predictions.items():
+            assert value == UNMATCHED or value in GRAPH.neighbors(node)
+        result = run(matching_simple(), GRAPH, predictions)
+        assert MATCHING.is_solution(GRAPH, result.outputs)
+
+    def test_coloring_ensemble(self):
+        predictions = ensemble_predictions(
+            VERTEX_COLORING, GRAPH, samples=4, seed=6
+        )
+        assert all(isinstance(v, int) for v in predictions.values())
+
+    def test_edge_coloring_ensemble_restricted_to_real_edges(self):
+        predictions = ensemble_predictions(
+            EDGE_COLORING, line(12), samples=4, churn=1, seed=7
+        )
+        graph = line(12)
+        for node, entry in predictions.items():
+            assert set(entry) <= set(graph.neighbors(node))

@@ -1,0 +1,159 @@
+"""Tests for the line-graph edge coloring and the colored matching.
+
+These are the n-independent references for the Matching and Edge
+Coloring problems (the analogues of Corollary 12's MIS reference).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.edge_coloring import LineGraphEdgeColoringAlgorithm
+from repro.algorithms.edge_coloring.linegraph import (
+    decode_edge,
+    edge_id,
+    line_graph_round_bound,
+)
+from repro.algorithms.matching import ColoredMatchingAlgorithm
+from repro.algorithms.matching.via_coloring import MatchingFromEdgeColorsProgram
+from repro.core import ConsecutiveTemplate, run
+from repro.graphs import (
+    clique,
+    empty_graph,
+    erdos_renyi,
+    grid2d,
+    line,
+    random_ids_from_domain,
+    ring,
+    sorted_path_ids,
+    star,
+)
+from repro.problems import EDGE_COLORING, MATCHING, MIS
+from repro.simulator import SyncEngine
+
+from tests.conftest import random_graph
+
+
+class TestEdgeIdEncoding:
+    def test_roundtrip(self):
+        for u, v in ((1, 2), (7, 3), (10, 10**2)):
+            identifier = edge_id(u, v, 100)
+            assert decode_edge(identifier, 100) == (min(u, v), max(u, v))
+
+    def test_distinct_over_all_edges(self):
+        graph = clique(8)
+        identifiers = {edge_id(u, v, graph.d) for u, v in graph.edges()}
+        assert len(identifiers) == graph.num_edges
+
+    def test_positive(self):
+        assert edge_id(1, 2, 5) >= 1
+
+
+class TestLineGraphEdgeColoring:
+    def test_valid_on_shapes(self):
+        algorithm = LineGraphEdgeColoringAlgorithm()
+        for graph in (line(12), ring(10), star(7), clique(5), grid2d(3, 4)):
+            result = run(algorithm, graph, max_rounds=50000)
+            assert EDGE_COLORING.is_solution(graph, result.outputs), graph.name
+
+    def test_respects_bound(self):
+        algorithm = LineGraphEdgeColoringAlgorithm()
+        graph = ring(14)
+        result = run(algorithm, graph, max_rounds=50000)
+        assert result.rounds <= algorithm.round_bound(
+            graph.n, graph.delta, graph.d
+        )
+
+    def test_bound_independent_of_n(self):
+        algorithm = LineGraphEdgeColoringAlgorithm()
+        assert algorithm.round_bound(10, 3, 50) == algorithm.round_bound(
+            10**6, 3, 50
+        )
+
+    def test_large_id_domain(self):
+        graph = random_ids_from_domain(ring(10), d=5000, seed=2)
+        result = run(LineGraphEdgeColoringAlgorithm(), graph, max_rounds=50000)
+        assert EDGE_COLORING.is_solution(graph, result.outputs)
+
+    def test_bound_grows_slowly_in_d(self):
+        small = line_graph_round_bound(10**2, 2)
+        large = line_graph_round_bound(10**6, 2)
+        assert large <= small + 12
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_valid_on_random_graphs(self, seed):
+        graph = random_graph(12, 0.25, seed)
+        result = run(LineGraphEdgeColoringAlgorithm(), graph, max_rounds=50000)
+        if graph.num_edges == 0:
+            return
+        # Nodes with no edges terminate vacuously; others must be proper.
+        assert EDGE_COLORING.is_solution(graph, result.outputs)
+
+
+class TestMatchingFromEdgeColors:
+    def test_sweep_on_solved_coloring(self):
+        graph = grid2d(4, 4)
+        coloring = EDGE_COLORING.solve_sequential(graph)
+        programs = {
+            v: MatchingFromEdgeColorsProgram(coloring[v]) for v in graph.nodes
+        }
+        result = SyncEngine(graph, programs).run()
+        assert MATCHING.is_solution(graph, result.outputs)
+        assert result.rounds <= 2 * graph.delta
+
+    def test_color_classes_are_matchings(self):
+        graph = erdos_renyi(20, 0.25, seed=9)
+        coloring = EDGE_COLORING.solve_sequential(graph)
+        by_color = {}
+        for (u, v), color in EDGE_COLORING.colored_edges(coloring).items():
+            by_color.setdefault(color, []).append((u, v))
+        for color, edges in by_color.items():
+            endpoints = [x for edge in edges for x in edge]
+            assert len(endpoints) == len(set(endpoints)), color
+
+
+class TestColoredMatching:
+    def test_valid_on_shapes(self):
+        algorithm = ColoredMatchingAlgorithm()
+        for graph in (line(12), ring(10), star(7), clique(5), empty_graph(3)):
+            result = run(algorithm, graph, max_rounds=50000)
+            assert MATCHING.is_solution(graph, result.outputs), graph.name
+
+    def test_respects_n_free_bound(self):
+        algorithm = ColoredMatchingAlgorithm()
+        for n in (16, 48):
+            graph = sorted_path_ids(line(n))
+            result = run(algorithm, graph, max_rounds=50000)
+            assert result.rounds <= algorithm.round_bound(
+                graph.n, graph.delta, graph.d
+            )
+
+    def test_beats_greedy_matching_on_long_sorted_lines(self):
+        from repro.algorithms.matching import GreedyMatchingAlgorithm
+
+        graph = sorted_path_ids(line(96))
+        colored = run(ColoredMatchingAlgorithm(), graph, max_rounds=50000).rounds
+        greedy = run(GreedyMatchingAlgorithm(), graph).rounds
+        assert colored < greedy
+
+    def test_as_consecutive_reference(self):
+        """The point of the construction: a robust matching template."""
+        from repro.algorithms.matching import (
+            GreedyMatchingAlgorithm,
+            MatchingCleanupAlgorithm,
+            MatchingInitializationAlgorithm,
+        )
+        from repro.predictions import noisy_predictions
+
+        algorithm = ConsecutiveTemplate(
+            MatchingInitializationAlgorithm(),
+            GreedyMatchingAlgorithm(),
+            MatchingCleanupAlgorithm(),
+            ColoredMatchingAlgorithm(),
+        )
+        graph = sorted_path_ids(line(40))
+        for rate in (0.0, 0.3, 1.0):
+            predictions = noisy_predictions(MATCHING, graph, rate, seed=3)
+            result = run(algorithm, graph, predictions, max_rounds=50000)
+            assert MATCHING.is_solution(graph, result.outputs), rate

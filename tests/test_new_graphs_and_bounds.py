@@ -1,0 +1,124 @@
+"""Tests for the extra graph families and the μ₂ bounds."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import run
+from repro.errors import mu2, mu2_bounds
+from repro.graphs import (
+    complete_kary_tree,
+    erdos_renyi,
+    hypercube,
+    torus,
+    validate_instance,
+)
+from repro.problems import MIS
+
+from tests.conftest import random_graph
+
+
+class TestHypercube:
+    def test_structure(self):
+        graph = hypercube(3)
+        assert graph.n == 8
+        assert all(graph.degree(v) == 3 for v in graph.nodes)
+        assert graph.diameter() == 3
+        assert validate_instance(graph) == []
+
+    def test_dimension_zero_and_one(self):
+        assert hypercube(0).n == 1
+        assert hypercube(1).edges() == [(1, 2)]
+
+    def test_negative_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            hypercube(-1)
+
+    def test_bipartite_alpha_is_half(self):
+        from repro.errors import max_independent_set_size
+
+        assert max_independent_set_size(hypercube(4)) == 8
+
+    def test_algorithms_run_on_hypercubes(self):
+        from repro.bench.algorithms import mis_parallel
+        from repro.predictions import noisy_predictions
+
+        graph = hypercube(5)
+        predictions = noisy_predictions(MIS, graph, 0.3, seed=1)
+        result = run(mis_parallel(), graph, predictions)
+        assert MIS.is_solution(graph, result.outputs)
+
+
+class TestTorus:
+    def test_structure(self):
+        graph = torus(4, 5)
+        assert graph.n == 20
+        assert all(graph.degree(v) == 4 for v in graph.nodes)
+        assert validate_instance(graph) == []
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            torus(2, 5)
+
+    def test_positions_present(self):
+        graph = torus(3, 3)
+        assert graph.node_attrs(1)["pos"] == (0, 0)
+
+
+class TestCompleteKaryTree:
+    def test_node_count(self):
+        assert complete_kary_tree(2, 3).n == 15
+        assert complete_kary_tree(3, 2).n == 13
+
+    def test_is_tree(self):
+        graph = complete_kary_tree(4, 2)
+        assert graph.num_edges == graph.n - 1
+        assert graph.is_connected()
+
+    def test_height_zero(self):
+        assert complete_kary_tree(3, 0).n == 1
+
+    def test_bad_arity_rejected(self):
+        with pytest.raises(ValueError):
+            complete_kary_tree(0, 2)
+
+
+class TestMu2Bounds:
+    def test_sandwich_on_known_families(self):
+        from repro.graphs import clique, grid2d, line, star
+
+        for graph in (clique(9), star(10), line(13), grid2d(4, 5)):
+            low, high = mu2_bounds(graph)
+            exact = mu2(graph)
+            assert low <= exact <= high, graph.name
+
+    def test_empty_subset(self):
+        low, high = mu2_bounds(erdos_renyi(10, 0.3, seed=1), nodes=[])
+        assert (low, high) == (0, 0)
+
+    def test_singleton(self):
+        low, high = mu2_bounds(erdos_renyi(10, 0.3, seed=1), nodes=[1])
+        assert low == high == 0
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_sandwich_on_random_graphs(self, seed):
+        graph = random_graph(14, 0.3, seed)
+        low, high = mu2_bounds(graph)
+        exact = mu2(graph)
+        assert low <= exact <= high
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_bounds_on_subsets(self, seed):
+        graph = random_graph(16, 0.25, seed)
+        subset = [v for v in graph.nodes if v % 2 == 0]
+        for piece in graph.subgraph(subset).components():
+            low, high = mu2_bounds(graph, piece)
+            assert low <= mu2(graph, piece) <= high
+
+    def test_cheap_on_large_graphs(self):
+        """The whole point: usable where exact alpha would blow up."""
+        graph = erdos_renyi(400, 0.05, seed=2)
+        low, high = mu2_bounds(graph)
+        assert 0 <= low <= high <= graph.n

@@ -1,0 +1,161 @@
+"""Tests for the prediction generators."""
+
+import pytest
+
+from repro.errors import eta1
+from repro.graphs import (
+    directed_line,
+    erdos_renyi,
+    grid2d,
+    line,
+    perturb_edges,
+)
+from repro.predictions import (
+    all_ones_mis,
+    all_zeros_mis,
+    directed_line_pattern,
+    grid_blackwhite_predictions,
+    noisy_predictions,
+    perfect_predictions,
+    stale_predictions,
+)
+from repro.problems import EDGE_COLORING, MATCHING, MIS, UNMATCHED, VERTEX_COLORING
+
+
+class TestPerfect:
+    def test_perfect_predictions_have_zero_error(self, small_zoo):
+        for graph in small_zoo:
+            for problem in (MIS, MATCHING, VERTEX_COLORING, EDGE_COLORING):
+                predictions = perfect_predictions(problem, graph, seed=1)
+                assert eta1(graph, predictions, problem.name) == 0, (
+                    graph.name,
+                    problem.name,
+                )
+
+    def test_seed_samples_different_solutions(self):
+        graph = line(10)
+        solutions = {
+            tuple(sorted(perfect_predictions(MIS, graph, seed=s).items()))
+            for s in range(8)
+        }
+        assert len(solutions) > 1
+
+    def test_no_seed_is_deterministic(self):
+        graph = erdos_renyi(15, 0.3, seed=2)
+        assert perfect_predictions(MIS, graph) == perfect_predictions(MIS, graph)
+
+
+class TestNoise:
+    def test_rate_zero_is_identity(self):
+        graph = erdos_renyi(20, 0.2, seed=1)
+        base = perfect_predictions(MIS, graph)
+        assert noisy_predictions(MIS, graph, 0.0, seed=1, base=base) == base
+
+    def test_rate_one_flips_every_mis_bit(self):
+        graph = line(10)
+        base = perfect_predictions(MIS, graph)
+        noisy = noisy_predictions(MIS, graph, 1.0, seed=1, base=base)
+        assert all(noisy[v] == 1 - base[v] for v in graph.nodes)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            noisy_predictions(MIS, line(3), 1.5)
+
+    def test_error_grows_with_rate(self):
+        graph = erdos_renyi(40, 0.1, seed=3)
+        errors = [
+            eta1(graph, noisy_predictions(MIS, graph, rate, seed=5))
+            for rate in (0.0, 0.2, 0.6)
+        ]
+        assert errors[0] == 0
+        assert errors[0] <= errors[1] <= errors[2]
+
+    def test_matching_noise_changes_partners(self):
+        graph = line(10)
+        base = MATCHING.solve_sequential(graph)
+        noisy = noisy_predictions(MATCHING, graph, 1.0, seed=2, base=base)
+        assert noisy != base
+
+    def test_coloring_noise_within_palette(self):
+        graph = erdos_renyi(20, 0.3, seed=4)
+        noisy = noisy_predictions(VERTEX_COLORING, graph, 1.0, seed=2)
+        assert all(1 <= c <= graph.delta + 1 for c in noisy.values())
+
+    def test_edge_coloring_noise_keeps_structure(self):
+        graph = line(6)
+        noisy = noisy_predictions(EDGE_COLORING, graph, 0.5, seed=3)
+        for node, entry in noisy.items():
+            assert set(entry) <= set(graph.neighbors(node))
+
+    def test_seeded_reproducibility(self):
+        graph = erdos_renyi(20, 0.2, seed=6)
+        a = noisy_predictions(MIS, graph, 0.4, seed=9)
+        b = noisy_predictions(MIS, graph, 0.4, seed=9)
+        assert a == b
+
+
+class TestAdversarial:
+    def test_all_ones_and_zeros(self, path5):
+        assert set(all_ones_mis(path5).values()) == {1}
+        assert set(all_zeros_mis(path5).values()) == {0}
+
+    def test_grid_pattern_needs_grid(self, path5):
+        with pytest.raises(ValueError):
+            grid_blackwhite_predictions(path5)
+
+    def test_grid_pattern_blocks(self):
+        graph = grid2d(8, 8)
+        predictions = grid_blackwhite_predictions(graph)
+        # (0,0) block is black; (0,2) is white.
+        by_pos = {
+            graph.node_attrs(v)["pos"]: predictions[v] for v in graph.nodes
+        }
+        assert by_pos[(0, 0)] == 1 and by_pos[(1, 1)] == 1
+        assert by_pos[(0, 2)] == 0 and by_pos[(2, 0)] == 0
+        assert by_pos[(2, 2)] == 1
+
+    def test_directed_line_pattern_depths(self):
+        graph = directed_line(9)
+        predictions = directed_line_pattern(graph)
+        assert predictions[1] == 0  # depth 0
+        assert predictions[2] == 1 and predictions[3] == 1
+        assert predictions[4] == 0  # depth 3
+
+
+class TestStale:
+    def test_unchanged_graph_gives_zero_error(self):
+        graph = erdos_renyi(25, 0.15, seed=1)
+        predictions = stale_predictions(MIS, graph, graph, seed=2)
+        assert eta1(graph, predictions) == 0
+
+    def test_churned_graph_gives_small_error(self):
+        graph = erdos_renyi(40, 0.1, seed=1)
+        churned = perturb_edges(graph, add=3, remove=3, seed=2)
+        predictions = stale_predictions(MIS, graph, churned, seed=2)
+        error = eta1(churned, predictions)
+        assert error < churned.n  # errors are localized, not global
+
+    def test_new_nodes_get_defaults(self):
+        from repro.graphs import perturb_nodes
+
+        graph = erdos_renyi(20, 0.2, seed=3)
+        churned = perturb_nodes(graph, add=3, seed=4)
+        predictions = stale_predictions(MIS, graph, churned, seed=1)
+        new_nodes = set(churned.nodes) - set(graph.nodes)
+        assert all(predictions[v] == 0 for v in new_nodes)
+
+    def test_matching_default_is_unmatched(self):
+        from repro.graphs import perturb_nodes
+
+        graph = line(10)
+        churned = perturb_nodes(graph, add=2, seed=1)
+        predictions = stale_predictions(MATCHING, graph, churned)
+        new_nodes = set(churned.nodes) - set(graph.nodes)
+        assert all(predictions[v] == UNMATCHED for v in new_nodes)
+
+    def test_edge_coloring_drops_vanished_edges(self):
+        graph = line(10)
+        churned = perturb_edges(graph, remove=3, seed=5)
+        predictions = stale_predictions(EDGE_COLORING, graph, churned)
+        for node, entry in predictions.items():
+            assert set(entry) <= set(churned.neighbors(node))

@@ -1,0 +1,126 @@
+"""Tests for the MIS problem definition (Section 3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import clique, line, ring, star, erdos_renyi
+from repro.problems import MIS
+
+from tests.conftest import random_graph
+
+
+class TestVerifySolution:
+    def test_valid_solution_accepted(self, path5):
+        assert MIS.is_solution(path5, {1: 1, 2: 0, 3: 1, 4: 0, 5: 1})
+
+    def test_missing_output_rejected(self, path5):
+        violations = MIS.verify_solution(path5, {1: 1, 2: 0})
+        assert any("missing" in v for v in violations)
+
+    def test_adjacent_ones_rejected(self, path5):
+        violations = MIS.verify_solution(path5, {1: 1, 2: 1, 3: 0, 4: 1, 5: 0})
+        assert any("both output 1" in v for v in violations)
+
+    def test_non_maximal_rejected(self, path5):
+        violations = MIS.verify_solution(path5, {1: 1, 2: 0, 3: 0, 4: 0, 5: 1})
+        assert violations
+
+    def test_non_bit_output_rejected(self, triangle):
+        violations = MIS.verify_solution(triangle, {1: 2, 2: 0, 3: 0})
+        assert any("expected 0 or 1" in v for v in violations)
+
+    def test_empty_graph_vacuously_solved(self):
+        from repro.graphs import DistGraph
+
+        assert MIS.is_solution(DistGraph({}), {})
+
+
+class TestPartialAndExtendable:
+    def test_empty_partial_is_extendable(self, path5):
+        assert MIS.is_extendable(path5, {})
+
+    def test_node_and_neighbors_pattern_extendable(self, path5):
+        assert MIS.is_extendable(path5, {2: 1, 1: 0, 3: 0})
+
+    def test_one_without_decided_neighbor_not_extendable(self, path5):
+        assert not MIS.is_extendable(path5, {2: 1, 1: 0})
+
+    def test_zero_without_one_neighbor_not_extendable(self, path5):
+        assert not MIS.is_extendable(path5, {3: 0})
+
+    def test_adjacent_ones_not_extendable(self, path5):
+        assert not MIS.is_extendable(path5, {1: 1, 2: 1, 3: 0})
+
+    def test_full_solution_is_extendable(self, path5):
+        assert MIS.is_extendable(path5, {1: 1, 2: 0, 3: 1, 4: 0, 5: 1})
+
+    def test_exact_extendability_agrees_on_canonical_partials(self):
+        graph = erdos_renyi(9, 0.3, seed=1)
+        solution = MIS.solve_sequential(graph)
+        chosen = MIS.independent_set_of(solution)
+        some = sorted(chosen)[:1]
+        partial = {some[0]: 1} if some else {}
+        for other in graph.neighbors(some[0]) if some else []:
+            partial[other] = 0
+        assert MIS.is_extendable(graph, partial)
+        assert MIS.is_extendable_exact(graph, partial)
+
+    def test_exact_extendability_rejects_bad_partial(self, path5):
+        assert not MIS.is_extendable_exact(path5, {2: 1, 1: 0})
+
+
+class TestSequentialSolver:
+    def test_solver_produces_valid_solutions(self, small_zoo):
+        for graph in small_zoo:
+            solution = MIS.solve_sequential(graph)
+            assert MIS.is_solution(graph, solution), graph.name
+
+    def test_order_changes_solution(self):
+        graph = line(4)
+        first = MIS.solve_sequential(graph, order=[1, 2, 3, 4])
+        second = MIS.solve_sequential(graph, order=[2, 1, 3, 4])
+        assert first != second
+
+    def test_clique_has_single_one(self):
+        solution = MIS.solve_sequential(clique(6))
+        assert sum(solution.values()) == 1
+
+    def test_star_center_first(self):
+        solution = MIS.solve_sequential(star(5), order=[1, 2, 3, 4, 5])
+        assert solution[1] == 1
+        assert sum(solution.values()) == 1
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_solver_valid_on_random_graphs(self, seed):
+        graph = random_graph(14, 0.3, seed)
+        solution = MIS.solve_sequential(graph)
+        assert MIS.is_solution(graph, solution)
+
+
+class TestEnumeration:
+    def test_all_maximal_independent_sets_of_path(self):
+        sets = {frozenset(s) for s in MIS.all_maximal_independent_sets(line(3))}
+        assert sets == {frozenset({2}), frozenset({1, 3})}
+
+    def test_all_maximal_independent_sets_of_triangle(self):
+        sets = {frozenset(s) for s in MIS.all_maximal_independent_sets(clique(3))}
+        assert sets == {frozenset({1}), frozenset({2}), frozenset({3})}
+
+    def test_every_enumerated_set_is_a_solution(self):
+        graph = ring(6)
+        for chosen in MIS.all_maximal_independent_sets(graph):
+            outputs = {v: (1 if v in chosen else 0) for v in graph.nodes}
+            assert MIS.is_solution(graph, outputs)
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_enumeration_matches_verifier(self, seed):
+        graph = random_graph(9, 0.35, seed)
+        count = 0
+        for chosen in MIS.all_maximal_independent_sets(graph):
+            outputs = {v: (1 if v in chosen else 0) for v in graph.nodes}
+            assert MIS.is_solution(graph, outputs)
+            count += 1
+        assert count >= 1

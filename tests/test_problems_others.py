@@ -1,0 +1,156 @@
+"""Tests for Maximal Matching, (Δ+1)-Vertex and (2Δ−1)-Edge Coloring."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import clique, grid2d, line, ring, star
+from repro.problems import EDGE_COLORING, MATCHING, UNMATCHED, VERTEX_COLORING
+
+from tests.conftest import random_graph
+
+
+class TestMatchingVerifier:
+    def test_valid_matching(self, path5):
+        outputs = {1: 2, 2: 1, 3: 4, 4: 3, 5: UNMATCHED}
+        assert MATCHING.is_solution(path5, outputs)
+
+    def test_unreciprocated_match_rejected(self, path5):
+        outputs = {1: 2, 2: 3, 3: 2, 4: 5, 5: 4}
+        assert MATCHING.verify_solution(path5, outputs)
+
+    def test_match_to_non_neighbor_rejected(self, path5):
+        outputs = {1: 3, 3: 1, 2: UNMATCHED, 4: 5, 5: 4}
+        violations = MATCHING.verify_solution(path5, outputs)
+        assert any("non-neighbor" in v for v in violations)
+
+    def test_adjacent_unmatched_rejected(self, path5):
+        outputs = {1: 2, 2: 1, 3: UNMATCHED, 4: UNMATCHED, 5: UNMATCHED}
+        violations = MATCHING.verify_solution(path5, outputs)
+        assert any("adjacent unmatched" in v for v in violations)
+
+    def test_extendability_needs_neighbors_decided(self, path5):
+        # 5 is unmatched but 4 is undecided: not extendable.
+        assert not MATCHING.is_extendable(path5, {5: UNMATCHED})
+        # Matched pair with no claims about others: extendable.
+        assert MATCHING.is_extendable(path5, {1: 2, 2: 1})
+
+    def test_matched_edges_helper(self, path5):
+        outputs = {1: 2, 2: 1, 3: 4, 4: 3, 5: UNMATCHED}
+        assert MATCHING.matched_edges(outputs) == {(1, 2), (3, 4)}
+
+    def test_solver_valid_everywhere(self, small_zoo):
+        for graph in small_zoo:
+            solution = MATCHING.solve_sequential(graph)
+            assert MATCHING.is_solution(graph, solution), graph.name
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_solver_valid_on_random_graphs(self, seed):
+        graph = random_graph(14, 0.3, seed)
+        assert MATCHING.is_solution(graph, MATCHING.solve_sequential(graph))
+
+
+class TestVertexColoringVerifier:
+    def test_valid_coloring(self, triangle):
+        assert VERTEX_COLORING.is_solution(triangle, {1: 1, 2: 2, 3: 3})
+
+    def test_conflict_rejected(self, triangle):
+        violations = VERTEX_COLORING.verify_solution(triangle, {1: 1, 2: 1, 3: 2})
+        assert any("share color" in v for v in violations)
+
+    def test_out_of_palette_rejected(self, triangle):
+        violations = VERTEX_COLORING.verify_solution(triangle, {1: 9, 2: 2, 3: 3})
+        assert any("expected a color" in v for v in violations)
+
+    def test_palette_size_is_delta_plus_one(self):
+        assert VERTEX_COLORING.num_colors(star(5)) == 5
+        assert VERTEX_COLORING.num_colors(ring(6)) == 3
+
+    def test_partial_proper_coloring_extendable(self, path5):
+        assert VERTEX_COLORING.is_extendable(path5, {1: 1, 2: 2})
+
+    def test_remaining_palette(self, path5):
+        palette = VERTEX_COLORING.remaining_palette(path5, {2: 2}, 3)
+        assert palette == {1, 3}
+
+    def test_solver_valid_everywhere(self, small_zoo):
+        for graph in small_zoo:
+            solution = VERTEX_COLORING.solve_sequential(graph)
+            assert VERTEX_COLORING.is_solution(graph, solution), graph.name
+
+    def test_greedy_uses_few_colors_on_line(self):
+        solution = VERTEX_COLORING.solve_sequential(line(10))
+        assert max(solution.values()) <= 2
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_solver_valid_on_random_graphs(self, seed):
+        graph = random_graph(14, 0.3, seed)
+        assert VERTEX_COLORING.is_solution(
+            graph, VERTEX_COLORING.solve_sequential(graph)
+        )
+
+
+class TestEdgeColoringVerifier:
+    def test_valid_edge_coloring(self, path5):
+        outputs = {
+            1: {2: 1},
+            2: {1: 1, 3: 2},
+            3: {2: 2, 4: 1},
+            4: {3: 1, 5: 2},
+            5: {4: 2},
+        }
+        assert EDGE_COLORING.is_solution(path5, outputs)
+
+    def test_endpoint_disagreement_rejected(self, path5):
+        outputs = {
+            1: {2: 1},
+            2: {1: 3, 3: 2},
+            3: {2: 2, 4: 1},
+            4: {3: 1, 5: 2},
+            5: {4: 2},
+        }
+        violations = EDGE_COLORING.verify_solution(path5, outputs)
+        assert any("colored" in v for v in violations)
+
+    def test_reused_color_at_node_rejected(self, path5):
+        outputs = {
+            1: {2: 1},
+            2: {1: 1, 3: 1},
+            3: {2: 1, 4: 2},
+            4: {3: 2, 5: 1},
+            5: {4: 1},
+        }
+        violations = EDGE_COLORING.verify_solution(path5, outputs)
+        assert any("reused" in v for v in violations)
+
+    def test_uncolored_edge_rejected_in_full_verification(self, path5):
+        outputs = {1: {2: 1}, 2: {1: 1}, 3: {}, 4: {}, 5: {}}
+        violations = EDGE_COLORING.verify_solution(path5, outputs)
+        assert any("uncolored" in v for v in violations)
+
+    def test_palette_size(self):
+        assert EDGE_COLORING.num_colors(star(5)) == 7
+        assert EDGE_COLORING.num_colors(line(3)) == 3
+
+    def test_colored_edges_helper(self, path5):
+        outputs = {1: {2: 1}, 2: {1: 1}}
+        assert EDGE_COLORING.colored_edges(outputs) == {(1, 2): 1}
+
+    def test_solver_valid_everywhere(self, small_zoo):
+        for graph in small_zoo:
+            solution = EDGE_COLORING.solve_sequential(graph)
+            assert EDGE_COLORING.is_solution(graph, solution), graph.name
+
+    def test_solver_on_dense_graphs(self):
+        for graph in (clique(6), grid2d(4, 4), star(8)):
+            solution = EDGE_COLORING.solve_sequential(graph)
+            assert EDGE_COLORING.is_solution(graph, solution)
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_solver_valid_on_random_graphs(self, seed):
+        graph = random_graph(12, 0.3, seed)
+        assert EDGE_COLORING.is_solution(
+            graph, EDGE_COLORING.solve_sequential(graph)
+        )

@@ -1,0 +1,124 @@
+"""Hypothesis property tests on the framework's core invariants.
+
+These are the paper's structural invariants, checked on randomly drawn
+instances and predictions:
+
+* every template produces a verified solution for every input;
+* consistency: η = 0 implies termination within the initialization bound;
+* the Simple Template's Observation 7 bounds hold pointwise;
+* error measures respect their orderings;
+* extendability is preserved at every safe pause point of the
+  measure-uniform algorithms.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.mis import (
+    ColoringMISReference,
+    GreedyMISAlgorithm,
+    MISInitializationAlgorithm,
+)
+from repro.core import ParallelTemplate, SimpleTemplate, run
+from repro.errors import eta1, eta2, eta_bw
+from repro.graphs import DistGraph, erdos_renyi
+from repro.predictions import perfect_predictions
+from repro.problems import MIS
+from repro.simulator import SyncEngine
+
+
+graph_params = st.tuples(
+    st.integers(min_value=1, max_value=18),
+    st.sampled_from([0.0, 0.1, 0.25, 0.5]),
+    st.integers(min_value=0, max_value=10**6),
+)
+
+prediction_seed = st.integers(min_value=0, max_value=10**6)
+
+
+def draw_instance(params, pred_seed):
+    n, p, seed = params
+    graph = erdos_renyi(n, p, seed=seed)
+    rng = random.Random(f"{pred_seed}:bits")
+    predictions = {v: rng.randint(0, 1) for v in graph.nodes}
+    return graph, predictions
+
+
+SIMPLE = SimpleTemplate(MISInitializationAlgorithm(), GreedyMISAlgorithm())
+PARALLEL = ParallelTemplate(
+    MISInitializationAlgorithm(), GreedyMISAlgorithm(), ColoringMISReference()
+)
+
+
+class TestSimpleTemplateProperties:
+    @given(graph_params, prediction_seed)
+    @settings(max_examples=60, deadline=None)
+    def test_always_valid_and_eta1_bounded(self, params, pred_seed):
+        graph, predictions = draw_instance(params, pred_seed)
+        result = run(SIMPLE, graph, predictions)
+        assert MIS.is_solution(graph, result.outputs)
+        assert result.rounds <= eta1(graph, predictions) + 3
+
+    @given(graph_params, prediction_seed)
+    @settings(max_examples=40, deadline=None)
+    def test_eta2_bound(self, params, pred_seed):
+        graph, predictions = draw_instance(params, pred_seed)
+        result = run(SIMPLE, graph, predictions)
+        assert result.rounds <= eta2(graph, predictions) + 4
+
+    @given(graph_params)
+    @settings(max_examples=40, deadline=None)
+    def test_consistency(self, params):
+        n, p, seed = params
+        graph = erdos_renyi(n, p, seed=seed)
+        predictions = perfect_predictions(MIS, graph, seed=seed)
+        result = run(SIMPLE, graph, predictions)
+        assert result.rounds <= 3
+
+
+class TestParallelTemplateProperties:
+    @given(graph_params, prediction_seed)
+    @settings(max_examples=40, deadline=None)
+    def test_always_valid_and_degrading(self, params, pred_seed):
+        graph, predictions = draw_instance(params, pred_seed)
+        result = run(PARALLEL, graph, predictions)
+        assert MIS.is_solution(graph, result.outputs)
+        assert result.rounds <= eta2(graph, predictions) + 5
+
+
+class TestMeasureOrderings:
+    @given(graph_params, prediction_seed)
+    @settings(max_examples=60, deadline=None)
+    def test_eta_orderings(self, params, pred_seed):
+        graph, predictions = draw_instance(params, pred_seed)
+        one = eta1(graph, predictions)
+        assert eta2(graph, predictions) <= one
+        assert eta_bw(graph, predictions) <= one
+
+    @given(graph_params, prediction_seed)
+    @settings(max_examples=40, deadline=None)
+    def test_error_component_subsets_have_smaller_mu2(self, params, pred_seed):
+        """μ₂ monotonicity on the instance's own error components."""
+        from repro.errors import error_components, mu2
+
+        graph, predictions = draw_instance(params, pred_seed)
+        for component in error_components("mis", graph, predictions):
+            sub = sorted(component)[: max(1, len(component) // 2)]
+            induced = graph.subgraph(sub)
+            for piece in induced.components():
+                assert mu2(graph, piece) <= mu2(graph, component)
+
+
+class TestExtendabilityUnderPausing:
+    @given(graph_params, st.integers(min_value=1, max_value=6))
+    @settings(max_examples=40, deadline=None)
+    def test_greedy_extendable_at_even_rounds(self, params, half_rounds):
+        n, p, seed = params
+        graph = erdos_renyi(n, p, seed=seed)
+        engine = SyncEngine(
+            graph, lambda v: GreedyMISAlgorithm().build_program()
+        )
+        outputs = engine.run(stop_after=2 * half_rounds).outputs
+        assert MIS.is_extendable(graph, outputs)

@@ -1,0 +1,163 @@
+"""Tests for the high-level runner, run metrics and the bench factories."""
+
+import pytest
+
+from repro.algorithms.mis import GreedyMISAlgorithm, LinialMISAlgorithm
+from repro.bench.algorithms import (
+    coloring_consecutive,
+    coloring_parallel,
+    coloring_simple,
+    edge_coloring_consecutive,
+    edge_coloring_simple,
+    matching_consecutive,
+    matching_simple,
+    mis_blackwhite_simple,
+    mis_consecutive,
+    mis_interleaved,
+    mis_parallel,
+    mis_rooted_parallel,
+    mis_rooted_simple,
+    mis_simple,
+)
+from repro.core import run, run_with_trace
+from repro.graphs import erdos_renyi, line, random_rooted_tree
+from repro.predictions import noisy_predictions
+from repro.problems import EDGE_COLORING, MATCHING, MIS, VERTEX_COLORING
+from repro.simulator.models import LOCAL, strict_congest
+
+
+class TestRunner:
+    def test_missing_predictions_rejected(self, path5):
+        with pytest.raises(ValueError, match="requires predictions"):
+            run(mis_simple(), path5)
+
+    def test_prediction_free_algorithm_accepts_none(self, path5):
+        result = run(GreedyMISAlgorithm(), path5)
+        assert MIS.is_solution(path5, result.outputs)
+
+    def test_model_override(self, path5):
+        result = run(GreedyMISAlgorithm(), path5, model=strict_congest(32))
+        assert result.model.strict
+
+    def test_default_model_from_algorithm(self, path5):
+        result = run(GreedyMISAlgorithm(), path5)
+        assert result.model is LOCAL
+
+    def test_run_with_trace_returns_both(self, path5):
+        result, trace = run_with_trace(GreedyMISAlgorithm(), path5)
+        assert result.rounds >= 1
+        assert trace.termination_rounds()
+
+    def test_run_with_trace_requires_predictions_too(self, path5):
+        with pytest.raises(ValueError):
+            run_with_trace(mis_simple(), path5)
+
+    def test_max_rounds_override_propagates(self, path5):
+        from repro.simulator import RoundLimitExceeded
+        from repro.simulator.program import NodeProgram
+
+        class Never(NodeProgram):
+            pass
+
+        from repro.core import FunctionalAlgorithm
+
+        with pytest.raises(RoundLimitExceeded):
+            run(FunctionalAlgorithm("never", Never), path5, max_rounds=4)
+
+
+class TestRunResultDetails:
+    def test_termination_round_lookup(self, path5):
+        result = run(GreedyMISAlgorithm(), path5)
+        assert result.termination_round(5) is not None
+        assert result.termination_round(999) is None
+
+    def test_records_carry_outputs(self, path5):
+        result = run(GreedyMISAlgorithm(), path5)
+        for node in path5.nodes:
+            assert result.records[node].output == result.outputs[node]
+
+
+MIS_FACTORIES = [
+    mis_simple,
+    mis_consecutive,
+    mis_interleaved,
+    mis_parallel,
+    mis_blackwhite_simple,
+]
+
+
+class TestBenchFactories:
+    """Every canonical construction solves a shared noisy instance."""
+
+    @pytest.mark.parametrize("factory", MIS_FACTORIES, ids=lambda f: f.__name__)
+    def test_mis_factories(self, factory):
+        graph = erdos_renyi(28, 0.15, seed=14)
+        predictions = noisy_predictions(MIS, graph, 0.4, seed=5)
+        result = run(factory(), graph, predictions, max_rounds=20000)
+        assert MIS.is_solution(graph, result.outputs)
+
+    @pytest.mark.parametrize(
+        "factory", [mis_rooted_simple, mis_rooted_parallel], ids=lambda f: f.__name__
+    )
+    def test_rooted_factories(self, factory):
+        graph = random_rooted_tree(40, seed=6)
+        predictions = noisy_predictions(MIS, graph, 0.4, seed=6)
+        result = run(factory(), graph, predictions)
+        assert MIS.is_solution(graph, result.outputs)
+
+    @pytest.mark.parametrize(
+        "factory", [matching_simple, matching_consecutive], ids=lambda f: f.__name__
+    )
+    def test_matching_factories(self, factory):
+        graph = erdos_renyi(26, 0.15, seed=15)
+        predictions = noisy_predictions(MATCHING, graph, 0.4, seed=7)
+        result = run(factory(), graph, predictions, max_rounds=20000)
+        assert MATCHING.is_solution(graph, result.outputs)
+
+    @pytest.mark.parametrize(
+        "factory",
+        [coloring_simple, coloring_consecutive, coloring_parallel],
+        ids=lambda f: f.__name__,
+    )
+    def test_coloring_factories(self, factory):
+        graph = erdos_renyi(26, 0.15, seed=16)
+        predictions = noisy_predictions(VERTEX_COLORING, graph, 0.4, seed=8)
+        result = run(factory(), graph, predictions, max_rounds=20000)
+        assert VERTEX_COLORING.is_solution(graph, result.outputs)
+
+    @pytest.mark.parametrize(
+        "factory",
+        [edge_coloring_simple, edge_coloring_consecutive],
+        ids=lambda f: f.__name__,
+    )
+    def test_edge_coloring_factories(self, factory):
+        graph = erdos_renyi(22, 0.18, seed=17)
+        predictions = noisy_predictions(EDGE_COLORING, graph, 0.4, seed=9)
+        result = run(factory(), graph, predictions, max_rounds=20000)
+        assert EDGE_COLORING.is_solution(graph, result.outputs)
+
+
+class TestLinialMIS:
+    def test_valid_and_bounded(self):
+        algorithm = LinialMISAlgorithm()
+        for seed in range(5):
+            graph = erdos_renyi(30, 0.15, seed=seed)
+            result = run(algorithm, graph)
+            assert MIS.is_solution(graph, result.outputs)
+            assert result.rounds <= algorithm.round_bound(
+                graph.n, graph.delta, graph.d
+            )
+
+    def test_bound_independent_of_n(self):
+        algorithm = LinialMISAlgorithm()
+        assert algorithm.round_bound(10, 4, 100) == algorithm.round_bound(
+            10**6, 4, 100
+        )
+
+    def test_line_beats_greedy_worst_case(self):
+        from repro.graphs import sorted_path_ids
+
+        graph = sorted_path_ids(line(80))
+        linial = run(LinialMISAlgorithm(), graph).rounds
+        greedy = run(GreedyMISAlgorithm(), graph).rounds
+        assert linial < greedy / 2

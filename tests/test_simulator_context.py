@@ -1,0 +1,104 @@
+"""Dedicated tests for NodeContext semantics."""
+
+import pytest
+
+from repro.simulator.context import NodeContext, OutputAlreadySet
+
+
+def make(**overrides):
+    defaults = dict(node_id=5, neighbors=frozenset({2, 7}), n=4, d=10, delta=2)
+    defaults.update(overrides)
+    return NodeContext(**defaults)
+
+
+class TestKnowledge:
+    def test_static_fields(self):
+        ctx = make(prediction=1, attrs={"parent": 2})
+        assert ctx.node_id == 5
+        assert ctx.neighbors == frozenset({2, 7})
+        assert ctx.n == 4 and ctx.d == 10 and ctx.delta == 2
+        assert ctx.prediction == 1
+        assert ctx.attrs["parent"] == 2
+
+    def test_degree(self):
+        assert make().degree == 2
+
+    def test_neighbors_are_immutable(self):
+        ctx = make()
+        with pytest.raises(AttributeError):
+            ctx.neighbors.add(99)
+
+    def test_active_neighbors_start_full(self):
+        ctx = make()
+        assert ctx.active_neighbors == {2, 7}
+
+    def test_local_maximum_with_active_shrinkage(self):
+        ctx = make()
+        assert not ctx.is_local_maximum()  # 7 > 5
+        ctx.active_neighbors.discard(7)
+        assert ctx.is_local_maximum()
+
+    def test_local_maximum_isolated(self):
+        ctx = make(neighbors=frozenset())
+        assert ctx.is_local_maximum()
+
+    def test_rng_is_seeded_per_node(self):
+        first = make(seed=3).rng.random()
+        second = make(seed=3).rng.random()
+        other_node = make(seed=3, node_id=6).rng.random()
+        assert first == second
+        assert first != other_node
+
+
+class TestOutputs:
+    def test_scalar_output_lifecycle(self):
+        ctx = make()
+        assert not ctx.has_output
+        assert ctx.output is None
+        ctx.set_output(42)
+        assert ctx.has_output
+        assert ctx.output == 42
+
+    def test_scalar_write_once(self):
+        ctx = make()
+        ctx.set_output(1)
+        with pytest.raises(OutputAlreadySet):
+            ctx.set_output(2)
+
+    def test_none_is_a_real_output(self):
+        ctx = make()
+        ctx.set_output(None)
+        assert ctx.has_output
+        with pytest.raises(OutputAlreadySet):
+            ctx.set_output(1)
+
+    def test_parts_lifecycle(self):
+        ctx = make()
+        ctx.set_output_part(2, "a")
+        ctx.set_output_part(7, "b")
+        assert ctx.output == {2: "a", 7: "b"}
+        assert ctx.output_part(2) == "a"
+        assert ctx.output_part(99, "default") == "default"
+
+    def test_part_write_once(self):
+        ctx = make()
+        ctx.set_output_part(2, "a")
+        with pytest.raises(OutputAlreadySet):
+            ctx.set_output_part(2, "b")
+
+    def test_parts_and_scalar_exclusive_both_ways(self):
+        ctx = make()
+        ctx.set_output(1)
+        with pytest.raises(OutputAlreadySet):
+            ctx.set_output_part(2, "a")
+        ctx2 = make()
+        ctx2.set_output_part(2, "a")
+        with pytest.raises(OutputAlreadySet):
+            ctx2.set_output(1)
+
+    def test_terminate_flag(self):
+        ctx = make()
+        assert not ctx.terminate_requested
+        ctx.terminate()
+        assert ctx.terminate_requested
+        assert not ctx.terminated  # finalized by the engine, not here

@@ -1,0 +1,86 @@
+"""Coverage for the trace utilities and the bench table renderer."""
+
+from repro.bench import Table
+from repro.graphs import line
+from repro.simulator import NodeProgram, SyncEngine, TraceRecorder
+from repro.simulator.trace import TraceEvent
+
+
+class _TwoRound(NodeProgram):
+    def compose(self, ctx):
+        if ctx.round == 1:
+            return {other: "ping" for other in ctx.active_neighbors}
+        return {}
+
+    def process(self, ctx, inbox):
+        if ctx.round == 2:
+            ctx.set_output(ctx.node_id)
+            ctx.terminate()
+
+
+class TestTraceRecorder:
+    def _trace(self):
+        trace = TraceRecorder()
+        SyncEngine(line(3), lambda v: _TwoRound(), trace=trace).run()
+        return trace
+
+    def test_of_kind_filters(self):
+        trace = self._trace()
+        sends = list(trace.of_kind("send"))
+        assert sends and all(event.kind == "send" for event in sends)
+
+    def test_sends_in_round(self):
+        trace = self._trace()
+        assert len(trace.sends_in_round(1)) == 4  # 1->2, 2->1, 2->3, 3->2
+        assert trace.sends_in_round(2) == []
+
+    def test_messages_between(self):
+        trace = self._trace()
+        messages = trace.messages_between(1, 2)
+        assert len(messages) == 1
+        assert messages[0].data["payload"] == "ping"
+
+    def test_termination_rounds(self):
+        trace = self._trace()
+        assert trace.termination_rounds() == {1: 2, 2: 2, 3: 2}
+
+    def test_first_round_of_missing_kind(self):
+        trace = self._trace()
+        assert trace.first_round_of("crash") is None
+
+    def test_output_events_carry_values(self):
+        trace = self._trace()
+        outputs = {e.node: e.data["value"] for e in trace.of_kind("output")}
+        assert outputs == {1: 1, 2: 2, 3: 3}
+
+    def test_events_are_immutable_records(self):
+        event = TraceEvent(1, "send", 2, {"to": 3})
+        import pytest
+
+        with pytest.raises(AttributeError):
+            event.round = 5
+
+
+class TestTableRenderer:
+    def test_column_widths_adapt(self):
+        table = Table("t", ["short", "x"])
+        table.add_row("a-very-long-cell", 1)
+        rendered = table.render()
+        header, body = rendered.splitlines()[2], rendered.splitlines()[4]
+        assert body.index("1") == header.index("x")
+
+    def test_empty_table_renders(self):
+        rendered = Table("empty", ["a"]).render()
+        assert "empty" in rendered and "a" in rendered
+
+    def test_print_goes_to_stdout(self, capsys):
+        table = Table("demo", ["col"])
+        table.add_row("val")
+        table.print()
+        out = capsys.readouterr().out
+        assert "demo" in out and "val" in out
+
+    def test_values_are_stringified(self):
+        table = Table("t", ["a", "b"])
+        table.add_row(3.5, None)
+        assert "3.5" in table.render() and "None" in table.render()
