@@ -33,6 +33,10 @@ from repro.algorithms.mis.color_reduction import (
     LinialMISAlgorithm,
 )
 from repro.algorithms.mis.greedy import GreedyMISAlgorithm
+from repro.algorithms.mis.hardened import (
+    HardenedGreedyMIS,
+    HardenedMISInitialization,
+)
 from repro.algorithms.mis.initialization import MISInitializationAlgorithm
 from repro.algorithms.mis.luby import LubyMISAlgorithm
 from repro.algorithms.mis.rooted_tree import (
@@ -47,6 +51,8 @@ __all__ = [
     "ClusteringMISReference",
     "ColoringMISReference",
     "GreedyMISAlgorithm",
+    "HardenedGreedyMIS",
+    "HardenedMISInitialization",
     "LinialMISAlgorithm",
     "LubyMISAlgorithm",
     "MISBaseAlgorithm",

@@ -1,0 +1,155 @@
+"""Fault-hardened MIS components for runs under message adversaries.
+
+The stock MIS Initialization and Greedy MIS Algorithms are correct in the
+paper's reliable synchronous model, but their safety leans on explicit
+JOIN messages: if an adversary drops the JOIN a joining node sends, a
+neighbor may later join too and two adjacent nodes output 1.  These
+variants restore unconditional safety under message loss by leaning only
+on information the engine delivers reliably — the termination
+announcements of Section 7 (``ctx.neighbor_outputs`` /
+``ctx.active_neighbors``), which model a node's final-round notification
+and are part of the synchronous abstraction, not the attackable channel
+(see docs/MODEL.md, "Fault model"):
+
+* a node *joins* only when it is a local maximum among active neighbors
+  **and** no neighbor is known to have output 1 — two adjacent joiners in
+  the same round would each have to exceed the other's identifier;
+* a node treats a missing expected message as suspicious rather than as
+  a "no": the hardened initialization joins only when it heard from
+  *every* active neighbor, so dropped prediction exchanges make nodes
+  conservative (they defer to the greedy phase) instead of wrong.
+
+Message loss therefore only ever *delays* decisions (the JOIN fast path
+degrades to the next-round notification path); it cannot break
+independence or domination.  Corruption of prediction *values* in
+transit is outside this guarantee — a Byzantine channel needs
+authentication, not hardening.
+"""
+
+from __future__ import annotations
+
+from repro.core.algorithm import DistributedAlgorithm
+from repro.simulator.context import NodeContext
+from repro.simulator.program import Inbox, NodeProgram, Outbox
+
+
+def _sees_one(ctx: NodeContext) -> bool:
+    """Whether some neighbor reliably announced an output of 1."""
+    return any(value == 1 for value in ctx.neighbor_outputs.values())
+
+
+class HardenedMISInitializationProgram(NodeProgram):
+    """Drop-tolerant variant of the MIS Initialization Algorithm."""
+
+    JOIN = "in"
+
+    def __init__(self) -> None:
+        self._in_independent_set = False
+        self._dominated = False
+
+    def compose(self, ctx: NodeContext) -> Outbox:
+        if ctx.round == 1:
+            return {other: ctx.prediction for other in ctx.active_neighbors}
+        # The _sees_one guard must match round 2's process exactly: a
+        # neighbor may have announced a 1 between the round-1 decision and
+        # now, and sending JOIN while aborting the join would falsely
+        # dominate a neighbor.  Compose and process of the same round see
+        # the same notifications, so the two checks always agree.
+        if ctx.round == 2 and self._in_independent_set and not _sees_one(ctx):
+            return {other: self.JOIN for other in ctx.active_neighbors}
+        return {}
+
+    def process(self, ctx: NodeContext, inbox: Inbox) -> None:
+        if ctx.round == 1:
+            # A missing message from an active neighbor means the channel
+            # lost it; joining on incomplete information could pick two
+            # adjacent 1s, so the node defers to the greedy phase instead.
+            heard_everyone = all(other in inbox for other in ctx.active_neighbors)
+            self._in_independent_set = (
+                ctx.prediction == 1
+                and heard_everyone
+                and not _sees_one(ctx)
+                and all(
+                    other < ctx.node_id
+                    for other in ctx.neighbors
+                    if inbox.get(other) == 1
+                )
+            )
+        elif ctx.round == 2:
+            # Re-checked here: a neighbor may have announced a 1 since the
+            # decision (relevant for nodes rejoining after a crash, whose
+            # restarted round 1 can be vacuous when all neighbors decided).
+            if self._in_independent_set and not _sees_one(ctx):
+                ctx.set_output(1)
+                ctx.terminate()
+            elif self.JOIN in inbox.values():
+                self._dominated = True
+        elif ctx.round == 3 and (self._dominated or _sees_one(ctx)):
+            # The notification path covers a dropped JOIN with no round
+            # penalty: a round-2 joiner is visible in neighbor_outputs here.
+            ctx.set_output(0)
+            ctx.terminate()
+
+
+class HardenedMISInitialization(DistributedAlgorithm):
+    """Hardened initialization: same 3-round bound, safe under loss."""
+
+    name = "mis-init-hardened"
+    uses_predictions = True
+
+    def build_program(self) -> NodeProgram:
+        return HardenedMISInitializationProgram()
+
+    def round_bound(self, n: int, delta: int, d: int) -> int:
+        return 3
+
+
+class HardenedGreedyMISProgram(NodeProgram):
+    """Drop-tolerant variant of Algorithm 1 (Greedy MIS)."""
+
+    JOIN = "in"
+
+    def __init__(self) -> None:
+        self._dominated = False
+
+    def _can_join(self, ctx: NodeContext) -> bool:
+        return ctx.is_local_maximum() and not _sees_one(ctx)
+
+    def compose(self, ctx: NodeContext) -> Outbox:
+        if ctx.round % 2 == 1 and self._can_join(ctx):
+            return {other: self.JOIN for other in ctx.active_neighbors}
+        return {}
+
+    def process(self, ctx: NodeContext, inbox: Inbox) -> None:
+        if _sees_one(ctx):
+            self._dominated = True
+        if ctx.round % 2 == 1:
+            if self._can_join(ctx):
+                ctx.set_output(1)
+                ctx.terminate()
+            elif self.JOIN in inbox.values():
+                self._dominated = True
+        elif self._dominated:
+            ctx.set_output(0)
+            ctx.terminate()
+
+
+class HardenedGreedyMIS(DistributedAlgorithm):
+    """Hardened Greedy MIS: measure-uniform shape, safe under loss.
+
+    Safety argument: two adjacent nodes can only both output 1 if they
+    join in the same odd round while both still active — but then each
+    is in the other's ``active_neighbors`` and ``is_local_maximum``
+    demands each identifier exceed the other.  Joins in different rounds
+    are excluded by the ``neighbor_outputs`` check, which the engine
+    updates reliably one round after a termination.  Progress: the
+    highest-identifier active undecided node always joins or is
+    dominated within 2 rounds, so the algorithm terminates in at most
+    ``2n`` rounds regardless of the drop pattern.
+    """
+
+    name = "greedy-mis-hardened"
+    safe_pause_interval = 2
+
+    def build_program(self) -> NodeProgram:
+        return HardenedGreedyMISProgram()

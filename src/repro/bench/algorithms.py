@@ -30,6 +30,8 @@ from repro.algorithms.mis import (
     ClusteringMISReference,
     ColoringMISReference,
     GreedyMISAlgorithm,
+    HardenedGreedyMIS,
+    HardenedMISInitialization,
     MISCleanupAlgorithm,
     MISInitializationAlgorithm,
     RootedTreeColoringMISReference,
@@ -60,6 +62,22 @@ def greedy_mis_reference() -> FunctionalAlgorithm:
 def mis_simple() -> SimpleTemplate:
     """Observation 7's example: MIS Initialization + Greedy MIS."""
     return SimpleTemplate(MISInitializationAlgorithm(), GreedyMISAlgorithm())
+
+
+def mis_hardened_simple() -> SimpleTemplate:
+    """The Simple Template over the fault-hardened MIS components.
+
+    Same consistency (3 rounds) and degradation shape as
+    :func:`mis_simple`, but safe under message-loss adversaries: joins
+    rely only on the engine's reliable termination notifications, so
+    drops delay decisions without ever producing adjacent 1s (see
+    :mod:`repro.algorithms.mis.hardened`).
+    """
+    return SimpleTemplate(
+        HardenedMISInitialization(),
+        HardenedGreedyMIS(),
+        name="mis-simple-hardened",
+    )
 
 
 def mis_consecutive() -> ConsecutiveTemplate:

@@ -7,6 +7,8 @@ Examples::
         --graph gnp:100:0.05 --noise 0.2
     python -m repro sweep --problem mis --template parallel \
         --graph grid:10:10 --rates 0,0.1,0.3,1.0 --csv sweep.csv
+    python -m repro faults --template hardened --graph grid:6:8 \
+        --rates 0,0.05,0.2 --crash-frac 0.1 --recover-after 3
     python -m repro example robustness
 
 Graph specs: ``line:N``, ``ring:N``, ``star:N``, ``clique:N``,
@@ -31,6 +33,7 @@ from repro.bench.algorithms import (
     matching_simple,
     mis_blackwhite_simple,
     mis_consecutive,
+    mis_hardened_simple,
     mis_interleaved,
     mis_parallel,
     mis_rooted_parallel,
@@ -73,6 +76,7 @@ TEMPLATES: Dict[str, Dict[str, Callable]] = {
         "interleaved": mis_interleaved,
         "parallel": mis_parallel,
         "blackwhite": mis_blackwhite_simple,
+        "hardened": mis_hardened_simple,
         "rooted-simple": mis_rooted_simple,
         "rooted-parallel": mis_rooted_parallel,
     },
@@ -225,8 +229,86 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if result.all_valid else 1
 
 
+def cmd_faults(args: argparse.Namespace) -> int:
+    """Degradation sweep under fault injection (message loss + crashes)."""
+    from repro.faults import degradation_sweep, summarize_points
+
+    problem, algorithm, graph = _build(args)
+    rates = [float(rate) for rate in args.rates.split(",")]
+    seeds = list(range(args.seeds))
+    recover_after = args.recover_after if args.recover_after > 0 else None
+
+    def predictions_for(seed: int):
+        base = perfect_predictions(problem, graph, seed=seed)
+        if args.noise > 0:
+            return noisy_predictions(
+                problem, graph, args.noise, seed=seed, base=base
+            )
+        return base
+
+    points = degradation_sweep(
+        algorithm,
+        problem,
+        graph,
+        predictions_for,
+        drop_rates=rates,
+        seeds=seeds,
+        crash_fraction=args.crash_frac,
+        recover_after=recover_after,
+        max_rounds=args.max_rounds,
+    )
+    rows = summarize_points(points)
+    print(f"instance   : {graph.name} (n={graph.n}, m={graph.num_edges})")
+    print(f"algorithm  : {algorithm.name}")
+    print(
+        f"faults     : crash_frac={args.crash_frac} "
+        f"recover_after={recover_after} seeds={args.seeds}"
+    )
+    print()
+    print(
+        f"{'drop':>6}  {'rounds':>7}  {'coverage':>8}  {'|S|':>6}  "
+        f"{'stuck':>5}  {'dropped':>7}  {'violations':>10}"
+    )
+    for row in rows:
+        print(
+            f"{row['drop_rate']:>6}  {row['mean_rounds_executed']:>7.1f}  "
+            f"{row['mean_coverage']:>8.3f}  {row['mean_solution_size']:>6.1f}  "
+            f"{row['stuck_runs']:>5}  {row['dropped_messages']:>7}  "
+            f"{row['violations']:>10}"
+        )
+    total_violations = sum(row["violations"] for row in rows)
+    if total_violations:
+        print(f"\n! {total_violations} safety violation(s) among survivors")
+        for point in points:
+            for violation in point.violations[:3]:
+                print(f"  ! drop={point.drop_rate} seed={point.seed}: {violation}")
+    if args.csv:
+        import csv
+
+        with open(args.csv, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(
+                [
+                    "graph", "drop_rate", "crash_fraction", "recovery", "seed",
+                    "rounds", "rounds_executed", "survivors", "coverage",
+                    "solution_size", "violations", "stuck", "dropped",
+                ]
+            )
+            for p in points:
+                writer.writerow(
+                    [
+                        p.graph, p.drop_rate, p.crash_fraction, p.recovery,
+                        p.seed, p.rounds, p.rounds_executed, p.survivors,
+                        f"{p.coverage:.6f}", p.solution_size,
+                        len(p.violations), p.stuck, p.dropped,
+                    ]
+                )
+        print(f"wrote {args.csv}")
+    return 1 if total_violations else 0
+
+
 def cmd_reproduce(args: argparse.Namespace) -> int:
-    """Run the E1..E24 benchmark suite (requires a source checkout)."""
+    """Run the E1..E25 benchmark suite (requires a source checkout)."""
     import os
 
     if not os.path.isdir(args.benchmarks):
@@ -281,11 +363,42 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--repeats", type=int, default=2)
     sweep_parser.add_argument("--csv", default=None, help="write CSV here")
 
+    faults_parser = subparsers.add_parser(
+        "faults", help="degradation sweep under fault injection"
+    )
+    faults_parser.add_argument("--problem", default="mis", help="problem name")
+    faults_parser.add_argument(
+        "--template", default="hardened", help="template name"
+    )
+    faults_parser.add_argument(
+        "--graph", default="gnp:48:0.1", help="graph spec"
+    )
+    faults_parser.add_argument(
+        "--noise", type=float, default=0.0, help="prediction noise rate"
+    )
+    faults_parser.add_argument(
+        "--rates", default="0,0.01,0.05,0.2",
+        help="comma-separated message drop rates",
+    )
+    faults_parser.add_argument(
+        "--crash-frac", type=float, default=0.0,
+        help="fraction of nodes that crash in early rounds",
+    )
+    faults_parser.add_argument(
+        "--recover-after", type=int, default=0,
+        help="rounds until crashed nodes rejoin (0 = crash-stop)",
+    )
+    faults_parser.add_argument(
+        "--seeds", type=int, default=3, help="seeds per rate"
+    )
+    faults_parser.add_argument("--max-rounds", type=int, default=None)
+    faults_parser.add_argument("--csv", default=None, help="write CSV here")
+
     example_parser = subparsers.add_parser("example", help="run a bundled example")
     example_parser.add_argument("name", help=f"one of {sorted(EXAMPLES)}")
 
     reproduce_parser = subparsers.add_parser(
-        "reproduce", help="run the full E1..E24 experiment suite"
+        "reproduce", help="run the full E1..E25 experiment suite"
     )
     reproduce_parser.add_argument("--benchmarks", default="benchmarks")
     reproduce_parser.add_argument(
@@ -302,6 +415,7 @@ def main(argv=None) -> int:
         "list": cmd_list,
         "run": cmd_run,
         "sweep": cmd_sweep,
+        "faults": cmd_faults,
         "example": cmd_example,
         "reproduce": cmd_reproduce,
     }

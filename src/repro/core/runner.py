@@ -27,6 +27,8 @@ def run(
     max_rounds: Optional[int] = None,
     seed: int = 0,
     crash_rounds: Optional[Mapping[int, int]] = None,
+    faults: Optional[Any] = None,
+    on_round_limit: str = "raise",
 ) -> RunResult:
     """Run ``algorithm`` on ``graph`` and return the execution record.
 
@@ -38,7 +40,12 @@ def run(
         model: Execution model override (defaults to the algorithm's).
         max_rounds: Round budget override.
         seed: Seed for per-node random streams (randomized algorithms).
-        crash_rounds: Optional fault injection (tests of fault tolerance).
+        crash_rounds: Back-compat crash-stop fault injection.
+        faults: A :class:`~repro.faults.plan.FaultPlan` describing
+            crashes, crash-recovery, message adversaries and prediction
+            corruption.
+        on_round_limit: ``"raise"`` or ``"partial"`` (graceful
+            degradation; the result carries a ``stuck`` report).
     """
     if algorithm.uses_predictions and predictions is None:
         raise ValueError(
@@ -52,6 +59,8 @@ def run(
         max_rounds=max_rounds,
         seed=seed,
         crash_rounds=crash_rounds,
+        faults=faults,
+        on_round_limit=on_round_limit,
     )
     return engine.run()
 
@@ -64,6 +73,8 @@ def run_with_trace(
     model: Optional[ExecutionModel] = None,
     max_rounds: Optional[int] = None,
     seed: int = 0,
+    faults: Optional[Any] = None,
+    on_round_limit: str = "raise",
 ) -> Tuple[RunResult, TraceRecorder]:
     """Like :func:`run` but also return the full event trace."""
     if algorithm.uses_predictions and predictions is None:
@@ -79,5 +90,7 @@ def run_with_trace(
         max_rounds=max_rounds,
         seed=seed,
         trace=trace,
+        faults=faults,
+        on_round_limit=on_round_limit,
     )
     return engine.run(), trace

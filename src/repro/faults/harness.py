@@ -1,0 +1,199 @@
+"""The robustness harness: degradation sweeps under fault injection.
+
+Sweeps a fault dimension (message-loss rate, optionally combined with
+crash / crash-recovery faults) over seeded runs and records, per point,
+how the execution *degraded*: rounds actually executed, survivor
+coverage (fraction of un-crashed nodes that decided), solution size and
+safety-validator verdicts.  This is the engine behind the ``repro
+faults`` CLI command and ``benchmarks/bench_e25_fault_degradation.py``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.core.algorithm import DistributedAlgorithm
+from repro.core.runner import run
+from repro.faults.plan import CrashFault, FaultPlan, MessageAdversary
+from repro.faults.validators import (
+    survivor_coverage,
+    survivor_nodes,
+    survivor_violations,
+)
+from repro.graphs.graph import DistGraph
+from repro.problems.base import GraphProblem
+
+#: Either a fixed prediction mapping or a per-seed factory.
+PredictionSource = Union[Mapping[int, Any], Callable[[int], Mapping[int, Any]]]
+
+
+@dataclass
+class DegradationPoint:
+    """One run of a degradation sweep.
+
+    Attributes:
+        graph: Name of the instance.
+        drop_rate: Message-loss rate of this point.
+        crash_fraction: Fraction of nodes given crash faults.
+        recovery: Whether crashed nodes were scheduled to rejoin.
+        seed: The run's seed (predictions, adversary and crash draw).
+        rounds: Last-termination round (the paper's measure).
+        rounds_executed: Rounds the engine actually ran.
+        survivors: Number of un-crashed nodes at the end.
+        coverage: Fraction of survivors that decided.
+        solution_size: Number of nodes outputting 1 (MIS-style problems;
+            for other problems, the number of decided survivors).
+        violations: Safety violations among survivors (must be empty).
+        stuck: Whether the run hit its round budget (graceful mode).
+        dropped: Messages removed by the adversary.
+    """
+
+    graph: str
+    drop_rate: float
+    crash_fraction: float
+    recovery: bool
+    seed: int
+    rounds: int
+    rounds_executed: int
+    survivors: int
+    coverage: float
+    solution_size: int
+    violations: List[str] = field(default_factory=list)
+    stuck: bool = False
+    dropped: int = 0
+
+
+def random_crash_plan(
+    graph: DistGraph,
+    fraction: float,
+    *,
+    crash_rounds: Sequence[int] = (1, 2, 3, 4),
+    recover_after: Optional[int] = None,
+    drop_rate: float = 0.0,
+    duplicate_rate: float = 0.0,
+    corrupt_rate: float = 0.0,
+    seed: int = 0,
+) -> FaultPlan:
+    """A seeded plan crashing a random fraction of nodes.
+
+    Each selected node crashes at a round drawn from ``crash_rounds`` and,
+    when ``recover_after`` is set, rejoins that many rounds later with
+    reset state.  A message adversary is attached when any rate is set.
+    """
+    rng = random.Random(f"{seed}:crash-plan")
+    nodes = sorted(graph.nodes)
+    count = round(fraction * len(nodes))
+    victims = sorted(rng.sample(nodes, count)) if count else []
+    crashes = tuple(
+        CrashFault(node, rng.choice(list(crash_rounds)), recover_after)
+        for node in victims
+    )
+    adversary = None
+    if drop_rate or duplicate_rate or corrupt_rate:
+        adversary = MessageAdversary(
+            drop_rate=drop_rate,
+            duplicate_rate=duplicate_rate,
+            corrupt_rate=corrupt_rate,
+        )
+    return FaultPlan(crashes=crashes, messages=adversary, seed=seed)
+
+
+def _predictions_for(source: PredictionSource, seed: int) -> Mapping[int, Any]:
+    return source(seed) if callable(source) else source
+
+
+def degradation_sweep(
+    algorithm: DistributedAlgorithm,
+    problem: GraphProblem,
+    graph: DistGraph,
+    predictions: PredictionSource,
+    *,
+    drop_rates: Sequence[float] = (0.0, 0.01, 0.05, 0.2),
+    seeds: Sequence[int] = (0, 1, 2),
+    crash_fraction: float = 0.0,
+    recover_after: Optional[int] = None,
+    max_rounds: Optional[int] = None,
+) -> List[DegradationPoint]:
+    """Run the fault-rate sweep and measure degradation at every point.
+
+    Every run uses ``on_round_limit="partial"``: a starved run is a data
+    point (low coverage, ``stuck=True``), not an error.  Safety is still
+    checked at every point via :func:`survivor_violations`.
+    """
+    points: List[DegradationPoint] = []
+    for rate in drop_rates:
+        for seed in seeds:
+            plan = random_crash_plan(
+                graph,
+                crash_fraction,
+                recover_after=recover_after,
+                drop_rate=rate,
+                seed=seed,
+            )
+            result = run(
+                algorithm,
+                graph,
+                _predictions_for(predictions, seed),
+                seed=seed,
+                max_rounds=max_rounds,
+                faults=plan,
+                on_round_limit="partial",
+            )
+            survivors = survivor_nodes(result)
+            ones = sum(1 for value in result.outputs.values() if value == 1)
+            points.append(
+                DegradationPoint(
+                    graph=graph.name,
+                    drop_rate=rate,
+                    crash_fraction=crash_fraction,
+                    recovery=recover_after is not None,
+                    seed=seed,
+                    rounds=result.rounds,
+                    rounds_executed=result.rounds_executed,
+                    survivors=len(survivors),
+                    coverage=survivor_coverage(result),
+                    solution_size=ones if problem.name == "mis" else len(
+                        set(result.outputs) & set(survivors)
+                    ),
+                    violations=survivor_violations(problem, graph, result),
+                    stuck=result.stuck is not None,
+                    dropped=result.dropped_messages,
+                )
+            )
+    return points
+
+
+def summarize_points(
+    points: Sequence[DegradationPoint],
+) -> List[Dict[str, Any]]:
+    """Aggregate a sweep per drop rate: the degradation curve.
+
+    Returns one row per rate (in sweep order) with seed-averaged rounds
+    and coverage, total violations and the number of starved runs.
+    """
+    rows: List[Dict[str, Any]] = []
+    by_rate: Dict[float, List[DegradationPoint]] = {}
+    order: List[float] = []
+    for point in points:
+        if point.drop_rate not in by_rate:
+            order.append(point.drop_rate)
+        by_rate.setdefault(point.drop_rate, []).append(point)
+    for rate in order:
+        group = by_rate[rate]
+        rows.append(
+            {
+                "drop_rate": rate,
+                "runs": len(group),
+                "mean_rounds_executed": sum(p.rounds_executed for p in group)
+                / len(group),
+                "mean_coverage": sum(p.coverage for p in group) / len(group),
+                "mean_solution_size": sum(p.solution_size for p in group)
+                / len(group),
+                "violations": sum(len(p.violations) for p in group),
+                "stuck_runs": sum(1 for p in group if p.stuck),
+                "dropped_messages": sum(p.dropped for p in group),
+            }
+        )
+    return rows

@@ -14,7 +14,7 @@ prediction via :mod:`repro.predictions.stale`.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Tuple
+from typing import Dict, List, Set, Tuple
 
 from repro.graphs.graph import DistGraph
 
@@ -38,22 +38,20 @@ def perturb_edges(
     for edge in removable[: min(remove, len(removable))]:
         edges.discard(edge)
 
-    candidates: List[Tuple[int, int]] = []
+    chosen: Set[Tuple[int, int]] = set()
     nodes = list(graph.nodes)
     # For large graphs, rejection-sample rather than materializing all
-    # non-edges.
+    # non-edges.  ``existing`` keeps removed edges from being re-added.
     attempts = 0
-    added = 0
     existing = set(graph.edges())
-    while added < add and attempts < 50 * max(1, add):
+    while len(chosen) < add and attempts < 50 * max(1, add):
         attempts += 1
         u, v = rng.sample(nodes, 2)
         edge = (min(u, v), max(u, v))
-        if edge in existing or edge in edges or edge in candidates:
+        if edge in existing or edge in chosen:
             continue
-        candidates.append(edge)
-        added += 1
-    edges.update(candidates)
+        chosen.add(edge)
+    edges.update(chosen)
 
     adjacency: Dict[int, List[int]] = {node: [] for node in graph.nodes}
     for u, v in edges:

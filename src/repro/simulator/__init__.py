@@ -20,7 +20,12 @@ round, exactly when an explicit notification message would have arrived.
 from repro.simulator.context import NodeContext
 from repro.simulator.engine import RoundLimitExceeded, SyncEngine
 from repro.simulator.message import estimate_bits
-from repro.simulator.metrics import NodeRecord, RunResult
+from repro.simulator.metrics import (
+    NodeRecord,
+    NodeSnapshot,
+    RunResult,
+    StuckReport,
+)
 from repro.simulator.models import CONGEST, LOCAL, ExecutionModel
 from repro.simulator.program import NodeProgram
 from repro.simulator.trace import TraceEvent, TraceRecorder
@@ -32,8 +37,10 @@ __all__ = [
     "NodeContext",
     "NodeProgram",
     "NodeRecord",
+    "NodeSnapshot",
     "RoundLimitExceeded",
     "RunResult",
+    "StuckReport",
     "SyncEngine",
     "TraceEvent",
     "TraceRecorder",

@@ -14,15 +14,24 @@ exactly the information and the timing an explicit final-round notification
 message provides.  This keeps composed algorithms (the templates of
 Section 7) faithful to the paper without every component re-implementing
 the notification handshake.
+
+Fault injection is delegated to a controller from :mod:`repro.faults`
+interposed in the compose/deliver path (see ``docs/MODEL.md``, "Fault
+model"): message adversaries act between compose and delivery, crashes
+fire at the end of a round, recoveries at the start of one.  The
+``on_round_limit="partial"`` mode turns a blown round budget into a
+partial :class:`~repro.simulator.metrics.RunResult` carrying a
+:class:`~repro.simulator.metrics.StuckReport` instead of an exception, so
+benchmarks under faults can *measure* degradation rather than abort.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Mapping, Optional, Union
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.simulator.context import NodeContext
 from repro.simulator.message import estimate_bits
-from repro.simulator.metrics import NodeRecord, RunResult
+from repro.simulator.metrics import NodeRecord, NodeSnapshot, RunResult, StuckReport
 from repro.simulator.models import LOCAL, ExecutionModel
 from repro.simulator.program import NodeProgram
 from repro.simulator.trace import TraceRecorder
@@ -32,8 +41,11 @@ class RoundLimitExceeded(RuntimeError):
     """Raised when a run exceeds its round budget without terminating.
 
     Every algorithm in the paper has a finite worst-case round complexity;
-    hitting this limit always indicates a bug (e.g. deadlocked composition
-    or a non-terminating wait).
+    hitting this limit under fault-free execution always indicates a bug
+    (e.g. deadlocked composition or a non-terminating wait).  Under fault
+    injection it may instead mean the adversary starved the algorithm —
+    pass ``on_round_limit="partial"`` to record that outcome instead of
+    raising.
     """
 
 
@@ -59,8 +71,17 @@ class SyncEngine:
         max_rounds: Round budget; defaults to ``8 * n + 64``.
         seed: Base seed for the per-node random streams.
         trace: Optional :class:`TraceRecorder` receiving every event.
-        crash_rounds: Optional fault injection — mapping ``node -> round``;
-            the node executes that round and then vanishes without output.
+        crash_rounds: Back-compat fault injection — mapping
+            ``node -> round``; the node executes that round and then
+            vanishes without output.  Equivalent to (and merged into) a
+            :class:`~repro.faults.plan.FaultPlan` of crash-stop faults.
+        faults: A :class:`~repro.faults.plan.FaultPlan` (or any controller
+            implementing its hook API) describing crashes, crash-recovery,
+            message adversaries and prediction corruption.
+        on_round_limit: ``"raise"`` (default) raises
+            :class:`RoundLimitExceeded` when the budget is blown;
+            ``"partial"`` stops instead and returns the partial
+            :class:`RunResult` with a populated ``stuck`` report.
     """
 
     def __init__(
@@ -74,13 +95,27 @@ class SyncEngine:
         seed: int = 0,
         trace: Optional[TraceRecorder] = None,
         crash_rounds: Optional[Mapping[int, int]] = None,
+        faults: Optional[Any] = None,
+        on_round_limit: str = "raise",
     ) -> None:
+        if on_round_limit not in ("raise", "partial"):
+            raise ValueError(
+                f"on_round_limit must be 'raise' or 'partial', got {on_round_limit!r}"
+            )
         self.graph = graph
         self.model = model
         self.trace = trace
         self.max_rounds = max_rounds if max_rounds is not None else 8 * graph.n + 64
-        self._crash_rounds = dict(crash_rounds or {})
-        predictions = predictions or {}
+        self.on_round_limit = on_round_limit
+        self._seed = seed
+        self._faults = self._resolve_faults(faults, crash_rounds)
+        predictions = dict(predictions or {})
+        if self._faults is not None and predictions:
+            predictions = self._faults.corrupt_predictions(
+                predictions, sorted(graph.nodes)
+            )
+        self._predictions = predictions
+        self._program_source = programs
 
         self.programs: Dict[int, NodeProgram] = {}
         self.contexts: Dict[int, NodeContext] = {}
@@ -90,21 +125,50 @@ class SyncEngine:
             else:
                 program = programs[node]
             self.programs[node] = program
-            self.contexts[node] = NodeContext(
-                node_id=node,
-                neighbors=frozenset(graph.neighbors(node)),
-                n=graph.n,
-                d=graph.d,
-                delta=graph.delta,
-                prediction=predictions.get(node),
-                attrs=graph.node_attrs(node),
-                seed=seed,
-            )
+            self.contexts[node] = self._build_context(node)
 
         self._active = set(self.graph.nodes)
         self._result = RunResult(model=model)
         for node in self.graph.nodes:
             self._result.records[node] = NodeRecord(node_id=node)
+        #: Adversarial replays scheduled for a later round:
+        #: (due round, sender, receiver, payload).
+        self._pending_replays: List[Tuple[int, int, int, Any]] = []
+        self._last_inboxes: Dict[int, Dict[int, Any]] = {}
+
+    @staticmethod
+    def _resolve_faults(
+        faults: Optional[Any], crash_rounds: Optional[Mapping[int, int]]
+    ) -> Optional[Any]:
+        """Normalize ``faults``/``crash_rounds`` into one controller."""
+        controller = None
+        if faults is not None:
+            if hasattr(faults, "build_controller"):
+                controller = faults.build_controller()
+            else:
+                controller = faults
+        if crash_rounds:
+            if controller is None:
+                # Imported here: the simulator package must stay importable
+                # without repro.faults (which itself imports the simulator).
+                from repro.faults.plan import FaultPlan
+
+                controller = FaultPlan.from_crash_rounds(crash_rounds).build_controller()
+            else:
+                controller.add_crash_rounds(crash_rounds)
+        return controller
+
+    def _build_context(self, node: int) -> NodeContext:
+        return NodeContext(
+            node_id=node,
+            neighbors=frozenset(self.graph.neighbors(node)),
+            n=self.graph.n,
+            d=self.graph.d,
+            delta=self.graph.delta,
+            prediction=self._predictions.get(node),
+            attrs=self.graph.node_attrs(node),
+            seed=self._seed,
+        )
 
     # ------------------------------------------------------------------
     def run(self, stop_after: Optional[int] = None) -> RunResult:
@@ -116,16 +180,20 @@ class SyncEngine:
         """
         self._setup_phase()
         round_index = 0
-        while self._active:
+        while self._active or self._has_pending_recoveries(round_index):
             if stop_after is not None and round_index >= stop_after:
                 break
-            round_index += 1
-            if round_index > self.max_rounds:
+            if round_index >= self.max_rounds:
+                if self.on_round_limit == "partial":
+                    self._result.stuck = self._build_stuck_report(round_index)
+                    break
                 raise RoundLimitExceeded(
                     f"{len(self._active)} node(s) still active after "
                     f"{self.max_rounds} rounds: {sorted(self._active)[:10]}"
                 )
+            round_index += 1
             self._run_round(round_index)
+        self._result.rounds_executed = round_index
         self._result.rounds = max(
             (
                 record.termination_round
@@ -136,6 +204,21 @@ class SyncEngine:
         )
         return self._result
 
+    def _has_pending_recoveries(self, round_index: int) -> bool:
+        """Whether a crashed node is still scheduled to rejoin later.
+
+        Keeps the run alive across a window in which *every* node is
+        momentarily crashed but recoveries are due.
+        """
+        if self._faults is None:
+            return False
+        last = getattr(self._faults, "last_recovery_round", None)
+        if last is None:
+            return False
+        due = last()
+        # A rejoin beyond the round budget can never fire; ignore it.
+        return round_index < due <= self.max_rounds
+
     # ------------------------------------------------------------------
     def _setup_phase(self) -> None:
         for node in sorted(self._active):
@@ -145,7 +228,9 @@ class SyncEngine:
         self._finalize_round(0)
 
     def _run_round(self, round_index: int) -> None:
+        self._apply_recoveries(round_index)
         inboxes: Dict[int, Dict[int, Any]] = {node: {} for node in self._active}
+        self._deliver_replays(round_index, inboxes)
 
         # Compose phase: every active node decides its messages using state
         # from the end of the previous round.
@@ -169,6 +254,9 @@ class SyncEngine:
                 # round, so such sends are legitimate.)
                 if receiver not in self._active:
                     continue
+                payload = self._adjudicate(round_index, node, receiver, payload)
+                if payload is _DROPPED:
+                    continue
                 self._account_message(payload)
                 inboxes[receiver][node] = payload
 
@@ -176,8 +264,129 @@ class SyncEngine:
         for node in sorted(self._active):
             self.programs[node].process(self.contexts[node], inboxes[node])
 
+        self._last_inboxes = inboxes
         self._finalize_round(round_index)
 
+    # ------------------------------------------------------------------
+    # Fault interposition
+    # ------------------------------------------------------------------
+    def _adjudicate(
+        self, round_index: int, sender: int, receiver: int, payload: Any
+    ) -> Any:
+        """Run one message through the adversary; ``_DROPPED`` if lost."""
+        if self._faults is None:
+            return payload
+        fate = self._faults.message_fate(round_index, sender, receiver, payload)
+        if fate.dropped:
+            self._result.dropped_messages += 1
+            if self.trace is not None:
+                self.trace.record(
+                    round_index, "drop", sender, {"to": receiver, "payload": payload}
+                )
+            return _DROPPED
+        if fate.corrupted:
+            self._result.corrupted_messages += 1
+            if self.trace is not None:
+                self.trace.record(
+                    round_index,
+                    "corrupt",
+                    sender,
+                    {"to": receiver, "original": payload, "payload": fate.payload},
+                )
+        if fate.duplicate:
+            self._pending_replays.append(
+                (round_index + 1, sender, receiver, fate.payload)
+            )
+        return fate.payload
+
+    def _deliver_replays(
+        self, round_index: int, inboxes: Dict[int, Dict[int, Any]]
+    ) -> None:
+        """Deliver adversarial replays due this round.
+
+        Replays are inserted before fresh sends, so a fresh message from
+        the same sender supersedes its own stale copy (the channel keeps
+        at most one message per ordered pair per round).
+        """
+        if not self._pending_replays:
+            return
+        still_pending: List[Tuple[int, int, int, Any]] = []
+        for due, sender, receiver, payload in self._pending_replays:
+            if due != round_index:
+                still_pending.append((due, sender, receiver, payload))
+                continue
+            if receiver not in self._active:
+                continue
+            self._result.duplicated_messages += 1
+            if self.trace is not None:
+                self.trace.record(
+                    round_index,
+                    "duplicate",
+                    sender,
+                    {"to": receiver, "payload": payload},
+                )
+            self._account_message(payload)
+            inboxes[receiver][sender] = payload
+        self._pending_replays = still_pending
+
+    def _apply_recoveries(self, round_index: int) -> None:
+        """Rejoin crash-with-recovery nodes at the start of this round."""
+        if self._faults is None:
+            return
+        for node in self._faults.recoveries_at(round_index):
+            record = self._result.records.get(node)
+            if record is None or not record.crashed:
+                continue  # never crashed (or already back): nothing to do
+            if callable(self._program_source):
+                self.programs[node] = self._program_source(node)
+            # else: mapping-provided program instances cannot be rebuilt;
+            # the node rejoins with whatever state the instance holds.
+            ctx = self._build_context(node)
+            ctx.round = round_index
+            ctx.active_neighbors = {
+                other for other in ctx.neighbors if other in self._active
+            }
+            for other in ctx.neighbors:
+                other_record = self._result.records[other]
+                if other_record.termination_round is not None:
+                    ctx.neighbor_outputs[other] = other_record.output
+                elif other_record.crashed:
+                    ctx.crashed_neighbors.add(other)
+            self.contexts[node] = ctx
+            self._active.add(node)
+            record.crashed = False
+            record.recovery_round = round_index
+            for other in ctx.neighbors:
+                neighbor_ctx = self.contexts[other]
+                neighbor_ctx.active_neighbors.add(node)
+                neighbor_ctx.crashed_neighbors.discard(node)
+            self.programs[node].setup(ctx)
+            if self.trace is not None:
+                self.trace.record(round_index, "recover", node)
+
+    def _build_stuck_report(self, round_index: int) -> StuckReport:
+        live = sorted(self._active)
+        snapshots: Dict[int, NodeSnapshot] = {}
+        for node in live:
+            ctx = self.contexts[node]
+            snapshots[node] = NodeSnapshot(
+                node_id=node,
+                round=ctx.round,
+                last_inbox=dict(self._last_inboxes.get(node, {})),
+                state={
+                    key: repr(value)
+                    for key, value in sorted(vars(self.programs[node]).items())
+                },
+                has_output=ctx.has_output,
+            )
+        return StuckReport(
+            round=round_index,
+            live_nodes=live,
+            total_nodes=self.graph.n,
+            snapshots=snapshots,
+        )
+
+    # ------------------------------------------------------------------
     def _account_message(self, payload: Any) -> None:
         bits = estimate_bits(payload)
         self._result.message_count += 1
@@ -197,11 +406,15 @@ class SyncEngine:
             for node in sorted(self._active)
             if self.contexts[node].terminate_requested
         ]
+        crash_now = (
+            set(self._faults.crashes_at(round_index))
+            if self._faults is not None
+            else set()
+        )
         crashed = [
             node
             for node in sorted(self._active)
-            if self._crash_rounds.get(node) == round_index
-            and node not in terminated
+            if node in crash_now and node not in terminated
         ]
 
         for node in terminated:
@@ -236,3 +449,7 @@ class SyncEngine:
                 neighbor_ctx = self.contexts[neighbor]
                 neighbor_ctx.active_neighbors.discard(node)
                 neighbor_ctx.crashed_neighbors.add(node)
+
+
+#: Sentinel for a message removed by the adversary.
+_DROPPED = object()

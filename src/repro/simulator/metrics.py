@@ -10,7 +10,7 @@ checked against an actual execution.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.simulator.models import ExecutionModel
 
@@ -24,13 +24,69 @@ class NodeRecord:
         output: The node's final output (``None`` if it crashed).
         termination_round: Round in which the node terminated (0 for
             termination during setup), or ``None`` if it never did.
-        crashed: Whether fault injection removed the node.
+        crashed: Whether fault injection removed the node (and it has not
+            recovered since).
+        recovery_round: Round in which the node last rejoined after a
+            crash-with-recovery fault, or ``None`` if it never recovered.
     """
 
     node_id: int
     output: Any = None
     termination_round: Optional[int] = None
     crashed: bool = False
+    recovery_round: Optional[int] = None
+
+
+@dataclass
+class NodeSnapshot:
+    """State of one still-live node when a run was cut short.
+
+    Attributes:
+        node_id: The node.
+        round: The last round the node participated in.
+        last_inbox: The messages the node received in its last round
+            (sender id -> payload).
+        state: Shallow, ``repr``-ized snapshot of the node program's
+            instance attributes — enough to see *where* a program is stuck
+            without aliasing live state.
+        has_output: Whether the node had assigned (parts of) its output.
+    """
+
+    node_id: int
+    round: int
+    last_inbox: Dict[int, Any] = field(default_factory=dict)
+    state: Dict[str, str] = field(default_factory=dict)
+    has_output: bool = False
+
+
+@dataclass
+class StuckReport:
+    """Diagnosis of a run that hit its round budget under graceful mode.
+
+    Produced by ``SyncEngine(..., on_round_limit="partial")`` instead of
+    a :class:`~repro.simulator.engine.RoundLimitExceeded` exception, so
+    that benchmarks under fault injection can *measure* degradation
+    (which nodes are stuck, and how far everyone else got) rather than
+    abort.
+
+    Attributes:
+        round: The last round that was executed (= the round budget).
+        live_nodes: Nodes still active when the run was cut, sorted.
+        total_nodes: Number of nodes in the instance.
+        snapshots: Per-live-node :class:`NodeSnapshot`.
+    """
+
+    round: int
+    live_nodes: List[int] = field(default_factory=list)
+    total_nodes: int = 0
+    snapshots: Dict[int, NodeSnapshot] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        """One-line human-readable description."""
+        return (
+            f"{len(self.live_nodes)}/{self.total_nodes} node(s) still live "
+            f"after {self.round} round(s): {self.live_nodes[:10]}"
+        )
 
 
 @dataclass
@@ -41,21 +97,38 @@ class RunResult:
         outputs: Final output of every node that terminated.
         records: Per-node :class:`NodeRecord`.
         rounds: Number of rounds until all (non-crashed) nodes terminated —
-            the paper's round complexity of the execution.
+            the paper's round complexity of the execution.  Under faults or
+            partial runs this is the *last termination* round (0 when no
+            node ever terminated); use :attr:`rounds_executed` to measure
+            how long the engine actually ran.
+        rounds_executed: Number of rounds the engine executed, regardless
+            of terminations — well-defined even when every node crashed or
+            the run was cut by ``stop_after`` / the round budget.
         message_count: Number of point-to-point messages delivered.
         total_bits: Sum of estimated message sizes.
         max_message_bits: Width of the largest single message.
         bandwidth_violations: Messages exceeding the model's budget.
+        dropped_messages: Messages removed by a message adversary.
+        duplicated_messages: Adversarial replay deliveries (a copy of a
+            previous-round message delivered one round late).
+        corrupted_messages: Messages whose payload an adversary mangled.
+        stuck: :class:`StuckReport` when the run hit its round budget in
+            ``on_round_limit="partial"`` mode, else ``None``.
         model: The execution model the run was accounted against.
     """
 
     outputs: Dict[int, Any] = field(default_factory=dict)
     records: Dict[int, NodeRecord] = field(default_factory=dict)
     rounds: int = 0
+    rounds_executed: int = 0
     message_count: int = 0
     total_bits: int = 0
     max_message_bits: int = 0
     bandwidth_violations: int = 0
+    dropped_messages: int = 0
+    duplicated_messages: int = 0
+    corrupted_messages: int = 0
+    stuck: Optional[StuckReport] = None
     model: Optional[ExecutionModel] = None
 
     def termination_round(self, node_id: int) -> Optional[int]:

@@ -19,10 +19,17 @@ class TraceEvent:
 
     Attributes:
         round: Round in which the event happened (0 = setup).
-        kind: ``"send"``, ``"output"``, ``"terminate"`` or ``"crash"``.
-        node: The acting node.
-        data: Event payload — for sends, ``{"to": ..., "payload": ...}``;
-            for outputs, ``{"value": ...}``; empty otherwise.
+        kind: ``"send"``, ``"output"``, ``"terminate"``, ``"crash"``,
+            ``"recover"``, or — under a message adversary — ``"drop"``,
+            ``"corrupt"`` and ``"duplicate"``.  Every adversarial event
+            references the *send* it acted on: a dropped or corrupted
+            message still produces its ``"send"`` event first, and a
+            ``"duplicate"`` marks the replay delivery one round later.
+        node: The acting node (the sender, for message events).
+        data: Event payload — for sends/drops/duplicates, ``{"to": ...,
+            "payload": ...}``; for corruptions additionally
+            ``"original"``; for outputs, ``{"value": ...}``; empty
+            otherwise.
     """
 
     round: int
