@@ -36,7 +36,9 @@ def test_e10_simple_template_eta_t_bound(once):
             graph = random_rooted_tree(80, seed=seed)
             for rate in (0.0, 0.2, 0.5, 1.0):
                 predictions = noisy_predictions(MIS, graph, rate, seed=seed)
-                result = run(algorithm, graph, predictions)
+                # One seed threads through generator, predictions AND the
+                # run, so each cell is reproducible in isolation.
+                result = run(algorithm, graph, predictions, seed=seed)
                 error = eta_t(graph, predictions)
                 bound = (error + 1) // 2 + 5
                 table.add_row(graph.name, rate, error, result.rounds, bound)

@@ -5,35 +5,43 @@ of prediction error, with the robust algorithm flattening at its
 reference cap while the prediction-only algorithm keeps degrading.
 
 Workload: sorted-id line (Greedy's Θ(n) worst case) with a growing
-corrupted segment.  Claims checked:
+corrupted segment, executed as one :class:`repro.exec.Sweep` (the cells
+share the graph and differ only in their prediction spec, so the sweep's
+artifact cache builds the line once).  Claims checked:
 
 * Simple = η₁ + 3 exactly on this family (tight degradation);
 * Parallel = min{η₁ + O(1), cap} where cap depends only on Δ and d;
-* the crossover sits where η₁ ≈ cap.
+* the crossover sits where η₁ ≈ cap;
+* the sweep executor reproduces the pre-executor per-run numbers
+  seed-for-seed (the measured curve is pinned exactly).
 """
 
 from repro.algorithms.mis import ColoringMISReference
 from repro.bench import Table
-from repro.bench.algorithms import mis_parallel, mis_simple
-from repro.core import run
-from repro.errors import eta1
-from repro.graphs import line, sorted_path_ids
-from repro.predictions import perfect_predictions
-from repro.problems import MIS
+from repro.bench.workloads import corrupted_segment_mis, sorted_line
+from repro.core import RunConfig
+from repro.exec import GraphSpec, PredictionSpec, Sweep
 
+SEGMENTS = (0, 8, 16, 32, 48, 64, 96)
 
-def corrupted(base, segment):
-    predictions = dict(base)
-    for node in range(1, segment + 1):
-        predictions[node] = 0
-    return predictions
+#: The curve measured by the pre-executor, run()-per-point version of
+#: this benchmark: (eta1, simple rounds, parallel rounds) per segment.
+#: The port must reproduce it exactly — same seeds, same rounds.
+EXPECTED_CURVE = {
+    0: (0, 3, 3),
+    8: (8, 11, 11),
+    16: (15, 18, 18),
+    32: (31, 34, 32),
+    48: (47, 50, 32),
+    64: (63, 66, 32),
+    96: (96, 99, 32),
+}
 
 
 def test_e18_crossover(once):
     def experiment():
         n = 96
-        graph = sorted_path_ids(line(n))
-        base = perfect_predictions(MIS, graph, seed=1)
+        graph = sorted_line(n)
         reference = ColoringMISReference()
         cap = (
             3
@@ -41,30 +49,51 @@ def test_e18_crossover(once):
             + 2
             + reference.part2_bound(n, graph.delta, graph.d)
         )
-        simple = mis_simple()
-        parallel = mis_parallel()
+        sweep = Sweep(name="e18-crossover")
+        graph_spec = GraphSpec.of(sorted_line, n)
+        for segment in SEGMENTS:
+            predictions = PredictionSpec.of(corrupted_segment_mis, segment)
+            for algo in ("mis_simple", "mis_parallel"):
+                sweep.add(
+                    f"L={segment}/{algo}",
+                    graph_spec,
+                    algo,
+                    predictions=predictions,
+                    problem="mis",
+                    seed=0,
+                    config=RunConfig(),
+                )
+        result = sweep.run("serial")
+        rows = result.by_label()
         table = Table(
             "E18: robustness crossover on the sorted-id line (n=96)",
             ["corrupt L", "eta1", "simple rounds", "parallel rounds", "cap"],
         )
-        rows = []
-        for segment in (0, 8, 16, 32, 48, 64, 96):
-            predictions = corrupted(base, segment)
-            error = eta1(graph, predictions)
-            simple_rounds = run(simple, graph, predictions).rounds
-            parallel_rounds = run(parallel, graph, predictions).rounds
-            table.add_row(segment, error, simple_rounds, parallel_rounds, cap)
-            rows.append((error, simple_rounds, parallel_rounds))
-        return table, (rows, cap)
+        curve = []
+        for segment in SEGMENTS:
+            simple_row = rows[f"L={segment}/mis_simple"]
+            parallel_row = rows[f"L={segment}/mis_parallel"]
+            assert simple_row.error == parallel_row.error
+            table.add_row(
+                segment, simple_row.error, simple_row.rounds,
+                parallel_row.rounds, cap,
+            )
+            curve.append(
+                (segment, simple_row.error, simple_row.rounds, parallel_row.rounds)
+            )
+        assert result.all_valid
+        return table, (curve, cap)
 
-    table, (rows, cap) = once(experiment)
+    table, (curve, cap) = once(experiment)
     table.print()
-    for error, simple_rounds, parallel_rounds in rows:
+    for segment, error, simple_rounds, parallel_rounds in curve:
+        # Seed-for-seed identical to the pre-executor benchmark.
+        assert (error, simple_rounds, parallel_rounds) == EXPECTED_CURVE[segment]
         # Simple: linear degradation, never better than consistency.
         assert simple_rounds <= error + 3
         # Parallel: min of the degradation curve and the cap.
         assert parallel_rounds <= min(error + 5, cap)
     # At full corruption the robust algorithm beats the simple one
     # decisively (the whole point of robustness).
-    full_error = rows[-1]
-    assert full_error[2] < full_error[1] / 2
+    _, _, full_simple, full_parallel = curve[-1]
+    assert full_parallel < full_simple / 2

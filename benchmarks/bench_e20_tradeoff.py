@@ -4,8 +4,10 @@ The paper's open problem: do the Kumar–Purohit–Svitkina-style trade-offs
 from online algorithms with predictions exist in the distributed setting?
 We instantiate the natural candidate — a trust parameter λ controlling
 how long the measure-uniform algorithm runs before the reference takes
-over (``HedgedConsecutiveTemplate``) — against the O(Δ² + log* d) Linial
-MIS reference on the greedy worst case, and measure both ends:
+over (``HedgedConsecutiveTemplate``, built by the
+:func:`repro.bench.algorithms.mis_hedged` factory) — against the
+O(Δ² + log* d) Linial MIS reference on the greedy worst case, and measure
+both ends as one :class:`repro.exec.Sweep` (λ × {good, bad} predictions):
 
 * *good predictions* (η₁ ≈ 12): cost is f(η) + c iff λ·r ≥ f(η);
 * *bad predictions* (all-zeros, η₁ = n): cost ≈ c + λ·r + c' + r.
@@ -14,47 +16,55 @@ Measured shape: the λ sweep trades a larger degradation window against a
 λ·r-proportional worst case — the distributed analogue of the online
 trade-off exists for this construction.  (A companion observation, pinned
 by a unit test: when R = U, hedging is free — U's steady progress means
-no rounds are wasted.)
+no rounds are wasted.)  The executor port is pinned to the pre-executor
+measured rounds, seed-for-seed.
 """
 
-from repro import HedgedConsecutiveTemplate
-from repro.algorithms.mis import (
-    GreedyMISAlgorithm,
-    LinialMISAlgorithm,
-    MISCleanupAlgorithm,
-    MISInitializationAlgorithm,
-)
+from repro.algorithms.mis import LinialMISAlgorithm
 from repro.bench import Table
-from repro.core import run
-from repro.errors import eta1
-from repro.graphs import line, sorted_path_ids
-from repro.predictions import all_zeros_mis, perfect_predictions
-from repro.problems import MIS
+from repro.bench.workloads import corrupted_segment_mis, sorted_line
+from repro.exec import AlgorithmSpec, GraphSpec, PredictionSpec, Sweep
 
+TRUSTS = (0.0, 0.25, 0.5, 1.0, 2.0)
 
-def hedged(trust):
-    return HedgedConsecutiveTemplate(
-        MISInitializationAlgorithm(),
-        GreedyMISAlgorithm(),
-        MISCleanupAlgorithm(),
-        LinialMISAlgorithm(),
-        trust=trust,
-    )
+#: (good rounds, bad rounds) per λ from the pre-executor, run()-per-point
+#: version of this benchmark.  The port must reproduce them exactly.
+EXPECTED_ROUNDS = {
+    0.0: (33, 33),
+    0.25: (41, 41),
+    0.5: (15, 49),
+    1.0: (15, 65),
+    2.0: (15, 95),
+}
 
 
 def test_e20_trust_sweep(once):
     def experiment():
-        graph = sorted_path_ids(line(96))
+        n = 96
+        graph = sorted_line(n)
         reference_cap = LinialMISAlgorithm().round_bound(
             graph.n, graph.delta, graph.d
         )
-
-        base = perfect_predictions(MIS, graph, seed=1)
-        good = dict(base)
-        for node in range(1, 13):  # small corrupted segment
-            good[node] = 0
-        bad = all_zeros_mis(graph)
-        good_error = eta1(graph, good)
+        sweep = Sweep(name="e20-tradeoff")
+        graph_spec = GraphSpec.of(sorted_line, n)
+        predictions = {
+            "good": PredictionSpec.of(corrupted_segment_mis, 12),
+            "bad": PredictionSpec.of("all_zeros_mis"),
+        }
+        for trust in TRUSTS:
+            for pred_label, pred in predictions.items():
+                sweep.add(
+                    f"trust={trust}/{pred_label}",
+                    graph_spec,
+                    AlgorithmSpec.of("mis_hedged", trust),
+                    predictions=pred,
+                    problem="mis",
+                    seed=0,
+                )
+        result = sweep.run("serial")
+        assert result.all_valid
+        rows = result.by_label()
+        good_error = rows["trust=0.0/good"].error
 
         table = Table(
             f"E20: trust sweep (sorted line n=96, reference cap {reference_cap})",
@@ -64,19 +74,20 @@ def test_e20_trust_sweep(once):
                 "bad rounds (eta1=96)",
             ],
         )
-        rows = []
-        for trust in (0.0, 0.25, 0.5, 1.0, 2.0):
-            good_run = run(hedged(trust), graph, good)
-            bad_run = run(hedged(trust), graph, bad)
-            assert MIS.is_solution(graph, good_run.outputs)
-            assert MIS.is_solution(graph, bad_run.outputs)
-            table.add_row(trust, good_run.rounds, bad_run.rounds)
-            rows.append((trust, good_run.rounds, bad_run.rounds))
-        return table, (rows, reference_cap, good_error)
+        measured = []
+        for trust in TRUSTS:
+            good_rounds = rows[f"trust={trust}/good"].rounds
+            bad_rounds = rows[f"trust={trust}/bad"].rounds
+            table.add_row(trust, good_rounds, bad_rounds)
+            measured.append((trust, good_rounds, bad_rounds))
+        return table, (measured, reference_cap, good_error)
 
     table, (rows, cap, good_error) = once(experiment)
     table.print()
     by_trust = {trust: (good, bad) for trust, good, bad in rows}
+    # Seed-for-seed identical to the pre-executor benchmark.
+    for trust, rounds in by_trust.items():
+        assert rounds == EXPECTED_ROUNDS[trust]
     # Once the U budget covers the error, good-prediction cost is f(eta)+c.
     full_trust_good = by_trust[1.0][0]
     assert full_trust_good <= good_error + 3 + 2

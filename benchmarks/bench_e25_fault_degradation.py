@@ -9,6 +9,14 @@ and without crashes, on three graph families.  Runs use
 ``on_round_limit="partial"`` so an adversary that starves the round
 budget yields a measurable partial result instead of an exception.
 
+The whole 108-run grid executes as one :class:`repro.exec.Sweep` on the
+process-pool backend: every run carries an explicit seed and a
+:class:`~repro.exec.plan.FaultSpec` naming
+:func:`~repro.faults.harness.random_crash_plan` with that seed, so the
+fan-out reproduces the old ``degradation_sweep`` loop seed-for-seed (a
+serial re-execution of any cell gives the same row).  Per-cell survivor
+metrics come from :func:`repro.faults.harness.degradation_metrics`.
+
 Claims checked:
 
 * safety is unconditional: the survivor-restricted MIS validators report
@@ -22,11 +30,10 @@ Claims checked:
 """
 
 from repro.bench import Table
-from repro.bench.algorithms import mis_hardened_simple
-from repro.faults import degradation_sweep, summarize_points
-from repro.graphs import erdos_renyi, grid2d, line, sorted_path_ids
-from repro.predictions import perfect_predictions
-from repro.problems import MIS
+from repro.bench.workloads import perfect_mis, sorted_line
+from repro.core import RunConfig
+from repro.exec import FaultSpec, GraphSpec, PredictionSpec, Sweep
+from repro.faults import degradation_metrics
 
 DROP_RATES = (0.0, 0.01, 0.05, 0.2)
 SEEDS = (0, 1, 2)
@@ -34,9 +41,9 @@ SEEDS = (0, 1, 2)
 # that heavy loss visibly eats into coverage instead of just adding
 # rounds (clean hardened runs finish in 3; 20% loss pushes past 7).
 FAMILIES = (
-    ("gnp48", erdos_renyi(48, 0.1, seed=3), 7),
-    ("grid-6x8", grid2d(6, 8), 7),
-    ("sortedline-64", sorted_path_ids(line(64)), 7),
+    ("gnp48", GraphSpec.of("erdos_renyi", 48, 0.1, seed=3), 7),
+    ("grid-6x8", GraphSpec.of("grid2d", 6, 8), 7),
+    ("sortedline-64", GraphSpec.of(sorted_line, 64), 7),
 )
 CONFIGS = (
     ("no crashes", 0.0, None),
@@ -45,28 +52,76 @@ CONFIGS = (
 )
 
 
+def _summarize(rows):
+    """Per-rate curve from sweep rows — the same aggregation
+    :func:`repro.faults.harness.summarize_points` applies to its points."""
+    curve = []
+    for rate in DROP_RATES:
+        group = [row for row in rows if row.metrics["drop_rate"] == rate]
+        curve.append(
+            {
+                "drop_rate": rate,
+                "runs": len(group),
+                "mean_rounds_executed": sum(r.rounds_executed for r in group)
+                / len(group),
+                "mean_coverage": sum(r.metrics["coverage"] for r in group)
+                / len(group),
+                "mean_solution_size": sum(r.solution_size for r in group)
+                / len(group),
+                "violations": sum(r.metrics["violations"] for r in group),
+                "stuck_runs": sum(1 for r in group if r.stuck),
+                "dropped_messages": sum(r.dropped_messages for r in group),
+            }
+        )
+    return curve
+
+
 def test_e25_fault_degradation(once):
     def experiment():
+        sweep = Sweep(name="e25-degradation")
+        coordinates = []  # (family, config, rate) per cell, in add order
+        for family_name, graph_spec, budget in FAMILIES:
+            config = RunConfig(max_rounds=budget, on_round_limit="partial")
+            for config_name, crash_fraction, recover_after in CONFIGS:
+                for rate in DROP_RATES:
+                    for seed in SEEDS:
+                        sweep.add(
+                            f"{family_name}/{config_name}/d={rate}/s={seed}",
+                            graph_spec,
+                            "mis_hardened_simple",
+                            predictions=PredictionSpec.of(perfect_mis, seed=seed),
+                            faults=FaultSpec.of(
+                                "random_crash_plan",
+                                crash_fraction,
+                                recover_after=recover_after,
+                                drop_rate=rate,
+                                seed=seed,
+                            ),
+                            problem="mis",
+                            seed=seed,
+                            config=config,
+                            metrics=degradation_metrics,
+                        )
+                        coordinates.append((family_name, config_name, rate))
+        result = sweep.run("process")
+
+        # Rows come back in cell order, so they zip with the coordinates
+        # recorded at add time (labels encode the same facts, but parsing
+        # floats back out of labels is fragile).
+        by_cell = {}
+        for row, (family_name, config_name, rate) in zip(result.rows, coordinates):
+            row.metrics["drop_rate"] = rate
+            by_cell.setdefault((family_name, config_name), []).append(row)
+
         table = Table(
             "E25: survivor coverage under message loss (hardened MIS)",
             ["graph", "faults", "drop", "rounds", "coverage", "|S|",
              "stuck", "violations"],
         )
         curves = []
-        for family_name, graph, budget in FAMILIES:
-            for config_name, crash_fraction, recover_after in CONFIGS:
-                points = degradation_sweep(
-                    mis_hardened_simple(),
-                    MIS,
-                    graph,
-                    lambda seed: perfect_predictions(MIS, graph, seed=seed),
-                    drop_rates=DROP_RATES,
-                    seeds=SEEDS,
-                    crash_fraction=crash_fraction,
-                    recover_after=recover_after,
-                    max_rounds=budget,
-                )
-                rows = summarize_points(points)
+        for family_name, _, _ in FAMILIES:
+            for config_name, _, _ in CONFIGS:
+                rows = _summarize(by_cell[(family_name, config_name)])
                 for row in rows:
                     table.add_row(
                         family_name,

@@ -5,25 +5,52 @@ Larsen, *Distributed Graph Algorithms with Predictions* (brief
 announcement at PODC 2025): the LOCAL/CONGEST simulator, the
 consistency/robustness/degradation framework, the four templates of
 Section 7, all four problems (MIS, Maximal Matching, (Δ+1)-Vertex
-Coloring, (2Δ−1)-Edge Coloring), their error measures, and the
-experiment harness that validates every quantitative claim.
+Coloring, (2Δ−1)-Edge Coloring), their error measures, the sweep
+executor, and the experiment harness that validates every quantitative
+claim.
+
+This module is the stable public surface (see docs/API.md): single runs
+go through :func:`run`/:class:`RunConfig`, grids of runs through
+:class:`Sweep`.
 
 Quickstart::
 
-    from repro import run, SimpleTemplate
-    from repro.algorithms.mis import MISInitializationAlgorithm, GreedyMISAlgorithm
+    from repro import MIS, mis_simple, run
     from repro.graphs import erdos_renyi
     from repro.predictions import noisy_predictions
-    from repro.problems import MIS
 
     graph = erdos_renyi(100, 0.05, seed=1)
-    algorithm = SimpleTemplate(MISInitializationAlgorithm(), GreedyMISAlgorithm())
     predictions = noisy_predictions(MIS, graph, rate=0.1, seed=1)
-    result = run(algorithm, graph, predictions)
+    result = run(mis_simple(), graph, predictions)
     assert MIS.is_solution(graph, result.outputs)
     print(result.rounds, "rounds")
+
+A grid of runs, fanned over a process pool::
+
+    from repro import Sweep
+
+    sweep = Sweep(name="noise", base_seed=1)
+    sweep.add_grid(
+        {"gnp": graph},
+        {"simple": "mis_simple", "parallel": "mis_parallel"},
+        predictions={"zeros": "all_zeros_mis"},
+        seeds=(0, 1, 2),
+        problem="mis",
+    )
+    table = sweep.run()
+    print(table.rounds_by_error())
 """
 
+from repro.bench.algorithms import (
+    coloring_simple,
+    edge_coloring_simple,
+    matching_simple,
+    mis_consecutive,
+    mis_hedged,
+    mis_interleaved,
+    mis_parallel,
+    mis_simple,
+)
 from repro.core import (
     ConsecutiveTemplate,
     HedgedConsecutiveTemplate,
@@ -32,32 +59,53 @@ from repro.core import (
     InterleavedTemplate,
     ParallelTemplate,
     PhasedAlgorithm,
+    RunConfig,
     SimpleTemplate,
     TwoPartReference,
     run,
     run_with_trace,
 )
+from repro.exec import Sweep, SweepResult
+from repro.faults import FaultPlan
 from repro.graphs import DistGraph
+from repro.problems import EDGE_COLORING, MATCHING, MIS, VERTEX_COLORING, get_problem
 from repro.simulator import CONGEST, LOCAL, RunResult, SyncEngine
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CONGEST",
     "ConsecutiveTemplate",
     "DistGraph",
     "DistributedAlgorithm",
+    "EDGE_COLORING",
+    "FaultPlan",
     "FunctionalAlgorithm",
     "HedgedConsecutiveTemplate",
     "InterleavedTemplate",
     "LOCAL",
+    "MATCHING",
+    "MIS",
     "ParallelTemplate",
     "PhasedAlgorithm",
+    "RunConfig",
     "RunResult",
     "SimpleTemplate",
+    "Sweep",
+    "SweepResult",
     "SyncEngine",
     "TwoPartReference",
+    "VERTEX_COLORING",
     "__version__",
+    "coloring_simple",
+    "edge_coloring_simple",
+    "get_problem",
+    "matching_simple",
+    "mis_consecutive",
+    "mis_hedged",
+    "mis_interleaved",
+    "mis_parallel",
+    "mis_simple",
     "run",
     "run_with_trace",
 ]

@@ -32,6 +32,7 @@ from repro.algorithms.mis import (
     GreedyMISAlgorithm,
     HardenedGreedyMIS,
     HardenedMISInitialization,
+    LinialMISAlgorithm,
     MISCleanupAlgorithm,
     MISInitializationAlgorithm,
     RootedTreeColoringMISReference,
@@ -42,6 +43,7 @@ from repro.algorithms.mis.greedy import GreedyMISProgram
 from repro.core import (
     ConsecutiveTemplate,
     FunctionalAlgorithm,
+    HedgedConsecutiveTemplate,
     InterleavedTemplate,
     ParallelTemplate,
     SimpleTemplate,
@@ -105,6 +107,19 @@ def mis_parallel() -> ParallelTemplate:
         MISInitializationAlgorithm(),
         GreedyMISAlgorithm(),
         ColoringMISReference(),
+    )
+
+
+def mis_hedged(trust: float = 1.0) -> HedgedConsecutiveTemplate:
+    """Section 10's trade-off candidate: trust λ bounds how long the
+    measure-uniform algorithm runs before the Linial reference takes
+    over."""
+    return HedgedConsecutiveTemplate(
+        MISInitializationAlgorithm(),
+        GreedyMISAlgorithm(),
+        MISCleanupAlgorithm(),
+        LinialMISAlgorithm(),
+        trust=trust,
     )
 
 

@@ -1,8 +1,16 @@
-"""Workload builders shared by the benchmark modules."""
+"""Workload builders shared by the benchmark modules.
+
+Besides the instance iterators the older benchmarks consume, this module
+hosts the top-level *spec factories* the sweep executor needs: graph and
+prediction builders that are importable by name (the pickling rule for
+:mod:`repro.exec` specs) and take the graph as their first argument (the
+:class:`~repro.exec.plan.PredictionSpec` calling convention — the paper's
+own generators take the problem first, so thin wrappers adapt them).
+"""
 
 from __future__ import annotations
 
-from typing import Any, Iterator, List, Mapping, Sequence, Tuple
+from typing import Any, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.graphs import (
     DistGraph,
@@ -15,12 +23,46 @@ from repro.graphs import (
     random_regular,
     random_tree,
     ring,
+    sorted_path_ids,
     star,
 )
 from repro.predictions import noisy_predictions, perfect_predictions
+from repro.problems import MIS, get_problem
 from repro.problems.base import GraphProblem
 
 Instance = Tuple[str, DistGraph, Mapping[int, Any]]
+
+
+# ----------------------------------------------------------------------
+# Spec factories (top-level so sweep specs can name and pickle them)
+# ----------------------------------------------------------------------
+def sorted_line(n: int) -> DistGraph:
+    """The line with sorted identifiers — Greedy's Θ(n) worst case."""
+    return sorted_path_ids(line(n))
+
+
+def perfect_for(graph: DistGraph, problem: str, seed: Optional[int] = None):
+    """Graph-first wrapper around :func:`perfect_predictions`."""
+    return perfect_predictions(get_problem(problem), graph, seed=seed)
+
+
+def noisy_for(graph: DistGraph, problem: str, rate: float, seed: int = 0):
+    """Graph-first wrapper around :func:`noisy_predictions`."""
+    return noisy_predictions(get_problem(problem), graph, rate, seed=seed)
+
+
+def perfect_mis(graph: DistGraph, seed: Optional[int] = None):
+    """Perfect MIS predictions (η₁ = 0)."""
+    return perfect_predictions(MIS, graph, seed=seed)
+
+
+def corrupted_segment_mis(graph: DistGraph, segment: int, seed: int = 1):
+    """Perfect MIS predictions with the first ``segment`` identifiers
+    zeroed out — the growing corrupted prefix of E18/E20."""
+    predictions = dict(perfect_predictions(MIS, graph, seed=seed))
+    for node in range(1, segment + 1):
+        predictions[node] = 0
+    return predictions
 
 
 def standard_graph_suite(scale: int = 1) -> List[DistGraph]:

@@ -41,7 +41,6 @@ from repro.bench.algorithms import (
     mis_simple,
 )
 from repro.core import run
-from repro.core.analysis import sweep as run_sweep
 from repro.errors import eta1
 from repro.graphs import (
     DistGraph,
@@ -203,26 +202,53 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    problem, algorithm, graph = _build(args)
+    from repro.bench.workloads import noisy_for
+    from repro.core import RunConfig
+    from repro.exec import GraphSpec, PredictionSpec, Sweep
+
+    problem = PROBLEMS.get(args.problem)
+    if problem is None:
+        raise SystemExit(f"unknown problem {args.problem!r}")
+    factory = TEMPLATES[args.problem].get(args.template)
+    if factory is None:
+        raise SystemExit(
+            f"unknown template {args.template!r} for {args.problem} "
+            f"(choose from {sorted(TEMPLATES[args.problem])})"
+        )
     rates = [float(r) for r in args.rates.split(",")]
 
-    def instances():
-        for rate in rates:
-            for seed in range(args.repeats):
-                yield (
-                    f"p={rate}/s={seed}",
-                    graph,
-                    noisy_predictions(problem, graph, rate, seed=seed),
-                )
-
-    measure = lambda g, p: eta1(g, p, problem.name)
-    result = run_sweep(
-        algorithm, problem, instances(), measure, max_rounds=args.max_rounds
+    # The graph comes from a parsed string spec, so it enters the sweep
+    # as a literal (content-hashed) artifact rather than a named factory.
+    graph_spec = GraphSpec.literal(parse_graph(args.graph))
+    config = RunConfig(max_rounds=args.max_rounds, seed=args.seed)
+    sweep = Sweep(name=f"{args.problem}/{args.template}")
+    for rate in rates:
+        for seed in range(args.repeats):
+            sweep.add(
+                f"p={rate}/s={seed}",
+                graph_spec,
+                factory,
+                predictions=PredictionSpec.of(
+                    noisy_for, args.problem, rate, seed=seed
+                ),
+                problem=problem.name,
+                seed=args.seed,
+                config=config,
+            )
+    result = sweep.run(
+        args.backend,
+        jobs=args.jobs,
+        chunk_size=args.chunk_size,
+        cache_dir=args.cache_dir,
     )
     print(f"{'error':>6}  {'max rounds':>10}")
     for error, rounds in result.rounds_by_error():
         print(f"{error:>6}  {rounds:>10}")
-    print(f"\nall valid: {result.all_valid}")
+    print(
+        f"\nall valid: {result.all_valid}  "
+        f"({len(result)} cells, {result.backend} backend, "
+        f"{result.elapsed:.2f}s)"
+    )
     if args.csv:
         result.to_csv(args.csv)
         print(f"wrote {args.csv}")
@@ -362,6 +388,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.add_argument("--repeats", type=int, default=2)
     sweep_parser.add_argument("--csv", default=None, help="write CSV here")
+    sweep_parser.add_argument(
+        "--backend", choices=("process", "serial"), default="process",
+        help="execution backend (process pool or in-process serial)",
+    )
+    sweep_parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the process backend (default: CPUs)",
+    )
+    sweep_parser.add_argument(
+        "--chunk-size", type=int, default=None,
+        help="cells per dispatched chunk (default: auto)",
+    )
+    sweep_parser.add_argument(
+        "--cache-dir", default=None,
+        help="on-disk artifact cache directory (e.g. .repro_cache)",
+    )
 
     faults_parser = subparsers.add_parser(
         "faults", help="degradation sweep under fault injection"

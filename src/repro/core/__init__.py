@@ -20,7 +20,7 @@ from repro.core.algorithm import (
     PhasedAlgorithm,
     TwoPartReference,
 )
-from repro.core.runner import run, run_with_trace
+from repro.core.runner import RunConfig, run, run_with_trace
 from repro.core.templates import (
     ConsecutiveTemplate,
     HedgedConsecutiveTemplate,
@@ -37,6 +37,7 @@ __all__ = [
     "InterleavedTemplate",
     "ParallelTemplate",
     "PhasedAlgorithm",
+    "RunConfig",
     "SimpleTemplate",
     "TwoPartReference",
     "run",

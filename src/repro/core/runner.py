@@ -1,13 +1,23 @@
 """High-level execution entry points.
 
-``run(algorithm, graph, predictions)`` is the one-call API most examples
-and benchmarks use: it builds one program per node, executes the
-synchronous engine, and returns the :class:`~repro.simulator.metrics.
-RunResult` whose ``rounds`` field is the paper's performance measure.
+``run(algorithm, graph, predictions, config=RunConfig(...))`` is the one
+call every example, benchmark and sweep uses: it builds one program per
+node, executes the synchronous engine, and returns the
+:class:`~repro.simulator.metrics.RunResult` whose ``rounds`` field is the
+paper's performance measure.
+
+:class:`RunConfig` is the single, frozen description of *how* to execute
+— model, round budget, seed, fault plan, round-limit policy, tracing and
+the engine's ``fast`` mode — so that a configuration can be hashed,
+compared, stored in a sweep cell and shipped to a worker process.  The
+keyword arguments of :func:`run` are conveniences that build (or
+override) a :class:`RunConfig`.
 """
 
 from __future__ import annotations
 
+import warnings
+from dataclasses import dataclass, replace
 from typing import Any, Mapping, Optional, Tuple
 
 from repro.core.algorithm import DistributedAlgorithm
@@ -17,52 +27,144 @@ from repro.simulator.metrics import RunResult
 from repro.simulator.models import ExecutionModel
 from repro.simulator.trace import TraceRecorder
 
+#: Sentinel distinguishing "not passed" from an explicit ``None``/value.
+_UNSET: Any = object()
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Frozen description of one engine execution.
+
+    Attributes:
+        model: Execution model override; ``None`` uses the algorithm's.
+        max_rounds: Round budget; ``None`` uses the engine default
+            (``8 * n + 64``).
+        seed: Seed for the per-node random streams.
+        faults: A :class:`~repro.faults.plan.FaultPlan` (or controller)
+            describing crashes, message adversaries and prediction
+            corruption; ``None`` runs fault-free.
+        on_round_limit: ``"raise"`` or ``"partial"`` (graceful
+            degradation; the result carries a ``stuck`` report).
+        trace: Record every event; the :class:`TraceRecorder` is attached
+            to the result as ``result.trace``.
+        fast: Engine fast mode — skip per-message bit-size estimation
+            (identical outputs and round counts, no bandwidth columns).
+    """
+
+    model: Optional[ExecutionModel] = None
+    max_rounds: Optional[int] = None
+    seed: int = 0
+    faults: Optional[Any] = None
+    on_round_limit: str = "raise"
+    trace: bool = False
+    fast: bool = False
+
+    def __post_init__(self) -> None:
+        if self.on_round_limit not in ("raise", "partial"):
+            raise ValueError(
+                "on_round_limit must be 'raise' or 'partial', "
+                f"got {self.on_round_limit!r}"
+            )
+
+    def with_overrides(self, **overrides: Any) -> "RunConfig":
+        """A copy with the given (non-``_UNSET``) fields replaced."""
+        changes = {
+            key: value for key, value in overrides.items() if value is not _UNSET
+        }
+        return replace(self, **changes) if changes else self
+
+
+def _deprecated_crash_rounds(
+    crash_rounds: Optional[Mapping[int, int]], faults: Optional[Any]
+) -> Optional[Any]:
+    """Fold the legacy ``crash_rounds`` mapping into a fault plan."""
+    warnings.warn(
+        "crash_rounds= is deprecated; pass "
+        "faults=FaultPlan.crash_stop({node: round, ...}) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    from repro.faults.plan import FaultPlan
+
+    if faults is None:
+        return FaultPlan.crash_stop(crash_rounds)
+    if isinstance(faults, FaultPlan):
+        return faults.with_crash_rounds(crash_rounds)
+    faults.add_crash_rounds(crash_rounds)
+    return faults
+
 
 def run(
     algorithm: DistributedAlgorithm,
     graph: DistGraph,
     predictions: Optional[Mapping[int, Any]] = None,
     *,
-    model: Optional[ExecutionModel] = None,
-    max_rounds: Optional[int] = None,
-    seed: int = 0,
+    config: Optional[RunConfig] = None,
+    model: Optional[ExecutionModel] = _UNSET,
+    max_rounds: Optional[int] = _UNSET,
+    seed: int = _UNSET,
     crash_rounds: Optional[Mapping[int, int]] = None,
-    faults: Optional[Any] = None,
-    on_round_limit: str = "raise",
+    faults: Optional[Any] = _UNSET,
+    on_round_limit: str = _UNSET,
+    trace: bool = _UNSET,
+    fast: bool = _UNSET,
 ) -> RunResult:
     """Run ``algorithm`` on ``graph`` and return the execution record.
+
+    The execution is described by ``config``; any keyword argument passed
+    alongside it overrides the corresponding field.  Calls without a
+    ``config`` build one from the keywords, so
+    ``run(alg, g, p, seed=3)`` and
+    ``run(alg, g, p, config=RunConfig(seed=3))`` are identical.
 
     Args:
         algorithm: Any :class:`DistributedAlgorithm` (including templates).
         graph: The instance.
         predictions: Per-node predictions; required when the algorithm
             declares ``uses_predictions``.
-        model: Execution model override (defaults to the algorithm's).
-        max_rounds: Round budget override.
-        seed: Seed for per-node random streams (randomized algorithms).
-        crash_rounds: Back-compat crash-stop fault injection.
-        faults: A :class:`~repro.faults.plan.FaultPlan` describing
-            crashes, crash-recovery, message adversaries and prediction
-            corruption.
-        on_round_limit: ``"raise"`` or ``"partial"`` (graceful
-            degradation; the result carries a ``stuck`` report).
+        config: A :class:`RunConfig`; defaults to ``RunConfig()``.
+        model, max_rounds, seed, faults, on_round_limit, trace, fast:
+            Field-level overrides of ``config`` (see :class:`RunConfig`).
+        crash_rounds: Deprecated — use
+            ``faults=FaultPlan.crash_stop({node: round, ...})``.
+
+    Returns:
+        The :class:`RunResult`; when tracing was requested its ``trace``
+        attribute holds the :class:`TraceRecorder`.
     """
     if algorithm.uses_predictions and predictions is None:
         raise ValueError(
             f"{algorithm.name or type(algorithm).__name__} requires predictions"
         )
+    config = (config or RunConfig()).with_overrides(
+        model=model,
+        max_rounds=max_rounds,
+        seed=seed,
+        faults=faults,
+        on_round_limit=on_round_limit,
+        trace=trace,
+        fast=fast,
+    )
+    if crash_rounds:
+        config = replace(
+            config, faults=_deprecated_crash_rounds(crash_rounds, config.faults)
+        )
+    recorder = TraceRecorder() if config.trace else None
     engine = SyncEngine(
         graph,
         lambda node: algorithm.build_program(),
         predictions=predictions,
-        model=model or algorithm.model,
-        max_rounds=max_rounds,
-        seed=seed,
-        crash_rounds=crash_rounds,
-        faults=faults,
-        on_round_limit=on_round_limit,
+        model=config.model or algorithm.model,
+        max_rounds=config.max_rounds,
+        seed=config.seed,
+        trace=recorder,
+        faults=config.faults,
+        on_round_limit=config.on_round_limit,
+        fast=config.fast,
     )
-    return engine.run()
+    result = engine.run()
+    result.trace = recorder
+    return result
 
 
 def run_with_trace(
@@ -70,27 +172,28 @@ def run_with_trace(
     graph: DistGraph,
     predictions: Optional[Mapping[int, Any]] = None,
     *,
-    model: Optional[ExecutionModel] = None,
-    max_rounds: Optional[int] = None,
-    seed: int = 0,
-    faults: Optional[Any] = None,
-    on_round_limit: str = "raise",
+    model: Optional[ExecutionModel] = _UNSET,
+    max_rounds: Optional[int] = _UNSET,
+    seed: int = _UNSET,
+    faults: Optional[Any] = _UNSET,
+    on_round_limit: str = _UNSET,
 ) -> Tuple[RunResult, TraceRecorder]:
-    """Like :func:`run` but also return the full event trace."""
-    if algorithm.uses_predictions and predictions is None:
-        raise ValueError(
-            f"{algorithm.name or type(algorithm).__name__} requires predictions"
-        )
-    trace = TraceRecorder()
-    engine = SyncEngine(
+    """Deprecated: use ``run(..., trace=True)`` and ``result.trace``."""
+    warnings.warn(
+        "run_with_trace() is deprecated; use run(..., trace=True) and "
+        "read the recorder from result.trace",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    result = run(
+        algorithm,
         graph,
-        lambda node: algorithm.build_program(),
-        predictions=predictions,
-        model=model or algorithm.model,
+        predictions,
+        model=model,
         max_rounds=max_rounds,
         seed=seed,
-        trace=trace,
         faults=faults,
         on_round_limit=on_round_limit,
+        trace=True,
     )
-    return engine.run(), trace
+    return result, result.trace

@@ -1,0 +1,202 @@
+"""Sweep execution backends: serial and process-pool.
+
+The process backend fans chunks of cells out over a
+:class:`concurrent.futures.ProcessPoolExecutor`; the serial backend runs
+the identical per-cell function in-process.  Because per-cell seeds are
+fixed before dispatch (explicit or derived — see
+:func:`repro.exec.plan.derive_cell_seed`) and cached artifacts are
+immutable, the two backends produce row-for-row identical
+:class:`~repro.exec.results.SweepResult` tables for the same sweep, and
+any chunking of the process backend does too.
+
+Chunked dispatch matters for throughput twice over: it amortizes the
+pickle/IPC overhead of small cells, and — because chunks keep grid order,
+which groups cells sharing a graph spec — it turns most per-worker
+artifact-cache lookups into hits.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.runner import run
+from repro.exec.cache import (
+    ArtifactCache,
+    configure_process_cache,
+    process_cache,
+)
+from repro.exec.plan import Cell, FaultSpec, Spec, Sweep, derive_cell_seed
+from repro.exec.results import CellResult, SweepResult
+
+
+def execute(
+    sweep: Sweep,
+    *,
+    backend: str = "process",
+    jobs: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    cache: Optional[ArtifactCache] = None,
+    cache_dir: Optional[str] = None,
+    cache_size: int = 256,
+) -> SweepResult:
+    """Run every cell of ``sweep`` on the chosen backend."""
+    if backend not in ("serial", "process"):
+        raise ValueError(f"backend must be 'serial' or 'process', got {backend!r}")
+    tagged = [
+        (index, cell, _resolved_seed(sweep, index, cell))
+        for index, cell in enumerate(sweep.cells)
+    ]
+    start = time.perf_counter()
+    if backend == "serial" or len(tagged) <= 1:
+        local_cache = cache or ArtifactCache(maxsize=cache_size, disk_dir=cache_dir)
+        rows = [_execute_cell(index, cell, seed, local_cache) for index, cell, seed in tagged]
+        stats = local_cache.stats()
+    else:
+        rows, stats = _execute_process_pool(
+            tagged,
+            jobs=jobs,
+            chunk_size=chunk_size,
+            cache_dir=cache_dir,
+            cache_size=cache_size,
+        )
+    rows.sort(key=lambda row: row.index)
+    return SweepResult(
+        name=sweep.name,
+        rows=rows,
+        backend=backend,
+        elapsed=time.perf_counter() - start,
+        cache_stats=stats,
+    )
+
+
+def _resolved_seed(sweep: Sweep, index: int, cell: Cell) -> int:
+    if cell.seed is not None:
+        return cell.seed
+    if cell.config.seed:
+        return cell.config.seed
+    return derive_cell_seed(sweep.base_seed, index, cell.label)
+
+
+# ----------------------------------------------------------------------
+# Per-cell execution (shared verbatim by both backends)
+# ----------------------------------------------------------------------
+def _execute_cell(
+    index: int, cell: Cell, seed: int, cache: ArtifactCache
+) -> CellResult:
+    graph = cache.get_or_build(cell.graph.key, cell.graph.build)
+    predictions = None
+    if cell.predictions is not None:
+        spec = cell.predictions
+        predictions = cache.get_or_build(
+            f"{spec.key}@{cell.graph.key}", lambda: spec.build(graph)
+        )
+    faults = cell.faults
+    if isinstance(faults, FaultSpec):
+        faults = faults.build(graph)
+    elif isinstance(faults, Spec):  # a generic Spec used for faults
+        faults = faults.build(graph)
+    algorithm = cell.algorithm.build()
+    config = cell.config.with_overrides(seed=seed)
+    if faults is not None:
+        config = config.with_overrides(faults=faults)
+    result = run(algorithm, graph, predictions, config=config)
+
+    problem = None
+    valid = None
+    error = None
+    if cell.problem is not None:
+        from repro.problems import get_problem
+
+        problem = get_problem(cell.problem)
+        valid = problem.is_solution(graph, result.outputs)
+        if predictions is not None:
+            from repro.errors import eta1
+
+            error = eta1(graph, predictions, problem.name)
+    ones = sum(1 for value in result.outputs.values() if value == 1)
+    solution_size = (
+        ones if problem is not None and problem.name == "mis" else len(result.outputs)
+    )
+    metrics: Dict[str, Any] = {}
+    if cell.metrics is not None:
+        metrics = dict(cell.metrics(problem, graph, predictions, result))
+    return CellResult(
+        index=index,
+        label=cell.label,
+        graph_name=graph.name,
+        n=graph.n,
+        seed=seed,
+        rounds=result.rounds,
+        rounds_executed=result.rounds_executed,
+        valid=valid,
+        error=error,
+        message_count=result.message_count,
+        dropped_messages=result.dropped_messages,
+        stuck=result.stuck is not None,
+        solution_size=solution_size,
+        metrics=metrics,
+    )
+
+
+# ----------------------------------------------------------------------
+# Process-pool backend
+# ----------------------------------------------------------------------
+def _init_worker(cache_size: int, cache_dir: Optional[str]) -> None:
+    """Pool initializer: one artifact cache per worker process."""
+    configure_process_cache(maxsize=cache_size, disk_dir=cache_dir)
+
+
+def _run_chunk(
+    chunk: Sequence[Tuple[int, Cell, int]]
+) -> Tuple[List[CellResult], Dict[str, int]]:
+    """Execute one chunk in a worker; returns rows + cache counters."""
+    cache = process_cache()
+    before = cache.stats()
+    rows = [_execute_cell(index, cell, seed, cache) for index, cell, seed in chunk]
+    after = cache.stats()
+    delta = {key: after[key] - before.get(key, 0) for key in ("hits", "disk_hits", "misses")}
+    return rows, delta
+
+
+def _execute_process_pool(
+    tagged: List[Tuple[int, Cell, int]],
+    *,
+    jobs: Optional[int],
+    chunk_size: Optional[int],
+    cache_dir: Optional[str],
+    cache_size: int,
+) -> Tuple[List[CellResult], Dict[str, int]]:
+    workers = jobs or os.cpu_count() or 2
+    workers = max(1, min(workers, len(tagged)))
+    if chunk_size is None:
+        # ~4 waves per worker balances scheduling slack against IPC cost.
+        chunk_size = max(1, len(tagged) // (workers * 4) or 1)
+    chunks = [tagged[i : i + chunk_size] for i in range(0, len(tagged), chunk_size)]
+    rows: List[CellResult] = []
+    stats: Dict[str, int] = {"hits": 0, "disk_hits": 0, "misses": 0}
+    try:
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(cache_size, cache_dir),
+        ) as pool:
+            for chunk_rows, chunk_stats in pool.map(_run_chunk, chunks):
+                rows.extend(chunk_rows)
+                for key, value in chunk_stats.items():
+                    stats[key] = stats.get(key, 0) + value
+    except (OSError, PermissionError) as exc:
+        # Sandboxes and restricted CI runners sometimes forbid spawning
+        # worker processes; the sweep still completes, just serially.
+        warnings.warn(
+            f"process backend unavailable ({exc}); falling back to serial",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        cache = ArtifactCache(maxsize=cache_size, disk_dir=cache_dir)
+        rows = [_execute_cell(index, cell, seed, cache) for index, cell, seed in tagged]
+        stats = cache.stats()
+    return rows, stats

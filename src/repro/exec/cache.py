@@ -1,0 +1,155 @@
+"""Content-keyed artifact caching for sweep execution.
+
+Sweeps execute grids of (graph spec × prediction spec × algorithm ×
+seed) cells, and before this cache existed every cell regenerated its
+graph and predictions from scratch — for the benchmark sweeps that
+dominated wall-clock over the actual simulation.  An
+:class:`ArtifactCache` memoizes ``spec key -> built artifact`` with an
+in-memory LRU, optionally backed by pickles under a cache directory
+(conventionally ``.repro_cache/``) so *repeated benchmark runs* skip
+regeneration too.
+
+Keys are content keys: a spec's key encodes the factory's qualified name
+and every argument (see :mod:`repro.exec.plan`), so changing any part of
+a spec changes the key and naturally invalidates the entry.  Cached
+artifacts are safe to share between cells because the framework treats
+them as immutable — :class:`~repro.graphs.graph.DistGraph` is frozen by
+construction and the engine copies prediction mappings before touching
+them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Optional, Tuple
+
+
+def content_hash(key: str) -> str:
+    """Stable hex digest of a content key (used for disk filenames)."""
+    return hashlib.sha256(key.encode("utf-8")).hexdigest()[:32]
+
+
+class ArtifactCache:
+    """In-memory LRU of built artifacts with an optional disk layer.
+
+    Args:
+        maxsize: Maximum number of in-memory entries (least recently used
+            entries are evicted first).  ``0`` disables in-memory caching.
+        disk_dir: When set, artifacts are also pickled under this
+            directory and re-loaded on later misses — the cross-process,
+            cross-run layer.  Created on first write.
+    """
+
+    def __init__(self, maxsize: int = 256, disk_dir: Optional[str] = None) -> None:
+        if maxsize < 0:
+            raise ValueError(f"maxsize must be >= 0, got {maxsize}")
+        self.maxsize = maxsize
+        self.disk_dir = disk_dir
+        self._entries: "OrderedDict[str, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.disk_hits = 0
+
+    # ------------------------------------------------------------------
+    def get_or_build(self, key: str, builder: Callable[[], Any]) -> Any:
+        """The artifact for ``key``, building (and storing) it on a miss."""
+        if key in self._entries:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return self._entries[key]
+        value = self._load_from_disk(key)
+        if value is not None:
+            self.disk_hits += 1
+        else:
+            self.misses += 1
+            value = builder()
+            self._store_to_disk(key, value)
+        self._remember(key, value)
+        return value
+
+    def stats(self) -> Dict[str, int]:
+        """Counters: memory hits, disk hits, builds and current size."""
+        return {
+            "hits": self.hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "size": len(self._entries),
+        }
+
+    def clear(self) -> None:
+        """Drop every in-memory entry (the disk layer is untouched)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    # ------------------------------------------------------------------
+    def _remember(self, key: str, value: Any) -> None:
+        if self.maxsize == 0:
+            return
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def _disk_path(self, key: str) -> Optional[str]:
+        if self.disk_dir is None:
+            return None
+        return os.path.join(self.disk_dir, f"{content_hash(key)}.pkl")
+
+    def _load_from_disk(self, key: str) -> Optional[Any]:
+        path = self._disk_path(key)
+        if path is None or not os.path.exists(path):
+            return None
+        try:
+            with open(path, "rb") as handle:
+                stored_key, value = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            return None  # truncated or stale entry: rebuild
+        # The full key is stored alongside the artifact so a (vanishingly
+        # unlikely) digest collision rebuilds instead of aliasing.
+        if stored_key != key:
+            return None
+        return value
+
+    def _store_to_disk(self, key: str, value: Any) -> None:
+        path = self._disk_path(key)
+        if path is None:
+            return
+        try:
+            os.makedirs(self.disk_dir, exist_ok=True)
+            tmp = f"{path}.tmp.{os.getpid()}"
+            with open(tmp, "wb") as handle:
+                pickle.dump((key, value), handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)  # atomic: concurrent workers never clash
+        except (OSError, pickle.PicklingError):
+            pass  # caching is best-effort; the build already succeeded
+
+
+#: Per-process cache used by sweep workers.  Worker processes configure it
+#: once per pool (see :func:`repro.exec.backends._init_worker`); the serial
+#: backend uses a cache owned by the Sweep call instead.
+_process_cache: Optional[ArtifactCache] = None
+
+
+def process_cache() -> ArtifactCache:
+    """This process's worker cache (created on first use)."""
+    global _process_cache
+    if _process_cache is None:
+        _process_cache = ArtifactCache()
+    return _process_cache
+
+
+def configure_process_cache(
+    maxsize: int = 256, disk_dir: Optional[str] = None
+) -> ArtifactCache:
+    """(Re)configure this process's worker cache."""
+    global _process_cache
+    _process_cache = ArtifactCache(maxsize=maxsize, disk_dir=disk_dir)
+    return _process_cache

@@ -1,0 +1,163 @@
+"""Sweep results: per-cell rows and whole-sweep aggregation.
+
+A :class:`CellResult` is the flat, picklable record a worker sends back
+for one cell — everything the benchmark tables need (rounds, validity,
+error, fault counters, custom metrics) without dragging the full
+:class:`~repro.simulator.metrics.RunResult` across the process boundary.
+:class:`SweepResult` collects the rows in cell order, whatever backend or
+chunking produced them, so serial and process-parallel executions of the
+same sweep compare equal row-for-row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass
+class CellResult:
+    """Executed outcome of one sweep cell.
+
+    Attributes:
+        index: Position of the cell in the sweep (rows are sorted by it).
+        label: The cell's label.
+        graph_name: Name of the built instance.
+        n: Number of nodes of the instance.
+        seed: The seed the run actually used (explicit or derived).
+        rounds: Last-termination round — the paper's measure.
+        rounds_executed: Rounds the engine ran (≥ ``rounds`` under
+            faults/partial runs).
+        valid: Whether the output solves the cell's problem (``None``
+            when the cell named no problem).
+        error: η₁ prediction error (``None`` without problem or
+            predictions).
+        message_count: Messages delivered.
+        dropped_messages: Messages removed by the cell's adversary.
+        stuck: Whether the run hit its round budget in graceful mode.
+        solution_size: Nodes outputting 1 (MIS-style problems), else the
+            number of decided nodes.
+        metrics: Output of the cell's custom metrics callable, if any.
+    """
+
+    index: int
+    label: str
+    graph_name: str
+    n: int
+    seed: int
+    rounds: int
+    rounds_executed: int
+    valid: Optional[bool] = None
+    error: Optional[int] = None
+    message_count: int = 0
+    dropped_messages: int = 0
+    stuck: bool = False
+    solution_size: int = 0
+    metrics: Dict[str, Any] = field(default_factory=dict)
+
+    def as_tuple(self) -> Tuple[Any, ...]:
+        """Canonical comparison form (used by backend-equivalence tests)."""
+        return (
+            self.index,
+            self.label,
+            self.graph_name,
+            self.n,
+            self.seed,
+            self.rounds,
+            self.rounds_executed,
+            self.valid,
+            self.error,
+            self.message_count,
+            self.dropped_messages,
+            self.stuck,
+            self.solution_size,
+            tuple(sorted(self.metrics.items())),
+        )
+
+
+@dataclass
+class SweepResult:
+    """All rows of an executed sweep, in cell order.
+
+    Attributes:
+        name: The sweep's name.
+        rows: One :class:`CellResult` per cell.
+        backend: ``"serial"`` or ``"process"``.
+        elapsed: Wall-clock seconds for the whole execution.
+        cache_stats: Aggregated artifact-cache counters (summed over
+            worker processes for the process backend).
+    """
+
+    name: str = ""
+    rows: List[CellResult] = field(default_factory=list)
+    backend: str = "serial"
+    elapsed: float = 0.0
+    cache_stats: Dict[str, int] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[CellResult]:
+        return iter(self.rows)
+
+    def __getitem__(self, index: int) -> CellResult:
+        return self.rows[index]
+
+    # ------------------------------------------------------------------
+    @property
+    def all_valid(self) -> bool:
+        """Whether every row with a verdict solved its problem."""
+        return all(row.valid for row in self.rows if row.valid is not None)
+
+    def row(self, label: str) -> CellResult:
+        """The (first) row with the given label."""
+        for row in self.rows:
+            if row.label == label:
+                return row
+        raise KeyError(label)
+
+    def by_label(self) -> Dict[str, CellResult]:
+        """Label -> row mapping (labels should be unique per sweep)."""
+        return {row.label: row for row in self.rows}
+
+    def rounds_by_error(self) -> List[Tuple[int, int]]:
+        """Sorted ``(error, max rounds at that error)`` series — the
+        degradation curve a learning-augmented plot shows."""
+        by_error: Dict[int, int] = {}
+        for row in self.rows:
+            if row.error is None:
+                continue
+            by_error[row.error] = max(by_error.get(row.error, 0), row.rounds)
+        return sorted(by_error.items())
+
+    def equivalent_to(self, other: "SweepResult") -> bool:
+        """Row-for-row equality (ignores backend, timing, cache stats)."""
+        return [row.as_tuple() for row in self.rows] == [
+            row.as_tuple() for row in other.rows
+        ]
+
+    # ------------------------------------------------------------------
+    def to_csv(self, path: str) -> None:
+        """Write the rows as CSV (custom metrics flattened into columns)."""
+        import csv
+
+        metric_keys = sorted({key for row in self.rows for key in row.metrics})
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(
+                [
+                    "label", "graph", "n", "seed", "rounds",
+                    "rounds_executed", "valid", "error", "messages",
+                    "dropped", "stuck", "solution_size", *metric_keys,
+                ]
+            )
+            for row in self.rows:
+                writer.writerow(
+                    [
+                        row.label, row.graph_name, row.n, row.seed,
+                        row.rounds, row.rounds_executed, row.valid,
+                        row.error, row.message_count, row.dropped_messages,
+                        row.stuck, row.solution_size,
+                        *(row.metrics.get(key, "") for key in metric_keys),
+                    ]
+                )

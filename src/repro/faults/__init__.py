@@ -23,6 +23,7 @@ benchmarks remain trustworthy when something goes wrong mid-run:
 from repro.faults.controller import FaultController, MessageFate
 from repro.faults.harness import (
     DegradationPoint,
+    degradation_metrics,
     degradation_sweep,
     random_crash_plan,
     summarize_points,
@@ -47,6 +48,7 @@ __all__ = [
     "MessageAdversary",
     "MessageFate",
     "PredictionAdversary",
+    "degradation_metrics",
     "degradation_sweep",
     "random_crash_plan",
     "summarize_points",

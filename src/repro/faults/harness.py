@@ -165,6 +165,29 @@ def degradation_sweep(
     return points
 
 
+def degradation_metrics(
+    problem: Optional[GraphProblem],
+    graph: DistGraph,
+    predictions: Optional[Mapping[int, Any]],
+    result: Any,
+) -> Dict[str, Any]:
+    """Per-cell degradation measurements, in sweep-metrics form.
+
+    Top-level so sweep cells can carry it as their ``metrics`` callable
+    (see :class:`repro.exec.plan.Cell`); the counters match what
+    :func:`degradation_sweep` records per point, letting the E25
+    benchmark run on the sweep executor with identical numbers.
+    """
+    survivors = survivor_nodes(result)
+    return {
+        "survivors": len(survivors),
+        "coverage": survivor_coverage(result),
+        "violations": (
+            0 if problem is None else len(survivor_violations(problem, graph, result))
+        ),
+    }
+
+
 def summarize_points(
     points: Sequence[DegradationPoint],
 ) -> List[Dict[str, Any]]:

@@ -195,7 +195,20 @@ class FaultPlan:
     def from_crash_rounds(
         cls, crash_rounds: Mapping[int, int], seed: int = 0
     ) -> "FaultPlan":
-        """The engine's historical ``crash_rounds`` mapping, as a plan."""
+        """The engine's historical ``crash_rounds`` mapping, as a plan
+        (alias of :meth:`crash_stop`)."""
+        return cls.crash_stop(crash_rounds, seed=seed)
+
+    @classmethod
+    def crash_stop(
+        cls, crash_rounds: Mapping[int, int], seed: int = 0
+    ) -> "FaultPlan":
+        """Crash-stop faults from a ``node -> round`` mapping.
+
+        The named successor of the engine's deprecated ``crash_rounds=``
+        parameter: each node executes its round fully and then vanishes
+        without output, never to return.
+        """
         crashes = tuple(
             CrashFault(node, round_index)
             for node, round_index in sorted(crash_rounds.items())

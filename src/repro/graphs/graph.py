@@ -74,6 +74,11 @@ class DistGraph:
             int(node): dict(mapping) for node, mapping in (attrs or {}).items()
         }
         self.name = name
+        # The graph is immutable, so the maximum degree is computed once;
+        # recomputing it per node context made engine setup O(n^2).
+        self._delta = max(
+            (len(nbrs) for nbrs in self._adjacency.values()), default=0
+        )
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -89,7 +94,7 @@ class DistGraph:
     @property
     def delta(self) -> int:
         """Maximum degree of the graph (0 for the empty graph)."""
-        return max((len(nbrs) for nbrs in self._adjacency.values()), default=0)
+        return self._delta
 
     def node_attrs(self, node: int) -> Mapping[str, Any]:
         """Per-node attribute mapping (may be empty)."""

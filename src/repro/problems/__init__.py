@@ -13,7 +13,34 @@ from repro.problems.matching import MATCHING, MaximalMatchingProblem, UNMATCHED
 from repro.problems.mis import MIS, MaximalIndependentSetProblem
 from repro.problems.vertex_coloring import VERTEX_COLORING, VertexColoringProblem
 
+#: The paper's four problems, by short name.
+PROBLEMS = {
+    MIS.name: MIS,
+    MATCHING.name: MATCHING,
+    VERTEX_COLORING.name: VERTEX_COLORING,
+    EDGE_COLORING.name: EDGE_COLORING,
+}
+
+
+def get_problem(name):
+    """The problem instance for a short name (or the instance itself).
+
+    Accepts a :class:`GraphProblem` unchanged so call sites can take
+    either form — sweep cells, for example, name problems by string to
+    stay picklable.
+    """
+    if isinstance(name, GraphProblem):
+        return name
+    try:
+        return PROBLEMS[name]
+    except KeyError:
+        known = ", ".join(sorted(PROBLEMS))
+        raise KeyError(f"unknown problem {name!r}; known problems: {known}") from None
+
+
 __all__ = [
+    "PROBLEMS",
+    "get_problem",
     "EDGE_COLORING",
     "EdgeColoringProblem",
     "GraphProblem",

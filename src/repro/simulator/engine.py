@@ -27,6 +27,7 @@ benchmarks under faults can *measure* degradation rather than abort.
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.simulator.context import NodeContext
@@ -71,10 +72,10 @@ class SyncEngine:
         max_rounds: Round budget; defaults to ``8 * n + 64``.
         seed: Base seed for the per-node random streams.
         trace: Optional :class:`TraceRecorder` receiving every event.
-        crash_rounds: Back-compat fault injection — mapping
+        crash_rounds: Deprecated fault injection — mapping
             ``node -> round``; the node executes that round and then
-            vanishes without output.  Equivalent to (and merged into) a
-            :class:`~repro.faults.plan.FaultPlan` of crash-stop faults.
+            vanishes without output.  Use
+            :meth:`repro.faults.plan.FaultPlan.crash_stop` instead.
         faults: A :class:`~repro.faults.plan.FaultPlan` (or any controller
             implementing its hook API) describing crashes, crash-recovery,
             message adversaries and prediction corruption.
@@ -82,6 +83,11 @@ class SyncEngine:
             :class:`RoundLimitExceeded` when the budget is blown;
             ``"partial"`` stops instead and returns the partial
             :class:`RunResult` with a populated ``stuck`` report.
+        fast: Skip per-message bit-size estimation (``total_bits``,
+            ``max_message_bits`` and CONGEST budget checks stay zero) for
+            maximum throughput; ``message_count`` is still maintained.
+            Outputs, round counts and termination records are identical
+            to a normal run.
     """
 
     def __init__(
@@ -97,16 +103,25 @@ class SyncEngine:
         crash_rounds: Optional[Mapping[int, int]] = None,
         faults: Optional[Any] = None,
         on_round_limit: str = "raise",
+        fast: bool = False,
     ) -> None:
         if on_round_limit not in ("raise", "partial"):
             raise ValueError(
                 f"on_round_limit must be 'raise' or 'partial', got {on_round_limit!r}"
+            )
+        if crash_rounds:
+            warnings.warn(
+                "crash_rounds= is deprecated; pass "
+                "faults=FaultPlan.crash_stop({node: round, ...}) instead",
+                DeprecationWarning,
+                stacklevel=2,
             )
         self.graph = graph
         self.model = model
         self.trace = trace
         self.max_rounds = max_rounds if max_rounds is not None else 8 * graph.n + 64
         self.on_round_limit = on_round_limit
+        self.fast = fast
         self._seed = seed
         self._faults = self._resolve_faults(faults, crash_rounds)
         predictions = dict(predictions or {})
@@ -128,13 +143,21 @@ class SyncEngine:
             self.contexts[node] = self._build_context(node)
 
         self._active = set(self.graph.nodes)
+        #: Sorted view of ``_active``, rebuilt only when membership changes
+        #: (terminations, crashes, recoveries) instead of thrice per round.
+        self._active_order: List[int] = sorted(self._active)
         self._result = RunResult(model=model)
         for node in self.graph.nodes:
             self._result.records[node] = NodeRecord(node_id=node)
         #: Adversarial replays scheduled for a later round:
         #: (due round, sender, receiver, payload).
         self._pending_replays: List[Tuple[int, int, int, Any]] = []
-        self._last_inboxes: Dict[int, Dict[int, Any]] = {}
+        #: Per-node inboxes, allocated once and cleared between rounds.
+        #: Safe to reuse: programs consume their inbox during ``process``
+        #: and never retain the mapping.
+        self._inboxes: Dict[int, Dict[int, Any]] = {
+            node: {} for node in self.graph.nodes
+        }
 
     @staticmethod
     def _resolve_faults(
@@ -221,7 +244,7 @@ class SyncEngine:
 
     # ------------------------------------------------------------------
     def _setup_phase(self) -> None:
-        for node in sorted(self._active):
+        for node in self._active_order:
             ctx = self.contexts[node]
             ctx.round = 0
             self.programs[node].setup(ctx)
@@ -229,42 +252,62 @@ class SyncEngine:
 
     def _run_round(self, round_index: int) -> None:
         self._apply_recoveries(round_index)
-        inboxes: Dict[int, Dict[int, Any]] = {node: {} for node in self._active}
-        self._deliver_replays(round_index, inboxes)
+        # Local bindings keep the per-round loops free of attribute churn;
+        # the fault/trace hooks are skipped entirely when nothing is
+        # installed, and ``fast`` elides bandwidth accounting.
+        active = self._active
+        order = self._active_order
+        programs = self.programs
+        contexts = self.contexts
+        inboxes = self._inboxes
+        trace = self.trace
+        faults = self._faults
+        account = not self.fast
+
+        for node in order:
+            inboxes[node].clear()
+        if self._pending_replays:
+            self._deliver_replays(round_index, inboxes)
 
         # Compose phase: every active node decides its messages using state
         # from the end of the previous round.
-        for node in sorted(self._active):
-            ctx = self.contexts[node]
+        for node in order:
+            ctx = contexts[node]
             ctx.round = round_index
-            outbox = self.programs[node].compose(ctx) or {}
+            outbox = programs[node].compose(ctx)
+            if not outbox:
+                continue
+            neighbors = ctx.neighbors
             for receiver, payload in outbox.items():
-                if receiver not in ctx.neighbors:
+                if receiver not in neighbors:
                     raise ValueError(
                         f"node {node} sent to non-neighbor {receiver} "
                         f"in round {round_index}"
                     )
-                if self.trace is not None:
-                    self.trace.record(
+                if trace is not None:
+                    trace.record(
                         round_index, "send", node, {"to": receiver, "payload": payload}
                     )
                 # Messages to nodes that already terminated or crashed are
                 # dropped: the recipient no longer participates.  (A sender
                 # learns of a neighbor's termination only in the following
                 # round, so such sends are legitimate.)
-                if receiver not in self._active:
+                if receiver not in active:
                     continue
-                payload = self._adjudicate(round_index, node, receiver, payload)
-                if payload is _DROPPED:
-                    continue
-                self._account_message(payload)
+                if faults is not None:
+                    payload = self._adjudicate(round_index, node, receiver, payload)
+                    if payload is _DROPPED:
+                        continue
+                if account:
+                    self._account_message(payload)
+                else:
+                    self._result.message_count += 1
                 inboxes[receiver][node] = payload
 
         # Process phase: every active node consumes its inbox.
-        for node in sorted(self._active):
-            self.programs[node].process(self.contexts[node], inboxes[node])
+        for node in order:
+            programs[node].process(contexts[node], inboxes[node])
 
-        self._last_inboxes = inboxes
         self._finalize_round(round_index)
 
     # ------------------------------------------------------------------
@@ -333,6 +376,7 @@ class SyncEngine:
         """Rejoin crash-with-recovery nodes at the start of this round."""
         if self._faults is None:
             return
+        rejoined = False
         for node in self._faults.recoveries_at(round_index):
             record = self._result.records.get(node)
             if record is None or not record.crashed:
@@ -361,8 +405,11 @@ class SyncEngine:
                 neighbor_ctx.active_neighbors.add(node)
                 neighbor_ctx.crashed_neighbors.discard(node)
             self.programs[node].setup(ctx)
+            rejoined = True
             if self.trace is not None:
                 self.trace.record(round_index, "recover", node)
+        if rejoined:
+            self._active_order = sorted(self._active)
 
     def _build_stuck_report(self, round_index: int) -> StuckReport:
         live = sorted(self._active)
@@ -372,7 +419,7 @@ class SyncEngine:
             snapshots[node] = NodeSnapshot(
                 node_id=node,
                 round=ctx.round,
-                last_inbox=dict(self._last_inboxes.get(node, {})),
+                last_inbox=dict(self._inboxes.get(node, {})),
                 state={
                     key: repr(value)
                     for key, value in sorted(vars(self.programs[node]).items())
@@ -403,19 +450,18 @@ class SyncEngine:
     def _finalize_round(self, round_index: int) -> None:
         terminated = [
             node
-            for node in sorted(self._active)
+            for node in self._active_order
             if self.contexts[node].terminate_requested
         ]
-        crash_now = (
-            set(self._faults.crashes_at(round_index))
-            if self._faults is not None
-            else set()
-        )
-        crashed = [
-            node
-            for node in sorted(self._active)
-            if node in crash_now and node not in terminated
-        ]
+        if self._faults is not None:
+            crash_now = set(self._faults.crashes_at(round_index))
+            crashed = [
+                node
+                for node in self._active_order
+                if node in crash_now and node not in terminated
+            ]
+        else:
+            crashed = []
 
         for node in terminated:
             ctx = self.contexts[node]
@@ -435,6 +481,9 @@ class SyncEngine:
             self._active.discard(node)
             if self.trace is not None:
                 self.trace.record(round_index, "crash", node)
+
+        if terminated or crashed:
+            self._active_order = sorted(self._active)
 
         # Neighbors observe terminations/crashes from the next round on —
         # the same timing as the paper's explicit final-round notification.

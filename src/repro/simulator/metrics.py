@@ -115,6 +115,9 @@ class RunResult:
         stuck: :class:`StuckReport` when the run hit its round budget in
             ``on_round_limit="partial"`` mode, else ``None``.
         model: The execution model the run was accounted against.
+        trace: The :class:`~repro.simulator.trace.TraceRecorder` of the
+            run when tracing was requested (``run(..., trace=True)``),
+            else ``None``.
     """
 
     outputs: Dict[int, Any] = field(default_factory=dict)
@@ -130,6 +133,7 @@ class RunResult:
     corrupted_messages: int = 0
     stuck: Optional[StuckReport] = None
     model: Optional[ExecutionModel] = None
+    trace: Optional[Any] = None
 
     def termination_round(self, node_id: int) -> Optional[int]:
         """Round in which ``node_id`` terminated, or ``None``."""

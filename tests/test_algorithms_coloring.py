@@ -14,6 +14,7 @@ from repro.algorithms.coloring import (
 )
 from repro.core import run
 from repro.errors import vertex_coloring_base_partial
+from repro.faults import FaultPlan
 from repro.graphs import (
     clique,
     erdos_renyi,
@@ -166,7 +167,7 @@ class TestLinialColoring:
         graph = erdos_renyi(24, 0.2, seed=3)
         algorithm = LinialColoringAlgorithm(respect_neighbor_outputs=False)
         crash_rounds = {3: 1, 8: 2, 15: 4, 20: 6}
-        result = run(algorithm, graph, crash_rounds=crash_rounds)
+        result = run(algorithm, graph, faults=FaultPlan.crash_stop(crash_rounds))
         survivors = {
             v: out for v, out in result.outputs.items() if v not in crash_rounds
         }

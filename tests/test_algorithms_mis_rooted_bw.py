@@ -18,6 +18,7 @@ from repro.algorithms.mis.rooted_tree import (
 )
 from repro.core import run, SimpleTemplate
 from repro.errors import eta_t, mis_base_partial
+from repro.faults import FaultPlan
 from repro.graphs import (
     directed_line,
     grid2d,
@@ -175,7 +176,7 @@ class TestTreeColoring:
         engine = SyncEngine(
             graph,
             lambda v: TreeColoring3Program(),
-            crash_rounds={5: 2, 11: 3, 17: 5},
+            faults=FaultPlan.crash_stop({5: 2, 11: 3, 17: 5}),
         )
         result = engine.run()
         survivors = result.outputs

@@ -32,6 +32,7 @@ from repro.bench.algorithms import (
     mis_simple,
 )
 from repro.core import run
+from repro.faults import FaultPlan
 from repro.graphs import erdos_renyi, random_ids_from_domain, random_regular, ring
 from repro.predictions import noisy_predictions
 from repro.problems import MATCHING, MIS, VERTEX_COLORING
@@ -118,7 +119,7 @@ class TestFaultToleranceContracts:
         result = run(
             GreedyMISAlgorithm(),
             graph,
-            crash_rounds={5: 2, 9: 4},
+            faults=FaultPlan.crash_stop({5: 2, 9: 4}),
             max_rounds=1000,
         )
         ones = {v for v, out in result.outputs.items() if out == 1}
@@ -131,7 +132,7 @@ class TestFaultToleranceContracts:
         result = run(
             LinialColoringAlgorithm(respect_neighbor_outputs=False),
             graph,
-            crash_rounds=crash_rounds,
+            faults=FaultPlan.crash_stop(crash_rounds),
         )
         survivors = {
             v: out for v, out in result.outputs.items() if v not in crash_rounds
@@ -148,7 +149,10 @@ class TestFaultToleranceContracts:
         predictions = noisy_predictions(MIS, graph, 0.4, seed=4)
         crash_rounds = {3: 4, 11: 6, 19: 9}
         result = run(
-            mis_parallel(), graph, predictions, crash_rounds=crash_rounds
+            mis_parallel(),
+            graph,
+            predictions,
+            faults=FaultPlan.crash_stop(crash_rounds),
         )
         survivors = [v for v in graph.nodes if v not in crash_rounds]
         surviving_graph = graph.subgraph(survivors)

@@ -11,6 +11,7 @@ import random
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.faults import FaultPlan
 from repro.graphs import erdos_renyi
 from repro.simulator import NodeProgram, SyncEngine, TraceRecorder
 
@@ -94,7 +95,7 @@ class TestEngineFuzz:
         engine = SyncEngine(
             graph,
             lambda node: FuzzProgram(seed, node),
-            crash_rounds=crash_rounds,
+            faults=FaultPlan.crash_stop(crash_rounds),
         )
         result = engine.run()
         for node in graph.nodes:

@@ -13,7 +13,7 @@ import pytest
 
 from repro.algorithms.mis import GreedyMISAlgorithm, HardenedGreedyMIS
 from repro.bench.algorithms import mis_hardened_simple, mis_simple
-from repro.core import run, run_with_trace
+from repro.core import run
 from repro.faults import (
     CrashFault,
     FaultController,
@@ -192,9 +192,9 @@ class TestTraceInterplay:
     def test_drop_events_reference_their_sends(self):
         graph = line(8)
         plan = FaultPlan.message_loss(0.5, seed=3)
-        _, trace = run_with_trace(
-            HardenedGreedyMIS(), graph, faults=plan, max_rounds=100
-        )
+        trace = run(
+            HardenedGreedyMIS(), graph, faults=plan, max_rounds=100, trace=True
+        ).trace
         drops = list(trace.of_kind("drop"))
         assert drops
         sends = {
@@ -209,13 +209,14 @@ class TestTraceInterplay:
             messages=MessageAdversary(corrupt_rate=1.0), seed=0
         )
         predictions = perfect_predictions(MIS, graph, seed=0)
-        _, trace = run_with_trace(
+        trace = run(
             mis_hardened_simple(),
             graph,
             predictions,
             faults=plan,
             max_rounds=100,
-        )
+            trace=True,
+        ).trace
         corruptions = list(trace.of_kind("corrupt"))
         assert corruptions
         for event in corruptions:
@@ -227,9 +228,10 @@ class TestTraceInterplay:
         plan = FaultPlan(
             messages=MessageAdversary(duplicate_rate=1.0), seed=0
         )
-        result, trace = run_with_trace(
-            HardenedGreedyMIS(), graph, faults=plan, max_rounds=100
+        result = run(
+            HardenedGreedyMIS(), graph, faults=plan, max_rounds=100, trace=True
         )
+        trace = result.trace
         duplicates = list(trace.of_kind("duplicate"))
         assert duplicates
         assert result.duplicated_messages == len(duplicates)
@@ -242,9 +244,9 @@ class TestTraceInterplay:
     def test_trace_records_crash_and_recover(self):
         graph = ring(6)
         plan = FaultPlan(crashes=(CrashFault(2, 1, recover_after=2),))
-        _, trace = run_with_trace(
-            HardenedGreedyMIS(), graph, faults=plan, max_rounds=100
-        )
+        trace = run(
+            HardenedGreedyMIS(), graph, faults=plan, max_rounds=100, trace=True
+        ).trace
         assert trace.first_round_of("crash") == 1
         assert trace.first_round_of("recover") == 3
 
@@ -269,12 +271,17 @@ class TestCrashRecovery:
         assert 3 not in result.outputs
 
     def test_crash_rounds_backcompat_equivalence(self):
-        """Legacy crash_rounds= and the plan it desugars to are identical."""
+        """Legacy crash_rounds= warns, and the plan it desugars to is
+        identical to FaultPlan.crash_stop."""
         graph = erdos_renyi(24, 0.2, seed=7)
         crash_rounds = {5: 2, 9: 4}
-        legacy = run(
-            GreedyMISAlgorithm(), graph, crash_rounds=crash_rounds, max_rounds=1000
-        )
+        with pytest.warns(DeprecationWarning, match="crash_stop"):
+            legacy = run(
+                GreedyMISAlgorithm(),
+                graph,
+                crash_rounds=crash_rounds,
+                max_rounds=1000,
+            )
         plan = run(
             GreedyMISAlgorithm(),
             graph,

@@ -169,7 +169,10 @@ class TestCLI:
         )
         assert code == 0
         content = csv_path.read_text().splitlines()
-        assert content[0] == "label,n,error,rounds,valid"
+        assert content[0] == (
+            "label,graph,n,seed,rounds,rounds_executed,valid,error,"
+            "messages,dropped,stuck,solution_size"
+        )
         assert len(content) == 3
 
     def test_graph_spec_errors(self):

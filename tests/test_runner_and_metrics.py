@@ -19,7 +19,7 @@ from repro.bench.algorithms import (
     mis_rooted_simple,
     mis_simple,
 )
-from repro.core import run, run_with_trace
+from repro.core import RunConfig, run, run_with_trace
 from repro.graphs import erdos_renyi, line, random_rooted_tree
 from repro.predictions import noisy_predictions
 from repro.problems import EDGE_COLORING, MATCHING, MIS, VERTEX_COLORING
@@ -43,14 +43,50 @@ class TestRunner:
         result = run(GreedyMISAlgorithm(), path5)
         assert result.model is LOCAL
 
-    def test_run_with_trace_returns_both(self, path5):
-        result, trace = run_with_trace(GreedyMISAlgorithm(), path5)
+    def test_run_trace_flag_attaches_recorder(self, path5):
+        result = run(GreedyMISAlgorithm(), path5, trace=True)
         assert result.rounds >= 1
+        assert result.trace.termination_rounds()
+
+    def test_run_without_trace_has_no_recorder(self, path5):
+        assert run(GreedyMISAlgorithm(), path5).trace is None
+
+    def test_run_with_trace_deprecated_wrapper(self, path5):
+        with pytest.warns(DeprecationWarning, match="trace=True"):
+            result, trace = run_with_trace(GreedyMISAlgorithm(), path5)
+        assert trace is result.trace
         assert trace.termination_rounds()
 
     def test_run_with_trace_requires_predictions_too(self, path5):
-        with pytest.raises(ValueError):
-            run_with_trace(mis_simple(), path5)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError):
+                run_with_trace(mis_simple(), path5)
+
+    def test_run_config_is_single_entrypoint(self, path5):
+        by_config = run(
+            GreedyMISAlgorithm(), path5, config=RunConfig(seed=3, fast=True)
+        )
+        by_kwargs = run(GreedyMISAlgorithm(), path5, seed=3, fast=True)
+        assert by_config.outputs == by_kwargs.outputs
+        assert by_config.rounds == by_kwargs.rounds
+
+    def test_run_config_kwargs_override(self, path5):
+        config = RunConfig(max_rounds=1)
+        from repro.simulator import RoundLimitExceeded
+        from repro.simulator.program import NodeProgram
+
+        class Never(NodeProgram):
+            pass
+
+        from repro.core.algorithm import FunctionalAlgorithm
+
+        never = FunctionalAlgorithm("never", Never)
+        with pytest.raises(RoundLimitExceeded):
+            run(never, path5, config=config)
+        partial = run(
+            never, path5, config=config, on_round_limit="partial"
+        )
+        assert partial.stuck is not None
 
     def test_max_rounds_override_propagates(self, path5):
         from repro.simulator import RoundLimitExceeded

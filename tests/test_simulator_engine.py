@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.faults import FaultPlan
 from repro.graphs import line, ring, star
 from repro.simulator import (
     NodeProgram,
@@ -234,7 +235,7 @@ class TestFaultInjection:
         result = SyncEngine(
             star(4),
             lambda v: _Stubborn() if v == 1 else StopOnCrash(),
-            crash_rounds={1: 1},
+            faults=FaultPlan.crash_stop({1: 1}),
             max_rounds=10,
         ).run()
         assert result.records[1].crashed
@@ -254,7 +255,7 @@ class TestFaultInjection:
         SyncEngine(
             line(3),
             lambda v: Observer(),
-            crash_rounds={2: 1},
+            faults=FaultPlan.crash_stop({2: 1}),
         ).run()
         assert crash_views[1] == {2}
         assert crash_views[3] == {2}
