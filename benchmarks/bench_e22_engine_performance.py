@@ -12,6 +12,11 @@ also assert that fast mode changes *nothing observable* — same rounds,
 same outputs, same message count — so the speedup column is free of
 semantic drift.  The measured before/after table lives in
 EXPERIMENTS.md.
+
+The profiled variants time the same workloads under
+``run(..., profile=True)`` (the engine's split-phase round path, see
+docs/OBSERVABILITY.md) and assert the same observational-identity
+contract, so the profiling overhead column is honest too.
 """
 
 from repro.algorithms.mis import GreedyMISAlgorithm, LubyMISAlgorithm
@@ -98,6 +103,39 @@ def test_e22_parallel_template_medium_fast(benchmark):
     assert result.message_count == reference.message_count
 
 
+def test_e22_greedy_on_large_grid_profiled(benchmark):
+    """Profiling cost on the grid workload — and proof the split-phase
+    profiled loop changes nothing observable."""
+    graph = grid2d(40, 40)
+    reference = run(GreedyMISAlgorithm(), graph)
+
+    def execute():
+        return run(GreedyMISAlgorithm(), graph, profile=True)
+
+    result = benchmark(execute)
+    assert MIS.is_solution(graph, result.outputs)
+    assert result.rounds == reference.rounds
+    assert result.outputs == reference.outputs
+    assert result.message_count == reference.message_count
+    assert len(result.profile) == result.rounds_executed
+    assert sum(result.profile.message_counts()) == result.message_count
+
+
+def test_e22_luby_on_regular_graph_profiled(benchmark):
+    graph = random_regular(1000, 4, seed=1)
+    reference = run(LubyMISAlgorithm(), graph, seed=1)
+
+    def execute():
+        return run(LubyMISAlgorithm(), graph, seed=1, profile=True)
+
+    result = benchmark(execute)
+    assert MIS.is_solution(graph, result.outputs)
+    assert result.rounds == reference.rounds
+    assert result.outputs == reference.outputs
+    assert result.message_count == reference.message_count
+    assert len(result.profile) == result.rounds_executed
+
+
 def test_e22_sweep_throughput(benchmark):
     """Executor overhead: a 12-cell grid through the serial backend
     should cost barely more than the 12 underlying runs (the artifact
@@ -121,3 +159,6 @@ def test_e22_sweep_throughput(benchmark):
     result = benchmark(execute)
     assert len(result) == 12
     assert result.all_valid
+    telemetry = result.telemetry()
+    assert telemetry["node_rounds_per_sec"] > 0
+    assert telemetry["backend"] == "serial"

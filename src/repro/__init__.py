@@ -68,10 +68,16 @@ from repro.core import (
 from repro.exec import Sweep, SweepResult
 from repro.faults import FaultPlan
 from repro.graphs import DistGraph
+from repro.obs import (
+    EventSink,
+    JsonlEventSink,
+    MemoryEventSink,
+    RoundProfile,
+)
 from repro.problems import EDGE_COLORING, MATCHING, MIS, VERTEX_COLORING, get_problem
 from repro.simulator import CONGEST, LOCAL, RunResult, SyncEngine
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CONGEST",
@@ -79,15 +85,19 @@ __all__ = [
     "DistGraph",
     "DistributedAlgorithm",
     "EDGE_COLORING",
+    "EventSink",
     "FaultPlan",
     "FunctionalAlgorithm",
     "HedgedConsecutiveTemplate",
     "InterleavedTemplate",
+    "JsonlEventSink",
     "LOCAL",
     "MATCHING",
     "MIS",
+    "MemoryEventSink",
     "ParallelTemplate",
     "PhasedAlgorithm",
+    "RoundProfile",
     "RunConfig",
     "RunResult",
     "SimpleTemplate",

@@ -9,6 +9,9 @@ Examples::
         --graph grid:10:10 --rates 0,0.1,0.3,1.0 --csv sweep.csv
     python -m repro faults --template hardened --graph grid:6:8 \
         --rates 0,0.05,0.2 --crash-frac 0.1 --recover-after 3
+    python -m repro profile --problem mis --template parallel \
+        --graph gnp:100:0.05 --noise 0.2
+    python -m repro events --graph grid:5:5 --out events.jsonl
     python -m repro example robustness
 
 Graph specs: ``line:N``, ``ring:N``, ``star:N``, ``clique:N``,
@@ -173,13 +176,7 @@ def _build(args: argparse.Namespace):
 
 def cmd_run(args: argparse.Namespace) -> int:
     problem, algorithm, graph = _build(args)
-    base = perfect_predictions(problem, graph, seed=args.seed)
-    if args.noise > 0:
-        predictions = noisy_predictions(
-            problem, graph, args.noise, seed=args.seed, base=base
-        )
-    else:
-        predictions = base
+    predictions = _predictions_for_args(problem, graph, args)
     result = run(
         algorithm, graph, predictions, seed=args.seed, max_rounds=args.max_rounds
     )
@@ -201,10 +198,90 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _predictions_for_args(problem, graph, args: argparse.Namespace):
+    """Perfect predictions, optionally perturbed by ``--noise``."""
+    base = perfect_predictions(problem, graph, seed=args.seed)
+    if args.noise > 0:
+        return noisy_predictions(
+            problem, graph, args.noise, seed=args.seed, base=base
+        )
+    return base
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Run one instance with round profiling and print the phase table."""
+    problem, algorithm, graph = _build(args)
+    predictions = _predictions_for_args(problem, graph, args)
+    result = run(
+        algorithm,
+        graph,
+        predictions,
+        seed=args.seed,
+        max_rounds=args.max_rounds,
+        profile=True,
+    )
+    violations = problem.verify_solution(graph, result.outputs)
+    print(f"instance   : {graph.name} (n={graph.n}, m={graph.num_edges})")
+    print(f"algorithm  : {algorithm.name}")
+    print(f"rounds     : {result.rounds}")
+    print(f"messages   : {result.message_count}")
+    print(f"valid      : {not violations}")
+    print()
+    print(result.profile.table())
+    summary = result.profile.summary()
+    print()
+    for phase in ("compose", "deliver", "process", "finalize"):
+        print(
+            f"{phase:>9}: {summary[f'{phase}_s']:.6f}s "
+            f"({summary[f'{phase}_share']:.1%})"
+        )
+    return 1 if violations else 0
+
+
+def cmd_events(args: argparse.Namespace) -> int:
+    """Run one instance and export its structured events as JSONL."""
+    import json
+
+    from repro.obs import MemoryEventSink
+    from repro.obs.events import write_jsonl_events
+
+    problem, algorithm, graph = _build(args)
+    predictions = _predictions_for_args(problem, graph, args)
+    sink = MemoryEventSink()
+    result = run(
+        algorithm,
+        graph,
+        predictions,
+        seed=args.seed,
+        max_rounds=args.max_rounds,
+        sinks=[sink],
+    )
+    entries = sink.entries
+    if args.kinds:
+        wanted = set(args.kinds.split(","))
+        entries = [entry for entry in entries if entry["kind"] in wanted]
+    if args.out:
+        open(args.out, "w", encoding="utf-8").close()
+        write_jsonl_events(args.out, entries)
+        print(
+            f"wrote {len(entries)} events ({result.rounds} rounds, "
+            f"{result.message_count} messages) to {args.out}"
+        )
+    else:
+        try:
+            for entry in entries:
+                print(json.dumps(entry, sort_keys=True))
+        except BrokenPipeError:  # piped into head & co.
+            import os
+
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.bench.workloads import noisy_for
     from repro.core import RunConfig
-    from repro.exec import GraphSpec, PredictionSpec, Sweep
+    from repro.exec import FaultSpec, GraphSpec, PredictionSpec, Sweep
 
     problem = PROBLEMS.get(args.problem)
     if problem is None:
@@ -220,10 +297,22 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     # The graph comes from a parsed string spec, so it enters the sweep
     # as a literal (content-hashed) artifact rather than a named factory.
     graph_spec = GraphSpec.literal(parse_graph(args.graph))
+    faulted = bool(args.drop_rate or args.crash_frac)
     config = RunConfig(max_rounds=args.max_rounds, seed=args.seed)
+    if faulted:
+        # A starved faulty cell is a data point, not an error.
+        config = config.with_overrides(on_round_limit="partial")
     sweep = Sweep(name=f"{args.problem}/{args.template}")
     for rate in rates:
         for seed in range(args.repeats):
+            faults = None
+            if faulted:
+                faults = FaultSpec.of(
+                    "random_crash_plan",
+                    args.crash_frac,
+                    drop_rate=args.drop_rate,
+                    seed=seed,
+                )
             sweep.add(
                 f"p={rate}/s={seed}",
                 graph_spec,
@@ -231,6 +320,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 predictions=PredictionSpec.of(
                     noisy_for, args.problem, rate, seed=seed
                 ),
+                faults=faults,
                 problem=problem.name,
                 seed=args.seed,
                 config=config,
@@ -240,6 +330,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         chunk_size=args.chunk_size,
         cache_dir=args.cache_dir,
+        profile=args.profile,
+        events_path=args.events_out,
     )
     print(f"{'error':>6}  {'max rounds':>10}")
     for error, rounds in result.rounds_by_error():
@@ -249,10 +341,46 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         f"({len(result)} cells, {result.backend} backend, "
         f"{result.elapsed:.2f}s)"
     )
+    if result.backend != result.requested_backend:
+        print(
+            f"note: requested {result.requested_backend} backend, "
+            f"ran {result.backend}"
+        )
+    if args.profile:
+        totals: Dict[str, float] = {}
+        for row in result.rows:
+            for phase in ("compose", "deliver", "process", "finalize"):
+                key = f"{phase}_s"
+                if row.profile:
+                    totals[key] = totals.get(key, 0.0) + row.profile[key]
+        grand = sum(totals.values()) or 1.0
+        print("\nphase totals across cells:")
+        for key, value in totals.items():
+            print(f"  {key:>11}: {value:.6f}s ({value / grand:.1%})")
+    if args.events_out:
+        print(f"wrote events to {args.events_out}")
     if args.csv:
         result.to_csv(args.csv)
         print(f"wrote {args.csv}")
-    return 0 if result.all_valid else 1
+    status = 0 if result.all_valid else 1
+    if args.bench_out:
+        from repro.obs.bench import record_run
+
+        payload, diff = record_run(
+            args.bench_out, result, gate=args.bench_gate
+        )
+        telemetry = payload["telemetry"]
+        print(
+            f"\nbench baseline {args.bench_out}: "
+            f"{telemetry['node_rounds_per_sec']:.0f} node-rounds/s"
+        )
+        if diff is None:
+            print("no previous baseline; recorded this run as the baseline")
+        else:
+            print(diff.summary())
+            if not diff.ok:
+                status = 1
+    return status
 
 
 def cmd_faults(args: argparse.Namespace) -> int:
@@ -376,13 +504,29 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_parser = subparsers.add_parser("run", help="run one instance")
     sweep_parser = subparsers.add_parser("sweep", help="noise-rate sweep")
-    for sub in (run_parser, sweep_parser):
+    profile_parser = subparsers.add_parser(
+        "profile", help="run one instance with per-round phase timings"
+    )
+    events_parser = subparsers.add_parser(
+        "events", help="run one instance and export structured events"
+    )
+    for sub in (run_parser, sweep_parser, profile_parser, events_parser):
         sub.add_argument("--problem", default="mis", help="problem name")
         sub.add_argument("--template", default="simple", help="template name")
         sub.add_argument("--graph", default="gnp:60:0.08", help="graph spec")
         sub.add_argument("--seed", type=int, default=0)
         sub.add_argument("--max-rounds", type=int, default=None)
-    run_parser.add_argument("--noise", type=float, default=0.0)
+    for sub in (run_parser, profile_parser, events_parser):
+        sub.add_argument(
+            "--noise", type=float, default=0.0, help="prediction noise rate"
+        )
+    events_parser.add_argument(
+        "--out", default=None, help="write JSONL here (default: stdout)"
+    )
+    events_parser.add_argument(
+        "--kinds", default=None,
+        help="comma-separated event kinds to keep (e.g. send,drop)",
+    )
     sweep_parser.add_argument(
         "--rates", default="0,0.1,0.3,0.6,1.0", help="comma-separated rates"
     )
@@ -403,6 +547,31 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--cache-dir", default=None,
         help="on-disk artifact cache directory (e.g. .repro_cache)",
+    )
+    sweep_parser.add_argument(
+        "--drop-rate", type=float, default=0.0,
+        help="inject a message adversary dropping this fraction of sends",
+    )
+    sweep_parser.add_argument(
+        "--crash-frac", type=float, default=0.0,
+        help="fraction of nodes given crash faults in every cell",
+    )
+    sweep_parser.add_argument(
+        "--profile", action="store_true",
+        help="profile every cell and print aggregate phase timings",
+    )
+    sweep_parser.add_argument(
+        "--events-out", default=None,
+        help="write every cell's structured events to this JSONL file",
+    )
+    sweep_parser.add_argument(
+        "--bench-out", default=None,
+        help="record a BENCH baseline JSON here and diff against the "
+        "previous one (exits nonzero on regression)",
+    )
+    sweep_parser.add_argument(
+        "--bench-gate", type=float, default=2.0,
+        help="throughput regression gate for --bench-out (default 2.0x)",
     )
 
     faults_parser = subparsers.add_parser(
@@ -457,6 +626,8 @@ def main(argv=None) -> int:
         "list": cmd_list,
         "run": cmd_run,
         "sweep": cmd_sweep,
+        "profile": cmd_profile,
+        "events": cmd_events,
         "faults": cmd_faults,
         "example": cmd_example,
         "reproduce": cmd_reproduce,

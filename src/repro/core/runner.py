@@ -39,7 +39,10 @@ class RunConfig:
         model: Execution model override; ``None`` uses the algorithm's.
         max_rounds: Round budget; ``None`` uses the engine default
             (``8 * n + 64``).
-        seed: Seed for the per-node random streams.
+        seed: Seed for the per-node random streams.  ``None`` means
+            *unset*: single runs fall back to seed 0, while sweep cells
+            derive a deterministic per-cell seed.  An explicit ``0`` is
+            honored everywhere (it is a real seed, not "unset").
         faults: A :class:`~repro.faults.plan.FaultPlan` (or controller)
             describing crashes, message adversaries and prediction
             corruption; ``None`` runs fault-free.
@@ -49,15 +52,24 @@ class RunConfig:
             to the result as ``result.trace``.
         fast: Engine fast mode — skip per-message bit-size estimation
             (identical outputs and round counts, no bandwidth columns).
+        profile: Record per-round compose/deliver/process/finalize phase
+            timings; the :class:`~repro.obs.profile.RoundProfile` is
+            attached to the result as ``result.profile``.
     """
 
     model: Optional[ExecutionModel] = None
     max_rounds: Optional[int] = None
-    seed: int = 0
+    seed: Optional[int] = None
     faults: Optional[Any] = None
     on_round_limit: str = "raise"
     trace: bool = False
     fast: bool = False
+    profile: bool = False
+
+    @property
+    def effective_seed(self) -> int:
+        """The seed a single run uses: the configured one, else 0."""
+        return 0 if self.seed is None else self.seed
 
     def __post_init__(self) -> None:
         if self.on_round_limit not in ("raise", "partial"):
@@ -102,12 +114,14 @@ def run(
     config: Optional[RunConfig] = None,
     model: Optional[ExecutionModel] = _UNSET,
     max_rounds: Optional[int] = _UNSET,
-    seed: int = _UNSET,
+    seed: Optional[int] = _UNSET,
     crash_rounds: Optional[Mapping[int, int]] = None,
     faults: Optional[Any] = _UNSET,
     on_round_limit: str = _UNSET,
     trace: bool = _UNSET,
     fast: bool = _UNSET,
+    profile: bool = _UNSET,
+    sinks: Optional[Any] = None,
 ) -> RunResult:
     """Run ``algorithm`` on ``graph`` and return the execution record.
 
@@ -123,8 +137,13 @@ def run(
         predictions: Per-node predictions; required when the algorithm
             declares ``uses_predictions``.
         config: A :class:`RunConfig`; defaults to ``RunConfig()``.
-        model, max_rounds, seed, faults, on_round_limit, trace, fast:
-            Field-level overrides of ``config`` (see :class:`RunConfig`).
+        model, max_rounds, seed, faults, on_round_limit, trace, fast,
+            profile: Field-level overrides of ``config`` (see
+            :class:`RunConfig`).
+        sinks: Extra :class:`~repro.obs.events.EventSink` objects
+            attached to the engine for this call (not part of the
+            frozen config: sinks hold live resources such as open
+            files).
         crash_rounds: Deprecated — use
             ``faults=FaultPlan.crash_stop({node: round, ...})``.
 
@@ -144,6 +163,7 @@ def run(
         on_round_limit=on_round_limit,
         trace=trace,
         fast=fast,
+        profile=profile,
     )
     if crash_rounds:
         config = replace(
@@ -156,8 +176,10 @@ def run(
         predictions=predictions,
         model=config.model or algorithm.model,
         max_rounds=config.max_rounds,
-        seed=config.seed,
+        seed=config.effective_seed,
         trace=recorder,
+        sinks=sinks,
+        profile=config.profile,
         faults=config.faults,
         on_round_limit=config.on_round_limit,
         fast=config.fast,

@@ -31,6 +31,7 @@ from repro.exec.cache import (
 )
 from repro.exec.plan import Cell, FaultSpec, Spec, Sweep, derive_cell_seed
 from repro.exec.results import CellResult, SweepResult
+from repro.obs.events import MemoryEventSink, write_jsonl_events
 
 
 def execute(
@@ -42,41 +43,93 @@ def execute(
     cache: Optional[ArtifactCache] = None,
     cache_dir: Optional[str] = None,
     cache_size: int = 256,
+    profile: bool = False,
+    events: bool = False,
+    events_path: Optional[str] = None,
 ) -> SweepResult:
-    """Run every cell of ``sweep`` on the chosen backend."""
+    """Run every cell of ``sweep`` on the chosen backend.
+
+    With ``profile``, every cell runs with round profiling and its
+    ``RoundProfile.summary()`` lands on the row.  With ``events`` (or an
+    ``events_path``), every cell's structured events are captured; an
+    ``events_path`` additionally writes them all — tagged with their
+    cell label, in cell order — as one JSONL file.
+
+    The returned :class:`SweepResult` records both the requested and the
+    *effective* backend: a process-backend request runs serially for
+    single-cell sweeps and on platforms that cannot spawn workers, and
+    reports so instead of claiming parallelism it didn't have.
+    """
     if backend not in ("serial", "process"):
         raise ValueError(f"backend must be 'serial' or 'process', got {backend!r}")
+    if cache is not None and backend == "process":
+        raise ValueError(
+            "cache= is only honored by the serial backend (worker processes "
+            "cannot share a live cache object); pass cache_dir= to share "
+            "artifacts on disk, or use backend='serial'"
+        )
+    events = events or events_path is not None
     tagged = [
         (index, cell, _resolved_seed(sweep, index, cell))
         for index, cell in enumerate(sweep.cells)
     ]
     start = time.perf_counter()
     if backend == "serial" or len(tagged) <= 1:
-        local_cache = cache or ArtifactCache(maxsize=cache_size, disk_dir=cache_dir)
-        rows = [_execute_cell(index, cell, seed, local_cache) for index, cell, seed in tagged]
+        effective = "serial"
+        # ``is not None``, not truthiness: a fresh caller-supplied cache
+        # is empty and ArtifactCache defines ``__len__``.
+        local_cache = (
+            cache
+            if cache is not None
+            else ArtifactCache(maxsize=cache_size, disk_dir=cache_dir)
+        )
+        rows = [
+            _execute_cell(index, cell, seed, local_cache, profile, events)
+            for index, cell, seed in tagged
+        ]
         stats = local_cache.stats()
     else:
-        rows, stats = _execute_process_pool(
+        rows, stats, effective = _execute_process_pool(
             tagged,
             jobs=jobs,
             chunk_size=chunk_size,
             cache_dir=cache_dir,
             cache_size=cache_size,
+            profile=profile,
+            events=events,
         )
     rows.sort(key=lambda row: row.index)
-    return SweepResult(
+    result = SweepResult(
         name=sweep.name,
         rows=rows,
-        backend=backend,
+        backend=effective,
+        requested_backend=backend,
         elapsed=time.perf_counter() - start,
         cache_stats=stats,
     )
+    if events_path is not None:
+        _write_sweep_events(events_path, rows)
+    return result
+
+
+def _write_sweep_events(path: str, rows: List[CellResult]) -> None:
+    """Serialize every row's captured events as one JSONL file."""
+    # Truncate first: write_jsonl_events appends per cell.
+    open(path, "w", encoding="utf-8").close()
+    for row in rows:
+        if row.events:
+            write_jsonl_events(path, row.events, cell=row.label)
 
 
 def _resolved_seed(sweep: Sweep, index: int, cell: Cell) -> int:
+    """The seed a cell runs with: explicit beats configured beats derived.
+
+    ``seed=0`` is a real seed at either level — only ``None`` (unset)
+    falls through to the derived per-cell seed.
+    """
     if cell.seed is not None:
         return cell.seed
-    if cell.config.seed:
+    if cell.config.seed is not None:
         return cell.config.seed
     return derive_cell_seed(sweep.base_seed, index, cell.label)
 
@@ -85,8 +138,14 @@ def _resolved_seed(sweep: Sweep, index: int, cell: Cell) -> int:
 # Per-cell execution (shared verbatim by both backends)
 # ----------------------------------------------------------------------
 def _execute_cell(
-    index: int, cell: Cell, seed: int, cache: ArtifactCache
+    index: int,
+    cell: Cell,
+    seed: int,
+    cache: ArtifactCache,
+    profile: bool = False,
+    events: bool = False,
 ) -> CellResult:
+    cell_start = time.perf_counter()
     graph = cache.get_or_build(cell.graph.key, cell.graph.build)
     predictions = None
     if cell.predictions is not None:
@@ -103,7 +162,16 @@ def _execute_cell(
     config = cell.config.with_overrides(seed=seed)
     if faults is not None:
         config = config.with_overrides(faults=faults)
-    result = run(algorithm, graph, predictions, config=config)
+    if profile:
+        config = config.with_overrides(profile=True)
+    sink = MemoryEventSink() if events else None
+    result = run(
+        algorithm,
+        graph,
+        predictions,
+        config=config,
+        sinks=[sink] if sink is not None else None,
+    )
 
     problem = None
     valid = None
@@ -117,10 +185,8 @@ def _execute_cell(
             from repro.errors import eta1
 
             error = eta1(graph, predictions, problem.name)
-    ones = sum(1 for value in result.outputs.values() if value == 1)
-    solution_size = (
-        ones if problem is not None and problem.name == "mis" else len(result.outputs)
-    )
+    from repro.problems import solution_size as _solution_size
+
     metrics: Dict[str, Any] = {}
     if cell.metrics is not None:
         metrics = dict(cell.metrics(problem, graph, predictions, result))
@@ -137,8 +203,13 @@ def _execute_cell(
         message_count=result.message_count,
         dropped_messages=result.dropped_messages,
         stuck=result.stuck is not None,
-        solution_size=solution_size,
+        solution_size=_solution_size(
+            result.outputs, problem.name if problem is not None else None
+        ),
         metrics=metrics,
+        elapsed=time.perf_counter() - cell_start,
+        profile=result.profile.summary() if result.profile is not None else None,
+        events=sink.entries if sink is not None else None,
     )
 
 
@@ -151,12 +222,16 @@ def _init_worker(cache_size: int, cache_dir: Optional[str]) -> None:
 
 
 def _run_chunk(
-    chunk: Sequence[Tuple[int, Cell, int]]
+    task: Tuple[Sequence[Tuple[int, Cell, int]], bool, bool]
 ) -> Tuple[List[CellResult], Dict[str, int]]:
     """Execute one chunk in a worker; returns rows + cache counters."""
+    chunk, profile, events = task
     cache = process_cache()
     before = cache.stats()
-    rows = [_execute_cell(index, cell, seed, cache) for index, cell, seed in chunk]
+    rows = [
+        _execute_cell(index, cell, seed, cache, profile, events)
+        for index, cell, seed in chunk
+    ]
     after = cache.stats()
     delta = {key: after[key] - before.get(key, 0) for key in ("hits", "disk_hits", "misses")}
     return rows, delta
@@ -169,15 +244,22 @@ def _execute_process_pool(
     chunk_size: Optional[int],
     cache_dir: Optional[str],
     cache_size: int,
-) -> Tuple[List[CellResult], Dict[str, int]]:
+    profile: bool = False,
+    events: bool = False,
+) -> Tuple[List[CellResult], Dict[str, int], str]:
+    """Rows, cache counters and the backend that actually ran them."""
     workers = jobs or os.cpu_count() or 2
     workers = max(1, min(workers, len(tagged)))
     if chunk_size is None:
         # ~4 waves per worker balances scheduling slack against IPC cost.
         chunk_size = max(1, len(tagged) // (workers * 4) or 1)
-    chunks = [tagged[i : i + chunk_size] for i in range(0, len(tagged), chunk_size)]
+    chunks = [
+        (tagged[i : i + chunk_size], profile, events)
+        for i in range(0, len(tagged), chunk_size)
+    ]
     rows: List[CellResult] = []
     stats: Dict[str, int] = {"hits": 0, "disk_hits": 0, "misses": 0}
+    effective = "process"
     try:
         with ProcessPoolExecutor(
             max_workers=workers,
@@ -190,13 +272,18 @@ def _execute_process_pool(
                     stats[key] = stats.get(key, 0) + value
     except (OSError, PermissionError) as exc:
         # Sandboxes and restricted CI runners sometimes forbid spawning
-        # worker processes; the sweep still completes, just serially.
+        # worker processes; the sweep still completes, just serially —
+        # and the result says so (``backend="serial"``).
         warnings.warn(
             f"process backend unavailable ({exc}); falling back to serial",
             RuntimeWarning,
             stacklevel=2,
         )
+        effective = "serial"
         cache = ArtifactCache(maxsize=cache_size, disk_dir=cache_dir)
-        rows = [_execute_cell(index, cell, seed, cache) for index, cell, seed in tagged]
+        rows = [
+            _execute_cell(index, cell, seed, cache, profile, events)
+            for index, cell, seed in tagged
+        ]
         stats = cache.stats()
-    return rows, stats
+    return rows, stats, effective

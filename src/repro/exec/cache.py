@@ -32,6 +32,12 @@ def content_hash(key: str) -> str:
     return hashlib.sha256(key.encode("utf-8")).hexdigest()[:32]
 
 
+#: Private sentinel for "no entry" in both cache layers.  ``None`` is a
+#: legitimate artifact value (a builder may genuinely produce it), so
+#: absence must be signalled out-of-band everywhere.
+_ABSENT: Any = object()
+
+
 class ArtifactCache:
     """In-memory LRU of built artifacts with an optional disk layer.
 
@@ -55,13 +61,18 @@ class ArtifactCache:
 
     # ------------------------------------------------------------------
     def get_or_build(self, key: str, builder: Callable[[], Any]) -> Any:
-        """The artifact for ``key``, building (and storing) it on a miss."""
-        if key in self._entries:
+        """The artifact for ``key``, building (and storing) it on a miss.
+
+        A builder returning ``None`` is cached like any other artifact —
+        "absent" is tracked by a private sentinel, never by the value.
+        """
+        value = self._entries.get(key, _ABSENT)
+        if value is not _ABSENT:
             self.hits += 1
             self._entries.move_to_end(key)
-            return self._entries[key]
+            return value
         value = self._load_from_disk(key)
-        if value is not None:
+        if value is not _ABSENT:
             self.disk_hits += 1
         else:
             self.misses += 1
@@ -103,19 +114,21 @@ class ArtifactCache:
             return None
         return os.path.join(self.disk_dir, f"{content_hash(key)}.pkl")
 
-    def _load_from_disk(self, key: str) -> Optional[Any]:
+    def _load_from_disk(self, key: str) -> Any:
+        """The stored artifact, or ``_ABSENT`` on a miss (an artifact may
+        legitimately *be* ``None``, so misses are signalled out-of-band)."""
         path = self._disk_path(key)
         if path is None or not os.path.exists(path):
-            return None
+            return _ABSENT
         try:
             with open(path, "rb") as handle:
                 stored_key, value = pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
-            return None  # truncated or stale entry: rebuild
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ValueError):
+            return _ABSENT  # truncated or stale entry: rebuild
         # The full key is stored alongside the artifact so a (vanishingly
         # unlikely) digest collision rebuilds instead of aliasing.
         if stored_key != key:
-            return None
+            return _ABSENT
         return value
 
     def _store_to_disk(self, key: str, value: Any) -> None:

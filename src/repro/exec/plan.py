@@ -339,6 +339,9 @@ class Sweep:
         cache: Optional[Any] = None,
         cache_dir: Optional[str] = None,
         cache_size: int = 256,
+        profile: bool = False,
+        events: bool = False,
+        events_path: Optional[str] = None,
     ):
         """Execute every cell and return a
         :class:`~repro.exec.results.SweepResult` (rows in cell order).
@@ -353,11 +356,16 @@ class Sweep:
             chunk_size: Cells per dispatched chunk (default: balanced
                 across ~4 waves per worker).
             cache: An :class:`~repro.exec.cache.ArtifactCache` to reuse
-                across sweeps (serial backend only); by default each run
-                builds its own.
+                across sweeps (serial backend only — the process
+                backend raises rather than silently ignoring it).
             cache_dir: Directory for the on-disk artifact layer (e.g.
                 ``".repro_cache"``); shared by worker processes.
             cache_size: In-memory LRU capacity per process.
+            profile: Run every cell with round profiling; each row
+                carries its ``RoundProfile.summary()``.
+            events: Capture every cell's structured events on its row.
+            events_path: Also write all captured events (tagged with
+                their cell label) as one JSONL file; implies ``events``.
         """
         from repro.exec.backends import execute
 
@@ -369,4 +377,7 @@ class Sweep:
             cache=cache,
             cache_dir=cache_dir,
             cache_size=cache_size,
+            profile=profile,
+            events=events,
+            events_path=events_path,
         )

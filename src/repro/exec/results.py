@@ -38,6 +38,13 @@ class CellResult:
         solution_size: Nodes outputting 1 (MIS-style problems), else the
             number of decided nodes.
         metrics: Output of the cell's custom metrics callable, if any.
+        elapsed: Wall-clock seconds this cell took to execute (artifact
+            builds included).  Excluded from :meth:`as_tuple`: timings
+            are observability, not semantics.
+        profile: ``RoundProfile.summary()`` of the cell's run when the
+            sweep was executed with profiling, else ``None``.
+        events: The cell's event dicts (``MemoryEventSink`` form) when
+            the sweep was executed with event capture, else ``None``.
     """
 
     index: int
@@ -54,6 +61,9 @@ class CellResult:
     stuck: bool = False
     solution_size: int = 0
     metrics: Dict[str, Any] = field(default_factory=dict)
+    elapsed: float = 0.0
+    profile: Optional[Dict[str, Any]] = None
+    events: Optional[List[Dict[str, Any]]] = None
 
     def as_tuple(self) -> Tuple[Any, ...]:
         """Canonical comparison form (used by backend-equivalence tests)."""
@@ -82,7 +92,12 @@ class SweepResult:
     Attributes:
         name: The sweep's name.
         rows: One :class:`CellResult` per cell.
-        backend: ``"serial"`` or ``"process"``.
+        backend: The backend that *actually* executed the cells
+            (``"serial"`` or ``"process"``).  May differ from
+            :attr:`requested_backend`: single-cell sweeps and platforms
+            that cannot spawn worker processes run serially even when
+            the process backend was requested.
+        requested_backend: The backend the caller asked for.
         elapsed: Wall-clock seconds for the whole execution.
         cache_stats: Aggregated artifact-cache counters (summed over
             worker processes for the process backend).
@@ -91,8 +106,13 @@ class SweepResult:
     name: str = ""
     rows: List[CellResult] = field(default_factory=list)
     backend: str = "serial"
+    requested_backend: str = ""
     elapsed: float = 0.0
     cache_stats: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.requested_backend:
+            self.requested_backend = self.backend
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -129,6 +149,41 @@ class SweepResult:
                 continue
             by_error[row.error] = max(by_error.get(row.error, 0), row.rounds)
         return sorted(by_error.items())
+
+    def telemetry(self) -> Dict[str, Any]:
+        """Flat, JSON-safe aggregate of the sweep's execution.
+
+        Per-cell rounds/messages totals, backend provenance (requested
+        vs. effective), cache hit rate and round throughput — the
+        payload :func:`repro.obs.bench.write_baseline` serializes into
+        ``BENCH_<name>.json`` artifacts.
+        """
+        rows = self.rows
+        lookups = sum(
+            self.cache_stats.get(key, 0) for key in ("hits", "disk_hits", "misses")
+        )
+        built = self.cache_stats.get("misses", 0)
+        node_rounds = sum(row.rounds_executed * row.n for row in rows)
+        valid_known = [row for row in rows if row.valid is not None]
+        return {
+            "sweep": self.name,
+            "cells": len(rows),
+            "backend": self.backend,
+            "requested_backend": self.requested_backend,
+            "elapsed": self.elapsed,
+            "rounds_total": sum(row.rounds for row in rows),
+            "rounds_max": max((row.rounds for row in rows), default=0),
+            "rounds_executed_total": sum(row.rounds_executed for row in rows),
+            "messages_total": sum(row.message_count for row in rows),
+            "dropped_total": sum(row.dropped_messages for row in rows),
+            "stuck_cells": sum(1 for row in rows if row.stuck),
+            "valid_cells": sum(1 for row in valid_known if row.valid),
+            "invalid_cells": sum(1 for row in valid_known if not row.valid),
+            "cache_hit_rate": (lookups - built) / lookups if lookups else 0.0,
+            "node_rounds_total": node_rounds,
+            "node_rounds_per_sec": node_rounds / self.elapsed if self.elapsed else 0.0,
+            "cell_elapsed_total": sum(row.elapsed for row in rows),
+        }
 
     def equivalent_to(self, other: "SweepResult") -> bool:
         """Row-for-row equality (ignores backend, timing, cache stats)."""

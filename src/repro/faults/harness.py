@@ -23,6 +23,7 @@ from repro.faults.validators import (
     survivor_violations,
 )
 from repro.graphs.graph import DistGraph
+from repro.problems import solution_size
 from repro.problems.base import GraphProblem
 
 #: Either a fixed prediction mapping or a per-seed factory.
@@ -142,7 +143,6 @@ def degradation_sweep(
                 on_round_limit="partial",
             )
             survivors = survivor_nodes(result)
-            ones = sum(1 for value in result.outputs.values() if value == 1)
             points.append(
                 DegradationPoint(
                     graph=graph.name,
@@ -154,8 +154,10 @@ def degradation_sweep(
                     rounds_executed=result.rounds_executed,
                     survivors=len(survivors),
                     coverage=survivor_coverage(result),
-                    solution_size=ones if problem.name == "mis" else len(
-                        set(result.outputs) & set(survivors)
+                    solution_size=(
+                        solution_size(result.outputs, "mis")
+                        if problem.name == "mis"
+                        else len(set(result.outputs) & set(survivors))
                     ),
                     violations=survivor_violations(problem, graph, result),
                     stuck=result.stuck is not None,

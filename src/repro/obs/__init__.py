@@ -1,0 +1,66 @@
+"""Observability: structured events, round profiling, bench baselines.
+
+The paper's only performance measure is the number of rounds until all
+processes terminate (Section 1); everything else this repository
+measures — wall-clock of the engine's phases, sweep throughput, cache
+effectiveness — lives here, behind three small surfaces:
+
+* **Event sinks** (:mod:`repro.obs.events`): an :class:`EventSink`
+  attached via ``run(..., sinks=[...])`` receives every send / drop /
+  output / termination plus round boundaries with wall-clock and
+  message deltas.  :class:`JsonlEventSink` exports them as JSONL
+  (``repro events``, ``repro sweep --events-out``);
+  :class:`MemoryEventSink` collects them in memory.  The simulator's
+  ``TraceRecorder`` is one sink implementation.
+* **Round profiling** (:mod:`repro.obs.profile`): ``run(...,
+  profile=True)`` attaches a :class:`RoundProfile` to the result with
+  per-round compose / deliver / process / finalize timings and
+  message-count histograms.  When profiling and sinks are off, the
+  engine's hot loop does no observability work at all.
+* **Bench baselines** (:mod:`repro.obs.bench`): ``record_run`` writes a
+  sweep's telemetry as a ``BENCH_<name>.json`` artifact and diffs it
+  against the previous baseline — the regression gate behind
+  ``repro sweep --bench-out``.
+"""
+
+from repro.obs.bench import (
+    DEFAULT_GATE,
+    SCHEMA,
+    BaselineDiff,
+    baseline_payload,
+    diff_payloads,
+    load_baseline,
+    record_run,
+    write_baseline,
+)
+from repro.obs.events import (
+    LIFECYCLE_KINDS,
+    EventSink,
+    JsonlEventSink,
+    MemoryEventSink,
+    event_dict,
+    read_jsonl_events,
+    write_jsonl_events,
+)
+from repro.obs.profile import PHASES, RoundProfile, RoundSample
+
+__all__ = [
+    "DEFAULT_GATE",
+    "PHASES",
+    "SCHEMA",
+    "BaselineDiff",
+    "EventSink",
+    "JsonlEventSink",
+    "LIFECYCLE_KINDS",
+    "MemoryEventSink",
+    "RoundProfile",
+    "RoundSample",
+    "baseline_payload",
+    "diff_payloads",
+    "event_dict",
+    "load_baseline",
+    "read_jsonl_events",
+    "record_run",
+    "write_baseline",
+    "write_jsonl_events",
+]

@@ -1,0 +1,204 @@
+"""Bench baseline artifacts: ``BENCH_<name>.json`` writing and diffing.
+
+A sweep's telemetry (see ``SweepResult.telemetry()``) is only useful
+over time: the question a perf PR has to answer is "did round
+throughput regress against the last recorded run?".  This module turns
+one executed sweep into a **baseline artifact** — a small JSON document
+with the sweep's telemetry and per-cell rounds/messages — and can diff
+a fresh run against the previously recorded baseline, acting as a
+regression gate for the bench_e22-style numbers in EXPERIMENTS.md.
+
+Baseline schema (``repro.obs.bench/v1``; documented in
+``docs/OBSERVABILITY.md``)::
+
+    {
+      "schema": "repro.obs.bench/v1",
+      "name": "<sweep name>",
+      "created": <unix seconds>,
+      "telemetry": { ... SweepResult.telemetry() ... },
+      "cells": [
+        {"label": ..., "seed": ..., "rounds": ..., "rounds_executed": ...,
+         "messages": ..., "valid": ..., "elapsed": ...},
+        ...
+      ]
+    }
+
+The diff separates **determinism breaks** (per-cell rounds or message
+counts changed — always a regression, timings are irrelevant) from
+**throughput regressions** (node-rounds/s dropped by more than the
+gate factor — timing-noise tolerant by construction).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+SCHEMA = "repro.obs.bench/v1"
+
+#: Default throughput gate: fail when the new run is > 2x slower.
+DEFAULT_GATE = 2.0
+
+
+def baseline_payload(
+    result: Any, *, name: Optional[str] = None, created: Optional[float] = None
+) -> Dict[str, Any]:
+    """The baseline document for one executed sweep.
+
+    ``result`` is a :class:`~repro.exec.results.SweepResult` (duck-typed:
+    anything with ``name``, ``rows`` and ``telemetry()``).
+    """
+    return {
+        "schema": SCHEMA,
+        "name": name or result.name or "sweep",
+        "created": time.time() if created is None else created,
+        "telemetry": result.telemetry(),
+        "cells": [
+            {
+                "label": row.label,
+                "seed": row.seed,
+                "rounds": row.rounds,
+                "rounds_executed": row.rounds_executed,
+                "messages": row.message_count,
+                "valid": row.valid,
+                "elapsed": getattr(row, "elapsed", 0.0),
+            }
+            for row in result.rows
+        ],
+    }
+
+
+def write_baseline(
+    path: str, result: Any, *, name: Optional[str] = None
+) -> Dict[str, Any]:
+    """Serialize ``result`` as a baseline artifact at ``path``."""
+    payload = baseline_payload(result, name=name)
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload
+
+
+def load_baseline(path: str) -> Dict[str, Any]:
+    """Load a baseline artifact, validating its schema marker."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    schema = payload.get("schema")
+    if schema != SCHEMA:
+        raise ValueError(f"{path}: unsupported baseline schema {schema!r}")
+    return payload
+
+
+@dataclass
+class BaselineDiff:
+    """Outcome of comparing a fresh run against a recorded baseline.
+
+    Attributes:
+        name: The baseline's name.
+        gate: The throughput-regression factor that was applied.
+        throughput_ratio: ``baseline node-rounds/s ÷ current`` (> 1 means
+            the new run is slower); ``None`` when either side lacks
+            timing data.
+        determinism_breaks: Per-cell rounds/message mismatches — a
+            changed algorithm or broken seeding, never timing noise.
+        regressions: Human-readable gate failures (throughput beyond the
+            gate, plus every determinism break).
+        notes: Non-failing observations (new/missing cells, improvement).
+    """
+
+    name: str
+    gate: float = DEFAULT_GATE
+    throughput_ratio: Optional[float] = None
+    determinism_breaks: List[str] = field(default_factory=list)
+    regressions: List[str] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the run is clean: no regressions of either kind."""
+        return not self.regressions
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [f"baseline {self.name!r}: {'clean' if self.ok else 'REGRESSED'}"]
+        if self.throughput_ratio is not None:
+            lines.append(
+                f"  throughput ratio (baseline/current): "
+                f"{self.throughput_ratio:.2f} (gate {self.gate:.1f}x)"
+            )
+        for entry in self.regressions:
+            lines.append(f"  ! {entry}")
+        for entry in self.notes:
+            lines.append(f"  - {entry}")
+        return "\n".join(lines)
+
+
+def diff_payloads(
+    current: Dict[str, Any],
+    previous: Dict[str, Any],
+    *,
+    gate: float = DEFAULT_GATE,
+) -> BaselineDiff:
+    """Compare a fresh baseline payload against the previous one."""
+    diff = BaselineDiff(name=previous.get("name", "baseline"), gate=gate)
+
+    previous_cells = {cell["label"]: cell for cell in previous.get("cells", [])}
+    current_cells = {cell["label"]: cell for cell in current.get("cells", [])}
+    for label, cell in current_cells.items():
+        old = previous_cells.get(label)
+        if old is None:
+            diff.notes.append(f"new cell {label!r} (not in baseline)")
+            continue
+        for column in ("rounds", "rounds_executed", "messages", "seed"):
+            if cell.get(column) != old.get(column):
+                diff.determinism_breaks.append(
+                    f"cell {label!r}: {column} {old.get(column)} -> {cell.get(column)}"
+                )
+    for label in previous_cells:
+        if label not in current_cells:
+            diff.notes.append(f"cell {label!r} disappeared from the sweep")
+
+    old_rate = previous.get("telemetry", {}).get("node_rounds_per_sec") or 0.0
+    new_rate = current.get("telemetry", {}).get("node_rounds_per_sec") or 0.0
+    if old_rate > 0 and new_rate > 0:
+        diff.throughput_ratio = old_rate / new_rate
+        if diff.throughput_ratio > gate:
+            diff.regressions.append(
+                f"round throughput regressed {diff.throughput_ratio:.2f}x "
+                f"({old_rate:.0f} -> {new_rate:.0f} node-rounds/s, gate {gate:.1f}x)"
+            )
+        elif diff.throughput_ratio < 1 / gate:
+            diff.notes.append(
+                f"round throughput improved {1 / diff.throughput_ratio:.2f}x"
+            )
+    diff.regressions.extend(diff.determinism_breaks)
+    return diff
+
+
+def record_run(
+    path: str,
+    result: Any,
+    *,
+    name: Optional[str] = None,
+    gate: float = DEFAULT_GATE,
+) -> Tuple[Dict[str, Any], Optional[BaselineDiff]]:
+    """Diff ``result`` against the baseline at ``path``, then replace it.
+
+    Returns ``(new payload, diff)``; the diff is ``None`` on the first
+    run (no baseline existed yet).  The new baseline is written even
+    when the diff regressed — the artifact records what happened, the
+    caller decides what to do about it (e.g. a CI gate on ``diff.ok``).
+    """
+    previous: Optional[Dict[str, Any]] = None
+    if os.path.exists(path):
+        previous = load_baseline(path)
+    payload = write_baseline(path, result, name=name)
+    if previous is None:
+        return payload, None
+    return payload, diff_payloads(payload, previous, gate=gate)

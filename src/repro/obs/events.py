@@ -1,0 +1,219 @@
+"""Structured event sinks: where a run's observable events go.
+
+The engine has always been able to narrate what happens — sends, drops,
+outputs, terminations — but until this module the only listener was the
+in-memory :class:`~repro.simulator.trace.TraceRecorder`.  An
+:class:`EventSink` generalizes that contract: any object implementing
+``record`` (and, optionally, the run/round lifecycle hooks) can be
+attached to a run via ``run(..., sinks=[...])`` and receives every event
+the recorder would, plus round boundaries with wall-clock and message
+deltas.  ``TraceRecorder`` itself is now just one sink implementation.
+
+Two concrete sinks live here:
+
+* :class:`MemoryEventSink` collects plain event dicts in a list — the
+  form sweeps ship across process boundaries and tests assert on.
+* :class:`JsonlEventSink` appends one JSON object per line to a file,
+  the machine-readable export behind ``repro events`` and
+  ``repro sweep --events-out``.
+
+The module deliberately imports nothing from the simulator so that the
+simulator can make :class:`~repro.simulator.trace.TraceRecorder` a sink
+without an import cycle.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Optional, TextIO, Union
+
+
+class EventSink:
+    """Receiver of structured run events.
+
+    Subclass and override what you need; every hook is a no-op by
+    default, so a sink interested only in message events (like
+    :class:`~repro.simulator.trace.TraceRecorder`) implements just
+    :meth:`record`.
+
+    Hook order for one run::
+
+        on_run_begin(meta)
+        # per executed round:
+        on_round_begin(round_index, active)
+        record(round_index, kind, node, data)   # 0+ times
+        on_round_end(round_index, info)
+        on_run_end(summary)
+
+    ``record`` kinds are those of
+    :class:`~repro.simulator.trace.TraceEvent`: ``send``, ``output``,
+    ``terminate``, ``crash``, ``recover``, ``drop``, ``corrupt``,
+    ``duplicate``.  Round 0 events (setup-phase outputs/terminations)
+    arrive before the first ``on_round_begin``.
+    """
+
+    def on_run_begin(self, meta: Mapping[str, Any]) -> None:
+        """Called once before the setup phase with run metadata."""
+
+    def record(self, round_index: int, kind: str, node: int, data: Any = None) -> None:
+        """Called for every observable event (the TraceRecorder API)."""
+
+    def on_round_begin(self, round_index: int, active: int) -> None:
+        """Called before a round executes with the live-node count."""
+
+    def on_round_end(self, round_index: int, info: Mapping[str, Any]) -> None:
+        """Called after a round with ``elapsed``/``messages``/``active``."""
+
+    def on_run_end(self, summary: Mapping[str, Any]) -> None:
+        """Called once after the run with the result summary."""
+
+
+def event_dict(round_index: int, kind: str, node: int, data: Any = None) -> Dict[str, Any]:
+    """The canonical dict form of one event (shared by both sinks)."""
+    event: Dict[str, Any] = {"round": round_index, "kind": kind, "node": node}
+    if data is not None:
+        event["data"] = data
+    return event
+
+
+#: Lifecycle entry kinds (everything else is a TraceEvent kind).
+LIFECYCLE_KINDS = frozenset({"run_begin", "round_begin", "round_end", "run_end"})
+
+
+class MemoryEventSink(EventSink):
+    """Collects every event and lifecycle hook as a plain dict.
+
+    ``entries`` holds *everything* — message/output events
+    (:func:`event_dict` form) interleaved with ``run_begin`` /
+    ``round_begin`` / ``round_end`` / ``run_end`` entries — in arrival
+    order; :attr:`events` is the message-event subset.  Dicts rather
+    than dataclasses: they are pickled across sweep worker boundaries
+    and serialized to JSONL verbatim.
+    """
+
+    def __init__(self) -> None:
+        self.entries: List[Dict[str, Any]] = []
+
+    @property
+    def events(self) -> List[Dict[str, Any]]:
+        """The message/output events only (the TraceRecorder stream)."""
+        return [
+            entry for entry in self.entries if entry["kind"] not in LIFECYCLE_KINDS
+        ]
+
+    @property
+    def lifecycle(self) -> List[Dict[str, Any]]:
+        """The run/round lifecycle entries only."""
+        return [entry for entry in self.entries if entry["kind"] in LIFECYCLE_KINDS]
+
+    def on_run_begin(self, meta: Mapping[str, Any]) -> None:
+        self.entries.append({"kind": "run_begin", **dict(meta)})
+
+    def record(self, round_index: int, kind: str, node: int, data: Any = None) -> None:
+        self.entries.append(event_dict(round_index, kind, node, data))
+
+    def on_round_begin(self, round_index: int, active: int) -> None:
+        self.entries.append(
+            {"kind": "round_begin", "round": round_index, "active": active}
+        )
+
+    def on_round_end(self, round_index: int, info: Mapping[str, Any]) -> None:
+        self.entries.append({"kind": "round_end", "round": round_index, **dict(info)})
+
+    def on_run_end(self, summary: Mapping[str, Any]) -> None:
+        self.entries.append({"kind": "run_end", **dict(summary)})
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion of event payloads to JSON-safe values."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, Mapping):
+        return {str(key): _jsonable(val) for key, val in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(item) for item in value]
+    return repr(value)
+
+
+class JsonlEventSink(EventSink):
+    """Writes every event and lifecycle hook as one JSON object per line.
+
+    Args:
+        target: A path (opened for writing, truncating) or an open
+            text-mode file object (left open on :meth:`close`).
+
+    Every line carries a ``kind`` — lifecycle kinds are ``run_begin``,
+    ``round_begin``, ``round_end`` and ``run_end``; everything else is a
+    :class:`~repro.simulator.trace.TraceEvent` kind with ``round``,
+    ``node`` and optional ``data``.  Payloads that are not JSON-safe are
+    ``repr``-ized rather than dropped.  Use as a context manager or call
+    :meth:`close` to flush.
+    """
+
+    def __init__(self, target: Union[str, TextIO]) -> None:
+        if isinstance(target, str):
+            self._handle: TextIO = open(target, "w", encoding="utf-8")
+            self._owns_handle = True
+        else:
+            self._handle = target
+            self._owns_handle = False
+        self.lines_written = 0
+
+    # ------------------------------------------------------------------
+    def _write(self, entry: Dict[str, Any]) -> None:
+        json.dump(_jsonable(entry), self._handle, separators=(",", ":"))
+        self._handle.write("\n")
+        self.lines_written += 1
+
+    def on_run_begin(self, meta: Mapping[str, Any]) -> None:
+        self._write({"kind": "run_begin", **dict(meta)})
+
+    def record(self, round_index: int, kind: str, node: int, data: Any = None) -> None:
+        self._write(event_dict(round_index, kind, node, data))
+
+    def on_round_begin(self, round_index: int, active: int) -> None:
+        self._write({"kind": "round_begin", "round": round_index, "active": active})
+
+    def on_round_end(self, round_index: int, info: Mapping[str, Any]) -> None:
+        self._write({"kind": "round_end", "round": round_index, **dict(info)})
+
+    def on_run_end(self, summary: Mapping[str, Any]) -> None:
+        self._write({"kind": "run_end", **dict(summary)})
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Flush and (for path targets) close the underlying file."""
+        self._handle.flush()
+        if self._owns_handle:
+            self._handle.close()
+
+    def __enter__(self) -> "JsonlEventSink":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def read_jsonl_events(path: str) -> List[Dict[str, Any]]:
+    """Load a JSONL event file back into a list of dicts (blank-safe)."""
+    entries: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                entries.append(json.loads(line))
+    return entries
+
+
+def write_jsonl_events(
+    path: str, entries: List[Dict[str, Any]], *, cell: Optional[str] = None
+) -> int:
+    """Append event dicts to a JSONL file, optionally tagging each with
+    the sweep cell label that produced it; returns the line count."""
+    with open(path, "a", encoding="utf-8") as handle:
+        for entry in entries:
+            if cell is not None:
+                entry = {"cell": cell, **entry}
+            json.dump(_jsonable(entry), handle, separators=(",", ":"))
+            handle.write("\n")
+    return len(entries)

@@ -1,0 +1,194 @@
+"""Round-level profiling: where a run's wall-clock and messages go.
+
+The paper's performance measure is rounds (Section 1), but the harness
+around the paper — engine fast mode, process-pool sweeps, artifact
+caching — is wall-clock-sensitive, and a round count alone cannot say
+*which phase* of the synchronous schedule dominates.  A
+:class:`RoundProfile` attached to a run (``run(..., profile=True)``,
+surfaced as ``result.profile``) records, per executed round, the
+compose / deliver / process / finalize phase timings together with the
+message and live-node counts, and aggregates them into totals and
+histograms.
+
+Profiling uses a separate engine round path that splits the fused
+compose-and-deliver loop so the phases can be timed independently; the
+split is observationally identical (same outputs, rounds, message
+counts, event order) and is never taken when profiling is off, so the
+unprofiled hot loop pays nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence, Tuple
+
+#: Phase names in schedule order (also the column order of tables).
+PHASES: Tuple[str, ...] = ("compose", "deliver", "process", "finalize")
+
+
+@dataclass(frozen=True)
+class RoundSample:
+    """Timings and counters of one executed round.
+
+    Attributes:
+        round: The round index (1-based; setup is not a sample).
+        compose: Seconds spent composing outboxes.
+        deliver: Seconds spent adjudicating faults, accounting bandwidth
+            and filling inboxes (includes adversarial replays).
+        process: Seconds spent in the programs' ``process`` phase.
+        finalize: Seconds spent applying terminations/crashes and
+            publishing neighbor outputs.
+        messages: Messages delivered this round.
+        active: Nodes that participated in the round.
+    """
+
+    round: int
+    compose: float
+    deliver: float
+    process: float
+    finalize: float
+    messages: int
+    active: int
+
+    @property
+    def elapsed(self) -> float:
+        """Total wall-clock of the round (sum of the four phases)."""
+        return self.compose + self.deliver + self.process + self.finalize
+
+
+@dataclass
+class RoundProfile:
+    """Per-round phase timings of one run, with aggregation helpers.
+
+    Filled by the engine's profiled round path; read via ``result.
+    profile``.  ``setup`` is the seconds spent in the setup phase
+    (round 0), which has no per-phase breakdown.
+    """
+
+    samples: List[RoundSample] = field(default_factory=list)
+    setup: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Recording (engine-facing)
+    # ------------------------------------------------------------------
+    def add_round(
+        self,
+        round_index: int,
+        *,
+        compose: float,
+        deliver: float,
+        process: float,
+        finalize: float,
+        messages: int,
+        active: int,
+    ) -> None:
+        """Append one round's sample (called by the engine)."""
+        self.samples.append(
+            RoundSample(
+                round=round_index,
+                compose=compose,
+                deliver=deliver,
+                process=process,
+                finalize=finalize,
+                messages=messages,
+                active=active,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def elapsed(self) -> float:
+        """Total profiled wall-clock (setup + every round)."""
+        return self.setup + sum(sample.elapsed for sample in self.samples)
+
+    def phase_totals(self) -> Dict[str, float]:
+        """Seconds per phase summed over all rounds."""
+        return {
+            phase: sum(getattr(sample, phase) for sample in self.samples)
+            for phase in PHASES
+        }
+
+    def message_counts(self) -> List[int]:
+        """Messages delivered per round, in round order."""
+        return [sample.messages for sample in self.samples]
+
+    def round_times(self) -> List[float]:
+        """Wall-clock per round, in round order."""
+        return [sample.elapsed for sample in self.samples]
+
+    def timing_histogram(self, bins: int = 8) -> List[Tuple[float, float, int]]:
+        """Histogram of per-round wall-clock: ``(lo, hi, count)`` rows."""
+        return _histogram(self.round_times(), bins)
+
+    def message_histogram(self, bins: int = 8) -> List[Tuple[float, float, int]]:
+        """Histogram of per-round message counts: ``(lo, hi, count)``."""
+        return _histogram([float(count) for count in self.message_counts()], bins)
+
+    def summary(self) -> Dict[str, Any]:
+        """Flat, JSON-safe aggregate: totals, per-phase seconds and
+        shares, peak round cost — the form sweeps ship per cell."""
+        totals = self.phase_totals()
+        elapsed = self.elapsed
+        round_total = sum(totals.values())
+        return {
+            "rounds": len(self.samples),
+            "elapsed": elapsed,
+            "setup": self.setup,
+            "messages": sum(self.message_counts()),
+            **{f"{phase}_s": totals[phase] for phase in PHASES},
+            **{
+                f"{phase}_share": (totals[phase] / round_total if round_total else 0.0)
+                for phase in PHASES
+            },
+            "max_round_s": max(self.round_times(), default=0.0),
+            "max_round_messages": max(self.message_counts(), default=0),
+        }
+
+    def table(self) -> str:
+        """Human-readable per-round table (the ``repro profile`` output)."""
+        header = (
+            f"{'round':>5}  {'active':>6}  {'msgs':>6}  "
+            + "  ".join(f"{phase + ' ms':>11}" for phase in PHASES)
+            + f"  {'total ms':>9}"
+        )
+        lines = [header]
+        for sample in self.samples:
+            cells = "  ".join(
+                f"{getattr(sample, phase) * 1e3:>11.3f}" for phase in PHASES
+            )
+            lines.append(
+                f"{sample.round:>5}  {sample.active:>6}  {sample.messages:>6}  "
+                f"{cells}  {sample.elapsed * 1e3:>9.3f}"
+            )
+        totals = self.phase_totals()
+        total_cells = "  ".join(f"{totals[phase] * 1e3:>11.3f}" for phase in PHASES)
+        lines.append(
+            f"{'total':>5}  {'':>6}  {sum(self.message_counts()):>6}  "
+            f"{total_cells}  {sum(totals.values()) * 1e3:>9.3f}"
+        )
+        return "\n".join(lines)
+
+
+def _histogram(
+    values: Sequence[float], bins: int
+) -> List[Tuple[float, float, int]]:
+    """Equal-width histogram over ``values`` (empty input → no rows)."""
+    if not values or bins <= 0:
+        return []
+    lo, hi = min(values), max(values)
+    if lo == hi:
+        return [(lo, hi, len(values))]
+    width = (hi - lo) / bins
+    counts = [0] * bins
+    for value in values:
+        index = min(int((value - lo) / width), bins - 1)
+        counts[index] += 1
+    return [
+        (lo + index * width, lo + (index + 1) * width, counts[index])
+        for index in range(bins)
+    ]

@@ -22,6 +22,20 @@ PROBLEMS = {
 }
 
 
+def solution_size(outputs, problem_name=None):
+    """Size of a solution in a problem-appropriate sense.
+
+    For MIS-style 0/1 outputs this is the number of nodes outputting 1
+    (the independent set's size); for every other problem it is the
+    number of decided nodes.  The single definition is shared by the
+    sweep executor and the fault harness so the two report identical
+    ``solution_size`` columns.
+    """
+    if problem_name == MIS.name:
+        return sum(1 for value in outputs.values() if value == 1)
+    return len(outputs)
+
+
 def get_problem(name):
     """The problem instance for a short name (or the instance itself).
 
@@ -41,6 +55,7 @@ def get_problem(name):
 __all__ = [
     "PROBLEMS",
     "get_problem",
+    "solution_size",
     "EDGE_COLORING",
     "EdgeColoringProblem",
     "GraphProblem",

@@ -28,8 +28,20 @@ benchmarks under faults can *measure* degradation rather than abort.
 from __future__ import annotations
 
 import warnings
-from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
+from time import perf_counter
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
+from repro.obs.profile import RoundProfile
 from repro.simulator.context import NodeContext
 from repro.simulator.message import estimate_bits
 from repro.simulator.metrics import NodeRecord, NodeSnapshot, RunResult, StuckReport
@@ -71,7 +83,18 @@ class SyncEngine:
         model: Execution model for bandwidth accounting.
         max_rounds: Round budget; defaults to ``8 * n + 64``.
         seed: Base seed for the per-node random streams.
-        trace: Optional :class:`TraceRecorder` receiving every event.
+        trace: Optional :class:`TraceRecorder` receiving every event
+            (kept as a named argument because the recorder is attached
+            to ``result.trace``; it is also just one sink).
+        sinks: Additional :class:`~repro.obs.events.EventSink` objects
+            receiving every event plus run/round lifecycle hooks with
+            wall-clock and message deltas.  When neither sinks nor a
+            trace are attached, the round loop does no observability
+            work at all.
+        profile: ``True`` (or a :class:`~repro.obs.profile.RoundProfile`
+            to fill) records per-round compose/deliver/process/finalize
+            phase timings on ``result.profile``, via a split round path
+            that is observationally identical to the fused one.
         crash_rounds: Deprecated fault injection — mapping
             ``node -> round``; the node executes that round and then
             vanishes without output.  Use
@@ -100,6 +123,8 @@ class SyncEngine:
         max_rounds: Optional[int] = None,
         seed: int = 0,
         trace: Optional[TraceRecorder] = None,
+        sinks: Optional[Sequence[Any]] = None,
+        profile: Union[bool, RoundProfile, None] = None,
         crash_rounds: Optional[Mapping[int, int]] = None,
         faults: Optional[Any] = None,
         on_round_limit: str = "raise",
@@ -119,6 +144,19 @@ class SyncEngine:
         self.graph = graph
         self.model = model
         self.trace = trace
+        sink_list: List[Any] = list(sinks) if sinks else []
+        if trace is not None:
+            sink_list.append(trace)
+        #: Every attached sink (the trace recorder included).  The round
+        #: loop checks emptiness once per round; no sinks means no
+        #: observability work on the hot path.
+        self._sinks: Tuple[Any, ...] = tuple(sink_list)
+        if profile is None or profile is False:
+            self._profile: Optional[RoundProfile] = None
+        elif profile is True:
+            self._profile = RoundProfile()
+        else:
+            self._profile = profile
         self.max_rounds = max_rounds if max_rounds is not None else 8 * graph.n + 64
         self.on_round_limit = on_round_limit
         self.fast = fast
@@ -201,7 +239,25 @@ class SyncEngine:
         the partial record without raising — how tests observe the partial
         solution a bounded component (e.g. a base algorithm) leaves behind.
         """
-        self._setup_phase()
+        sinks = self._sinks
+        profile = self._profile
+        if sinks:
+            meta = {
+                "n": self.graph.n,
+                "model": getattr(self.model, "name", str(self.model)),
+                "max_rounds": self.max_rounds,
+                "seed": self._seed,
+                "fast": self.fast,
+            }
+            for sink in sinks:
+                sink.on_run_begin(meta)
+        if profile is not None:
+            setup_start = perf_counter()
+            self._setup_phase()
+            profile.setup = perf_counter() - setup_start
+        else:
+            self._setup_phase()
+        run_round = self._run_round_profiled if profile is not None else self._run_round
         round_index = 0
         while self._active or self._has_pending_recoveries(round_index):
             if stop_after is not None and round_index >= stop_after:
@@ -215,7 +271,20 @@ class SyncEngine:
                     f"{self.max_rounds} rounds: {sorted(self._active)[:10]}"
                 )
             round_index += 1
-            self._run_round(round_index)
+            if sinks:
+                for sink in sinks:
+                    sink.on_round_begin(round_index, len(self._active))
+                round_start = perf_counter()
+                messages_before = self._result.message_count
+            run_round(round_index)
+            if sinks:
+                info = {
+                    "elapsed": perf_counter() - round_start,
+                    "messages": self._result.message_count - messages_before,
+                    "active": len(self._active),
+                }
+                for sink in sinks:
+                    sink.on_round_end(round_index, info)
         self._result.rounds_executed = round_index
         self._result.rounds = max(
             (
@@ -225,6 +294,22 @@ class SyncEngine:
             ),
             default=0,
         )
+        self._result.profile = profile
+        if sinks:
+            summary = {
+                "rounds": self._result.rounds,
+                "rounds_executed": self._result.rounds_executed,
+                "messages": self._result.message_count,
+                "dropped": self._result.dropped_messages,
+                "terminated": sum(
+                    1
+                    for record in self._result.records.values()
+                    if record.termination_round is not None
+                ),
+                "stuck": self._result.stuck is not None,
+            }
+            for sink in sinks:
+                sink.on_run_end(summary)
         return self._result
 
     def _has_pending_recoveries(self, round_index: int) -> bool:
@@ -250,17 +335,22 @@ class SyncEngine:
             self.programs[node].setup(ctx)
         self._finalize_round(0)
 
+    def _emit(self, round_index: int, kind: str, node: int, data: Any = None) -> None:
+        """Fan one event out to every attached sink."""
+        for sink in self._sinks:
+            sink.record(round_index, kind, node, data)
+
     def _run_round(self, round_index: int) -> None:
         self._apply_recoveries(round_index)
         # Local bindings keep the per-round loops free of attribute churn;
-        # the fault/trace hooks are skipped entirely when nothing is
+        # the fault/sink hooks are skipped entirely when nothing is
         # installed, and ``fast`` elides bandwidth accounting.
         active = self._active
         order = self._active_order
         programs = self.programs
         contexts = self.contexts
         inboxes = self._inboxes
-        trace = self.trace
+        emit = self._emit if self._sinks else None
         faults = self._faults
         account = not self.fast
 
@@ -284,8 +374,8 @@ class SyncEngine:
                         f"node {node} sent to non-neighbor {receiver} "
                         f"in round {round_index}"
                     )
-                if trace is not None:
-                    trace.record(
+                if emit is not None:
+                    emit(
                         round_index, "send", node, {"to": receiver, "payload": payload}
                     )
                 # Messages to nodes that already terminated or crashed are
@@ -310,6 +400,85 @@ class SyncEngine:
 
         self._finalize_round(round_index)
 
+    def _run_round_profiled(self, round_index: int) -> None:
+        """One round with the compose/deliver split timed per phase.
+
+        Observationally identical to :meth:`_run_round` — same outputs,
+        message counts, event order — but compose collects every outbox
+        before any delivery, so the two phases can be timed separately.
+        (Replays still land before fresh sends, and the inbox insertion
+        order per receiver is unchanged because delivery walks nodes in
+        the same order compose did.)
+        """
+        profile = self._profile
+        self._apply_recoveries(round_index)
+        active = self._active
+        order = self._active_order
+        programs = self.programs
+        contexts = self.contexts
+        inboxes = self._inboxes
+        emit = self._emit if self._sinks else None
+        faults = self._faults
+        account = not self.fast
+        messages_before = self._result.message_count
+        participants = len(order)
+
+        compose_start = perf_counter()
+        outboxes: List[Tuple[int, Dict[int, Any]]] = []
+        for node in order:
+            inboxes[node].clear()
+            ctx = contexts[node]
+            ctx.round = round_index
+            outbox = programs[node].compose(ctx)
+            if not outbox:
+                continue
+            neighbors = ctx.neighbors
+            for receiver in outbox:
+                if receiver not in neighbors:
+                    raise ValueError(
+                        f"node {node} sent to non-neighbor {receiver} "
+                        f"in round {round_index}"
+                    )
+            outboxes.append((node, outbox))
+
+        deliver_start = perf_counter()
+        if self._pending_replays:
+            self._deliver_replays(round_index, inboxes)
+        for node, outbox in outboxes:
+            for receiver, payload in outbox.items():
+                if emit is not None:
+                    emit(
+                        round_index, "send", node, {"to": receiver, "payload": payload}
+                    )
+                if receiver not in active:
+                    continue
+                if faults is not None:
+                    payload = self._adjudicate(round_index, node, receiver, payload)
+                    if payload is _DROPPED:
+                        continue
+                if account:
+                    self._account_message(payload)
+                else:
+                    self._result.message_count += 1
+                inboxes[receiver][node] = payload
+
+        process_start = perf_counter()
+        for node in order:
+            programs[node].process(contexts[node], inboxes[node])
+
+        finalize_start = perf_counter()
+        self._finalize_round(round_index)
+        finalize_end = perf_counter()
+        profile.add_round(
+            round_index,
+            compose=deliver_start - compose_start,
+            deliver=process_start - deliver_start,
+            process=finalize_start - process_start,
+            finalize=finalize_end - finalize_start,
+            messages=self._result.message_count - messages_before,
+            active=participants,
+        )
+
     # ------------------------------------------------------------------
     # Fault interposition
     # ------------------------------------------------------------------
@@ -322,15 +491,15 @@ class SyncEngine:
         fate = self._faults.message_fate(round_index, sender, receiver, payload)
         if fate.dropped:
             self._result.dropped_messages += 1
-            if self.trace is not None:
-                self.trace.record(
+            if self._sinks:
+                self._emit(
                     round_index, "drop", sender, {"to": receiver, "payload": payload}
                 )
             return _DROPPED
         if fate.corrupted:
             self._result.corrupted_messages += 1
-            if self.trace is not None:
-                self.trace.record(
+            if self._sinks:
+                self._emit(
                     round_index,
                     "corrupt",
                     sender,
@@ -361,8 +530,8 @@ class SyncEngine:
             if receiver not in self._active:
                 continue
             self._result.duplicated_messages += 1
-            if self.trace is not None:
-                self.trace.record(
+            if self._sinks:
+                self._emit(
                     round_index,
                     "duplicate",
                     sender,
@@ -406,8 +575,8 @@ class SyncEngine:
                 neighbor_ctx.crashed_neighbors.discard(node)
             self.programs[node].setup(ctx)
             rejoined = True
-            if self.trace is not None:
-                self.trace.record(round_index, "recover", node)
+            if self._sinks:
+                self._emit(round_index, "recover", node)
         if rejoined:
             self._active_order = sorted(self._active)
 
@@ -472,15 +641,15 @@ class SyncEngine:
             record.termination_round = round_index
             self._result.outputs[node] = ctx.output
             self._active.discard(node)
-            if self.trace is not None:
-                self.trace.record(round_index, "output", node, {"value": ctx.output})
-                self.trace.record(round_index, "terminate", node)
+            if self._sinks:
+                self._emit(round_index, "output", node, {"value": ctx.output})
+                self._emit(round_index, "terminate", node)
 
         for node in crashed:
             self._result.records[node].crashed = True
             self._active.discard(node)
-            if self.trace is not None:
-                self.trace.record(round_index, "crash", node)
+            if self._sinks:
+                self._emit(round_index, "crash", node)
 
         if terminated or crashed:
             self._active_order = sorted(self._active)

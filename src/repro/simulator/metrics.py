@@ -118,6 +118,9 @@ class RunResult:
         trace: The :class:`~repro.simulator.trace.TraceRecorder` of the
             run when tracing was requested (``run(..., trace=True)``),
             else ``None``.
+        profile: The :class:`~repro.obs.profile.RoundProfile` with
+            per-round phase timings when profiling was requested
+            (``run(..., profile=True)``), else ``None``.
     """
 
     outputs: Dict[int, Any] = field(default_factory=dict)
@@ -134,6 +137,7 @@ class RunResult:
     stuck: Optional[StuckReport] = None
     model: Optional[ExecutionModel] = None
     trace: Optional[Any] = None
+    profile: Optional[Any] = None
 
     def termination_round(self, node_id: int) -> Optional[int]:
         """Round in which ``node_id`` terminated, or ``None``."""

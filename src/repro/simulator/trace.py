@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional
 
+from repro.obs.events import EventSink
+
 
 @dataclass(frozen=True)
 class TraceEvent:
@@ -38,8 +40,15 @@ class TraceEvent:
     data: Any = None
 
 
-class TraceRecorder:
-    """Collects :class:`TraceEvent` objects during a run."""
+class TraceRecorder(EventSink):
+    """Collects :class:`TraceEvent` objects during a run.
+
+    One :class:`~repro.obs.events.EventSink` implementation among others
+    (the run/round lifecycle hooks are inherited no-ops, so the recorded
+    stream contains exactly the :class:`TraceEvent` kinds); attach via
+    ``run(..., trace=True)`` or alongside other sinks with
+    ``run(..., sinks=[...])``.
+    """
 
     def __init__(self) -> None:
         self.events: List[TraceEvent] = []

@@ -284,3 +284,220 @@ class TestBackends:
         assert first.equivalent_to(second)
         assert second.cache_stats["disk_hits"] == 4
         assert second.cache_stats["misses"] == 0
+
+
+# ----------------------------------------------------------------------
+# Regressions: None-valued artifacts, seed=0, effective backend
+# ----------------------------------------------------------------------
+class TestCacheNoneArtifacts:
+    def test_memory_layer_caches_none(self):
+        """A legitimately-None artifact is a hit, not a rebuild."""
+        cache = ArtifactCache(maxsize=4)
+        calls = []
+        build = lambda: calls.append(1)  # returns None
+        assert cache.get_or_build("k", build) is None
+        assert cache.get_or_build("k", build) is None
+        assert len(calls) == 1
+        stats = cache.stats()
+        assert (stats["hits"], stats["disk_hits"], stats["misses"]) == (1, 0, 1)
+
+    def test_disk_layer_caches_none(self, tmp_path):
+        disk = str(tmp_path / "cache")
+        first = ArtifactCache(maxsize=4, disk_dir=disk)
+        assert first.get_or_build("k", lambda: None) is None
+        second = ArtifactCache(maxsize=4, disk_dir=disk)
+        value = second.get_or_build(
+            "k", lambda: pytest.fail("should load None from disk")
+        )
+        assert value is None
+        assert second.stats()["disk_hits"] == 1
+
+
+class TestSeedZero:
+    def test_explicit_cell_seed_zero_wins(self):
+        sweep = Sweep(base_seed=9)
+        sweep.add(
+            "cell",
+            GraphSpec.of("ring", 8),
+            "mis_parallel",
+            predictions=PredictionSpec.of("all_zeros_mis"),
+            seed=0,
+        )
+        assert sweep.run("serial").rows[0].seed == 0
+
+    def test_config_seed_zero_wins(self):
+        """RunConfig(seed=0) is an explicit seed, not 'unset'."""
+        sweep = Sweep(base_seed=9)
+        sweep.add(
+            "cell",
+            GraphSpec.of("ring", 8),
+            "mis_parallel",
+            predictions=PredictionSpec.of("all_zeros_mis"),
+            config=RunConfig(seed=0),
+        )
+        assert sweep.run("serial").rows[0].seed == 0
+
+    def test_unset_config_seed_still_derives(self):
+        sweep = Sweep(base_seed=9)
+        sweep.add(
+            "cell",
+            GraphSpec.of("ring", 8),
+            "mis_parallel",
+            predictions=PredictionSpec.of("all_zeros_mis"),
+            config=RunConfig(max_rounds=50),
+        )
+        assert sweep.run("serial").rows[0].seed == derive_cell_seed(9, 0, "cell")
+
+    def test_run_config_effective_seed(self):
+        assert RunConfig().seed is None
+        assert RunConfig().effective_seed == 0
+        assert RunConfig(seed=0).effective_seed == 0
+        assert RunConfig(seed=5).effective_seed == 5
+
+
+class TestEffectiveBackend:
+    def test_serial_sweep_reports_serial(self):
+        result = _noise_grid().run("serial")
+        assert result.backend == "serial"
+        assert result.requested_backend == "serial"
+
+    def test_process_sweep_reports_what_actually_ran(self):
+        result = _noise_grid().run("process", jobs=2)
+        assert result.requested_backend == "process"
+        assert result.backend in ("process", "serial")
+
+    def test_single_cell_process_request_runs_serially(self):
+        """One cell never pays for a pool — and the result says so
+        instead of claiming parallelism it didn't have."""
+        sweep = Sweep(base_seed=1)
+        sweep.add(
+            "only",
+            GraphSpec.of("ring", 8),
+            "mis_parallel",
+            predictions=PredictionSpec.of("all_zeros_mis"),
+        )
+        result = sweep.run("process")
+        assert result.requested_backend == "process"
+        assert result.backend == "serial"
+
+    def test_caller_cache_with_process_backend_raises(self):
+        """cache= used to be silently ignored by the process backend."""
+        with pytest.raises(ValueError, match="cache"):
+            _noise_grid().run("process", cache=ArtifactCache(maxsize=4))
+
+    def test_caller_cache_honored_by_serial_backend(self):
+        cache = ArtifactCache(maxsize=16)
+        _noise_grid().run("serial", cache=cache)
+        assert cache.stats()["misses"] > 0
+
+    def test_telemetry_carries_both_backends(self):
+        result = _noise_grid().run("serial")
+        telemetry = result.telemetry()
+        assert telemetry["backend"] == "serial"
+        assert telemetry["requested_backend"] == "serial"
+
+
+class TestSolutionSize:
+    def test_mis_counts_ones_not_outputs(self):
+        from repro.problems import solution_size
+
+        outputs = {1: 1, 2: 0, 3: 1, 4: 0}
+        assert solution_size(outputs, "mis") == 2
+        assert solution_size(outputs, "matching") == 4
+        assert solution_size(outputs) == 4
+        assert solution_size({}, "mis") == 0
+
+    def test_sweep_rows_use_ones_count_for_mis(self):
+        sweep = Sweep(base_seed=1)
+        sweep.add(
+            "cell",
+            GraphSpec.of("ring", 8),
+            "mis_parallel",
+            predictions=PredictionSpec.of("all_zeros_mis"),
+            problem="mis",
+        )
+        row = sweep.run("serial").rows[0]
+        # A ring MIS is a proper subset: strictly between 1 and n-1 ones.
+        assert 0 < row.solution_size < 8
+
+    def test_degradation_and_sweep_agree_on_solution_size(self):
+        """The harness and the executor share one ones-count helper."""
+        from repro.faults import degradation_sweep
+        from repro.bench.algorithms import mis_simple
+        from repro.predictions import all_zeros_mis
+        from repro.problems import MIS, solution_size
+        from repro.graphs import grid2d as _grid
+
+        graph = _grid(4, 4)
+        points = degradation_sweep(
+            mis_simple(),
+            MIS,
+            graph,
+            lambda seed: all_zeros_mis(graph),
+            drop_rates=(0.0,),
+            seeds=(0,),
+        )
+        result = run(mis_simple(), graph, all_zeros_mis(graph), seed=0)
+        assert points[0].solution_size == solution_size(result.outputs, "mis")
+
+
+class TestSweepObservability:
+    def test_rows_carry_elapsed(self):
+        result = _noise_grid().run("serial")
+        assert all(row.elapsed > 0 for row in result.rows)
+
+    def test_profile_off_by_default(self):
+        result = _noise_grid().run("serial")
+        assert all(row.profile is None for row in result.rows)
+        assert all(row.events is None for row in result.rows)
+
+    def test_profiled_sweep_attaches_summaries(self):
+        result = _noise_grid().run("serial", profile=True)
+        for row in result.rows:
+            assert row.profile["rounds"] == row.rounds_executed
+            assert row.profile["messages"] == row.message_count
+
+    def test_profiled_rows_match_unprofiled(self):
+        plain = _noise_grid().run("serial")
+        profiled = _noise_grid().run("serial", profile=True)
+        assert plain.equivalent_to(profiled)
+
+    def test_events_path_exports_all_cells(self, tmp_path):
+        from repro.obs.events import LIFECYCLE_KINDS, read_jsonl_events
+
+        path = str(tmp_path / "events.jsonl")
+        result = _noise_grid().run("serial", events_path=path)
+        entries = read_jsonl_events(path)
+        assert {entry["cell"] for entry in entries} == {
+            row.label for row in result.rows
+        }
+        sends = [e for e in entries if e["kind"] == "send"]
+        assert len(sends) == sum(row.message_count for row in result.rows)
+        assert any(e["kind"] in LIFECYCLE_KINDS for e in entries)
+
+    def test_process_backend_ships_events_and_profiles(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        result = _noise_grid().run(
+            "process", jobs=2, profile=True, events_path=path
+        )
+        from repro.obs.events import read_jsonl_events
+
+        assert all(row.profile is not None for row in result.rows)
+        assert {e["cell"] for e in read_jsonl_events(path)} == {
+            row.label for row in result.rows
+        }
+
+    def test_telemetry_aggregates(self):
+        result = _noise_grid().run("serial")
+        telemetry = result.telemetry()
+        assert telemetry["cells"] == len(result)
+        assert telemetry["rounds_total"] == sum(r.rounds for r in result.rows)
+        assert telemetry["messages_total"] == sum(
+            r.message_count for r in result.rows
+        )
+        assert telemetry["valid_cells"] == len(result)
+        assert telemetry["invalid_cells"] == 0
+        assert telemetry["node_rounds_total"] == sum(
+            r.rounds_executed * r.n for r in result.rows
+        )
+        assert telemetry["node_rounds_per_sec"] > 0
