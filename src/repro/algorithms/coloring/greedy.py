@@ -17,7 +17,16 @@ from repro.simulator.program import Inbox, NodeProgram, Outbox
 
 
 class PaletteGreedyColoringProgram(NodeProgram):
-    """Per-node program of the palette greedy coloring."""
+    """Per-node program of the palette greedy coloring.
+
+    Quiescent with no timed wakeups at all: the algorithm has no round-
+    number dependence, and a node acts in exactly the rounds where it is a
+    local maximum — a condition that can only *become* true through a
+    neighbor termination or crash, both of which wake the node for the
+    very round in which the eager schedule would have had it act.
+    """
+
+    quiescent_when_idle = True
 
     def _palette_choice(self, ctx: NodeContext) -> int:
         blocked = {

@@ -26,14 +26,27 @@ from repro.simulator.program import Inbox, NodeProgram, Outbox
 
 
 class GreedyMatchingProgram(NodeProgram):
-    """Per-node program of the proposal-based matching algorithm."""
+    """Per-node program of the proposal-based matching algorithm.
+
+    Quiescent: mid-group progress is message-driven (a PROPOSE wakes the
+    proposee, an ACCEPT wakes the winner), and the two round-number-
+    dependent waits — a local maximum reaching the next proposal round,
+    and a neighborless node reaching the next output round — arm timed
+    wakeups in :meth:`process`.  Proposals are stamped with their round
+    instead of being cleared at the top of each group, so an idle
+    ``compose`` mutates nothing; an ACCEPT only binds when it answers the
+    proposal of this very group.
+    """
 
     PROPOSE = "propose"
     ACCEPT = "accept"
     MATCHED = "matched"
 
+    quiescent_when_idle = True
+
     def __init__(self) -> None:
         self._proposed_to: Optional[int] = None
+        self._proposed_round: Optional[int] = None
         self._partner: Optional[int] = None
 
     def setup(self, ctx: NodeContext) -> None:
@@ -44,10 +57,9 @@ class GreedyMatchingProgram(NodeProgram):
     def compose(self, ctx: NodeContext) -> Outbox:
         step = (ctx.round - 1) % 3
         if step == 0:
-            self._proposed_to = None
-            self._partner = None
             if ctx.active_neighbors and ctx.is_local_maximum():
                 self._proposed_to = min(ctx.active_neighbors)
+                self._proposed_round = ctx.round
                 return {self._proposed_to: self.PROPOSE}
         elif step == 1:
             if self._partner is not None:
@@ -70,8 +82,11 @@ class GreedyMatchingProgram(NodeProgram):
             if proposers:
                 self._partner = max(proposers)
         elif step == 1:
-            if self.ACCEPT in inbox.values():
-                # Our proposal was accepted by the proposee.
+            if (
+                self.ACCEPT in inbox.values()
+                and self._proposed_round == ctx.round - 1
+            ):
+                # Our proposal of this group was accepted by the proposee.
                 self._partner = self._proposed_to
         elif step == 2:
             if self._partner is not None:
@@ -85,6 +100,25 @@ class GreedyMatchingProgram(NodeProgram):
             if not (ctx.active_neighbors - informed):
                 ctx.set_output(UNMATCHED)
                 ctx.terminate()
+                return
+        self._schedule_wakeup(ctx, step)
+
+    def _schedule_wakeup(self, ctx: NodeContext, step: int) -> None:
+        """Arm the next round this node may have to act in.
+
+        * A node holding a partner acts in every remaining round of its
+          group (ACCEPT at step 1, MATCHED + output at step 2).
+        * A node whose neighborhood emptied must reach the next step-2
+          round to output ⊥ (the eager path checks that only there).
+        * A local maximum must reach the next step-0 round to propose —
+          including re-proposing after a lost or unanswered proposal.
+        """
+        if self._partner is not None:
+            ctx.request_wakeup(1)
+        elif not ctx.active_neighbors:
+            ctx.request_wakeup((2 - step) % 3 or 3)
+        elif ctx.is_local_maximum():
+            ctx.request_wakeup(3 - step)
 
 
 class GreedyMatchingAlgorithm(DistributedAlgorithm):

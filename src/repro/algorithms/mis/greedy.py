@@ -22,9 +22,17 @@ from repro.simulator.program import Inbox, NodeProgram, Outbox
 
 
 class GreedyMISProgram(NodeProgram):
-    """Per-node program of Algorithm 1."""
+    """Per-node program of Algorithm 1.
+
+    Quiescent: a node acts only when it is a local maximum (a fact that
+    changes exclusively through neighbor terminations/crashes, which wake
+    it) or when it received a JOIN (a message, which wakes it).  The only
+    round-parity dependence — acting rounds are odd — is bridged by the
+    timed wakeup armed in :meth:`process`.
+    """
 
     JOIN = "in"
+    quiescent_when_idle = True
 
     def __init__(self) -> None:
         self._dominated = False
@@ -39,12 +47,22 @@ class GreedyMISProgram(NodeProgram):
             if ctx.is_local_maximum():
                 ctx.set_output(1)
                 ctx.terminate()
-            elif self.JOIN in inbox.values():
+                return
+            if self.JOIN in inbox.values():
                 self._dominated = True
         else:
             if self._dominated:
                 ctx.set_output(0)
                 ctx.terminate()
+                return
+        # Next acting round: a dominated node outputs 0 in the coming even
+        # round; a node that became a local maximum in an even round (e.g.
+        # its dominating neighbor's JOIN was dropped, or a larger neighbor
+        # crashed) joins in the coming odd round.
+        if (self._dominated and ctx.round % 2 == 1) or (
+            ctx.round % 2 == 0 and ctx.is_local_maximum()
+        ):
+            ctx.request_wakeup(1)
 
 
 class GreedyMISAlgorithm(DistributedAlgorithm):

@@ -43,6 +43,9 @@ from repro.bench.algorithms import (
     mis_rooted_simple,
     mis_simple,
 )
+from repro.algorithms.coloring import PaletteGreedyColoringAlgorithm
+from repro.algorithms.matching import GreedyMatchingAlgorithm
+from repro.algorithms.mis import GreedyMISAlgorithm
 from repro.core import run
 from repro.errors import eta1
 from repro.graphs import (
@@ -73,6 +76,7 @@ PROBLEMS = {
 
 TEMPLATES: Dict[str, Dict[str, Callable]] = {
     "mis": {
+        "greedy": GreedyMISAlgorithm,
         "simple": mis_simple,
         "consecutive": mis_consecutive,
         "interleaved": mis_interleaved,
@@ -83,10 +87,12 @@ TEMPLATES: Dict[str, Dict[str, Callable]] = {
         "rooted-parallel": mis_rooted_parallel,
     },
     "matching": {
+        "greedy": GreedyMatchingAlgorithm,
         "simple": matching_simple,
         "consecutive": matching_consecutive,
     },
     "vertex-coloring": {
+        "greedy": PaletteGreedyColoringAlgorithm,
         "simple": coloring_simple,
         "consecutive": coloring_consecutive,
         "parallel": coloring_parallel,
@@ -178,7 +184,12 @@ def cmd_run(args: argparse.Namespace) -> int:
     problem, algorithm, graph = _build(args)
     predictions = _predictions_for_args(problem, graph, args)
     result = run(
-        algorithm, graph, predictions, seed=args.seed, max_rounds=args.max_rounds
+        algorithm,
+        graph,
+        predictions,
+        seed=args.seed,
+        max_rounds=args.max_rounds,
+        schedule=args.schedule,
     )
     violations = problem.verify_solution(graph, result.outputs)
     error = eta1(graph, predictions, problem.name)
@@ -219,6 +230,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
         seed=args.seed,
         max_rounds=args.max_rounds,
         profile=True,
+        schedule=args.schedule,
     )
     violations = problem.verify_solution(graph, result.outputs)
     print(f"instance   : {graph.name} (n={graph.n}, m={graph.num_edges})")
@@ -255,6 +267,7 @@ def cmd_events(args: argparse.Namespace) -> int:
         seed=args.seed,
         max_rounds=args.max_rounds,
         sinks=[sink],
+        schedule=args.schedule,
     )
     entries = sink.entries
     if args.kinds:
@@ -298,7 +311,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     # as a literal (content-hashed) artifact rather than a named factory.
     graph_spec = GraphSpec.literal(parse_graph(args.graph))
     faulted = bool(args.drop_rate or args.crash_frac)
-    config = RunConfig(max_rounds=args.max_rounds, seed=args.seed)
+    config = RunConfig(
+        max_rounds=args.max_rounds, seed=args.seed, schedule=args.schedule
+    )
     if faulted:
         # A starved faulty cell is a data point, not an error.
         config = config.with_overrides(on_round_limit="partial")
@@ -462,7 +477,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
 
 
 def cmd_reproduce(args: argparse.Namespace) -> int:
-    """Run the E1..E25 benchmark suite (requires a source checkout)."""
+    """Run the E1..E26 benchmark suite (requires a source checkout)."""
     import os
 
     if not os.path.isdir(args.benchmarks):
@@ -516,6 +531,13 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--graph", default="gnp:60:0.08", help="graph spec")
         sub.add_argument("--seed", type=int, default=0)
         sub.add_argument("--max-rounds", type=int, default=None)
+        sub.add_argument(
+            "--schedule",
+            choices=("eager", "quiescent", "quiescent-debug"),
+            default="eager",
+            help="round scheduling policy (quiescent skips idle nodes; "
+            "observationally identical to eager)",
+        )
     for sub in (run_parser, profile_parser, events_parser):
         sub.add_argument(
             "--noise", type=float, default=0.0, help="prediction noise rate"

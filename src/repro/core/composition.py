@@ -115,6 +115,26 @@ class SubContext:
     def is_local_maximum(self) -> bool:
         return all(other < self.node_id for other in self.active_neighbors)
 
+    # -- quiescence scheduling ----------------------------------------
+    def wake_at(self, round_index: int) -> None:
+        """Timed wakeup in the component's *private* round numbering.
+
+        The offset from the component's current round is what matters, so
+        the request is translated into the base context's round numbering
+        (which may itself be another component's private numbering — the
+        translation composes).
+        """
+        self._base.wake_at(self._base.round + (round_index - self.round))
+
+    def request_wakeup(self, delay: int = 1) -> None:
+        """Ask to run ``delay`` rounds from now (see :meth:`wake_at`)."""
+        if delay < 1:
+            raise ValueError(
+                f"node {self.node_id}: request_wakeup delay must be >= 1, "
+                f"got {delay}"
+            )
+        self._base.wake_at(self._base.round + delay)
+
     # -- outputs -------------------------------------------------------
     @property
     def has_output(self) -> bool:
@@ -234,6 +254,18 @@ class SlicedProgram(NodeProgram):
         self._parallel_subctx: Optional[SubContext] = None
         self._resumable: Dict[str, Any] = {}
         self.last_parallel_result: Any = None
+        #: Last engine round this program ran in; the gap to ``ctx.round``
+        #: is how many rounds the quiescence scheduler let the node sleep,
+        #: which :meth:`_sync` credits to the slice clock on wake-up.
+        #: ``None`` until the first executed round: a fresh program —
+        #: round 1, or a crash recovery in *any* later round — starts
+        #: its slice clock at its own first round, never owing back-gap.
+        self._last_round: Optional[int] = None
+        #: A sliced program is schedulable quiescently: while its current
+        #: component is not, it simply re-arms a next-round wakeup every
+        #: round (so it never actually sleeps), and it never sleeps past a
+        #: slice boundary thanks to the boundary wakeup in :meth:`process`.
+        self.quiescent_when_idle = True
 
     # ------------------------------------------------------------------
     def setup(self, ctx: NodeContext) -> None:
@@ -281,19 +313,52 @@ class SlicedProgram(NodeProgram):
             self.last_parallel_result = self._parallel_subctx.stored_result
 
     # ------------------------------------------------------------------
+    def _sync(self, ctx: NodeContext) -> None:
+        """Advance the private clocks to ``ctx.round``.
+
+        Called at the top of both :meth:`compose` and :meth:`process`
+        (whichever runs first this round does the work), because under
+        quiescent scheduling a sleeping node may be pulled straight into
+        the process phase by a message delivery, without a compose call.
+        A gap larger than one round means the scheduler skipped idle
+        rounds; those are credited to the slice countdown in one step —
+        legal precisely because an idle sliced round is a no-op for every
+        component (the idle contract) and the boundary wakeup guarantees
+        the node never sleeps *past* a switching round.
+        """
+        # First executed round of this program instance (round 1, or the
+        # recovery round of a crash-recovered node): the slice clock
+        # starts here, there is no earlier round to catch up on.
+        delta = 1 if self._last_round is None else ctx.round - self._last_round
+        if delta <= 0:
+            return
+        self._last_round = ctx.round
+        if self._subctx is not None and not self._subctx.finished:
+            self._subctx.round += delta
+        if self._parallel_subctx is not None and not self._parallel_subctx.finished:
+            self._parallel_subctx.round += delta
+        if delta > 1 and self._rounds_left is not None:
+            skipped = delta - 1
+            if skipped >= self._rounds_left:
+                raise RuntimeError(
+                    f"node {ctx.node_id}: slept past the end of slice "
+                    f"{self._slice.key!r} ({skipped} rounds skipped with "
+                    f"{self._rounds_left} left) — scheduler bug"
+                )
+            self._rounds_left -= skipped
+
     def compose(self, ctx: NodeContext) -> Outbox:
         if self._slice is None:
             return {}
+        self._sync(ctx)
         outbox: Outbox = {}
         primary_out: Outbox = {}
         if not self._subctx.finished:
-            self._subctx.round += 1
             primary_out = self._program.compose(self._subctx) or {}
         if self._parallel_program is None:
             return primary_out
         secondary_out: Outbox = {}
         if not self._parallel_subctx.finished:
-            self._parallel_subctx.round += 1
             secondary_out = self._parallel_program.compose(self._parallel_subctx) or {}
         for receiver in set(primary_out) | set(secondary_out):
             payload: Dict[str, Any] = {}
@@ -307,6 +372,7 @@ class SlicedProgram(NodeProgram):
     def process(self, ctx: NodeContext, inbox: Inbox) -> None:
         if self._slice is None:
             return
+        self._sync(ctx)
         if self._parallel_program is None:
             if not self._subctx.finished:
                 self._program.process(self._subctx, inbox)
@@ -332,3 +398,36 @@ class SlicedProgram(NodeProgram):
             if self._rounds_left == 0:
                 self._finish_slice(ctx)
                 self._advance(ctx)
+                if not ctx.terminate_requested:
+                    # A fresh slice always runs its first round: waking is
+                    # harmless if the new components turn out idle, while
+                    # sleeping could miss their first acting round.
+                    ctx.request_wakeup(1)
+                return
+        self._arm_wakeup(ctx)
+
+    def _arm_wakeup(self, ctx: NodeContext) -> None:
+        """Keep the node schedulable under ``schedule="quiescent"``.
+
+        A live component that has not opted into quiescence may act in any
+        round, so the node re-arms a next-round wakeup (it never actually
+        sleeps).  With only quiescent components the node may sleep, but
+        at most until the slice boundary, where the switching round must
+        execute.  Under the eager schedule these requests are cheap
+        no-ops.
+        """
+        quiescent = True
+        if self._subctx is not None and not self._subctx.finished:
+            quiescent = getattr(self._program, "quiescent_when_idle", False)
+        if (
+            quiescent
+            and self._parallel_subctx is not None
+            and not self._parallel_subctx.finished
+        ):
+            quiescent = getattr(
+                self._parallel_program, "quiescent_when_idle", False
+            )
+        if not quiescent:
+            ctx.request_wakeup(1)
+        elif self._rounds_left is not None:
+            ctx.request_wakeup(self._rounds_left)

@@ -55,6 +55,13 @@ class RunConfig:
         profile: Record per-round compose/deliver/process/finalize phase
             timings; the :class:`~repro.obs.profile.RoundProfile` is
             attached to the result as ``result.profile``.
+        schedule: Round scheduling policy — ``"eager"`` (every live node
+            every round), ``"quiescent"`` (skip nodes that declare
+            ``quiescent_when_idle`` and cannot observably act this
+            round; observationally identical, much faster on frontier
+            workloads), or ``"quiescent-debug"`` (run eagerly but raise
+            :class:`~repro.simulator.engine.QuiescenceViolation` if a
+            node the quiescent schedule would have skipped acts).
     """
 
     model: Optional[ExecutionModel] = None
@@ -65,6 +72,7 @@ class RunConfig:
     trace: bool = False
     fast: bool = False
     profile: bool = False
+    schedule: str = "eager"
 
     @property
     def effective_seed(self) -> int:
@@ -76,6 +84,11 @@ class RunConfig:
             raise ValueError(
                 "on_round_limit must be 'raise' or 'partial', "
                 f"got {self.on_round_limit!r}"
+            )
+        if self.schedule not in ("eager", "quiescent", "quiescent-debug"):
+            raise ValueError(
+                "schedule must be 'eager', 'quiescent' or "
+                f"'quiescent-debug', got {self.schedule!r}"
             )
 
     def with_overrides(self, **overrides: Any) -> "RunConfig":
@@ -121,6 +134,7 @@ def run(
     trace: bool = _UNSET,
     fast: bool = _UNSET,
     profile: bool = _UNSET,
+    schedule: str = _UNSET,
     sinks: Optional[Any] = None,
 ) -> RunResult:
     """Run ``algorithm`` on ``graph`` and return the execution record.
@@ -138,7 +152,7 @@ def run(
             declares ``uses_predictions``.
         config: A :class:`RunConfig`; defaults to ``RunConfig()``.
         model, max_rounds, seed, faults, on_round_limit, trace, fast,
-            profile: Field-level overrides of ``config`` (see
+            profile, schedule: Field-level overrides of ``config`` (see
             :class:`RunConfig`).
         sinks: Extra :class:`~repro.obs.events.EventSink` objects
             attached to the engine for this call (not part of the
@@ -164,6 +178,7 @@ def run(
         trace=trace,
         fast=fast,
         profile=profile,
+        schedule=schedule,
     )
     if crash_rounds:
         config = replace(
@@ -183,6 +198,7 @@ def run(
         faults=config.faults,
         on_round_limit=config.on_round_limit,
         fast=config.fast,
+        schedule=config.schedule,
     )
     result = engine.run()
     result.trace = recorder

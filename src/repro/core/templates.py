@@ -21,6 +21,15 @@ lengths are rounded up to the component's ``safe_pause_interval`` so that
 a component is only ever paused or cut at an extendable partial solution
 (the paper chooses its bounds even for the same reason, e.g. Corollaries
 10 and 12).
+
+Every template builds a :class:`~repro.core.composition.SlicedProgram`,
+which participates in quiescence-aware scheduling
+(``run(..., schedule="quiescent")``, see ``docs/PERFORMANCE.md``): the
+sliced host is idle-skippable exactly while its current component is,
+arms a timed wakeup for the slice boundary when its component sleeps,
+and catches its slice clock up over any skipped rounds — so a template
+whose components are quiescent (e.g. the greedy algorithms) gets the
+same frontier speedups as the components run bare.
 """
 
 from __future__ import annotations

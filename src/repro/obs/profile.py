@@ -39,7 +39,13 @@ class RoundSample:
         finalize: Seconds spent applying terminations/crashes and
             publishing neighbor outputs.
         messages: Messages delivered this round.
-        active: Nodes that participated in the round.
+        active: Nodes that were live (not terminated/crashed) this round.
+        scheduled: Nodes the scheduler actually ran this round.  Equal to
+            ``active`` under the eager schedule; under
+            ``schedule="quiescent"`` it is the wake-set size (plus nodes
+            pulled in by same-round deliveries), and the gap between the
+            two columns is exactly the work quiescence saved.  Defaults
+            to ``active`` for samples recorded by eager paths.
     """
 
     round: int
@@ -49,6 +55,11 @@ class RoundSample:
     finalize: float
     messages: int
     active: int
+    scheduled: int = -1
+
+    def __post_init__(self) -> None:
+        if self.scheduled < 0:
+            object.__setattr__(self, "scheduled", self.active)
 
     @property
     def elapsed(self) -> float:
@@ -81,8 +92,14 @@ class RoundProfile:
         finalize: float,
         messages: int,
         active: int,
+        scheduled: int = -1,
     ) -> None:
-        """Append one round's sample (called by the engine)."""
+        """Append one round's sample (called by the engine).
+
+        ``scheduled`` defaults to ``active`` (the eager schedule runs
+        every live node); the quiescent profiled path passes the wake-set
+        size instead.
+        """
         self.samples.append(
             RoundSample(
                 round=round_index,
@@ -92,6 +109,7 @@ class RoundProfile:
                 finalize=finalize,
                 messages=messages,
                 active=active,
+                scheduled=scheduled,
             )
         )
 
@@ -135,11 +153,18 @@ class RoundProfile:
         totals = self.phase_totals()
         elapsed = self.elapsed
         round_total = sum(totals.values())
+        node_rounds = sum(sample.active for sample in self.samples)
+        scheduled_rounds = sum(sample.scheduled for sample in self.samples)
         return {
             "rounds": len(self.samples),
             "elapsed": elapsed,
             "setup": self.setup,
             "messages": sum(self.message_counts()),
+            "node_rounds": node_rounds,
+            "scheduled_rounds": scheduled_rounds,
+            "scheduled_share": (
+                scheduled_rounds / node_rounds if node_rounds else 0.0
+            ),
             **{f"{phase}_s": totals[phase] for phase in PHASES},
             **{
                 f"{phase}_share": (totals[phase] / round_total if round_total else 0.0)
@@ -152,7 +177,7 @@ class RoundProfile:
     def table(self) -> str:
         """Human-readable per-round table (the ``repro profile`` output)."""
         header = (
-            f"{'round':>5}  {'active':>6}  {'msgs':>6}  "
+            f"{'round':>5}  {'active':>6}  {'sched':>6}  {'msgs':>6}  "
             + "  ".join(f"{phase + ' ms':>11}" for phase in PHASES)
             + f"  {'total ms':>9}"
         )
@@ -162,13 +187,14 @@ class RoundProfile:
                 f"{getattr(sample, phase) * 1e3:>11.3f}" for phase in PHASES
             )
             lines.append(
-                f"{sample.round:>5}  {sample.active:>6}  {sample.messages:>6}  "
+                f"{sample.round:>5}  {sample.active:>6}  {sample.scheduled:>6}  "
+                f"{sample.messages:>6}  "
                 f"{cells}  {sample.elapsed * 1e3:>9.3f}"
             )
         totals = self.phase_totals()
         total_cells = "  ".join(f"{totals[phase] * 1e3:>11.3f}" for phase in PHASES)
         lines.append(
-            f"{'total':>5}  {'':>6}  {sum(self.message_counts()):>6}  "
+            f"{'total':>5}  {'':>6}  {'':>6}  {sum(self.message_counts()):>6}  "
             f"{total_cells}  {sum(totals.values()) * 1e3:>9.3f}"
         )
         return "\n".join(lines)

@@ -18,7 +18,11 @@ round, exactly when an explicit notification message would have arrived.
 """
 
 from repro.simulator.context import NodeContext
-from repro.simulator.engine import RoundLimitExceeded, SyncEngine
+from repro.simulator.engine import (
+    QuiescenceViolation,
+    RoundLimitExceeded,
+    SyncEngine,
+)
 from repro.simulator.message import estimate_bits
 from repro.simulator.metrics import (
     NodeRecord,
@@ -38,6 +42,7 @@ __all__ = [
     "NodeProgram",
     "NodeRecord",
     "NodeSnapshot",
+    "QuiescenceViolation",
     "RoundLimitExceeded",
     "RunResult",
     "StuckReport",

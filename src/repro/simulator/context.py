@@ -74,13 +74,30 @@ class NodeContext:
         self.active_neighbors = set(self.neighbors)
         self.neighbor_outputs: Dict[int, Any] = {}
         self.crashed_neighbors: set = set()
-        self.rng = random.Random(f"{seed}:{node_id}")
+        self._seed = seed
+        self._rng: Optional[random.Random] = None
 
         self._output: Any = _UNSET
         self._output_parts: Dict[Any, Any] = {}
         self._terminate_requested = False
         self.terminated = False
         self.termination_round: Optional[int] = None
+        #: Earliest round this node asked to be woken in (engine-owned;
+        #: ``None`` when no timed wakeup is pending).  See :meth:`wake_at`.
+        self._wake_request: Optional[int] = None
+
+    @property
+    def rng(self) -> random.Random:
+        """Per-node deterministic random stream, built on first use.
+
+        The stream is seeded from ``(seed, node_id)`` exactly as before it
+        became lazy, so randomized algorithms draw identical values; the
+        paper's deterministic algorithms never touch it and no longer pay
+        for its construction at setup.
+        """
+        if self._rng is None:
+            self._rng = random.Random(f"{self._seed}:{self.node_id}")
+        return self._rng
 
     # ------------------------------------------------------------------
     # Knowledge helpers
@@ -161,3 +178,36 @@ class NodeContext:
     def terminate_requested(self) -> bool:
         """Whether :meth:`terminate` was called this round (engine use)."""
         return self._terminate_requested
+
+    # ------------------------------------------------------------------
+    # Quiescence scheduling
+    # ------------------------------------------------------------------
+    def wake_at(self, round_index: int) -> None:
+        """Ask the quiescence scheduler to run this node in ``round_index``.
+
+        Programs that declare ``quiescent_when_idle = True`` are skipped in
+        rounds where nothing observable can reach them; a timed wakeup is
+        how such a program arranges to act at a known future round (the
+        time-sliced templates use this for their switching rounds).
+        Requests are merged by minimum, so the earliest requested round
+        wins.  Calling this under the default eager schedule is a cheap
+        no-op.  Waking *earlier* than needed is always safe — an idle
+        program's round is a no-op by contract — but waking later than the
+        program needed breaks the schedule, so when in doubt wake early.
+        """
+        if round_index <= self.round:
+            raise ValueError(
+                f"node {self.node_id}: wake_at({round_index}) is not in the "
+                f"future (current round {self.round})"
+            )
+        if self._wake_request is None or round_index < self._wake_request:
+            self._wake_request = round_index
+
+    def request_wakeup(self, delay: int = 1) -> None:
+        """Ask to be scheduled ``delay`` rounds from now (see :meth:`wake_at`)."""
+        if delay < 1:
+            raise ValueError(
+                f"node {self.node_id}: request_wakeup delay must be >= 1, "
+                f"got {delay}"
+            )
+        self.wake_at(self.round + delay)

@@ -66,6 +66,19 @@ class BandwidthExceeded(RuntimeError):
     """Raised in strict CONGEST mode when a message exceeds the budget."""
 
 
+class QuiescenceViolation(RuntimeError):
+    """Raised under ``schedule="quiescent-debug"`` on an idle-contract break.
+
+    A program that declares ``quiescent_when_idle = True`` promises that in
+    rounds where nothing woke it (no message received last round, no
+    neighbor event, no timed wakeup due) it neither sends, outputs, nor
+    terminates.  The debug schedule executes every node eagerly while
+    tracking the wake-set the quiescent schedule would have used, and
+    raises this error the moment a supposedly idle node acts — the same
+    divergence ``schedule="quiescent"`` would have silently introduced.
+    """
+
+
 ProgramSource = Union[Mapping[int, NodeProgram], Callable[[int], NodeProgram]]
 
 
@@ -111,6 +124,20 @@ class SyncEngine:
             maximum throughput; ``message_count`` is still maintained.
             Outputs, round counts and termination records are identical
             to a normal run.
+        schedule: Round-scheduling policy.  ``"eager"`` (default) runs
+            every active node every round.  ``"quiescent"`` skips nodes
+            whose programs declare ``quiescent_when_idle = True`` in
+            rounds where nothing can observably reach them — they ran in
+            the previous round's delivery, a neighbor terminated, crashed
+            or recovered, they were just set up or recovered, or a timed
+            wakeup (``ctx.wake_at`` / ``ctx.request_wakeup``) is due; on
+            frontier workloads this cuts simulator work from
+            Θ(n · rounds) to Θ(total activity) while staying
+            observationally identical (same outputs, rounds, message
+            counts and event order).  ``"quiescent-debug"`` executes
+            eagerly while tracking the hypothetical wake-set and raises
+            :class:`QuiescenceViolation` when an idle node acts — use it
+            to validate a program's idle contract.
     """
 
     def __init__(
@@ -129,10 +156,16 @@ class SyncEngine:
         faults: Optional[Any] = None,
         on_round_limit: str = "raise",
         fast: bool = False,
+        schedule: str = "eager",
     ) -> None:
         if on_round_limit not in ("raise", "partial"):
             raise ValueError(
                 f"on_round_limit must be 'raise' or 'partial', got {on_round_limit!r}"
+            )
+        if schedule not in ("eager", "quiescent", "quiescent-debug"):
+            raise ValueError(
+                "schedule must be 'eager', 'quiescent' or 'quiescent-debug', "
+                f"got {schedule!r}"
             )
         if crash_rounds:
             warnings.warn(
@@ -160,6 +193,12 @@ class SyncEngine:
         self.max_rounds = max_rounds if max_rounds is not None else 8 * graph.n + 64
         self.on_round_limit = on_round_limit
         self.fast = fast
+        self.schedule = schedule
+        #: Whether wake-set bookkeeping is live (quiescent and debug
+        #: schedules); the eager hot path never touches it.
+        self._track_wakes = schedule != "eager"
+        if self._track_wakes and self._profile is not None and schedule != "quiescent":
+            raise ValueError("profiling is not supported with schedule='quiescent-debug'")
         self._seed = seed
         self._faults = self._resolve_faults(faults, crash_rounds)
         predictions = dict(predictions or {})
@@ -196,6 +235,22 @@ class SyncEngine:
         self._inboxes: Dict[int, Dict[int, Any]] = {
             node: {} for node in self.graph.nodes
         }
+        #: Quiescence bookkeeping (unused under the eager schedule).
+        #: ``_next_wake`` holds the nodes with a pending wake condition for
+        #: the upcoming round (everyone before round 1); ``_timed_wake``
+        #: maps node -> earliest requested wakeup round; ``_always_awake``
+        #: holds nodes whose programs did not opt into quiescence.
+        self._next_wake: set = set(self.graph.nodes) if self._track_wakes else set()
+        self._timed_wake: Dict[int, int] = {}
+        self._always_awake: set = set()
+        if self._track_wakes:
+            for node, program in self.programs.items():
+                if not getattr(program, "quiescent_when_idle", False):
+                    self._always_awake.add(node)
+        #: Nodes the last executed round actually processed (``None`` means
+        #: every active node, the eager schedules) — keeps stuck-report
+        #: inbox snapshots identical across schedules.
+        self._processed_last_round: Optional[set] = None
 
     @staticmethod
     def _resolve_faults(
@@ -257,7 +312,18 @@ class SyncEngine:
             profile.setup = perf_counter() - setup_start
         else:
             self._setup_phase()
-        run_round = self._run_round_profiled if profile is not None else self._run_round
+        if self.schedule == "quiescent":
+            run_round = (
+                self._run_round_quiescent_profiled
+                if profile is not None
+                else self._run_round_quiescent
+            )
+        elif self.schedule == "quiescent-debug":
+            run_round = self._run_round_debug
+        else:
+            run_round = (
+                self._run_round_profiled if profile is not None else self._run_round
+            )
         round_index = 0
         while self._active or self._has_pending_recoveries(round_index):
             if stop_after is not None and round_index >= stop_after:
@@ -329,11 +395,23 @@ class SyncEngine:
 
     # ------------------------------------------------------------------
     def _setup_phase(self) -> None:
+        track = self._track_wakes
         for node in self._active_order:
             ctx = self.contexts[node]
             ctx.round = 0
             self.programs[node].setup(ctx)
+            if track:
+                self._collect_wake(node, ctx)
         self._finalize_round(0)
+
+    def _collect_wake(self, node: int, ctx: NodeContext) -> None:
+        """Fold a context's pending ``wake_at`` request into the schedule."""
+        request = ctx._wake_request
+        if request is not None:
+            ctx._wake_request = None
+            current = self._timed_wake.get(node)
+            if current is None or request < current:
+                self._timed_wake[node] = request
 
     def _emit(self, round_index: int, kind: str, node: int, data: Any = None) -> None:
         """Fan one event out to every attached sink."""
@@ -480,6 +558,284 @@ class SyncEngine:
         )
 
     # ------------------------------------------------------------------
+    # Quiescent scheduling
+    # ------------------------------------------------------------------
+    def _compute_wake_order(self, round_index: int) -> List[int]:
+        """This round's compose schedule: woken ∪ always-awake, active, sorted.
+
+        Consumes the accumulated wake-set and the due timed wakeups, and
+        resets ``_next_wake`` so this round's events feed the next one.
+        """
+        wake = self._next_wake
+        timed = self._timed_wake
+        if timed:
+            due = [node for node, when in timed.items() if when <= round_index]
+            for node in due:
+                del timed[node]
+            wake.update(due)
+        if self._always_awake:
+            wake |= self._always_awake
+        active = self._active
+        scheduled = sorted(node for node in wake if node in active)
+        self._next_wake = set()
+        return scheduled
+
+    def _run_round_quiescent(self, round_index: int) -> None:
+        """One round that runs only the wake-set, not every active node.
+
+        Observationally identical to :meth:`_run_round` under the idle
+        contract: a node outside the wake-set would have composed an empty
+        outbox and processed an empty inbox without acting, so skipping it
+        changes no output, message, round count or event.  Nodes that
+        *receive* a message this round are pulled into the process phase
+        (and the next round's wake-set) even if they were asleep, exactly
+        as the fused path would have processed them.
+        """
+        self._apply_recoveries(round_index)
+        scheduled = self._compute_wake_order(round_index)
+        next_wake = self._next_wake
+        active = self._active
+        programs = self.programs
+        contexts = self.contexts
+        inboxes = self._inboxes
+        emit = self._emit if self._sinks else None
+        faults = self._faults
+        account = not self.fast
+        #: Nodes to run in the process phase; sleeping nodes keep stale
+        #: inboxes, cleared lazily when a delivery first wakes them.
+        process_set = set(scheduled)
+
+        for node in scheduled:
+            inboxes[node].clear()
+        if self._pending_replays:
+            self._deliver_replays(round_index, inboxes, awaken=process_set)
+
+        for node in scheduled:
+            ctx = contexts[node]
+            ctx.round = round_index
+            outbox = programs[node].compose(ctx)
+            if not outbox:
+                continue
+            neighbors = ctx.neighbors
+            for receiver, payload in outbox.items():
+                if receiver not in neighbors:
+                    raise ValueError(
+                        f"node {node} sent to non-neighbor {receiver} "
+                        f"in round {round_index}"
+                    )
+                if emit is not None:
+                    emit(
+                        round_index, "send", node, {"to": receiver, "payload": payload}
+                    )
+                if receiver not in active:
+                    continue
+                if faults is not None:
+                    payload = self._adjudicate(round_index, node, receiver, payload)
+                    if payload is _DROPPED:
+                        # The drop may have starved a waiter mid-protocol;
+                        # waking the would-be receiver is harmless (an idle
+                        # round is a no-op by contract) and keeps it live.
+                        next_wake.add(receiver)
+                        continue
+                if account:
+                    self._account_message(payload)
+                else:
+                    self._result.message_count += 1
+                if receiver not in process_set:
+                    inboxes[receiver].clear()
+                    process_set.add(receiver)
+                inboxes[receiver][node] = payload
+                next_wake.add(receiver)
+
+        if len(process_set) == len(scheduled):
+            process_order: List[int] = scheduled
+        else:
+            process_order = sorted(process_set)
+        for node in process_order:
+            ctx = contexts[node]
+            ctx.round = round_index
+            programs[node].process(ctx, inboxes[node])
+            self._collect_wake(node, ctx)
+        self._processed_last_round = process_set
+        self._finalize_round(round_index, participants=process_order)
+
+    def _run_round_quiescent_profiled(self, round_index: int) -> None:
+        """Quiescent scheduling with the split, per-phase-timed round path.
+
+        Wake-set computation is charged to the compose phase (it is the
+        scheduler's overhead); everything else mirrors
+        :meth:`_run_round_profiled` restricted to the wake-set.
+        """
+        profile = self._profile
+        self._apply_recoveries(round_index)
+        active = self._active
+        programs = self.programs
+        contexts = self.contexts
+        inboxes = self._inboxes
+        emit = self._emit if self._sinks else None
+        faults = self._faults
+        account = not self.fast
+        messages_before = self._result.message_count
+        participants = len(self._active_order)
+
+        compose_start = perf_counter()
+        scheduled = self._compute_wake_order(round_index)
+        next_wake = self._next_wake
+        process_set = set(scheduled)
+        outboxes: List[Tuple[int, Dict[int, Any]]] = []
+        for node in scheduled:
+            inboxes[node].clear()
+            ctx = contexts[node]
+            ctx.round = round_index
+            outbox = programs[node].compose(ctx)
+            if not outbox:
+                continue
+            neighbors = ctx.neighbors
+            for receiver in outbox:
+                if receiver not in neighbors:
+                    raise ValueError(
+                        f"node {node} sent to non-neighbor {receiver} "
+                        f"in round {round_index}"
+                    )
+            outboxes.append((node, outbox))
+
+        deliver_start = perf_counter()
+        if self._pending_replays:
+            self._deliver_replays(round_index, inboxes, awaken=process_set)
+        for node, outbox in outboxes:
+            for receiver, payload in outbox.items():
+                if emit is not None:
+                    emit(
+                        round_index, "send", node, {"to": receiver, "payload": payload}
+                    )
+                if receiver not in active:
+                    continue
+                if faults is not None:
+                    payload = self._adjudicate(round_index, node, receiver, payload)
+                    if payload is _DROPPED:
+                        next_wake.add(receiver)
+                        continue
+                if account:
+                    self._account_message(payload)
+                else:
+                    self._result.message_count += 1
+                if receiver not in process_set:
+                    inboxes[receiver].clear()
+                    process_set.add(receiver)
+                inboxes[receiver][node] = payload
+                next_wake.add(receiver)
+
+        process_start = perf_counter()
+        if len(process_set) == len(scheduled):
+            process_order: List[int] = scheduled
+        else:
+            process_order = sorted(process_set)
+        for node in process_order:
+            ctx = contexts[node]
+            ctx.round = round_index
+            programs[node].process(ctx, inboxes[node])
+            self._collect_wake(node, ctx)
+        self._processed_last_round = process_set
+
+        finalize_start = perf_counter()
+        self._finalize_round(round_index, participants=process_order)
+        finalize_end = perf_counter()
+        profile.add_round(
+            round_index,
+            compose=deliver_start - compose_start,
+            deliver=process_start - deliver_start,
+            process=finalize_start - process_start,
+            finalize=finalize_end - finalize_start,
+            messages=self._result.message_count - messages_before,
+            active=participants,
+            scheduled=len(process_order),
+        )
+
+    def _run_round_debug(self, round_index: int) -> None:
+        """Eager execution that polices the quiescence idle contract.
+
+        Runs every active node (so state evolution matches the eager
+        schedule exactly, including programs whose idle rounds mutate
+        private counters) while maintaining the wake-set the quiescent
+        schedule would have used; any observable action — a send, an
+        output, a termination — by a node outside that set raises
+        :class:`QuiescenceViolation`.
+        """
+        self._apply_recoveries(round_index)
+        expected = set(self._compute_wake_order(round_index))
+        next_wake = self._next_wake
+        active = self._active
+        order = self._active_order
+        programs = self.programs
+        contexts = self.contexts
+        inboxes = self._inboxes
+        emit = self._emit if self._sinks else None
+        faults = self._faults
+        account = not self.fast
+
+        for node in order:
+            inboxes[node].clear()
+        if self._pending_replays:
+            self._deliver_replays(round_index, inboxes)
+
+        for node in order:
+            ctx = contexts[node]
+            ctx.round = round_index
+            outbox = programs[node].compose(ctx)
+            if not outbox:
+                continue
+            if node not in expected:
+                raise QuiescenceViolation(
+                    f"node {node} ({type(programs[node]).__name__}) composed "
+                    f"a non-empty outbox in round {round_index} while idle: "
+                    f"schedule='quiescent' would have skipped this send"
+                )
+            neighbors = ctx.neighbors
+            for receiver, payload in outbox.items():
+                if receiver not in neighbors:
+                    raise ValueError(
+                        f"node {node} sent to non-neighbor {receiver} "
+                        f"in round {round_index}"
+                    )
+                if emit is not None:
+                    emit(
+                        round_index, "send", node, {"to": receiver, "payload": payload}
+                    )
+                if receiver not in active:
+                    continue
+                if faults is not None:
+                    payload = self._adjudicate(round_index, node, receiver, payload)
+                    if payload is _DROPPED:
+                        next_wake.add(receiver)
+                        continue
+                if account:
+                    self._account_message(payload)
+                else:
+                    self._result.message_count += 1
+                inboxes[receiver][node] = payload
+                next_wake.add(receiver)
+
+        for node in order:
+            ctx = contexts[node]
+            inbox = inboxes[node]
+            if node in expected or inbox:
+                programs[node].process(ctx, inbox)
+                self._collect_wake(node, ctx)
+                continue
+            before = (ctx.has_output, ctx.output)
+            programs[node].process(ctx, inbox)
+            self._collect_wake(node, ctx)
+            if ctx.terminate_requested or (ctx.has_output, ctx.output) != before:
+                raise QuiescenceViolation(
+                    f"node {node} ({type(programs[node]).__name__}) "
+                    f"{'terminated' if ctx.terminate_requested else 'assigned output'} "
+                    f"in round {round_index} while idle: schedule='quiescent' "
+                    f"would not have run it"
+                )
+
+        self._finalize_round(round_index)
+
+    # ------------------------------------------------------------------
     # Fault interposition
     # ------------------------------------------------------------------
     def _adjudicate(
@@ -512,16 +868,25 @@ class SyncEngine:
         return fate.payload
 
     def _deliver_replays(
-        self, round_index: int, inboxes: Dict[int, Dict[int, Any]]
+        self,
+        round_index: int,
+        inboxes: Dict[int, Dict[int, Any]],
+        awaken: Optional[set] = None,
     ) -> None:
         """Deliver adversarial replays due this round.
 
         Replays are inserted before fresh sends, so a fresh message from
         the same sender supersedes its own stale copy (the channel keeps
         at most one message per ordered pair per round).
+
+        ``awaken`` is the quiescent schedule's process-set: a replay to a
+        sleeping receiver clears its stale inbox and pulls it into this
+        round's process phase, just as the eager path would have processed
+        it.
         """
         if not self._pending_replays:
             return
+        account = not self.fast
         still_pending: List[Tuple[int, int, int, Any]] = []
         for due, sender, receiver, payload in self._pending_replays:
             if due != round_index:
@@ -537,7 +902,15 @@ class SyncEngine:
                     sender,
                     {"to": receiver, "payload": payload},
                 )
-            self._account_message(payload)
+            if account:
+                self._account_message(payload)
+            else:
+                self._result.message_count += 1
+            if awaken is not None and receiver not in awaken:
+                inboxes[receiver].clear()
+                awaken.add(receiver)
+            if self._track_wakes:
+                self._next_wake.add(receiver)
             inboxes[receiver][sender] = payload
         self._pending_replays = still_pending
 
@@ -575,20 +948,64 @@ class SyncEngine:
                 neighbor_ctx.crashed_neighbors.discard(node)
             self.programs[node].setup(ctx)
             rejoined = True
+            if self._track_wakes:
+                # The rejoined node starts fresh (round-1 semantics) and
+                # its neighbors observe the recovery, so all of them are
+                # schedulable this round; stale timed wakeups of the old
+                # incarnation die with it.
+                self._timed_wake.pop(node, None)
+                self._next_wake.add(node)
+                self._next_wake.update(ctx.neighbors)
+                if getattr(self.programs[node], "quiescent_when_idle", False):
+                    self._always_awake.discard(node)
+                else:
+                    self._always_awake.add(node)
+                self._collect_wake(node, ctx)
             if self._sinks:
                 self._emit(round_index, "recover", node)
+            if ctx.terminate_requested:
+                # A program may output and terminate straight from its
+                # recovery setup (e.g. every neighbor is already gone).
+                # Honor it before the round runs — the same semantics
+                # ``_finalize_round(0)`` gives the initial setup — so the
+                # node never re-enters the hot loop and cannot output a
+                # second time.
+                ctx.terminated = True
+                ctx.termination_round = round_index
+                record.output = ctx.output
+                record.termination_round = round_index
+                self._result.outputs[node] = ctx.output
+                self._active.discard(node)
+                for other in ctx.neighbors:
+                    neighbor_ctx = self.contexts[other]
+                    neighbor_ctx.active_neighbors.discard(node)
+                    neighbor_ctx.neighbor_outputs[node] = ctx.output
+                if self._track_wakes:
+                    self._timed_wake.pop(node, None)
+                    self._next_wake.discard(node)
+                    self._always_awake.discard(node)
+                if self._sinks:
+                    self._emit(round_index, "output", node, {"value": ctx.output})
+                    self._emit(round_index, "terminate", node)
         if rejoined:
             self._active_order = sorted(self._active)
 
     def _build_stuck_report(self, round_index: int) -> StuckReport:
         live = sorted(self._active)
+        processed = self._processed_last_round
         snapshots: Dict[int, NodeSnapshot] = {}
         for node in live:
             ctx = self.contexts[node]
+            # A node the quiescent schedule skipped keeps a stale inbox;
+            # the eager path would have cleared it, so report it empty.
+            if processed is not None and node not in processed:
+                last_inbox: Dict[int, Any] = {}
+            else:
+                last_inbox = dict(self._inboxes.get(node, {}))
             snapshots[node] = NodeSnapshot(
                 node_id=node,
                 round=ctx.round,
-                last_inbox=dict(self._inboxes.get(node, {})),
+                last_inbox=last_inbox,
                 state={
                     key: repr(value)
                     for key, value in sorted(vars(self.programs[node]).items())
@@ -616,19 +1033,42 @@ class SyncEngine:
                     f"{self.model.bandwidth_bits(self.graph.n)}-bit budget"
                 )
 
-    def _finalize_round(self, round_index: int) -> None:
+    def _finalize_round(
+        self, round_index: int, participants: Optional[List[int]] = None
+    ) -> None:
+        """Apply terminations/crashes and publish neighbor updates.
+
+        ``participants`` (sorted) restricts the termination scan to the
+        nodes the quiescent schedule actually ran this round — a node that
+        was not run cannot have requested termination, so the restriction
+        finds exactly the set the full scan would, in the same order,
+        without the Θ(active) sweep.  Crashes are adversarial, not program
+        actions, so they are drawn from the fault schedule regardless.
+        """
+        if participants is None:
+            candidates = self._active_order
+        else:
+            candidates = participants
         terminated = [
-            node
-            for node in self._active_order
-            if self.contexts[node].terminate_requested
+            node for node in candidates if self.contexts[node].terminate_requested
         ]
         if self._faults is not None:
-            crash_now = set(self._faults.crashes_at(round_index))
-            crashed = [
-                node
-                for node in self._active_order
-                if node in crash_now and node not in terminated
-            ]
+            crash_now = self._faults.crashes_at(round_index)
+            if participants is None:
+                crash_set = set(crash_now)
+                crashed = [
+                    node
+                    for node in self._active_order
+                    if node in crash_set and node not in terminated
+                ]
+            else:
+                terminated_set = set(terminated)
+                # crashes_at is sorted, so this matches the eager order.
+                crashed = [
+                    node
+                    for node in crash_now
+                    if node in self._active and node not in terminated_set
+                ]
         else:
             crashed = []
 
@@ -656,17 +1096,25 @@ class SyncEngine:
 
         # Neighbors observe terminations/crashes from the next round on —
         # the same timing as the paper's explicit final-round notification.
+        # Under quiescent scheduling that observation is a wake condition.
+        track = self._track_wakes
         for node in terminated:
             output = self.contexts[node].output
-            for neighbor in self.contexts[node].neighbors:
+            neighbors = self.contexts[node].neighbors
+            for neighbor in neighbors:
                 neighbor_ctx = self.contexts[neighbor]
                 neighbor_ctx.active_neighbors.discard(node)
                 neighbor_ctx.neighbor_outputs[node] = output
+            if track:
+                self._next_wake.update(neighbors)
         for node in crashed:
-            for neighbor in self.contexts[node].neighbors:
+            neighbors = self.contexts[node].neighbors
+            for neighbor in neighbors:
                 neighbor_ctx = self.contexts[neighbor]
                 neighbor_ctx.active_neighbors.discard(node)
                 neighbor_ctx.crashed_neighbors.add(node)
+            if track:
+                self._next_wake.update(neighbors)
 
 
 #: Sentinel for a message removed by the adversary.

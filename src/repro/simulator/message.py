@@ -10,10 +10,23 @@ conventions of the CONGEST literature (an identifier or a color costs
 
 from __future__ import annotations
 
-from typing import Any, Iterable
+import marshal
+from typing import Any, Dict, Iterable
 
 #: Bits charged for a structural separator (tuple slot, dict entry, ...).
 _STRUCTURE_OVERHEAD_BITS = 2
+
+#: Memo of container payload sizes, keyed by ``marshal`` serialization.
+#: Algorithms send the same few tag tuples over and over (every JOIN, every
+#: slice-tagged template message); caching by serialized bytes makes the
+#: default (non-``fast``) accounting pay the structural walk once per
+#: distinct payload.  ``marshal`` keys distinguish ``1``/``1.0``/``True``
+#: (whose bit costs differ), unlike the values themselves under ``==``.
+_BITS_CACHE: Dict[bytes, int] = {}
+
+#: Cache entries are bounded so adversarial or high-entropy payload streams
+#: cannot grow the memo without limit; on overflow the memo resets.
+_BITS_CACHE_MAX = 65536
 
 #: Bits charged per character of a string tag.  Tags in this repository are
 #: short constant strings drawn from a per-algorithm alphabet, so charging a
@@ -58,15 +71,32 @@ def estimate_bits(payload: Any) -> int:
         return 64
     if isinstance(payload, str):
         return max(1, _BITS_PER_CHAR * len(payload))
+    if isinstance(payload, (tuple, list, set, frozenset, dict)):
+        # Containers are where the walk cost lives; scalars above are
+        # cheaper to size than to hash.  Unmarshallable contents (custom
+        # objects inside a tuple, say) skip the memo and walk every time.
+        try:
+            key = marshal.dumps(payload, 2)
+        except (ValueError, TypeError):
+            return _container_bits(payload)
+        cached = _BITS_CACHE.get(key)
+        if cached is None:
+            if len(_BITS_CACHE) >= _BITS_CACHE_MAX:
+                _BITS_CACHE.clear()
+            cached = _BITS_CACHE[key] = _container_bits(payload)
+        return cached
+    return max(1, _BITS_PER_CHAR * len(repr(payload)))
+
+
+def _container_bits(payload: Any) -> int:
+    """Structural walk of a container payload (the uncached path)."""
     if isinstance(payload, (tuple, list)):
         return _iterable_bits(payload)
     if isinstance(payload, (set, frozenset)):
         return _iterable_bits(sorted(payload, key=repr))
-    if isinstance(payload, dict):
-        total = 0
-        for key, value in payload.items():
-            total += (
-                _STRUCTURE_OVERHEAD_BITS + estimate_bits(key) + estimate_bits(value)
-            )
-        return total
-    return max(1, _BITS_PER_CHAR * len(repr(payload)))
+    total = 0
+    for key, value in payload.items():
+        total += (
+            _STRUCTURE_OVERHEAD_BITS + estimate_bits(key) + estimate_bits(value)
+        )
+    return total

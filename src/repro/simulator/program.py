@@ -36,7 +36,32 @@ class NodeProgram:
     :meth:`setup` runs once before round 1 and may already terminate the
     node (a "0-round" action, used e.g. by the edge-coloring
     measure-uniform algorithm on isolated nodes).
+
+    Quiescence (the idle contract).  A program may set the class attribute
+    ``quiescent_when_idle = True`` to opt into the engine's quiescence
+    scheduler (``run(..., schedule="quiescent")``).  Doing so promises
+    that in any round where the node is *idle* — it received no message in
+    the previous round, no neighbor terminated/crashed/recovered since it
+    last ran, and no timed wakeup (:meth:`NodeContext.wake_at` /
+    :meth:`NodeContext.request_wakeup`) is due — the program is a no-op:
+
+    * :meth:`compose` returns an empty outbox and mutates no state the
+      node's observable behaviour depends on;
+    * :meth:`process` with an empty inbox assigns no output, does not
+      terminate, and mutates no such state.
+
+    Under that contract the engine may skip the node's idle rounds
+    entirely without changing outputs, round counts, message counts or
+    event order.  A program whose acting rounds depend on the round
+    *number* (parity, slice boundaries) must arm a timed wakeup while
+    active, or it will sleep through its acting round.  Violations are
+    detected loudly by ``schedule="quiescent-debug"``.
     """
+
+    #: Opt-in flag for the quiescence scheduler (see the class docstring).
+    #: ``False`` keeps the node scheduled every round, which is always
+    #: correct.
+    quiescent_when_idle = False
 
     def setup(self, ctx: NodeContext) -> None:
         """One-time initialization before the first round."""

@@ -104,3 +104,125 @@ class TestEngineFuzz:
                 assert node not in result.outputs
             else:
                 assert record.termination_round is not None
+
+
+# ----------------------------------------------------------------------
+# Quiescent-schedule differential fuzzing
+# ----------------------------------------------------------------------
+
+def _run_collect(graph, factory, schedule, plan, profile=False):
+    """One engine run returning every observable we compare across
+    schedules: outputs, round counters, message accounting, events."""
+    from repro.obs import MemoryEventSink
+
+    sink = MemoryEventSink()
+    engine = SyncEngine(
+        graph,
+        factory,
+        faults=plan,
+        sinks=[sink],
+        schedule=schedule,
+        max_rounds=200,
+        on_round_limit="partial",
+        profile=profile,
+    )
+    result = engine.run()
+    return {
+        "outputs": result.outputs,
+        "rounds": result.rounds,
+        "rounds_executed": result.rounds_executed,
+        "messages": result.message_count,
+        "bits": result.total_bits,
+        "max_bits": result.max_message_bits,
+        "events": sink.events,
+    }
+
+
+def _random_plan(rng, graph):
+    """A random adversarial plan: crash-stop and crash-recover faults
+    plus a message adversary dropping/corrupting/replaying."""
+    from repro.faults.plan import CrashFault, MessageAdversary
+
+    crashes = tuple(
+        CrashFault(
+            node,
+            rng.randint(1, 5),
+            recover_after=rng.choice([None, None, rng.randint(1, 4)]),
+        )
+        for node in graph.nodes
+        if rng.random() < 0.25
+    )
+    adversary = MessageAdversary(
+        drop_rate=rng.choice([0.0, 0.2]),
+        corrupt_rate=rng.choice([0.0, 0.15]),
+        duplicate_rate=rng.choice([0.0, 0.2]),
+    )
+    return FaultPlan(
+        crashes=crashes,
+        messages=adversary if adversary.is_active else None,
+        seed=rng.randint(0, 10**6),
+    )
+
+
+class TestQuiescentDifferentialFuzz:
+    """schedule='quiescent' must be observationally identical to eager
+    for every algorithm, graph and fault plan — including a profiled
+    quiescent run (the third way of the three-way differential)."""
+
+    def _factories(self, seed):
+        from repro.algorithms.coloring.greedy import PaletteGreedyColoringProgram
+        from repro.algorithms.matching.greedy import GreedyMatchingProgram
+        from repro.algorithms.mis.greedy import GreedyMISProgram
+
+        def mixed(node):
+            # Quiescent programs interleaved with eager fuzz nodes: the
+            # wake-set must stay exact with always-awake neighbors
+            # injecting arbitrary payloads.
+            if node % 2 == 0:
+                return FuzzProgram(seed, node)
+            return GreedyMISProgram()
+
+        return [
+            ("mis", lambda node: GreedyMISProgram()),
+            ("matching", lambda node: GreedyMatchingProgram()),
+            ("coloring", lambda node: PaletteGreedyColoringProgram()),
+            ("fuzz", lambda node: FuzzProgram(seed, node)),
+            ("mixed", mixed),
+        ]
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_three_way_differential(self, seed):
+        rng = random.Random(f"{seed}:quiescent-fuzz")
+        graph = erdos_renyi(
+            rng.randint(3, 18), rng.choice([0.15, 0.3, 0.6]), seed=seed
+        )
+        plan = _random_plan(rng, graph)
+        name, factory = self._factories(seed)[seed % 5]
+        eager = _run_collect(graph, factory, "eager", plan)
+        quiescent = _run_collect(graph, factory, "quiescent", plan)
+        profiled = _run_collect(graph, factory, "quiescent", plan, profile=True)
+        debug = _run_collect(graph, factory, "quiescent-debug", plan)
+        assert quiescent == eager, name
+        assert profiled == eager, name
+        assert debug == eager, name
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_honest_quiescence_under_debug(self, seed):
+        """The shipped quiescent programs never trip the debug validator
+        even under adversarial faults (the contract test's dual)."""
+        from repro.algorithms.mis.greedy import GreedyMISProgram
+
+        rng = random.Random(f"{seed}:debug-fuzz")
+        graph = erdos_renyi(rng.randint(3, 15), 0.3, seed=seed)
+        plan = _random_plan(rng, graph)
+        engine = SyncEngine(
+            graph,
+            lambda node: GreedyMISProgram(),
+            faults=plan,
+            schedule="quiescent-debug",
+            max_rounds=200,
+            on_round_limit="partial",
+        )
+        engine.run()  # QuiescenceViolation would fail the test
