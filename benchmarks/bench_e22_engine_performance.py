@@ -17,12 +17,18 @@ The profiled variants time the same workloads under
 ``run(..., profile=True)`` (the engine's split-phase round path, see
 docs/OBSERVABILITY.md) and assert the same observational-identity
 contract, so the profiling overhead column is honest too.
+
+The topology micro-benchmarks at the bottom compare the two adjacency
+representations directly — dict-of-sets vs the shared
+:class:`~repro.graphs.csr.CSRTopology` — on construction and on a full
+neighbor sweep, so the CSR core's cost model is measured and not
+asserted from folklore.
 """
 
 from repro.algorithms.mis import GreedyMISAlgorithm, LubyMISAlgorithm
 from repro.bench.algorithms import mis_parallel
 from repro.core import run
-from repro.graphs import grid2d, random_regular
+from repro.graphs import CSRTopology, grid2d, random_regular
 from repro.predictions import noisy_predictions
 from repro.problems import MIS
 
@@ -162,3 +168,76 @@ def test_e22_sweep_throughput(benchmark):
     telemetry = result.telemetry()
     assert telemetry["node_rounds_per_sec"] > 0
     assert telemetry["backend"] == "serial"
+
+
+# ----------------------------------------------------------------------
+# Topology micro-benchmarks: dict-of-sets vs the shared CSR core
+# ----------------------------------------------------------------------
+
+def _raw_adjacency(rows, cols):
+    """A plain dict-of-sets grid adjacency, built without DistGraph so
+    both representations start from the same raw material."""
+    def node(r, c):
+        return r * cols + c + 1
+
+    adjacency = {node(r, c): set() for r in range(rows) for c in range(cols)}
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                adjacency[node(r, c)].add(node(r, c + 1))
+                adjacency[node(r, c + 1)].add(node(r, c))
+            if r + 1 < rows:
+                adjacency[node(r, c)].add(node(r + 1, c))
+                adjacency[node(r + 1, c)].add(node(r, c))
+    return adjacency
+
+
+def test_e22_topology_dict_construction(benchmark):
+    """Baseline: building the dict-of-sets adjacency itself."""
+    result = benchmark(_raw_adjacency, 40, 40)
+    assert len(result) == 1600
+
+
+def test_e22_topology_csr_construction(benchmark):
+    """CSR interning + row packing on top of an existing adjacency —
+    the one-time cost every DistGraph pays at construction."""
+    adjacency = _raw_adjacency(40, 40)
+
+    result = benchmark(CSRTopology.from_adjacency, adjacency)
+    assert result.n == 1600
+    assert result.m == sum(len(v) for v in adjacency.values()) // 2
+
+
+def test_e22_topology_dict_neighbor_sweep(benchmark):
+    """Full neighbor iteration through the dict-of-sets adjacency."""
+    adjacency = _raw_adjacency(40, 40)
+
+    def sweep():
+        total = 0
+        for node in adjacency:
+            for other in adjacency[node]:
+                total += other
+        return total
+
+    expected = sweep()
+    assert benchmark(sweep) == expected
+
+
+def test_e22_topology_csr_neighbor_sweep(benchmark):
+    """The same sweep through CSR rows (index-based hot-loop API)."""
+    topology = CSRTopology.from_adjacency(_raw_adjacency(40, 40))
+    ids = topology.ids
+
+    def sweep():
+        total = 0
+        for _, row in topology.iter_rows():
+            for other in row:
+                total += ids[other]
+        return total
+
+    def dict_sweep():
+        adjacency = _raw_adjacency(40, 40)
+        return sum(other for node in adjacency for other in adjacency[node])
+
+    expected = dict_sweep()
+    assert benchmark(sweep) == expected

@@ -87,14 +87,18 @@ def mu2_bounds(
         remaining.discard(node)
         remaining -= graph.neighbors(node)
 
-    # Greedy maximal matching within the subset.
+    # Greedy maximal matching within the subset.  CSR rows stream
+    # neighbors in ascending id order, so the first unmatched hit is the
+    # same partner the sorted-intersection scan used to pick — without
+    # materializing the intersection.
+    csr = graph.csr
     unmatched = set(node_set)
     matching = 0
     for node in sorted(node_set):
         if node not in unmatched:
             continue
-        for other in sorted(graph.neighbors(node) & unmatched):
-            if other != node:
+        for other in csr.neighbor_ids(node):
+            if other in unmatched and other != node:
                 matching += 1
                 unmatched.discard(node)
                 unmatched.discard(other)

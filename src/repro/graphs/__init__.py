@@ -9,6 +9,7 @@ of Figure 1 and the grid of Figure 2.
 """
 
 from repro.graphs.graph import DistGraph
+from repro.graphs.csr import CSRTopology, ensure_topology
 from repro.graphs.generators import (
     caterpillar,
     clique,
@@ -47,6 +48,7 @@ from repro.graphs.churn import perturb_edges, perturb_nodes
 from repro.graphs.validation import validate_instance
 
 __all__ = [
+    "CSRTopology",
     "DistGraph",
     "barabasi_albert",
     "caterpillar",
@@ -56,6 +58,7 @@ __all__ = [
     "connected_erdos_renyi",
     "directed_line",
     "empty_graph",
+    "ensure_topology",
     "erdos_renyi",
     "from_parents",
     "grid2d",

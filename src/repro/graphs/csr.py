@@ -1,0 +1,263 @@
+"""The CSR topology core shared by every runtime layer.
+
+A :class:`CSRTopology` is the int-indexed, read-only view of a graph's
+structure: the classic compressed-sparse-row pair ``indptr``/``indices``
+over nodes renumbered ``0 .. n-1`` in ascending identifier order, plus the
+interning tables between external identifiers and internal indices.  It is
+built **once** per :class:`~repro.graphs.graph.DistGraph` and shared by the
+engine, the fault layer and the error measures, replacing the repeated
+dict-of-frozenset walks that used to dominate topology-heavy code paths.
+
+Design points:
+
+* **Rows are sorted.**  ``indices[indptr[i]:indptr[i+1]]`` holds the
+  neighbor *indices* of node ``i`` in ascending order; because node
+  identifiers are interned in ascending order, ascending indices are also
+  ascending identifiers.  Sorted rows give ``O(log deg)`` membership via
+  :func:`bisect` and let :meth:`edges` stream the globally sorted edge list
+  without a sort.
+* **Arrays, not objects.**  ``indptr`` and ``indices`` are ``array('q')``
+  buffers: compact, cache-friendly, and picklable — a topology crosses the
+  process-pool boundary of :mod:`repro.exec` as two flat buffers plus the
+  identifier tuple (the id→index dict is rebuilt lazily on first use rather
+  than shipped).
+* **Immutable.**  Every derived quantity (edge list, degrees, maximum
+  degree) is computed once and cached; a "changed" graph is a *new*
+  topology, never a mutated one, so cached views can never go stale.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
+
+
+class CSRTopology:
+    """Immutable CSR view of an undirected graph.
+
+    Build via :meth:`from_adjacency` (validated, symmetric input expected);
+    consumers usually get one from :attr:`repro.graphs.graph.DistGraph.csr`.
+
+    Attributes:
+        ids: Node identifiers in ascending order; ``ids[i]`` is the
+            identifier of internal index ``i``.
+        indptr: Row-pointer array of length ``n + 1``.
+        indices: Concatenated neighbor rows (internal indices, each row
+            ascending); length ``2m``.
+        n: Number of nodes.
+        m: Number of undirected edges.
+    """
+
+    __slots__ = (
+        "ids",
+        "indptr",
+        "indices",
+        "n",
+        "m",
+        "_index_of",
+        "_max_degree",
+        "_edges",
+    )
+
+    def __init__(
+        self, ids: Tuple[int, ...], indptr: array, indices: array
+    ) -> None:
+        self.ids = ids
+        self.indptr = indptr
+        self.indices = indices
+        self.n = len(ids)
+        self.m = len(indices) // 2
+        self._index_of: Optional[Dict[int, int]] = None
+        self._max_degree: Optional[int] = None
+        self._edges: Optional[Tuple[Tuple[int, int], ...]] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_adjacency(cls, adjacency: Mapping[int, Any]) -> "CSRTopology":
+        """Build from a symmetric ``id -> iterable of neighbor ids`` map.
+
+        The input must already be symmetric and self-loop-free (the
+        :class:`~repro.graphs.graph.DistGraph` constructor guarantees
+        both); identifiers may be arbitrary positive ints.
+        """
+        ids = tuple(sorted(adjacency))
+        index_of = {node: index for index, node in enumerate(ids)}
+        indptr = array("q", bytes(8 * (len(ids) + 1)))
+        indices = array("q")
+        position = 0
+        for index, node in enumerate(ids):
+            row = sorted(index_of[other] for other in adjacency[node])
+            indices.extend(row)
+            position += len(row)
+            indptr[index + 1] = position
+        topology = cls(ids, indptr, indices)
+        topology._index_of = index_of
+        return topology
+
+    # ------------------------------------------------------------------
+    # Interning
+    # ------------------------------------------------------------------
+    @property
+    def index_of(self) -> Dict[int, int]:
+        """The ``identifier -> internal index`` table (built lazily)."""
+        table = self._index_of
+        if table is None:
+            table = self._index_of = {
+                node: index for index, node in enumerate(self.ids)
+            }
+        return table
+
+    def index(self, node: int) -> int:
+        """Internal index of ``node`` (KeyError for unknown identifiers)."""
+        return self.index_of[node]
+
+    def __contains__(self, node: int) -> bool:
+        return node in self.index_of
+
+    # ------------------------------------------------------------------
+    # Index-based accessors (the hot-loop API)
+    # ------------------------------------------------------------------
+    def row(self, index: int) -> array:
+        """Neighbor indices of internal index ``index``, ascending."""
+        return self.indices[self.indptr[index] : self.indptr[index + 1]]
+
+    def degree_at(self, index: int) -> int:
+        """Degree of internal index ``index``."""
+        return self.indptr[index + 1] - self.indptr[index]
+
+    def iter_rows(self) -> Iterator[Tuple[int, array]]:
+        """Yield ``(index, neighbor-index row)`` for every node."""
+        indptr = self.indptr
+        indices = self.indices
+        for index in range(self.n):
+            yield index, indices[indptr[index] : indptr[index + 1]]
+
+    # ------------------------------------------------------------------
+    # Identifier-based accessors (the DistGraph-facing API)
+    # ------------------------------------------------------------------
+    def degree(self, node: int) -> int:
+        """Degree of the node with identifier ``node``."""
+        return self.degree_at(self.index_of[node])
+
+    def neighbor_ids(self, node: int) -> Tuple[int, ...]:
+        """Neighbor identifiers of ``node``, ascending."""
+        ids = self.ids
+        index = self.index_of[node]
+        return tuple(
+            ids[other]
+            for other in self.indices[
+                self.indptr[index] : self.indptr[index + 1]
+            ]
+        )
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether ``{u, v}`` is an edge (``False`` on unknown ids)."""
+        table = self.index_of
+        u_index = table.get(u)
+        v_index = table.get(v)
+        if u_index is None or v_index is None:
+            return False
+        # Probe the smaller row; rows are sorted, so bisect decides.
+        if self.degree_at(u_index) > self.degree_at(v_index):
+            u_index, v_index = v_index, u_index
+        lo = self.indptr[u_index]
+        hi = self.indptr[u_index + 1]
+        position = bisect_left(self.indices, v_index, lo, hi)
+        return position < hi and self.indices[position] == v_index
+
+    @property
+    def max_degree(self) -> int:
+        """Maximum degree (0 for the empty graph), computed once."""
+        if self._max_degree is None:
+            indptr = self.indptr
+            self._max_degree = max(
+                (indptr[i + 1] - indptr[i] for i in range(self.n)), default=0
+            )
+        return self._max_degree
+
+    def edges(self) -> Tuple[Tuple[int, int], ...]:
+        """Every edge as an ``(min id, max id)`` pair, globally sorted.
+
+        Sortedness is free: identifiers ascend with indices and rows are
+        ascending, so streaming each row's above-diagonal half in index
+        order yields the lexicographically sorted edge list directly —
+        no ``m log m`` sort, computed once and cached.
+        """
+        if self._edges is None:
+            ids = self.ids
+            indptr = self.indptr
+            indices = self.indices
+            pairs: List[Tuple[int, int]] = []
+            for index in range(self.n):
+                node = ids[index]
+                for position in range(indptr[index], indptr[index + 1]):
+                    other = indices[position]
+                    if other > index:
+                        pairs.append((node, ids[other]))
+            self._edges = tuple(pairs)
+        return self._edges
+
+    def degrees(self) -> List[int]:
+        """Degrees of every node in index (= ascending identifier) order."""
+        indptr = self.indptr
+        return [indptr[i + 1] - indptr[i] for i in range(self.n)]
+
+    # ------------------------------------------------------------------
+    # Pickling (process-pool sweeps ship topologies to workers)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> Tuple[Tuple[int, ...], array, array]:
+        # Ship only the flat buffers; the interning dict and cached
+        # derived views are rebuilt lazily on the other side.
+        return (self.ids, self.indptr, self.indices)
+
+    def __setstate__(
+        self, state: Tuple[Tuple[int, ...], array, array]
+    ) -> None:
+        ids, indptr, indices = state
+        self.ids = ids
+        self.indptr = indptr
+        self.indices = indices
+        self.n = len(ids)
+        self.m = len(indices) // 2
+        self._index_of = None
+        self._max_degree = None
+        self._edges = None
+
+    def __reduce__(self):
+        return (_rebuild_csr, self.__getstate__())
+
+    def __repr__(self) -> str:
+        return f"<CSRTopology n={self.n} m={self.m}>"
+
+
+def _rebuild_csr(
+    ids: Tuple[int, ...], indptr: array, indices: array
+) -> CSRTopology:
+    """Unpickle helper (module-level so it is importable by workers)."""
+    return CSRTopology(ids, indptr, indices)
+
+
+def ensure_topology(graph: Any) -> CSRTopology:
+    """The CSR view of ``graph``, building one for duck-typed graphs.
+
+    :class:`~repro.graphs.graph.DistGraph` exposes its shared view via
+    ``graph.csr``; any other object with ``nodes`` and ``neighbors(v)``
+    (the engine's documented minimum surface) gets a fresh topology.
+    """
+    csr = getattr(graph, "csr", None)
+    if isinstance(csr, CSRTopology):
+        return csr
+    return CSRTopology.from_adjacency(
+        {node: graph.neighbors(node) for node in graph.nodes}
+    )

@@ -5,6 +5,16 @@ distinct positive integer identifiers drawn from ``{1, ..., d}``, exactly
 the instance shape of Section 2 of the paper.  It also carries optional
 per-node attributes used by structured instances (grid coordinates, rooted
 tree parent pointers).
+
+Structurally, every ``DistGraph`` is backed by one shared, immutable
+:class:`~repro.graphs.csr.CSRTopology` built once at construction: the
+public accessors (``neighbors``/``degree``/``edges``/``has_edge``/
+``delta``) delegate to the CSR view, and runtime layers that want
+index-based iteration (the engine, fault validators, error measures) read
+``graph.csr`` directly.  Derived graphs — subgraphs, attribute copies —
+are new ``DistGraph`` objects with their own topology (or, when the
+structure is unchanged, a shared reference to the same one); caches are
+never mutated, so they can never go stale.
 """
 
 from __future__ import annotations
@@ -21,6 +31,8 @@ from typing import (
     Optional,
     Tuple,
 )
+
+from repro.graphs.csr import CSRTopology
 
 
 class DistGraph:
@@ -58,43 +70,80 @@ class DistGraph:
                 neighbor_sets[node].add(other)
                 neighbor_sets[other].add(node)
 
-        self._adjacency: Dict[int, FrozenSet[int]] = {
-            node: frozenset(neighbors) for node, neighbors in neighbor_sets.items()
-        }
-        self.nodes: Tuple[int, ...] = tuple(sorted(self._adjacency))
+        self._init_from_csr(
+            CSRTopology.from_adjacency(neighbor_sets), d, attrs, name
+        )
+
+    def _init_from_csr(
+        self,
+        csr: CSRTopology,
+        d: Optional[int],
+        attrs: Optional[Mapping[int, Mapping[str, Any]]],
+        name: str,
+    ) -> None:
+        """Shared tail of construction over an already-built topology."""
+        self._csr = csr
+        self.nodes: Tuple[int, ...] = csr.ids
         if any(node < 1 for node in self.nodes):
             raise ValueError("node identifiers must be positive integers")
-        self.n = len(self.nodes)
-        self.d = d if d is not None else (max(self.nodes) if self.nodes else 0)
-        if self.nodes and self.d < max(self.nodes):
+        self.n = csr.n
+        self.d = d if d is not None else (self.nodes[-1] if self.nodes else 0)
+        if self.nodes and self.d < self.nodes[-1]:
             raise ValueError(
-                f"identifier bound d={self.d} below largest id {max(self.nodes)}"
+                f"identifier bound d={self.d} below largest id {self.nodes[-1]}"
             )
         self._attrs: Dict[int, Dict[str, Any]] = {
             int(node): dict(mapping) for node, mapping in (attrs or {}).items()
         }
         self.name = name
-        # The graph is immutable, so the maximum degree is computed once;
-        # recomputing it per node context made engine setup O(n^2).
-        self._delta = max(
-            (len(nbrs) for nbrs in self._adjacency.values()), default=0
-        )
+        #: Lazy per-node frozenset views of the CSR rows — built on first
+        #: request and shared with every consumer (node contexts hold the
+        #: same frozensets rather than private copies).
+        self._neighbor_cache: Dict[int, FrozenSet[int]] = {}
+
+    @classmethod
+    def _from_csr(
+        cls,
+        csr: CSRTopology,
+        d: Optional[int],
+        attrs: Optional[Mapping[int, Mapping[str, Any]]],
+        name: str,
+    ) -> "DistGraph":
+        """Build a graph over an existing topology, skipping re-validation.
+
+        Used by derived-graph constructors whose structure is already a
+        validated topology (e.g. :meth:`with_attrs`, which shares the CSR
+        arrays of its source outright).
+        """
+        graph = cls.__new__(cls)
+        graph._init_from_csr(csr, d, attrs, name)
+        return graph
 
     # ------------------------------------------------------------------
-    # Basic accessors
+    # Basic accessors (delegating to the CSR topology)
     # ------------------------------------------------------------------
+    @property
+    def csr(self) -> CSRTopology:
+        """The shared read-only CSR view of this graph's structure."""
+        return self._csr
+
     def neighbors(self, node: int) -> FrozenSet[int]:
         """The neighbor set of ``node``."""
-        return self._adjacency[node]
+        cached = self._neighbor_cache.get(node)
+        if cached is None:
+            cached = self._neighbor_cache[node] = frozenset(
+                self._csr.neighbor_ids(node)
+            )
+        return cached
 
     def degree(self, node: int) -> int:
         """Number of neighbors of ``node``."""
-        return len(self._adjacency[node])
+        return self._csr.degree(node)
 
     @property
     def delta(self) -> int:
         """Maximum degree of the graph (0 for the empty graph)."""
-        return self._delta
+        return self._csr.max_degree
 
     def node_attrs(self, node: int) -> Mapping[str, Any]:
         """Per-node attribute mapping (may be empty)."""
@@ -102,24 +151,24 @@ class DistGraph:
 
     def has_edge(self, u: int, v: int) -> bool:
         """Whether ``{u, v}`` is an edge."""
-        return v in self._adjacency.get(u, frozenset())
+        return self._csr.has_edge(u, v)
 
     def edges(self) -> List[Tuple[int, int]]:
-        """All edges as ``(min, max)`` pairs, sorted."""
-        return sorted(
-            (min(u, v), max(u, v))
-            for u in self.nodes
-            for v in self._adjacency[u]
-            if u < v
-        )
+        """All edges as ``(min, max)`` pairs, sorted.
+
+        The list is materialized once on the topology (already in sorted
+        order — CSR rows ascend) and copied per call, so callers may
+        mutate their copy freely without invalidating the cache.
+        """
+        return list(self._csr.edges())
 
     @property
     def num_edges(self) -> int:
         """Number of edges."""
-        return sum(len(nbrs) for nbrs in self._adjacency.values()) // 2
+        return self._csr.m
 
     def __contains__(self, node: int) -> bool:
-        return node in self._adjacency
+        return node in self._csr.index_of
 
     def __iter__(self) -> Iterator[int]:
         return iter(self.nodes)
@@ -135,13 +184,27 @@ class DistGraph:
     # Derived graphs
     # ------------------------------------------------------------------
     def subgraph(self, nodes: Iterable[int], name: str = "") -> "DistGraph":
-        """The subgraph induced by ``nodes`` (identifier bound preserved)."""
+        """The subgraph induced by ``nodes`` (identifier bound preserved).
+
+        The induced graph gets its **own** freshly built topology and
+        caches; nothing structural is shared with the parent, so a
+        subgraph of a subgraph reports ``n``/``m``/``max_degree`` computed
+        from its own (twice-filtered) adjacency, never from a stale
+        parent view.
+        """
         keep = set(nodes)
-        unknown = keep - set(self._adjacency)
+        index_of = self._csr.index_of
+        unknown = keep - index_of.keys()
         if unknown:
             raise ValueError(f"unknown nodes in subgraph request: {sorted(unknown)}")
+        csr = self._csr
+        ids = csr.ids
         adjacency = {
-            node: [other for other in self._adjacency[node] if other in keep]
+            node: [
+                ids[other]
+                for other in csr.row(index_of[node])
+                if ids[other] in keep
+            ]
             for node in keep
         }
         attrs = {node: self._attrs[node] for node in keep if node in self._attrs}
@@ -149,23 +212,30 @@ class DistGraph:
 
     def components(self) -> List[FrozenSet[int]]:
         """Connected components, each as a frozenset, sorted by min id."""
-        seen: set = set()
+        csr = self._csr
+        ids = csr.ids
+        indptr = csr.indptr
+        indices = csr.indices
+        seen = bytearray(csr.n)
         components: List[FrozenSet[int]] = []
-        for start in self.nodes:
-            if start in seen:
+        for start in range(csr.n):
+            if seen[start]:
                 continue
             queue = deque([start])
-            seen.add(start)
-            members = {start}
+            seen[start] = 1
+            members = [start]
             while queue:
-                node = queue.popleft()
-                for other in self._adjacency[node]:
-                    if other not in seen:
-                        seen.add(other)
-                        members.add(other)
+                index = queue.popleft()
+                for position in range(indptr[index], indptr[index + 1]):
+                    other = indices[position]
+                    if not seen[other]:
+                        seen[other] = 1
+                        members.append(other)
                         queue.append(other)
-            components.append(frozenset(members))
-        return sorted(components, key=min)
+            components.append(frozenset(ids[index] for index in members))
+        # Scanning start nodes in ascending index order already yields
+        # components in ascending-min-id order (ids ascend with indices).
+        return components
 
     def is_connected(self) -> bool:
         """Whether the graph has at most one component."""
@@ -173,15 +243,22 @@ class DistGraph:
 
     def bfs_distances(self, source: int) -> Dict[int, int]:
         """Hop distances from ``source`` to every reachable node."""
-        distances = {source: 0}
-        queue = deque([source])
+        csr = self._csr
+        ids = csr.ids
+        indptr = csr.indptr
+        indices = csr.indices
+        start = csr.index_of[source]
+        hops = {start: 0}
+        queue = deque([start])
         while queue:
-            node = queue.popleft()
-            for other in self._adjacency[node]:
-                if other not in distances:
-                    distances[other] = distances[node] + 1
+            index = queue.popleft()
+            next_hop = hops[index] + 1
+            for position in range(indptr[index], indptr[index + 1]):
+                other = indices[position]
+                if other not in hops:
+                    hops[other] = next_hop
                     queue.append(other)
-        return distances
+        return {ids[index]: hop for index, hop in hops.items()}
 
     def diameter(self) -> int:
         """Diameter of a connected graph (max pairwise hop distance).
@@ -223,11 +300,14 @@ class DistGraph:
         return cls(adjacency, d=d, attrs=attrs, name=name)
 
     def with_attrs(self, attrs: Mapping[int, Mapping[str, Any]]) -> "DistGraph":
-        """A copy with the given per-node attributes merged in."""
+        """A copy with the given per-node attributes merged in.
+
+        The structure is unchanged, so the copy *shares* this graph's CSR
+        topology (it is immutable) instead of rebuilding it.
+        """
         merged: Dict[int, Dict[str, Any]] = {
             node: dict(mapping) for node, mapping in self._attrs.items()
         }
         for node, mapping in attrs.items():
             merged.setdefault(int(node), {}).update(mapping)
-        adjacency = {node: list(self._adjacency[node]) for node in self.nodes}
-        return DistGraph(adjacency, d=self.d, attrs=merged, name=self.name)
+        return DistGraph._from_csr(self._csr, self.d, merged, self.name)

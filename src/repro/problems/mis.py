@@ -29,19 +29,25 @@ class MaximalIndependentSetProblem(GraphProblem):
         return problems
 
     def verify_partial(self, graph: DistGraph, outputs: Outputs) -> List[str]:
-        """MIS conditions on the subgraph induced by the decided nodes."""
+        """MIS conditions on the subgraph induced by the decided nodes.
+
+        The adjacency scans walk the CSR rows directly (ascending-id
+        streams), so both checks run over flat index arrays instead of
+        per-node set objects and report violations in deterministic order.
+        """
         problems: List[str] = []
         for node, value in outputs.items():
             if value not in (0, 1):
                 problems.append(f"node {node} output {value!r}, expected 0 or 1")
         chosen = {node for node, value in outputs.items() if value == 1}
-        for node in chosen:
-            for other in graph.neighbors(node):
-                if other in chosen and other > node:
+        csr = graph.csr
+        for node in sorted(chosen):
+            for other in csr.neighbor_ids(node):
+                if other > node and other in chosen:
                     problems.append(f"adjacent nodes {node} and {other} both output 1")
         for node, value in outputs.items():
             if value == 0 and not any(
-                other in chosen for other in graph.neighbors(node)
+                other in chosen for other in csr.neighbor_ids(node)
             ):
                 problems.append(f"node {node} output 0 without a decided 1-neighbor")
         return problems

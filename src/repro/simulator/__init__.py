@@ -15,14 +15,27 @@ The engine also implements the paper's convention (Section 7) that, prior
 to terminating, nodes inform their active neighbors about their output
 values: a terminated neighbor's output becomes visible in the *following*
 round, exactly when an explicit notification message would have arrived.
+
+The engine is a thin orchestrator over composable runtime stages — see
+docs/ARCHITECTURE.md: :class:`~repro.simulator.transport.Transport`
+(mailboxes + bit accounting), :class:`~repro.simulator.scheduling.Scheduler`
+(eager / quiescent / quiescent-debug round drives),
+:class:`~repro.simulator.interpose.FaultInterposer` (the fault surface),
+:class:`~repro.simulator.lifecycle.NodeLifecycle` (terminations, crashes,
+recoveries) and :class:`~repro.simulator.obs_dispatch.ObsDispatch` (event
+fan-out + profiling), all over the shared
+:class:`~repro.graphs.csr.CSRTopology` graph core.
 """
 
 from repro.simulator.context import NodeContext
 from repro.simulator.engine import (
+    BandwidthExceeded,
     QuiescenceViolation,
     RoundLimitExceeded,
     SyncEngine,
 )
+from repro.simulator.interpose import FaultInterposer
+from repro.simulator.lifecycle import NodeLifecycle
 from repro.simulator.message import estimate_bits
 from repro.simulator.metrics import (
     NodeRecord,
@@ -31,23 +44,40 @@ from repro.simulator.metrics import (
     StuckReport,
 )
 from repro.simulator.models import CONGEST, LOCAL, ExecutionModel
+from repro.simulator.obs_dispatch import ObsDispatch
 from repro.simulator.program import NodeProgram
+from repro.simulator.scheduling import (
+    EagerScheduler,
+    QuiescentDebugScheduler,
+    QuiescentScheduler,
+    Scheduler,
+)
 from repro.simulator.trace import TraceEvent, TraceRecorder
+from repro.simulator.transport import Transport
 
 __all__ = [
+    "BandwidthExceeded",
     "CONGEST",
-    "LOCAL",
+    "EagerScheduler",
     "ExecutionModel",
+    "FaultInterposer",
+    "LOCAL",
     "NodeContext",
+    "NodeLifecycle",
     "NodeProgram",
     "NodeRecord",
     "NodeSnapshot",
+    "ObsDispatch",
     "QuiescenceViolation",
+    "QuiescentDebugScheduler",
+    "QuiescentScheduler",
     "RoundLimitExceeded",
     "RunResult",
+    "Scheduler",
     "StuckReport",
     "SyncEngine",
     "TraceEvent",
     "TraceRecorder",
+    "Transport",
     "estimate_bits",
 ]

@@ -85,6 +85,10 @@ class NodeContext:
         #: Earliest round this node asked to be woken in (engine-owned;
         #: ``None`` when no timed wakeup is pending).  See :meth:`wake_at`.
         self._wake_request: Optional[int] = None
+        #: Neighbors sorted descending, built lazily on the first
+        #: :meth:`is_local_maximum` call (non-dominance algorithms never
+        #: pay for the sort).
+        self._neighbors_desc: Optional[list] = None
 
     @property
     def rng(self) -> random.Random:
@@ -112,8 +116,21 @@ class NodeContext:
 
         This is the symmetry-breaking test used throughout the paper's
         measure-uniform algorithms (Algorithm 1 and its relatives).
+        Scanning neighbors in descending id order stops at the first id
+        below our own — only the (typically few) higher-id neighbors need
+        an activity check, instead of sweeping the whole active set.
         """
-        return all(other < self.node_id for other in self.active_neighbors)
+        desc = self._neighbors_desc
+        if desc is None:
+            desc = self._neighbors_desc = sorted(self.neighbors, reverse=True)
+        node_id = self.node_id
+        active = self.active_neighbors
+        for other in desc:
+            if other < node_id:
+                return True
+            if other in active:
+                return False
+        return True
 
     # ------------------------------------------------------------------
     # Output management

@@ -1,4 +1,4 @@
-"""The synchronous round-based execution engine.
+"""The synchronous round-based execution engine (orchestrator).
 
 :class:`SyncEngine` executes one :class:`~repro.simulator.program.
 NodeProgram` per node under the model of Section 2 of the paper: rounds are
@@ -9,20 +9,22 @@ terminate.  Messages a node sends in its final round are delivered normally
 — the paper's "notifies its neighbors ... outputs ... and terminates".
 
 After a node terminates, the engine exposes its output to its neighbors at
-the start of the following round (``ctx.neighbor_outputs``), which is
-exactly the information and the timing an explicit final-round notification
-message provides.  This keeps composed algorithms (the templates of
-Section 7) faithful to the paper without every component re-implementing
-the notification handshake.
+the start of the following round (``ctx.neighbor_outputs``) — exactly the
+information and timing an explicit final-round notification message
+provides, so composed algorithms (the Section 7 templates) stay faithful
+without re-implementing the handshake.
 
-Fault injection is delegated to a controller from :mod:`repro.faults`
-interposed in the compose/deliver path (see ``docs/MODEL.md``, "Fault
-model"): message adversaries act between compose and delivery, crashes
-fire at the end of a round, recoveries at the start of one.  The
-``on_round_limit="partial"`` mode turns a blown round budget into a
-partial :class:`~repro.simulator.metrics.RunResult` carrying a
-:class:`~repro.simulator.metrics.StuckReport` instead of an exception, so
-benchmarks under faults can *measure* degradation rather than abort.
+The engine itself is a thin orchestrator over composable runtime stages
+(docs/ARCHITECTURE.md has the full layer map): the shared
+:class:`~repro.graphs.csr.CSRTopology` core, ``Transport`` (mailboxes +
+bit accounting), ``Scheduler`` (eager / quiescent / quiescent-debug round
+drive), ``FaultInterposer`` (the one fault surface; ``docs/MODEL.md``),
+``NodeLifecycle`` (terminations, crashes, recoveries, stuck reports) and
+``ObsDispatch`` (event fan-out + round profile).  The engine wires the
+stages and owns the run loop; it contains no scheduling policy and no
+message-path code.  ``on_round_limit="partial"`` turns a blown round
+budget into a partial result carrying a ``StuckReport`` instead of an
+exception, so benchmarks under faults can *measure* degradation.
 """
 
 from __future__ import annotations
@@ -43,11 +45,22 @@ from typing import (
 
 from repro.obs.profile import RoundProfile
 from repro.simulator.context import NodeContext
-from repro.simulator.message import estimate_bits
-from repro.simulator.metrics import NodeRecord, NodeSnapshot, RunResult, StuckReport
+from repro.simulator.interpose import FaultInterposer
+from repro.simulator.lifecycle import NodeLifecycle
+from repro.simulator.metrics import NodeRecord, RunResult, StuckReport
 from repro.simulator.models import LOCAL, ExecutionModel
+from repro.simulator.obs_dispatch import ObsDispatch
 from repro.simulator.program import NodeProgram
+from repro.simulator.scheduling import SCHEDULERS, QuiescenceViolation
 from repro.simulator.trace import TraceRecorder
+from repro.simulator.transport import BandwidthExceeded, Transport
+
+__all__ = [
+    "BandwidthExceeded",
+    "QuiescenceViolation",
+    "RoundLimitExceeded",
+    "SyncEngine",
+]
 
 
 class RoundLimitExceeded(RuntimeError):
@@ -59,23 +72,6 @@ class RoundLimitExceeded(RuntimeError):
     injection it may instead mean the adversary starved the algorithm —
     pass ``on_round_limit="partial"`` to record that outcome instead of
     raising.
-    """
-
-
-class BandwidthExceeded(RuntimeError):
-    """Raised in strict CONGEST mode when a message exceeds the budget."""
-
-
-class QuiescenceViolation(RuntimeError):
-    """Raised under ``schedule="quiescent-debug"`` on an idle-contract break.
-
-    A program that declares ``quiescent_when_idle = True`` promises that in
-    rounds where nothing woke it (no message received last round, no
-    neighbor event, no timed wakeup due) it neither sends, outputs, nor
-    terminates.  The debug schedule executes every node eagerly while
-    tracking the wake-set the quiescent schedule would have used, and
-    raises this error the moment a supposedly idle node acts — the same
-    divergence ``schedule="quiescent"`` would have silently introduced.
     """
 
 
@@ -112,9 +108,11 @@ class SyncEngine:
             ``node -> round``; the node executes that round and then
             vanishes without output.  Use
             :meth:`repro.faults.plan.FaultPlan.crash_stop` instead.
-        faults: A :class:`~repro.faults.plan.FaultPlan` (or any controller
-            implementing its hook API) describing crashes, crash-recovery,
-            message adversaries and prediction corruption.
+        faults: A :class:`~repro.faults.plan.FaultPlan` (or any object
+            with a ``build_controller()`` factory) describing crashes,
+            crash-recovery, message adversaries and prediction
+            corruption.  Passing a bare controller instance is
+            deprecated and emits a :class:`DeprecationWarning`.
         on_round_limit: ``"raise"`` (default) raises
             :class:`RoundLimitExceeded` when the budget is blown;
             ``"partial"`` stops instead and returns the partial
@@ -127,17 +125,12 @@ class SyncEngine:
         schedule: Round-scheduling policy.  ``"eager"`` (default) runs
             every active node every round.  ``"quiescent"`` skips nodes
             whose programs declare ``quiescent_when_idle = True`` in
-            rounds where nothing can observably reach them — they ran in
-            the previous round's delivery, a neighbor terminated, crashed
-            or recovered, they were just set up or recovered, or a timed
-            wakeup (``ctx.wake_at`` / ``ctx.request_wakeup``) is due; on
-            frontier workloads this cuts simulator work from
-            Θ(n · rounds) to Θ(total activity) while staying
-            observationally identical (same outputs, rounds, message
-            counts and event order).  ``"quiescent-debug"`` executes
-            eagerly while tracking the hypothetical wake-set and raises
-            :class:`QuiescenceViolation` when an idle node acts — use it
-            to validate a program's idle contract.
+            rounds with no wake reason (mail, neighbor event, setup or
+            recovery, timed wakeup via ``ctx.wake_at``), cutting frontier
+            workloads from Θ(n · rounds) to Θ(total activity) while
+            staying observationally identical.  ``"quiescent-debug"``
+            executes eagerly but raises :class:`QuiescenceViolation` when
+            an idle node acts.  See docs/PERFORMANCE.md.
     """
 
     def __init__(
@@ -162,7 +155,7 @@ class SyncEngine:
             raise ValueError(
                 f"on_round_limit must be 'raise' or 'partial', got {on_round_limit!r}"
             )
-        if schedule not in ("eager", "quiescent", "quiescent-debug"):
+        if schedule not in SCHEDULERS:
             raise ValueError(
                 "schedule must be 'eager', 'quiescent' or 'quiescent-debug', "
                 f"got {schedule!r}"
@@ -177,33 +170,30 @@ class SyncEngine:
         self.graph = graph
         self.model = model
         self.trace = trace
-        sink_list: List[Any] = list(sinks) if sinks else []
-        if trace is not None:
-            sink_list.append(trace)
-        #: Every attached sink (the trace recorder included).  The round
-        #: loop checks emptiness once per round; no sinks means no
-        #: observability work on the hot path.
-        self._sinks: Tuple[Any, ...] = tuple(sink_list)
-        if profile is None or profile is False:
-            self._profile: Optional[RoundProfile] = None
-        elif profile is True:
-            self._profile = RoundProfile()
-        else:
-            self._profile = profile
+        #: The observability stage: event fan-out plus the round profile.
+        self.obs = ObsDispatch(sinks=sinks, trace=trace, profile=profile)
         self.max_rounds = max_rounds if max_rounds is not None else 8 * graph.n + 64
         self.on_round_limit = on_round_limit
         self.fast = fast
         self.schedule = schedule
-        #: Whether wake-set bookkeeping is live (quiescent and debug
-        #: schedules); the eager hot path never touches it.
-        self._track_wakes = schedule != "eager"
-        if self._track_wakes and self._profile is not None and schedule != "quiescent":
+        #: The scheduling stage: which nodes run a round, and the
+        #: compose/deliver/process drive.
+        self._scheduler = SCHEDULERS[schedule]()
+        if self.obs.profile is not None and not self._scheduler.supports_profile:
             raise ValueError("profiling is not supported with schedule='quiescent-debug'")
         self._seed = seed
-        self._faults = self._resolve_faults(faults, crash_rounds)
+        #: The run's result record, shared with transport and interposer.
+        self.result = RunResult(model=model)
+        controller = self._resolve_faults(faults, crash_rounds)
+        #: The fault stage, or ``None`` — faultless runs pay nothing.
+        self.interposer: Optional[FaultInterposer] = (
+            FaultInterposer(controller, self.result, self.obs)
+            if controller is not None
+            else None
+        )
         predictions = dict(predictions or {})
-        if self._faults is not None and predictions:
-            predictions = self._faults.corrupt_predictions(
+        if self.interposer is not None and predictions:
+            predictions = self.interposer.corrupt_predictions(
                 predictions, sorted(graph.nodes)
             )
         self._predictions = predictions
@@ -223,34 +213,26 @@ class SyncEngine:
         #: Sorted view of ``_active``, rebuilt only when membership changes
         #: (terminations, crashes, recoveries) instead of thrice per round.
         self._active_order: List[int] = sorted(self._active)
-        self._result = RunResult(model=model)
         for node in self.graph.nodes:
-            self._result.records[node] = NodeRecord(node_id=node)
-        #: Adversarial replays scheduled for a later round:
-        #: (due round, sender, receiver, payload).
-        self._pending_replays: List[Tuple[int, int, int, Any]] = []
-        #: Per-node inboxes, allocated once and cleared between rounds.
-        #: Safe to reuse: programs consume their inbox during ``process``
-        #: and never retain the mapping.
-        self._inboxes: Dict[int, Dict[int, Any]] = {
-            node: {} for node in self.graph.nodes
-        }
-        #: Quiescence bookkeeping (unused under the eager schedule).
-        #: ``_next_wake`` holds the nodes with a pending wake condition for
-        #: the upcoming round (everyone before round 1); ``_timed_wake``
-        #: maps node -> earliest requested wakeup round; ``_always_awake``
-        #: holds nodes whose programs did not opt into quiescence.
-        self._next_wake: set = set(self.graph.nodes) if self._track_wakes else set()
-        self._timed_wake: Dict[int, int] = {}
-        self._always_awake: set = set()
-        if self._track_wakes:
-            for node, program in self.programs.items():
-                if not getattr(program, "quiescent_when_idle", False):
-                    self._always_awake.add(node)
-        #: Nodes the last executed round actually processed (``None`` means
-        #: every active node, the eager schedules) — keeps stuck-report
-        #: inbox snapshots identical across schedules.
-        self._processed_last_round: Optional[set] = None
+            self.result.records[node] = NodeRecord(node_id=node)
+        #: The transport stage: mailboxes, delivery and bit accounting.
+        self.transport = Transport(self.graph.nodes, self.result, model, graph.n, fast)
+        #: The lifecycle stage: terminations, crashes, recoveries.
+        self._lifecycle = NodeLifecycle(self)
+        self._scheduler.bind(self)
+
+    # -- compat: pre-layering attribute names -----------------------------
+    @property
+    def _sinks(self) -> Tuple[Any, ...]:
+        return self.obs.sinks
+
+    @property
+    def _profile(self) -> Optional[RoundProfile]:
+        return self.obs.profile
+
+    @property
+    def _result(self) -> RunResult:
+        return self.result
 
     @staticmethod
     def _resolve_faults(
@@ -262,6 +244,13 @@ class SyncEngine:
             if hasattr(faults, "build_controller"):
                 controller = faults.build_controller()
             else:
+                warnings.warn(
+                    "passing a bare fault controller as faults= is deprecated; "
+                    "pass a FaultPlan (or any object with a build_controller() "
+                    "factory) instead",
+                    DeprecationWarning,
+                    stacklevel=3,
+                )
                 controller = faults
         if crash_rounds:
             if controller is None:
@@ -294,89 +283,83 @@ class SyncEngine:
         the partial record without raising — how tests observe the partial
         solution a bounded component (e.g. a base algorithm) leaves behind.
         """
-        sinks = self._sinks
-        profile = self._profile
-        if sinks:
-            meta = {
-                "n": self.graph.n,
-                "model": getattr(self.model, "name", str(self.model)),
-                "max_rounds": self.max_rounds,
-                "seed": self._seed,
-                "fast": self.fast,
-            }
-            for sink in sinks:
-                sink.on_run_begin(meta)
+        obs = self.obs
+        profile = obs.profile
+        result = self.result
+        if obs:
+            obs.run_begin(
+                {
+                    "n": self.graph.n,
+                    "model": getattr(self.model, "name", str(self.model)),
+                    "max_rounds": self.max_rounds,
+                    "seed": self._seed,
+                    "fast": self.fast,
+                }
+            )
         if profile is not None:
             setup_start = perf_counter()
             self._setup_phase()
             profile.setup = perf_counter() - setup_start
         else:
             self._setup_phase()
-        if self.schedule == "quiescent":
-            run_round = (
-                self._run_round_quiescent_profiled
-                if profile is not None
-                else self._run_round_quiescent
-            )
-        elif self.schedule == "quiescent-debug":
-            run_round = self._run_round_debug
-        else:
-            run_round = (
-                self._run_round_profiled if profile is not None else self._run_round
-            )
+        run_round = (
+            self._scheduler.run_round_profiled
+            if profile is not None
+            else self._scheduler.run_round
+        )
         round_index = 0
         while self._active or self._has_pending_recoveries(round_index):
             if stop_after is not None and round_index >= stop_after:
                 break
             if round_index >= self.max_rounds:
                 if self.on_round_limit == "partial":
-                    self._result.stuck = self._build_stuck_report(round_index)
+                    result.stuck = self._build_stuck_report(round_index)
                     break
                 raise RoundLimitExceeded(
                     f"{len(self._active)} node(s) still active after "
                     f"{self.max_rounds} rounds: {sorted(self._active)[:10]}"
                 )
             round_index += 1
-            if sinks:
-                for sink in sinks:
-                    sink.on_round_begin(round_index, len(self._active))
+            if obs:
+                obs.round_begin(round_index, len(self._active))
                 round_start = perf_counter()
-                messages_before = self._result.message_count
+                messages_before = result.message_count
             run_round(round_index)
-            if sinks:
-                info = {
-                    "elapsed": perf_counter() - round_start,
-                    "messages": self._result.message_count - messages_before,
-                    "active": len(self._active),
-                }
-                for sink in sinks:
-                    sink.on_round_end(round_index, info)
-        self._result.rounds_executed = round_index
-        self._result.rounds = max(
+            if obs:
+                obs.round_end(
+                    round_index,
+                    {
+                        "elapsed": perf_counter() - round_start,
+                        "messages": result.message_count - messages_before,
+                        "active": len(self._active),
+                    },
+                )
+        result.rounds_executed = round_index
+        result.rounds = max(
             (
                 record.termination_round
-                for record in self._result.records.values()
+                for record in result.records.values()
                 if record.termination_round is not None
             ),
             default=0,
         )
-        self._result.profile = profile
-        if sinks:
-            summary = {
-                "rounds": self._result.rounds,
-                "rounds_executed": self._result.rounds_executed,
-                "messages": self._result.message_count,
-                "dropped": self._result.dropped_messages,
-                "terminated": sum(
-                    1
-                    for record in self._result.records.values()
-                    if record.termination_round is not None
-                ),
-                "stuck": self._result.stuck is not None,
-            }
-            for sink in sinks:
-                sink.on_run_end(summary)
-        return self._result
+        result.profile = profile
+        if obs:
+            obs.run_end(
+                {
+                    "rounds": result.rounds,
+                    "rounds_executed": result.rounds_executed,
+                    "messages": result.message_count,
+                    "dropped": result.dropped_messages,
+                    "terminated": sum(
+                        1
+                        for record in result.records.values()
+                        if record.termination_round is not None
+                    ),
+                    "stuck": result.stuck is not None,
+                }
+            )
+        return result
 
     def _has_pending_recoveries(self, round_index: int) -> bool:
         """Whether a crashed node is still scheduled to rejoin later.
@@ -384,738 +367,38 @@ class SyncEngine:
         Keeps the run alive across a window in which *every* node is
         momentarily crashed but recoveries are due.
         """
-        if self._faults is None:
+        if self.interposer is None:
             return False
-        last = getattr(self._faults, "last_recovery_round", None)
-        if last is None:
+        due = self.interposer.last_recovery_round()
+        if due is None:
             return False
-        due = last()
         # A rejoin beyond the round budget can never fire; ignore it.
         return round_index < due <= self.max_rounds
 
     # ------------------------------------------------------------------
     def _setup_phase(self) -> None:
-        track = self._track_wakes
+        scheduler = self._scheduler
         for node in self._active_order:
             ctx = self.contexts[node]
             ctx.round = 0
             self.programs[node].setup(ctx)
-            if track:
-                self._collect_wake(node, ctx)
-        self._finalize_round(0)
+            scheduler.note_setup(node, ctx)
+        self.finalize_round(0)
 
-    def _collect_wake(self, node: int, ctx: NodeContext) -> None:
-        """Fold a context's pending ``wake_at`` request into the schedule."""
-        request = ctx._wake_request
-        if request is not None:
-            ctx._wake_request = None
-            current = self._timed_wake.get(node)
-            if current is None or request < current:
-                self._timed_wake[node] = request
+    def apply_recoveries(self, round_index: int) -> None:
+        """Rejoin crash-with-recovery nodes (lifecycle stage delegator)."""
+        self._lifecycle.apply_recoveries(round_index)
 
-    def _emit(self, round_index: int, kind: str, node: int, data: Any = None) -> None:
-        """Fan one event out to every attached sink."""
-        for sink in self._sinks:
-            sink.record(round_index, kind, node, data)
-
-    def _run_round(self, round_index: int) -> None:
-        self._apply_recoveries(round_index)
-        # Local bindings keep the per-round loops free of attribute churn;
-        # the fault/sink hooks are skipped entirely when nothing is
-        # installed, and ``fast`` elides bandwidth accounting.
-        active = self._active
-        order = self._active_order
-        programs = self.programs
-        contexts = self.contexts
-        inboxes = self._inboxes
-        emit = self._emit if self._sinks else None
-        faults = self._faults
-        account = not self.fast
-
-        for node in order:
-            inboxes[node].clear()
-        if self._pending_replays:
-            self._deliver_replays(round_index, inboxes)
-
-        # Compose phase: every active node decides its messages using state
-        # from the end of the previous round.
-        for node in order:
-            ctx = contexts[node]
-            ctx.round = round_index
-            outbox = programs[node].compose(ctx)
-            if not outbox:
-                continue
-            neighbors = ctx.neighbors
-            for receiver, payload in outbox.items():
-                if receiver not in neighbors:
-                    raise ValueError(
-                        f"node {node} sent to non-neighbor {receiver} "
-                        f"in round {round_index}"
-                    )
-                if emit is not None:
-                    emit(
-                        round_index, "send", node, {"to": receiver, "payload": payload}
-                    )
-                # Messages to nodes that already terminated or crashed are
-                # dropped: the recipient no longer participates.  (A sender
-                # learns of a neighbor's termination only in the following
-                # round, so such sends are legitimate.)
-                if receiver not in active:
-                    continue
-                if faults is not None:
-                    payload = self._adjudicate(round_index, node, receiver, payload)
-                    if payload is _DROPPED:
-                        continue
-                if account:
-                    self._account_message(payload)
-                else:
-                    self._result.message_count += 1
-                inboxes[receiver][node] = payload
-
-        # Process phase: every active node consumes its inbox.
-        for node in order:
-            programs[node].process(contexts[node], inboxes[node])
-
-        self._finalize_round(round_index)
-
-    def _run_round_profiled(self, round_index: int) -> None:
-        """One round with the compose/deliver split timed per phase.
-
-        Observationally identical to :meth:`_run_round` — same outputs,
-        message counts, event order — but compose collects every outbox
-        before any delivery, so the two phases can be timed separately.
-        (Replays still land before fresh sends, and the inbox insertion
-        order per receiver is unchanged because delivery walks nodes in
-        the same order compose did.)
-        """
-        profile = self._profile
-        self._apply_recoveries(round_index)
-        active = self._active
-        order = self._active_order
-        programs = self.programs
-        contexts = self.contexts
-        inboxes = self._inboxes
-        emit = self._emit if self._sinks else None
-        faults = self._faults
-        account = not self.fast
-        messages_before = self._result.message_count
-        participants = len(order)
-
-        compose_start = perf_counter()
-        outboxes: List[Tuple[int, Dict[int, Any]]] = []
-        for node in order:
-            inboxes[node].clear()
-            ctx = contexts[node]
-            ctx.round = round_index
-            outbox = programs[node].compose(ctx)
-            if not outbox:
-                continue
-            neighbors = ctx.neighbors
-            for receiver in outbox:
-                if receiver not in neighbors:
-                    raise ValueError(
-                        f"node {node} sent to non-neighbor {receiver} "
-                        f"in round {round_index}"
-                    )
-            outboxes.append((node, outbox))
-
-        deliver_start = perf_counter()
-        if self._pending_replays:
-            self._deliver_replays(round_index, inboxes)
-        for node, outbox in outboxes:
-            for receiver, payload in outbox.items():
-                if emit is not None:
-                    emit(
-                        round_index, "send", node, {"to": receiver, "payload": payload}
-                    )
-                if receiver not in active:
-                    continue
-                if faults is not None:
-                    payload = self._adjudicate(round_index, node, receiver, payload)
-                    if payload is _DROPPED:
-                        continue
-                if account:
-                    self._account_message(payload)
-                else:
-                    self._result.message_count += 1
-                inboxes[receiver][node] = payload
-
-        process_start = perf_counter()
-        for node in order:
-            programs[node].process(contexts[node], inboxes[node])
-
-        finalize_start = perf_counter()
-        self._finalize_round(round_index)
-        finalize_end = perf_counter()
-        profile.add_round(
-            round_index,
-            compose=deliver_start - compose_start,
-            deliver=process_start - deliver_start,
-            process=finalize_start - process_start,
-            finalize=finalize_end - finalize_start,
-            messages=self._result.message_count - messages_before,
-            active=participants,
-        )
-
-    # ------------------------------------------------------------------
-    # Quiescent scheduling
-    # ------------------------------------------------------------------
-    def _compute_wake_order(self, round_index: int) -> List[int]:
-        """This round's compose schedule: woken ∪ always-awake, active, sorted.
-
-        Consumes the accumulated wake-set and the due timed wakeups, and
-        resets ``_next_wake`` so this round's events feed the next one.
-        """
-        wake = self._next_wake
-        timed = self._timed_wake
-        if timed:
-            due = [node for node, when in timed.items() if when <= round_index]
-            for node in due:
-                del timed[node]
-            wake.update(due)
-        if self._always_awake:
-            wake |= self._always_awake
-        active = self._active
-        scheduled = sorted(node for node in wake if node in active)
-        self._next_wake = set()
-        return scheduled
-
-    def _run_round_quiescent(self, round_index: int) -> None:
-        """One round that runs only the wake-set, not every active node.
-
-        Observationally identical to :meth:`_run_round` under the idle
-        contract: a node outside the wake-set would have composed an empty
-        outbox and processed an empty inbox without acting, so skipping it
-        changes no output, message, round count or event.  Nodes that
-        *receive* a message this round are pulled into the process phase
-        (and the next round's wake-set) even if they were asleep, exactly
-        as the fused path would have processed them.
-        """
-        self._apply_recoveries(round_index)
-        scheduled = self._compute_wake_order(round_index)
-        next_wake = self._next_wake
-        active = self._active
-        programs = self.programs
-        contexts = self.contexts
-        inboxes = self._inboxes
-        emit = self._emit if self._sinks else None
-        faults = self._faults
-        account = not self.fast
-        #: Nodes to run in the process phase; sleeping nodes keep stale
-        #: inboxes, cleared lazily when a delivery first wakes them.
-        process_set = set(scheduled)
-
-        for node in scheduled:
-            inboxes[node].clear()
-        if self._pending_replays:
-            self._deliver_replays(round_index, inboxes, awaken=process_set)
-
-        for node in scheduled:
-            ctx = contexts[node]
-            ctx.round = round_index
-            outbox = programs[node].compose(ctx)
-            if not outbox:
-                continue
-            neighbors = ctx.neighbors
-            for receiver, payload in outbox.items():
-                if receiver not in neighbors:
-                    raise ValueError(
-                        f"node {node} sent to non-neighbor {receiver} "
-                        f"in round {round_index}"
-                    )
-                if emit is not None:
-                    emit(
-                        round_index, "send", node, {"to": receiver, "payload": payload}
-                    )
-                if receiver not in active:
-                    continue
-                if faults is not None:
-                    payload = self._adjudicate(round_index, node, receiver, payload)
-                    if payload is _DROPPED:
-                        # The drop may have starved a waiter mid-protocol;
-                        # waking the would-be receiver is harmless (an idle
-                        # round is a no-op by contract) and keeps it live.
-                        next_wake.add(receiver)
-                        continue
-                if account:
-                    self._account_message(payload)
-                else:
-                    self._result.message_count += 1
-                if receiver not in process_set:
-                    inboxes[receiver].clear()
-                    process_set.add(receiver)
-                inboxes[receiver][node] = payload
-                next_wake.add(receiver)
-
-        if len(process_set) == len(scheduled):
-            process_order: List[int] = scheduled
-        else:
-            process_order = sorted(process_set)
-        for node in process_order:
-            ctx = contexts[node]
-            ctx.round = round_index
-            programs[node].process(ctx, inboxes[node])
-            self._collect_wake(node, ctx)
-        self._processed_last_round = process_set
-        self._finalize_round(round_index, participants=process_order)
-
-    def _run_round_quiescent_profiled(self, round_index: int) -> None:
-        """Quiescent scheduling with the split, per-phase-timed round path.
-
-        Wake-set computation is charged to the compose phase (it is the
-        scheduler's overhead); everything else mirrors
-        :meth:`_run_round_profiled` restricted to the wake-set.
-        """
-        profile = self._profile
-        self._apply_recoveries(round_index)
-        active = self._active
-        programs = self.programs
-        contexts = self.contexts
-        inboxes = self._inboxes
-        emit = self._emit if self._sinks else None
-        faults = self._faults
-        account = not self.fast
-        messages_before = self._result.message_count
-        participants = len(self._active_order)
-
-        compose_start = perf_counter()
-        scheduled = self._compute_wake_order(round_index)
-        next_wake = self._next_wake
-        process_set = set(scheduled)
-        outboxes: List[Tuple[int, Dict[int, Any]]] = []
-        for node in scheduled:
-            inboxes[node].clear()
-            ctx = contexts[node]
-            ctx.round = round_index
-            outbox = programs[node].compose(ctx)
-            if not outbox:
-                continue
-            neighbors = ctx.neighbors
-            for receiver in outbox:
-                if receiver not in neighbors:
-                    raise ValueError(
-                        f"node {node} sent to non-neighbor {receiver} "
-                        f"in round {round_index}"
-                    )
-            outboxes.append((node, outbox))
-
-        deliver_start = perf_counter()
-        if self._pending_replays:
-            self._deliver_replays(round_index, inboxes, awaken=process_set)
-        for node, outbox in outboxes:
-            for receiver, payload in outbox.items():
-                if emit is not None:
-                    emit(
-                        round_index, "send", node, {"to": receiver, "payload": payload}
-                    )
-                if receiver not in active:
-                    continue
-                if faults is not None:
-                    payload = self._adjudicate(round_index, node, receiver, payload)
-                    if payload is _DROPPED:
-                        next_wake.add(receiver)
-                        continue
-                if account:
-                    self._account_message(payload)
-                else:
-                    self._result.message_count += 1
-                if receiver not in process_set:
-                    inboxes[receiver].clear()
-                    process_set.add(receiver)
-                inboxes[receiver][node] = payload
-                next_wake.add(receiver)
-
-        process_start = perf_counter()
-        if len(process_set) == len(scheduled):
-            process_order: List[int] = scheduled
-        else:
-            process_order = sorted(process_set)
-        for node in process_order:
-            ctx = contexts[node]
-            ctx.round = round_index
-            programs[node].process(ctx, inboxes[node])
-            self._collect_wake(node, ctx)
-        self._processed_last_round = process_set
-
-        finalize_start = perf_counter()
-        self._finalize_round(round_index, participants=process_order)
-        finalize_end = perf_counter()
-        profile.add_round(
-            round_index,
-            compose=deliver_start - compose_start,
-            deliver=process_start - deliver_start,
-            process=finalize_start - process_start,
-            finalize=finalize_end - finalize_start,
-            messages=self._result.message_count - messages_before,
-            active=participants,
-            scheduled=len(process_order),
-        )
-
-    def _run_round_debug(self, round_index: int) -> None:
-        """Eager execution that polices the quiescence idle contract.
-
-        Runs every active node (so state evolution matches the eager
-        schedule exactly, including programs whose idle rounds mutate
-        private counters) while maintaining the wake-set the quiescent
-        schedule would have used; any observable action — a send, an
-        output, a termination — by a node outside that set raises
-        :class:`QuiescenceViolation`.
-        """
-        self._apply_recoveries(round_index)
-        expected = set(self._compute_wake_order(round_index))
-        next_wake = self._next_wake
-        active = self._active
-        order = self._active_order
-        programs = self.programs
-        contexts = self.contexts
-        inboxes = self._inboxes
-        emit = self._emit if self._sinks else None
-        faults = self._faults
-        account = not self.fast
-
-        for node in order:
-            inboxes[node].clear()
-        if self._pending_replays:
-            self._deliver_replays(round_index, inboxes)
-
-        for node in order:
-            ctx = contexts[node]
-            ctx.round = round_index
-            outbox = programs[node].compose(ctx)
-            if not outbox:
-                continue
-            if node not in expected:
-                raise QuiescenceViolation(
-                    f"node {node} ({type(programs[node]).__name__}) composed "
-                    f"a non-empty outbox in round {round_index} while idle: "
-                    f"schedule='quiescent' would have skipped this send"
-                )
-            neighbors = ctx.neighbors
-            for receiver, payload in outbox.items():
-                if receiver not in neighbors:
-                    raise ValueError(
-                        f"node {node} sent to non-neighbor {receiver} "
-                        f"in round {round_index}"
-                    )
-                if emit is not None:
-                    emit(
-                        round_index, "send", node, {"to": receiver, "payload": payload}
-                    )
-                if receiver not in active:
-                    continue
-                if faults is not None:
-                    payload = self._adjudicate(round_index, node, receiver, payload)
-                    if payload is _DROPPED:
-                        next_wake.add(receiver)
-                        continue
-                if account:
-                    self._account_message(payload)
-                else:
-                    self._result.message_count += 1
-                inboxes[receiver][node] = payload
-                next_wake.add(receiver)
-
-        for node in order:
-            ctx = contexts[node]
-            inbox = inboxes[node]
-            if node in expected or inbox:
-                programs[node].process(ctx, inbox)
-                self._collect_wake(node, ctx)
-                continue
-            before = (ctx.has_output, ctx.output)
-            programs[node].process(ctx, inbox)
-            self._collect_wake(node, ctx)
-            if ctx.terminate_requested or (ctx.has_output, ctx.output) != before:
-                raise QuiescenceViolation(
-                    f"node {node} ({type(programs[node]).__name__}) "
-                    f"{'terminated' if ctx.terminate_requested else 'assigned output'} "
-                    f"in round {round_index} while idle: schedule='quiescent' "
-                    f"would not have run it"
-                )
-
-        self._finalize_round(round_index)
-
-    # ------------------------------------------------------------------
-    # Fault interposition
-    # ------------------------------------------------------------------
-    def _adjudicate(
-        self, round_index: int, sender: int, receiver: int, payload: Any
-    ) -> Any:
-        """Run one message through the adversary; ``_DROPPED`` if lost."""
-        if self._faults is None:
-            return payload
-        fate = self._faults.message_fate(round_index, sender, receiver, payload)
-        if fate.dropped:
-            self._result.dropped_messages += 1
-            if self._sinks:
-                self._emit(
-                    round_index, "drop", sender, {"to": receiver, "payload": payload}
-                )
-            return _DROPPED
-        if fate.corrupted:
-            self._result.corrupted_messages += 1
-            if self._sinks:
-                self._emit(
-                    round_index,
-                    "corrupt",
-                    sender,
-                    {"to": receiver, "original": payload, "payload": fate.payload},
-                )
-        if fate.duplicate:
-            self._pending_replays.append(
-                (round_index + 1, sender, receiver, fate.payload)
-            )
-        return fate.payload
-
-    def _deliver_replays(
-        self,
-        round_index: int,
-        inboxes: Dict[int, Dict[int, Any]],
-        awaken: Optional[set] = None,
-    ) -> None:
-        """Deliver adversarial replays due this round.
-
-        Replays are inserted before fresh sends, so a fresh message from
-        the same sender supersedes its own stale copy (the channel keeps
-        at most one message per ordered pair per round).
-
-        ``awaken`` is the quiescent schedule's process-set: a replay to a
-        sleeping receiver clears its stale inbox and pulls it into this
-        round's process phase, just as the eager path would have processed
-        it.
-        """
-        if not self._pending_replays:
-            return
-        account = not self.fast
-        still_pending: List[Tuple[int, int, int, Any]] = []
-        for due, sender, receiver, payload in self._pending_replays:
-            if due != round_index:
-                still_pending.append((due, sender, receiver, payload))
-                continue
-            if receiver not in self._active:
-                continue
-            self._result.duplicated_messages += 1
-            if self._sinks:
-                self._emit(
-                    round_index,
-                    "duplicate",
-                    sender,
-                    {"to": receiver, "payload": payload},
-                )
-            if account:
-                self._account_message(payload)
-            else:
-                self._result.message_count += 1
-            if awaken is not None and receiver not in awaken:
-                inboxes[receiver].clear()
-                awaken.add(receiver)
-            if self._track_wakes:
-                self._next_wake.add(receiver)
-            inboxes[receiver][sender] = payload
-        self._pending_replays = still_pending
-
-    def _apply_recoveries(self, round_index: int) -> None:
-        """Rejoin crash-with-recovery nodes at the start of this round."""
-        if self._faults is None:
-            return
-        rejoined = False
-        for node in self._faults.recoveries_at(round_index):
-            record = self._result.records.get(node)
-            if record is None or not record.crashed:
-                continue  # never crashed (or already back): nothing to do
-            if callable(self._program_source):
-                self.programs[node] = self._program_source(node)
-            # else: mapping-provided program instances cannot be rebuilt;
-            # the node rejoins with whatever state the instance holds.
-            ctx = self._build_context(node)
-            ctx.round = round_index
-            ctx.active_neighbors = {
-                other for other in ctx.neighbors if other in self._active
-            }
-            for other in ctx.neighbors:
-                other_record = self._result.records[other]
-                if other_record.termination_round is not None:
-                    ctx.neighbor_outputs[other] = other_record.output
-                elif other_record.crashed:
-                    ctx.crashed_neighbors.add(other)
-            self.contexts[node] = ctx
-            self._active.add(node)
-            record.crashed = False
-            record.recovery_round = round_index
-            for other in ctx.neighbors:
-                neighbor_ctx = self.contexts[other]
-                neighbor_ctx.active_neighbors.add(node)
-                neighbor_ctx.crashed_neighbors.discard(node)
-            self.programs[node].setup(ctx)
-            rejoined = True
-            if self._track_wakes:
-                # The rejoined node starts fresh (round-1 semantics) and
-                # its neighbors observe the recovery, so all of them are
-                # schedulable this round; stale timed wakeups of the old
-                # incarnation die with it.
-                self._timed_wake.pop(node, None)
-                self._next_wake.add(node)
-                self._next_wake.update(ctx.neighbors)
-                if getattr(self.programs[node], "quiescent_when_idle", False):
-                    self._always_awake.discard(node)
-                else:
-                    self._always_awake.add(node)
-                self._collect_wake(node, ctx)
-            if self._sinks:
-                self._emit(round_index, "recover", node)
-            if ctx.terminate_requested:
-                # A program may output and terminate straight from its
-                # recovery setup (e.g. every neighbor is already gone).
-                # Honor it before the round runs — the same semantics
-                # ``_finalize_round(0)`` gives the initial setup — so the
-                # node never re-enters the hot loop and cannot output a
-                # second time.
-                ctx.terminated = True
-                ctx.termination_round = round_index
-                record.output = ctx.output
-                record.termination_round = round_index
-                self._result.outputs[node] = ctx.output
-                self._active.discard(node)
-                for other in ctx.neighbors:
-                    neighbor_ctx = self.contexts[other]
-                    neighbor_ctx.active_neighbors.discard(node)
-                    neighbor_ctx.neighbor_outputs[node] = ctx.output
-                if self._track_wakes:
-                    self._timed_wake.pop(node, None)
-                    self._next_wake.discard(node)
-                    self._always_awake.discard(node)
-                if self._sinks:
-                    self._emit(round_index, "output", node, {"value": ctx.output})
-                    self._emit(round_index, "terminate", node)
-        if rejoined:
-            self._active_order = sorted(self._active)
-
-    def _build_stuck_report(self, round_index: int) -> StuckReport:
-        live = sorted(self._active)
-        processed = self._processed_last_round
-        snapshots: Dict[int, NodeSnapshot] = {}
-        for node in live:
-            ctx = self.contexts[node]
-            # A node the quiescent schedule skipped keeps a stale inbox;
-            # the eager path would have cleared it, so report it empty.
-            if processed is not None and node not in processed:
-                last_inbox: Dict[int, Any] = {}
-            else:
-                last_inbox = dict(self._inboxes.get(node, {}))
-            snapshots[node] = NodeSnapshot(
-                node_id=node,
-                round=ctx.round,
-                last_inbox=last_inbox,
-                state={
-                    key: repr(value)
-                    for key, value in sorted(vars(self.programs[node]).items())
-                },
-                has_output=ctx.has_output,
-            )
-        return StuckReport(
-            round=round_index,
-            live_nodes=live,
-            total_nodes=self.graph.n,
-            snapshots=snapshots,
-        )
-
-    # ------------------------------------------------------------------
-    def _account_message(self, payload: Any) -> None:
-        bits = estimate_bits(payload)
-        self._result.message_count += 1
-        self._result.total_bits += bits
-        self._result.max_message_bits = max(self._result.max_message_bits, bits)
-        if not self.model.allows(bits, self.graph.n):
-            self._result.bandwidth_violations += 1
-            if self.model.strict:
-                raise BandwidthExceeded(
-                    f"{bits}-bit message exceeds "
-                    f"{self.model.bandwidth_bits(self.graph.n)}-bit budget"
-                )
-
-    def _finalize_round(
+    def finalize_round(
         self, round_index: int, participants: Optional[List[int]] = None
     ) -> None:
         """Apply terminations/crashes and publish neighbor updates.
 
-        ``participants`` (sorted) restricts the termination scan to the
-        nodes the quiescent schedule actually ran this round — a node that
-        was not run cannot have requested termination, so the restriction
-        finds exactly the set the full scan would, in the same order,
-        without the Θ(active) sweep.  Crashes are adversarial, not program
-        actions, so they are drawn from the fault schedule regardless.
+        Delegates to the lifecycle stage; ``participants`` (sorted)
+        restricts the termination scan to the nodes the quiescent schedule
+        actually ran this round.
         """
-        if participants is None:
-            candidates = self._active_order
-        else:
-            candidates = participants
-        terminated = [
-            node for node in candidates if self.contexts[node].terminate_requested
-        ]
-        if self._faults is not None:
-            crash_now = self._faults.crashes_at(round_index)
-            if participants is None:
-                crash_set = set(crash_now)
-                crashed = [
-                    node
-                    for node in self._active_order
-                    if node in crash_set and node not in terminated
-                ]
-            else:
-                terminated_set = set(terminated)
-                # crashes_at is sorted, so this matches the eager order.
-                crashed = [
-                    node
-                    for node in crash_now
-                    if node in self._active and node not in terminated_set
-                ]
-        else:
-            crashed = []
+        self._lifecycle.finalize_round(round_index, participants)
 
-        for node in terminated:
-            ctx = self.contexts[node]
-            ctx.terminated = True
-            ctx.termination_round = round_index
-            record = self._result.records[node]
-            record.output = ctx.output
-            record.termination_round = round_index
-            self._result.outputs[node] = ctx.output
-            self._active.discard(node)
-            if self._sinks:
-                self._emit(round_index, "output", node, {"value": ctx.output})
-                self._emit(round_index, "terminate", node)
-
-        for node in crashed:
-            self._result.records[node].crashed = True
-            self._active.discard(node)
-            if self._sinks:
-                self._emit(round_index, "crash", node)
-
-        if terminated or crashed:
-            self._active_order = sorted(self._active)
-
-        # Neighbors observe terminations/crashes from the next round on —
-        # the same timing as the paper's explicit final-round notification.
-        # Under quiescent scheduling that observation is a wake condition.
-        track = self._track_wakes
-        for node in terminated:
-            output = self.contexts[node].output
-            neighbors = self.contexts[node].neighbors
-            for neighbor in neighbors:
-                neighbor_ctx = self.contexts[neighbor]
-                neighbor_ctx.active_neighbors.discard(node)
-                neighbor_ctx.neighbor_outputs[node] = output
-            if track:
-                self._next_wake.update(neighbors)
-        for node in crashed:
-            neighbors = self.contexts[node].neighbors
-            for neighbor in neighbors:
-                neighbor_ctx = self.contexts[neighbor]
-                neighbor_ctx.active_neighbors.discard(node)
-                neighbor_ctx.crashed_neighbors.add(node)
-            if track:
-                self._next_wake.update(neighbors)
-
-
-#: Sentinel for a message removed by the adversary.
-_DROPPED = object()
+    def _build_stuck_report(self, round_index: int) -> StuckReport:
+        return self._lifecycle.build_stuck_report(round_index)

@@ -1,0 +1,167 @@
+"""The fault-interposition stage.
+
+A :class:`FaultInterposer` sits between the scheduler and the transport:
+every composed message passes through :meth:`adjudicate` (drop / corrupt /
+duplicate, per the controller's deterministic decisions) before the
+transport may land it, and adversarial replays are flushed into mailboxes
+at the start of each round's delivery.  It also fronts the controller's
+crash/recovery schedule and prediction corruption, so the engine and the
+schedulers talk to *one* fault surface instead of calling controller
+hooks inline — faultless runs simply carry no interposer at all and pay
+nothing.
+
+The underlying controller is anything implementing the
+:class:`~repro.faults.controller.FaultController` hook API; it is usually
+built from a :class:`~repro.faults.plan.FaultPlan` by the engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.simulator.obs_dispatch import ObsDispatch
+from repro.simulator.metrics import RunResult
+from repro.simulator.transport import Transport
+
+#: Sentinel for a message removed by the adversary.
+DROPPED = object()
+
+
+class FaultInterposer:
+    """Interposes one fault controller in the compose/deliver path.
+
+    Args:
+        controller: The engine-facing fault controller (message fates,
+            crash/recovery schedule, prediction corruption).
+        result: The run's result record (drop/corrupt/duplicate counters).
+        obs: The observability dispatch (fault events are observable).
+    """
+
+    __slots__ = ("controller", "result", "obs", "_pending_replays")
+
+    def __init__(
+        self, controller: Any, result: RunResult, obs: ObsDispatch
+    ) -> None:
+        self.controller = controller
+        self.result = result
+        self.obs = obs
+        #: Adversarial replays scheduled for a later round:
+        #: (due round, sender, receiver, payload).
+        self._pending_replays: List[Tuple[int, int, int, Any]] = []
+
+    # ------------------------------------------------------------------
+    # Message path
+    # ------------------------------------------------------------------
+    def adjudicate(
+        self, round_index: int, sender: int, receiver: int, payload: Any
+    ) -> Any:
+        """Run one message through the adversary; :data:`DROPPED` if lost."""
+        fate = self.controller.message_fate(round_index, sender, receiver, payload)
+        if fate.dropped:
+            self.result.dropped_messages += 1
+            if self.obs:
+                self.obs.emit(
+                    round_index, "drop", sender, {"to": receiver, "payload": payload}
+                )
+            return DROPPED
+        if fate.corrupted:
+            self.result.corrupted_messages += 1
+            if self.obs:
+                self.obs.emit(
+                    round_index,
+                    "corrupt",
+                    sender,
+                    {"to": receiver, "original": payload, "payload": fate.payload},
+                )
+        if fate.duplicate:
+            self._pending_replays.append(
+                (round_index + 1, sender, receiver, fate.payload)
+            )
+        return fate.payload
+
+    @property
+    def has_pending_replays(self) -> bool:
+        """Whether any adversarial replay is still queued."""
+        return bool(self._pending_replays)
+
+    def deliver_replays(
+        self,
+        round_index: int,
+        transport: Transport,
+        active: set,
+        awaken: Optional[set] = None,
+        wake: Optional[set] = None,
+    ) -> None:
+        """Deliver adversarial replays due this round.
+
+        Replays are inserted before fresh sends, so a fresh message from
+        the same sender supersedes its own stale copy (the channel keeps
+        at most one message per ordered pair per round).
+
+        ``awaken`` is the quiescent schedule's process-set: a replay to a
+        sleeping receiver clears its stale inbox and pulls it into this
+        round's process phase, just as the eager path would have processed
+        it.  ``wake`` is the next round's wake-set (when the scheduler
+        tracks one): a replayed delivery is a wake condition like any
+        other delivery.
+        """
+        if not self._pending_replays:
+            return
+        result = self.result
+        obs = self.obs
+        fast = transport.fast
+        inboxes = transport.inboxes
+        still_pending: List[Tuple[int, int, int, Any]] = []
+        for due, sender, receiver, payload in self._pending_replays:
+            if due != round_index:
+                still_pending.append((due, sender, receiver, payload))
+                continue
+            if receiver not in active:
+                continue
+            result.duplicated_messages += 1
+            if obs:
+                obs.emit(
+                    round_index,
+                    "duplicate",
+                    sender,
+                    {"to": receiver, "payload": payload},
+                )
+            if fast:
+                result.message_count += 1
+            else:
+                transport.account(payload)
+            if awaken is not None and receiver not in awaken:
+                inboxes[receiver].clear()
+                awaken.add(receiver)
+            if wake is not None:
+                wake.add(receiver)
+            inboxes[receiver][sender] = payload
+        self._pending_replays = still_pending
+
+    # ------------------------------------------------------------------
+    # Crash / recovery schedule
+    # ------------------------------------------------------------------
+    def crashes_at(self, round_index: int) -> List[int]:
+        """Nodes whose crash fault fires at the end of this round."""
+        return self.controller.crashes_at(round_index)
+
+    def recoveries_at(self, round_index: int) -> Iterable[int]:
+        """Nodes rejoining at the start of this round."""
+        return self.controller.recoveries_at(round_index)
+
+    def last_recovery_round(self) -> Optional[int]:
+        """Last round with a scheduled recovery, or ``None`` when the
+        controller does not expose a recovery schedule at all."""
+        last = getattr(self.controller, "last_recovery_round", None)
+        if last is None:
+            return None
+        return last()
+
+    # ------------------------------------------------------------------
+    # Prediction adversary
+    # ------------------------------------------------------------------
+    def corrupt_predictions(
+        self, predictions: Mapping[int, Any], nodes: Iterable[int]
+    ) -> Dict[int, Any]:
+        """Apply the controller's prediction corruption (setup time)."""
+        return self.controller.corrupt_predictions(predictions, nodes)

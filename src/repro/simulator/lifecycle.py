@@ -1,0 +1,214 @@
+"""The node-lifecycle stage: terminations, crashes, recoveries, stuck state.
+
+:class:`NodeLifecycle` owns every transition of a node's participation
+status — it applies terminations and adversarial crashes at the end of a
+round (publishing outputs / crash marks to neighbor contexts with the
+paper's one-round observation delay), rejoins crash-with-recovery nodes at
+the start of one, and snapshots live nodes into a
+:class:`~repro.simulator.metrics.StuckReport` when a run blows its round
+budget under ``on_round_limit="partial"``.
+
+It is bound to the engine runtime (the same ``rt`` handle the schedulers
+drive) and is the only layer that mutates ``rt._active`` /
+``rt._active_order`` or writes termination/crash fields of the
+:class:`~repro.simulator.metrics.RunResult` records.  Schedulers reach it
+through the engine's ``finalize_round`` / ``apply_recoveries`` delegators,
+so scheduling policy and lifecycle bookkeeping stay decoupled.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.simulator.metrics import NodeSnapshot, StuckReport
+
+
+class NodeLifecycle:
+    """Applies node participation transitions for one engine run."""
+
+    __slots__ = ("rt",)
+
+    def __init__(self, rt: Any) -> None:
+        self.rt = rt
+
+    def finalize_round(
+        self, round_index: int, participants: Optional[List[int]] = None
+    ) -> None:
+        """Apply terminations/crashes and publish neighbor updates.
+
+        ``participants`` (sorted) restricts the termination scan to the
+        nodes the quiescent schedule actually ran this round — a node that
+        was not run cannot have requested termination, so the restriction
+        finds exactly the set the full scan would, in the same order,
+        without the Θ(active) sweep.  Crashes are adversarial, not program
+        actions, so they are drawn from the fault schedule regardless.
+        """
+        rt = self.rt
+        contexts = rt.contexts
+        if participants is None:
+            candidates = rt._active_order
+        else:
+            candidates = participants
+        terminated = [
+            node for node in candidates if contexts[node].terminate_requested
+        ]
+        if rt.interposer is not None:
+            crash_now = rt.interposer.crashes_at(round_index)
+            if participants is None:
+                crash_set = set(crash_now)
+                crashed = [
+                    node
+                    for node in rt._active_order
+                    if node in crash_set and node not in terminated
+                ]
+            else:
+                terminated_set = set(terminated)
+                # crashes_at is sorted, so this matches the eager order.
+                crashed = [
+                    node
+                    for node in crash_now
+                    if node in rt._active and node not in terminated_set
+                ]
+        else:
+            crashed = []
+
+        obs = rt.obs
+        result = rt.result
+        for node in terminated:
+            ctx = contexts[node]
+            ctx.terminated = True
+            ctx.termination_round = round_index
+            record = result.records[node]
+            record.output = ctx.output
+            record.termination_round = round_index
+            result.outputs[node] = ctx.output
+            rt._active.discard(node)
+            if obs:
+                obs.emit(round_index, "output", node, {"value": ctx.output})
+                obs.emit(round_index, "terminate", node)
+
+        for node in crashed:
+            result.records[node].crashed = True
+            rt._active.discard(node)
+            if obs:
+                obs.emit(round_index, "crash", node)
+
+        if terminated or crashed:
+            rt._active_order = sorted(rt._active)
+
+        # Neighbors observe terminations/crashes from the next round on —
+        # the same timing as the paper's explicit final-round notification.
+        # Under quiescent scheduling that observation is a wake condition
+        # (the scheduler hooks; no-ops under the eager policy).
+        scheduler = rt._scheduler
+        for node in terminated:
+            output = contexts[node].output
+            neighbors = contexts[node].neighbors
+            for neighbor in neighbors:
+                neighbor_ctx = contexts[neighbor]
+                neighbor_ctx.active_neighbors.discard(node)
+                neighbor_ctx.neighbor_outputs[node] = output
+            scheduler.on_terminated(node, neighbors)
+        for node in crashed:
+            neighbors = contexts[node].neighbors
+            for neighbor in neighbors:
+                neighbor_ctx = contexts[neighbor]
+                neighbor_ctx.active_neighbors.discard(node)
+                neighbor_ctx.crashed_neighbors.add(node)
+            scheduler.on_crashed(node, neighbors)
+
+    def apply_recoveries(self, round_index: int) -> None:
+        """Rejoin crash-with-recovery nodes at the start of this round."""
+        rt = self.rt
+        if rt.interposer is None:
+            return
+        scheduler = rt._scheduler
+        result = rt.result
+        rejoined = False
+        for node in rt.interposer.recoveries_at(round_index):
+            record = result.records.get(node)
+            if record is None or not record.crashed:
+                continue  # never crashed (or already back): nothing to do
+            if callable(rt._program_source):
+                rt.programs[node] = rt._program_source(node)
+            # else: mapping-provided program instances cannot be rebuilt;
+            # the node rejoins with whatever state the instance holds.
+            ctx = rt._build_context(node)
+            ctx.round = round_index
+            ctx.active_neighbors = {
+                other for other in ctx.neighbors if other in rt._active
+            }
+            for other in ctx.neighbors:
+                other_record = result.records[other]
+                if other_record.termination_round is not None:
+                    ctx.neighbor_outputs[other] = other_record.output
+                elif other_record.crashed:
+                    ctx.crashed_neighbors.add(other)
+            rt.contexts[node] = ctx
+            rt._active.add(node)
+            record.crashed = False
+            record.recovery_round = round_index
+            for other in ctx.neighbors:
+                neighbor_ctx = rt.contexts[other]
+                neighbor_ctx.active_neighbors.add(node)
+                neighbor_ctx.crashed_neighbors.discard(node)
+            rt.programs[node].setup(ctx)
+            rejoined = True
+            scheduler.on_recovered(node, ctx, rt.programs[node])
+            if rt.obs:
+                rt.obs.emit(round_index, "recover", node)
+            if ctx.terminate_requested:
+                # A program may output and terminate straight from its
+                # recovery setup (e.g. every neighbor is already gone).
+                # Honor it before the round runs — the same semantics
+                # ``finalize_round(0)`` gives the initial setup — so the
+                # node never re-enters the hot loop and cannot output a
+                # second time.
+                ctx.terminated = True
+                ctx.termination_round = round_index
+                record.output = ctx.output
+                record.termination_round = round_index
+                result.outputs[node] = ctx.output
+                rt._active.discard(node)
+                for other in ctx.neighbors:
+                    neighbor_ctx = rt.contexts[other]
+                    neighbor_ctx.active_neighbors.discard(node)
+                    neighbor_ctx.neighbor_outputs[node] = ctx.output
+                scheduler.on_recovery_terminated(node)
+                if rt.obs:
+                    rt.obs.emit(round_index, "output", node, {"value": ctx.output})
+                    rt.obs.emit(round_index, "terminate", node)
+        if rejoined:
+            rt._active_order = sorted(rt._active)
+
+    def build_stuck_report(self, round_index: int) -> StuckReport:
+        """Snapshot every live node when the round budget is blown."""
+        rt = self.rt
+        live = sorted(rt._active)
+        processed = rt._scheduler.processed_last_round
+        inboxes = rt.transport.inboxes
+        snapshots: Dict[int, NodeSnapshot] = {}
+        for node in live:
+            ctx = rt.contexts[node]
+            # A node the quiescent schedule skipped keeps a stale inbox;
+            # the eager path would have cleared it, so report it empty.
+            if processed is not None and node not in processed:
+                last_inbox: Dict[int, Any] = {}
+            else:
+                last_inbox = dict(inboxes.get(node, {}))
+            snapshots[node] = NodeSnapshot(
+                node_id=node,
+                round=ctx.round,
+                last_inbox=last_inbox,
+                state={
+                    key: repr(value)
+                    for key, value in sorted(vars(rt.programs[node]).items())
+                },
+                has_output=ctx.has_output,
+            )
+        return StuckReport(
+            round=round_index,
+            live_nodes=live,
+            total_nodes=rt.graph.n,
+            snapshots=snapshots,
+        )

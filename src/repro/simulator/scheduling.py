@@ -1,0 +1,608 @@
+"""The round-scheduling stage.
+
+A :class:`Scheduler` decides *which* nodes run in a round and drives the
+compose → deliver → process phases for them, delegating message policy to
+the :class:`~repro.simulator.interpose.FaultInterposer`, message cost and
+mailboxes to the :class:`~repro.simulator.transport.Transport`, and event
+fan-out to the :class:`~repro.simulator.obs_dispatch.ObsDispatch`.  The
+engine orchestrates rounds; it never special-cases a scheduling policy —
+the three policies that used to be branches inside one monolithic round
+loop are now three implementations of one protocol:
+
+* :class:`EagerScheduler` — every active node, every round (the default).
+* :class:`QuiescentScheduler` — runs only the wake-set of nodes whose
+  programs can observably act, per the idle contract of
+  :class:`~repro.simulator.program.NodeProgram` (``quiescent_when_idle``).
+* :class:`QuiescentDebugScheduler` — executes eagerly while tracking the
+  hypothetical wake-set and raises :class:`QuiescenceViolation` the
+  moment a supposedly idle node acts.
+
+Each scheduler provides a fused ``run_round`` and (where supported) a
+split ``run_round_profiled`` that times compose/deliver/process/finalize
+separately while staying observationally identical — same outputs, same
+message counts, same event order.
+
+Writing a new scheduler means subclassing :class:`Scheduler`, implementing
+``run_round``, and wiring the wake hooks (``note_setup``, ``on_delivery``
+bookkeeping, ``on_terminated``/``on_crashed``/``on_recovered``) if the
+policy needs per-round wake state; see docs/ARCHITECTURE.md.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.simulator.context import NodeContext
+from repro.simulator.interpose import DROPPED
+
+
+class QuiescenceViolation(RuntimeError):
+    """Raised under ``schedule="quiescent-debug"`` on an idle-contract break.
+
+    A program that declares ``quiescent_when_idle = True`` promises that in
+    rounds where nothing woke it (no message received last round, no
+    neighbor event, no timed wakeup due) it neither sends, outputs, nor
+    terminates.  The debug schedule executes every node eagerly while
+    tracking the wake-set the quiescent schedule would have used, and
+    raises this error the moment a supposedly idle node acts — the same
+    divergence ``schedule="quiescent"`` would have silently introduced.
+    """
+
+
+class Scheduler:
+    """Protocol for round-scheduling policies.
+
+    A scheduler is bound to one engine run via :meth:`bind` and then
+    drives every round through :meth:`run_round` (or
+    :meth:`run_round_profiled` when the run profiles).  The remaining
+    hooks let wake-tracking policies observe the lifecycle events that
+    constitute wake conditions; the eager policy leaves them as no-ops so
+    the default hot path carries no wake bookkeeping at all.
+
+    Attributes:
+        tracks_wakes: Whether the policy maintains wake-set state.
+        supports_profile: Whether :meth:`run_round_profiled` exists.
+        processed_last_round: Nodes the last executed round actually
+            processed (``None`` means every active node) — keeps
+            stuck-report inbox snapshots identical across schedules.
+    """
+
+    tracks_wakes = False
+    supports_profile = True
+
+    def __init__(self) -> None:
+        self.rt: Any = None
+        self.processed_last_round: Optional[set] = None
+
+    def bind(self, rt: Any) -> None:
+        """Attach the runtime (the engine) this scheduler drives."""
+        self.rt = rt
+
+    # -- wake-condition hooks (no-ops for the eager policy) -------------
+    def note_setup(self, node: int, ctx: NodeContext) -> None:
+        """A node finished its setup (round 0) with ``ctx`` state."""
+
+    def on_terminated(self, node: int, neighbors: Any) -> None:
+        """A node terminated at the end of a round."""
+
+    def on_crashed(self, node: int, neighbors: Any) -> None:
+        """A node crashed at the end of a round."""
+
+    def on_recovered(
+        self, node: int, ctx: NodeContext, program: Any
+    ) -> None:
+        """A crashed node rejoined at the start of a round."""
+
+    def on_recovery_terminated(self, node: int) -> None:
+        """A rejoined node terminated straight from its recovery setup."""
+
+    # -- round execution ------------------------------------------------
+    def run_round(self, round_index: int) -> None:
+        raise NotImplementedError
+
+    def run_round_profiled(self, round_index: int) -> None:
+        raise NotImplementedError
+
+
+class EagerScheduler(Scheduler):
+    """Runs every active node every round (the default policy)."""
+
+    def run_round(self, round_index: int) -> None:
+        rt = self.rt
+        rt.apply_recoveries(round_index)
+        # Local bindings keep the per-round loops free of attribute churn;
+        # the fault/sink hooks are skipped entirely when nothing is
+        # installed, and the transport elides bandwidth accounting in
+        # ``fast`` mode.
+        active = rt._active
+        order = rt._active_order
+        programs = rt.programs
+        contexts = rt.contexts
+        transport = rt.transport
+        inboxes = transport.inboxes
+        deposit = transport.deposit
+        emit = rt.obs.emit if rt.obs else None
+        interposer = rt.interposer
+
+        for node in order:
+            inboxes[node].clear()
+        if interposer is not None and interposer.has_pending_replays:
+            interposer.deliver_replays(round_index, transport, active)
+
+        # Compose phase: every active node decides its messages using state
+        # from the end of the previous round.
+        for node in order:
+            ctx = contexts[node]
+            ctx.round = round_index
+            outbox = programs[node].compose(ctx)
+            if not outbox:
+                continue
+            neighbors = ctx.neighbors
+            for receiver, payload in outbox.items():
+                if receiver not in neighbors:
+                    raise ValueError(
+                        f"node {node} sent to non-neighbor {receiver} "
+                        f"in round {round_index}"
+                    )
+                if emit is not None:
+                    emit(
+                        round_index, "send", node, {"to": receiver, "payload": payload}
+                    )
+                # Messages to nodes that already terminated or crashed are
+                # dropped: the recipient no longer participates.  (A sender
+                # learns of a neighbor's termination only in the following
+                # round, so such sends are legitimate.)
+                if receiver not in active:
+                    continue
+                if interposer is not None:
+                    payload = interposer.adjudicate(
+                        round_index, node, receiver, payload
+                    )
+                    if payload is DROPPED:
+                        continue
+                deposit(node, receiver, payload)
+
+        # Process phase: every active node consumes its inbox.
+        for node in order:
+            programs[node].process(contexts[node], inboxes[node])
+
+        rt.finalize_round(round_index)
+
+    def run_round_profiled(self, round_index: int) -> None:
+        """One round with the compose/deliver split timed per phase.
+
+        Observationally identical to :meth:`run_round` — same outputs,
+        message counts, event order — but compose collects every outbox
+        before any delivery, so the two phases can be timed separately.
+        (Replays still land before fresh sends, and the inbox insertion
+        order per receiver is unchanged because delivery walks nodes in
+        the same order compose did.)
+        """
+        rt = self.rt
+        profile = rt.obs.profile
+        rt.apply_recoveries(round_index)
+        active = rt._active
+        order = rt._active_order
+        programs = rt.programs
+        contexts = rt.contexts
+        transport = rt.transport
+        inboxes = transport.inboxes
+        deposit = transport.deposit
+        emit = rt.obs.emit if rt.obs else None
+        interposer = rt.interposer
+        messages_before = rt.result.message_count
+        participants = len(order)
+
+        compose_start = perf_counter()
+        outboxes: List[Tuple[int, Dict[int, Any]]] = []
+        for node in order:
+            inboxes[node].clear()
+            ctx = contexts[node]
+            ctx.round = round_index
+            outbox = programs[node].compose(ctx)
+            if not outbox:
+                continue
+            neighbors = ctx.neighbors
+            for receiver in outbox:
+                if receiver not in neighbors:
+                    raise ValueError(
+                        f"node {node} sent to non-neighbor {receiver} "
+                        f"in round {round_index}"
+                    )
+            outboxes.append((node, outbox))
+
+        deliver_start = perf_counter()
+        if interposer is not None and interposer.has_pending_replays:
+            interposer.deliver_replays(round_index, transport, active)
+        for node, outbox in outboxes:
+            for receiver, payload in outbox.items():
+                if emit is not None:
+                    emit(
+                        round_index, "send", node, {"to": receiver, "payload": payload}
+                    )
+                if receiver not in active:
+                    continue
+                if interposer is not None:
+                    payload = interposer.adjudicate(
+                        round_index, node, receiver, payload
+                    )
+                    if payload is DROPPED:
+                        continue
+                deposit(node, receiver, payload)
+
+        process_start = perf_counter()
+        for node in order:
+            programs[node].process(contexts[node], inboxes[node])
+
+        finalize_start = perf_counter()
+        rt.finalize_round(round_index)
+        finalize_end = perf_counter()
+        profile.add_round(
+            round_index,
+            compose=deliver_start - compose_start,
+            deliver=process_start - deliver_start,
+            process=finalize_start - process_start,
+            finalize=finalize_end - finalize_start,
+            messages=rt.result.message_count - messages_before,
+            active=participants,
+        )
+
+
+class QuiescentScheduler(Scheduler):
+    """Runs only the wake-set: woken ∪ always-awake, active, sorted.
+
+    Observationally identical to the eager policy under the idle
+    contract: a node outside the wake-set would have composed an empty
+    outbox and processed an empty inbox without acting, so skipping it
+    changes no output, message, round count or event.  Nodes that
+    *receive* a message this round are pulled into the process phase
+    (and the next round's wake-set) even if they were asleep, exactly
+    as the eager path would have processed them.
+    """
+
+    tracks_wakes = True
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: Nodes with a pending wake condition for the upcoming round
+        #: (everyone before round 1, seeded in :meth:`bind`).
+        self._next_wake: set = set()
+        #: node -> earliest requested timed-wakeup round.
+        self._timed_wake: Dict[int, int] = {}
+        #: Nodes whose programs did not opt into quiescence.
+        self._always_awake: set = set()
+
+    def bind(self, rt: Any) -> None:
+        super().bind(rt)
+        self._next_wake = set(rt.graph.nodes)
+        for node, program in rt.programs.items():
+            if not getattr(program, "quiescent_when_idle", False):
+                self._always_awake.add(node)
+
+    # -- wake bookkeeping ----------------------------------------------
+    def _collect_wake(self, node: int, ctx: NodeContext) -> None:
+        """Fold a context's pending ``wake_at`` request into the schedule."""
+        request = ctx._wake_request
+        if request is not None:
+            ctx._wake_request = None
+            current = self._timed_wake.get(node)
+            if current is None or request < current:
+                self._timed_wake[node] = request
+
+    def note_setup(self, node: int, ctx: NodeContext) -> None:
+        self._collect_wake(node, ctx)
+
+    def on_terminated(self, node: int, neighbors: Any) -> None:
+        # Neighbors observe terminations from the next round on; under
+        # quiescent scheduling that observation is a wake condition.
+        self._next_wake.update(neighbors)
+
+    def on_crashed(self, node: int, neighbors: Any) -> None:
+        self._next_wake.update(neighbors)
+
+    def on_recovered(self, node: int, ctx: NodeContext, program: Any) -> None:
+        # The rejoined node starts fresh (round-1 semantics) and its
+        # neighbors observe the recovery, so all of them are schedulable
+        # this round; stale timed wakeups of the old incarnation die with
+        # it.
+        self._timed_wake.pop(node, None)
+        self._next_wake.add(node)
+        self._next_wake.update(ctx.neighbors)
+        if getattr(program, "quiescent_when_idle", False):
+            self._always_awake.discard(node)
+        else:
+            self._always_awake.add(node)
+        self._collect_wake(node, ctx)
+
+    def on_recovery_terminated(self, node: int) -> None:
+        self._timed_wake.pop(node, None)
+        self._next_wake.discard(node)
+        self._always_awake.discard(node)
+
+    def compute_wake_order(self, round_index: int) -> List[int]:
+        """This round's compose schedule: woken ∪ always-awake, active,
+        sorted.
+
+        Consumes the accumulated wake-set and the due timed wakeups, and
+        resets the wake-set so this round's events feed the next one.
+        """
+        wake = self._next_wake
+        timed = self._timed_wake
+        if timed:
+            due = [node for node, when in timed.items() if when <= round_index]
+            for node in due:
+                del timed[node]
+            wake.update(due)
+        if self._always_awake:
+            wake |= self._always_awake
+        active = self.rt._active
+        scheduled = sorted(node for node in wake if node in active)
+        self._next_wake = set()
+        return scheduled
+
+    # -- round execution ------------------------------------------------
+    def run_round(self, round_index: int) -> None:
+        rt = self.rt
+        rt.apply_recoveries(round_index)
+        scheduled = self.compute_wake_order(round_index)
+        next_wake = self._next_wake
+        active = rt._active
+        programs = rt.programs
+        contexts = rt.contexts
+        transport = rt.transport
+        inboxes = transport.inboxes
+        deposit = transport.deposit
+        emit = rt.obs.emit if rt.obs else None
+        interposer = rt.interposer
+        #: Nodes to run in the process phase; sleeping nodes keep stale
+        #: inboxes, cleared lazily when a delivery first wakes them.
+        process_set = set(scheduled)
+
+        for node in scheduled:
+            inboxes[node].clear()
+        if interposer is not None and interposer.has_pending_replays:
+            interposer.deliver_replays(
+                round_index, transport, active, awaken=process_set, wake=next_wake
+            )
+
+        for node in scheduled:
+            ctx = contexts[node]
+            ctx.round = round_index
+            outbox = programs[node].compose(ctx)
+            if not outbox:
+                continue
+            neighbors = ctx.neighbors
+            for receiver, payload in outbox.items():
+                if receiver not in neighbors:
+                    raise ValueError(
+                        f"node {node} sent to non-neighbor {receiver} "
+                        f"in round {round_index}"
+                    )
+                if emit is not None:
+                    emit(
+                        round_index, "send", node, {"to": receiver, "payload": payload}
+                    )
+                if receiver not in active:
+                    continue
+                if interposer is not None:
+                    payload = interposer.adjudicate(
+                        round_index, node, receiver, payload
+                    )
+                    if payload is DROPPED:
+                        # The drop may have starved a waiter mid-protocol;
+                        # waking the would-be receiver is harmless (an idle
+                        # round is a no-op by contract) and keeps it live.
+                        next_wake.add(receiver)
+                        continue
+                if receiver not in process_set:
+                    inboxes[receiver].clear()
+                    process_set.add(receiver)
+                deposit(node, receiver, payload)
+                next_wake.add(receiver)
+
+        if len(process_set) == len(scheduled):
+            process_order: List[int] = scheduled
+        else:
+            process_order = sorted(process_set)
+        for node in process_order:
+            ctx = contexts[node]
+            ctx.round = round_index
+            programs[node].process(ctx, inboxes[node])
+            self._collect_wake(node, ctx)
+        self.processed_last_round = process_set
+        rt.finalize_round(round_index, participants=process_order)
+
+    def run_round_profiled(self, round_index: int) -> None:
+        """Quiescent scheduling with the split, per-phase-timed round path.
+
+        Wake-set computation is charged to the compose phase (it is the
+        scheduler's overhead); everything else mirrors
+        :meth:`EagerScheduler.run_round_profiled` restricted to the
+        wake-set.
+        """
+        rt = self.rt
+        profile = rt.obs.profile
+        rt.apply_recoveries(round_index)
+        active = rt._active
+        programs = rt.programs
+        contexts = rt.contexts
+        transport = rt.transport
+        inboxes = transport.inboxes
+        deposit = transport.deposit
+        emit = rt.obs.emit if rt.obs else None
+        interposer = rt.interposer
+        messages_before = rt.result.message_count
+        participants = len(rt._active_order)
+
+        compose_start = perf_counter()
+        scheduled = self.compute_wake_order(round_index)
+        next_wake = self._next_wake
+        process_set = set(scheduled)
+        outboxes: List[Tuple[int, Dict[int, Any]]] = []
+        for node in scheduled:
+            inboxes[node].clear()
+            ctx = contexts[node]
+            ctx.round = round_index
+            outbox = programs[node].compose(ctx)
+            if not outbox:
+                continue
+            neighbors = ctx.neighbors
+            for receiver in outbox:
+                if receiver not in neighbors:
+                    raise ValueError(
+                        f"node {node} sent to non-neighbor {receiver} "
+                        f"in round {round_index}"
+                    )
+            outboxes.append((node, outbox))
+
+        deliver_start = perf_counter()
+        if interposer is not None and interposer.has_pending_replays:
+            interposer.deliver_replays(
+                round_index, transport, active, awaken=process_set, wake=next_wake
+            )
+        for node, outbox in outboxes:
+            for receiver, payload in outbox.items():
+                if emit is not None:
+                    emit(
+                        round_index, "send", node, {"to": receiver, "payload": payload}
+                    )
+                if receiver not in active:
+                    continue
+                if interposer is not None:
+                    payload = interposer.adjudicate(
+                        round_index, node, receiver, payload
+                    )
+                    if payload is DROPPED:
+                        next_wake.add(receiver)
+                        continue
+                if receiver not in process_set:
+                    inboxes[receiver].clear()
+                    process_set.add(receiver)
+                deposit(node, receiver, payload)
+                next_wake.add(receiver)
+
+        process_start = perf_counter()
+        if len(process_set) == len(scheduled):
+            process_order: List[int] = scheduled
+        else:
+            process_order = sorted(process_set)
+        for node in process_order:
+            ctx = contexts[node]
+            ctx.round = round_index
+            programs[node].process(ctx, inboxes[node])
+            self._collect_wake(node, ctx)
+        self.processed_last_round = process_set
+
+        finalize_start = perf_counter()
+        rt.finalize_round(round_index, participants=process_order)
+        finalize_end = perf_counter()
+        profile.add_round(
+            round_index,
+            compose=deliver_start - compose_start,
+            deliver=process_start - deliver_start,
+            process=finalize_start - process_start,
+            finalize=finalize_end - finalize_start,
+            messages=rt.result.message_count - messages_before,
+            active=participants,
+            scheduled=len(process_order),
+        )
+
+
+class QuiescentDebugScheduler(QuiescentScheduler):
+    """Eager execution that polices the quiescence idle contract.
+
+    Runs every active node (so state evolution matches the eager
+    schedule exactly, including programs whose idle rounds mutate
+    private counters) while maintaining the wake-set the quiescent
+    schedule would have used; any observable action — a send, an
+    output, a termination — by a node outside that set raises
+    :class:`QuiescenceViolation`.
+    """
+
+    supports_profile = False
+
+    def run_round(self, round_index: int) -> None:
+        rt = self.rt
+        rt.apply_recoveries(round_index)
+        expected = set(self.compute_wake_order(round_index))
+        next_wake = self._next_wake
+        active = rt._active
+        order = rt._active_order
+        programs = rt.programs
+        contexts = rt.contexts
+        transport = rt.transport
+        inboxes = transport.inboxes
+        deposit = transport.deposit
+        emit = rt.obs.emit if rt.obs else None
+        interposer = rt.interposer
+
+        for node in order:
+            inboxes[node].clear()
+        if interposer is not None and interposer.has_pending_replays:
+            interposer.deliver_replays(
+                round_index, transport, active, wake=next_wake
+            )
+
+        for node in order:
+            ctx = contexts[node]
+            ctx.round = round_index
+            outbox = programs[node].compose(ctx)
+            if not outbox:
+                continue
+            if node not in expected:
+                raise QuiescenceViolation(
+                    f"node {node} ({type(programs[node]).__name__}) composed "
+                    f"a non-empty outbox in round {round_index} while idle: "
+                    f"schedule='quiescent' would have skipped this send"
+                )
+            neighbors = ctx.neighbors
+            for receiver, payload in outbox.items():
+                if receiver not in neighbors:
+                    raise ValueError(
+                        f"node {node} sent to non-neighbor {receiver} "
+                        f"in round {round_index}"
+                    )
+                if emit is not None:
+                    emit(
+                        round_index, "send", node, {"to": receiver, "payload": payload}
+                    )
+                if receiver not in active:
+                    continue
+                if interposer is not None:
+                    payload = interposer.adjudicate(
+                        round_index, node, receiver, payload
+                    )
+                    if payload is DROPPED:
+                        next_wake.add(receiver)
+                        continue
+                deposit(node, receiver, payload)
+                next_wake.add(receiver)
+
+        for node in order:
+            ctx = contexts[node]
+            inbox = inboxes[node]
+            if node in expected or inbox:
+                programs[node].process(ctx, inbox)
+                self._collect_wake(node, ctx)
+                continue
+            before = (ctx.has_output, ctx.output)
+            programs[node].process(ctx, inbox)
+            self._collect_wake(node, ctx)
+            if ctx.terminate_requested or (ctx.has_output, ctx.output) != before:
+                raise QuiescenceViolation(
+                    f"node {node} ({type(programs[node]).__name__}) "
+                    f"{'terminated' if ctx.terminate_requested else 'assigned output'} "
+                    f"in round {round_index} while idle: schedule='quiescent' "
+                    f"would not have run it"
+                )
+
+        rt.finalize_round(round_index)
+
+
+#: Registry mapping the public ``schedule=`` names to implementations.
+SCHEDULERS = {
+    "eager": EagerScheduler,
+    "quiescent": QuiescentScheduler,
+    "quiescent-debug": QuiescentDebugScheduler,
+}

@@ -1,0 +1,98 @@
+"""The transport stage: mailboxes, delivery and bit accounting.
+
+:class:`Transport` owns the per-node inboxes and is the only layer that
+writes to them or to the :class:`~repro.simulator.metrics.RunResult`'s
+message counters.  Schedulers decide *which* messages exist and *when*
+they land; the transport decides what a delivery costs — per-message bit
+estimation (:func:`~repro.simulator.message.estimate_bits`) and CONGEST
+budget enforcement, or a bare count in ``fast`` mode.
+
+Inboxes are allocated once and cleared between rounds rather than
+reallocated: programs consume their inbox during ``process`` and never
+retain the mapping, so reuse is safe and keeps the hot loop free of dict
+churn.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable
+
+from repro.simulator.message import estimate_bits
+from repro.simulator.metrics import RunResult
+from repro.simulator.models import ExecutionModel
+
+
+class BandwidthExceeded(RuntimeError):
+    """Raised in strict CONGEST mode when a message exceeds the budget."""
+
+
+class Transport:
+    """Owns mailbox state and message/bit accounting for one run.
+
+    Args:
+        nodes: Every node of the instance (one inbox each).
+        result: The run's result record; the transport is the only
+            writer of its ``message_count``/``total_bits``/
+            ``max_message_bits``/``bandwidth_violations`` fields.
+        model: Execution model for bandwidth accounting.
+        n: Number of nodes (the CONGEST budget is a function of ``n``).
+        fast: Skip per-message bit estimation; only ``message_count``
+            is maintained.
+    """
+
+    __slots__ = ("inboxes", "result", "model", "n", "fast")
+
+    def __init__(
+        self,
+        nodes: Iterable[int],
+        result: RunResult,
+        model: ExecutionModel,
+        n: int,
+        fast: bool,
+    ) -> None:
+        #: Per-node inboxes (``receiver -> {sender: payload}``), reused
+        #: across rounds.
+        self.inboxes: Dict[int, Dict[int, Any]] = {node: {} for node in nodes}
+        self.result = result
+        self.model = model
+        self.n = n
+        self.fast = fast
+
+    # ------------------------------------------------------------------
+    # Delivery
+    # ------------------------------------------------------------------
+    def clear_inbox(self, node: int) -> None:
+        """Empty one node's inbox (start of its scheduled round)."""
+        self.inboxes[node].clear()
+
+    def deposit(self, sender: int, receiver: int, payload: Any) -> None:
+        """Account one message and land it in the receiver's inbox.
+
+        The caller has already made every *policy* decision — the receiver
+        is active, the adversary let the message through; this is purely
+        cost accounting plus the mailbox write.
+        """
+        if self.fast:
+            self.result.message_count += 1
+        else:
+            self.account(payload)
+        self.inboxes[receiver][sender] = payload
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def account(self, payload: Any) -> None:
+        """Charge one message's bits against the run and the model."""
+        bits = estimate_bits(payload)
+        result = self.result
+        result.message_count += 1
+        result.total_bits += bits
+        if bits > result.max_message_bits:
+            result.max_message_bits = bits
+        if not self.model.allows(bits, self.n):
+            result.bandwidth_violations += 1
+            if self.model.strict:
+                raise BandwidthExceeded(
+                    f"{bits}-bit message exceeds "
+                    f"{self.model.bandwidth_bits(self.n)}-bit budget"
+                )

@@ -226,3 +226,128 @@ class TestQuiescentDifferentialFuzz:
             on_round_limit="partial",
         )
         engine.run()  # QuiescenceViolation would fail the test
+
+
+# ----------------------------------------------------------------------
+# Old-vs-new differential: the layered runtime vs the frozen monolith
+# ----------------------------------------------------------------------
+
+def _observables(engine_cls, graph, factory, plan, schedule, predictions=None):
+    """Everything observable about one run: outputs, counters, records,
+    the stuck report footprint and the exact event stream (order included)."""
+    from repro.obs import MemoryEventSink
+
+    sink = MemoryEventSink()
+    engine = engine_cls(
+        graph,
+        factory,
+        predictions=predictions,
+        faults=plan,
+        sinks=[sink],
+        schedule=schedule,
+        max_rounds=200,
+        on_round_limit="partial",
+    )
+    result = engine.run()
+    return {
+        "outputs": result.outputs,
+        "rounds": result.rounds,
+        "rounds_executed": result.rounds_executed,
+        "messages": result.message_count,
+        "bits": result.total_bits,
+        "max_bits": result.max_message_bits,
+        "dropped": result.dropped_messages,
+        "corrupted": result.corrupted_messages,
+        "duplicated": result.duplicated_messages,
+        "violations": result.bandwidth_violations,
+        "records": {
+            node: (
+                record.termination_round,
+                record.output,
+                record.crashed,
+                record.recovery_round,
+            )
+            for node, record in result.records.items()
+        },
+        "stuck": None
+        if result.stuck is None
+        else (result.stuck.round, tuple(result.stuck.live_nodes)),
+        "events": sink.events,
+    }
+
+
+class TestLayeredRuntimeDifferential:
+    """The layered Transport/Scheduler/Interposer/Lifecycle runtime must be
+    bit-identical to the frozen pre-refactor monolith
+    (``tests/reference_engine.py``) on every problem family, under faults,
+    on both the eager and the quiescent schedule."""
+
+    def _families(self, seed):
+        from repro.algorithms.coloring.greedy import PaletteGreedyColoringProgram
+        from repro.algorithms.edge_coloring.greedy import GreedyEdgeColoringProgram
+        from repro.algorithms.matching.greedy import GreedyMatchingProgram
+        from repro.algorithms.mis.greedy import GreedyMISProgram
+
+        return [
+            ("mis", lambda node: GreedyMISProgram()),
+            ("matching", lambda node: GreedyMatchingProgram()),
+            ("coloring", lambda node: PaletteGreedyColoringProgram()),
+            ("edge-coloring", lambda node: GreedyEdgeColoringProgram()),
+            ("fuzz", lambda node: FuzzProgram(seed, node)),
+        ]
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_reference_engine(self, seed):
+        from tests.reference_engine import ReferenceSyncEngine
+
+        rng = random.Random(f"{seed}:old-vs-new")
+        graph = erdos_renyi(
+            rng.randint(3, 18), rng.choice([0.15, 0.3, 0.6]), seed=seed
+        )
+        plan = _random_plan(rng, graph)
+        predictions = (
+            {node: node % 2 for node in graph.nodes}
+            if rng.random() < 0.5
+            else None
+        )
+        name, factory = self._families(seed)[seed % 5]
+        for schedule in ("eager", "quiescent"):
+            old = _observables(
+                ReferenceSyncEngine, graph, factory, plan, schedule, predictions
+            )
+            new = _observables(
+                SyncEngine, graph, factory, plan, schedule, predictions
+            )
+            assert new == old, (name, schedule)
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=8, deadline=None)
+    def test_matches_reference_engine_faultless_congest(self, seed):
+        """Fault-free CONGEST runs (bit accounting live, no interposer)
+        agree too — the interposer-absent fast path of the new engine."""
+        from repro.simulator import CONGEST
+
+        from tests.reference_engine import ReferenceSyncEngine
+
+        rng = random.Random(f"{seed}:old-vs-new-congest")
+        graph = erdos_renyi(rng.randint(3, 14), 0.3, seed=seed)
+        name, factory = self._families(seed)[seed % 5]
+
+        def observe(engine_cls):
+            engine = engine_cls(
+                graph, factory, model=CONGEST, max_rounds=200,
+                on_round_limit="partial",
+            )
+            result = engine.run()
+            return (
+                result.outputs,
+                result.rounds,
+                result.rounds_executed,
+                result.message_count,
+                result.total_bits,
+                result.max_message_bits,
+                result.bandwidth_violations,
+            )
+
+        assert observe(SyncEngine) == observe(ReferenceSyncEngine), name

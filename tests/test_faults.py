@@ -439,3 +439,60 @@ class TestChurnEdgePerturbation:
         graph = line(200)
         perturbed = perturb_edges(graph, add=400, seed=1)
         assert perturbed.num_edges == graph.num_edges + 400
+
+
+class TestBareControllerDeprecation:
+    """Passing a pre-built controller as ``faults=`` is a legacy entry
+    point: it bypasses the plan layer and couples callers to the engine's
+    internal hook API.  The shim still works but warns."""
+
+    def test_bare_controller_warns(self):
+        from repro.algorithms.mis.greedy import GreedyMISProgram
+
+        plan = FaultPlan.message_loss(0.4, seed=7)
+        graph = line(8)
+        with pytest.warns(DeprecationWarning, match="bare fault controller"):
+            engine = SyncEngine(
+                graph,
+                lambda node: GreedyMISProgram(),
+                faults=plan.build_controller(),
+            )
+        assert engine.interposer is not None
+
+    def test_bare_controller_behaves_like_the_plan(self):
+        import warnings
+
+        from repro.algorithms.mis.greedy import GreedyMISProgram
+
+        plan = FaultPlan.message_loss(0.4, seed=7)
+        graph = line(8)
+
+        def outcome(faults):
+            engine = SyncEngine(
+                graph,
+                lambda node: GreedyMISProgram(),
+                faults=faults,
+                max_rounds=60,
+                on_round_limit="partial",
+            )
+            result = engine.run()
+            return (result.outputs, result.rounds, result.dropped_messages)
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = outcome(plan.build_controller())
+        assert legacy == outcome(plan)
+
+    def test_plan_path_does_not_warn(self):
+        import warnings
+
+        from repro.algorithms.mis.greedy import GreedyMISProgram
+
+        graph = line(6)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            SyncEngine(
+                graph,
+                lambda node: GreedyMISProgram(),
+                faults=FaultPlan.message_loss(0.2, seed=1),
+            ).run()
