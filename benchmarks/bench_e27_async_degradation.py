@@ -1,0 +1,191 @@
+"""E27 — Degradation under φ-bounded asynchrony (beyond the model).
+
+The paper's model is synchronous; E25 already measured what survives
+message *loss*.  This experiment measures what survives message *delay*:
+the hardened MIS template runs under ``schedule="async"`` with a seeded
+delay adversary at φ ∈ {0, 1, 2, 4}, crossed with drop rates and
+prediction-error rates, on an Erdős–Rényi instance.  φ>0 cells arm a
+send timeout so dropped sends are retransmitted with exponential
+backoff; round budgets scale with the 1+φ bound stretch, mirroring the
+template's own slice stretching.
+
+The grid executes as one :class:`repro.exec.Sweep` (process backend)
+with per-cell ``RunConfig``s — the φ=0 async cells share the sweep with
+their eager twins, which is how the degenerate-mode claim is checked on
+the very rows the table reports.
+
+Claims checked:
+
+* **degenerate mode**: every φ=0 async cell is identical to its eager
+  twin in rounds, executed rounds and message count — asynchrony at
+  φ=0 *is* the synchronous model;
+* **safety is unconditional**: zero survivor-restricted MIS violations
+  at every φ, drop rate and error rate — delays (like drops) cost only
+  time, because the hardened variants join only on the engine's
+  reliable termination notifications;
+* **delays bite, gracefully**: no message is delayed at φ=0, messages
+  are delayed at every φ>0, and mean executed rounds are weakly
+  monotone in φ — a degradation curve, not a cliff.
+
+CI's ``async-smoke`` job runs the same shape through the CLI twice and
+gates it against the committed ``benchmarks/BENCH_e27_async.json``
+baseline (per-cell determinism plus round throughput).
+"""
+
+from repro.bench import Table
+from repro.bench.workloads import noisy_for, perfect_mis
+from repro.core import RunConfig
+from repro.exec import FaultSpec, GraphSpec, PredictionSpec, Sweep
+from repro.faults import degradation_metrics
+
+PHIS = (0, 1, 2, 4)
+DROP_RATES = (0.0, 0.05)
+ERROR_RATES = (0.0, 0.3)
+SEEDS = (0, 1)
+GRAPH = GraphSpec.of("erdos_renyi", 48, 0.1, seed=3)
+# Clean hardened runs finish in ~3 rounds; the 1+φ stretch scales every
+# template bound, so the budget scales with it (φ=0 matches E25's 7).
+BUDGET = 7
+
+
+def _predictions(error_rate, seed):
+    if error_rate == 0.0:
+        return PredictionSpec.of(perfect_mis, seed=seed)
+    return PredictionSpec.of(noisy_for, "mis", error_rate, seed=seed)
+
+
+def _add_cells(sweep):
+    """Populate the grid; returns per-cell coordinates in add order."""
+    coordinates = []
+    for phi in PHIS:
+        config = RunConfig(
+            schedule="async",
+            phi=phi,
+            send_timeout=2 if phi else None,
+            max_rounds=BUDGET * (1 + phi),
+            on_round_limit="partial",
+        )
+        for drop_rate in DROP_RATES:
+            for error_rate in ERROR_RATES:
+                for seed in SEEDS:
+                    sweep.add(
+                        f"phi={phi}/d={drop_rate}/e={error_rate}/s={seed}",
+                        GRAPH,
+                        "mis_hardened_simple",
+                        predictions=_predictions(error_rate, seed),
+                        faults=FaultSpec.of(
+                            "random_crash_plan", 0.0,
+                            drop_rate=drop_rate, seed=seed,
+                        ),
+                        problem="mis",
+                        seed=seed,
+                        config=config,
+                        metrics=degradation_metrics,
+                    )
+                    coordinates.append(("async", phi, drop_rate, error_rate, seed))
+    # Eager twins of the φ=0 slice: the degenerate-mode oracle.
+    eager = RunConfig(max_rounds=BUDGET, on_round_limit="partial")
+    for drop_rate in DROP_RATES:
+        for error_rate in ERROR_RATES:
+            for seed in SEEDS:
+                sweep.add(
+                    f"eager/d={drop_rate}/e={error_rate}/s={seed}",
+                    GRAPH,
+                    "mis_hardened_simple",
+                    predictions=_predictions(error_rate, seed),
+                    faults=FaultSpec.of(
+                        "random_crash_plan", 0.0,
+                        drop_rate=drop_rate, seed=seed,
+                    ),
+                    problem="mis",
+                    seed=seed,
+                    config=eager,
+                    metrics=degradation_metrics,
+                )
+                coordinates.append(("eager", 0, drop_rate, error_rate, seed))
+    return coordinates
+
+
+def test_e27_async_degradation(once):
+    def experiment():
+        sweep = Sweep(name="e27-async")
+        coordinates = _add_cells(sweep)
+        result = sweep.run("process")
+        return list(zip(result.rows, coordinates))
+
+    tagged = once(experiment)
+
+    table = Table(
+        "E27: hardened MIS under φ-bounded asynchrony",
+        ["phi", "drop", "err", "rounds", "coverage", "|S|",
+         "delayed", "retried", "stuck", "violations"],
+    )
+    by_phi = {}
+    for row, (kind, phi, drop_rate, error_rate, seed) in tagged:
+        if kind == "async":
+            by_phi.setdefault(phi, []).append(row)
+    for phi in PHIS:
+        group = by_phi[phi]
+        for drop_rate in DROP_RATES:
+            for error_rate in ERROR_RATES:
+                cells = [
+                    row
+                    for row, (kind, p, d, e, s) in tagged
+                    if kind == "async" and p == phi
+                    and d == drop_rate and e == error_rate
+                ]
+                table.add_row(
+                    phi,
+                    drop_rate,
+                    error_rate,
+                    round(sum(r.rounds_executed for r in cells) / len(cells), 1),
+                    round(sum(r.metrics["coverage"] for r in cells) / len(cells), 3),
+                    round(sum(r.solution_size for r in cells) / len(cells), 1),
+                    sum(r.delayed_messages for r in cells),
+                    sum(r.retried_messages for r in cells),
+                    sum(1 for r in cells if r.stuck),
+                    sum(r.metrics["violations"] for r in cells),
+                )
+    table.print()
+
+    rows = {row.label: row for row, _ in tagged}
+
+    # Degenerate mode: φ=0 async is the synchronous model, row for row.
+    for drop_rate in DROP_RATES:
+        for error_rate in ERROR_RATES:
+            for seed in SEEDS:
+                suffix = f"d={drop_rate}/e={error_rate}/s={seed}"
+                async_row = rows[f"phi=0/{suffix}"]
+                eager_row = rows[f"eager/{suffix}"]
+                for column in ("rounds", "rounds_executed", "message_count",
+                               "solution_size", "valid"):
+                    assert getattr(async_row, column) == getattr(
+                        eager_row, column
+                    ), (suffix, column)
+                assert async_row.delayed_messages == 0, suffix
+                assert async_row.retried_messages == 0, suffix
+
+    # Safety is unconditional: no survivor-restricted violation anywhere.
+    for row, coordinate in tagged:
+        assert row.metrics["violations"] == 0, coordinate
+
+    # Delays bite at every φ>0 and only there; rounds degrade gracefully.
+    assert all(row.delayed_messages == 0 for row in by_phi[0])
+    mean_rounds = {}
+    for phi in PHIS:
+        group = by_phi[phi]
+        if phi:
+            assert sum(row.delayed_messages for row in group) > 0, phi
+        mean_rounds[phi] = sum(r.rounds_executed for r in group) / len(group)
+    for lighter, heavier in zip(PHIS, PHIS[1:]):
+        assert mean_rounds[heavier] >= mean_rounds[lighter] - 0.5, (
+            f"rounds fell from phi={lighter} to phi={heavier}"
+        )
+    # The φ=4 adversary must actually cost time, or the experiment
+    # measures nothing.
+    assert mean_rounds[PHIS[-1]] > mean_rounds[0]
+
+    # Retransmission only exists where something was dropped to resend.
+    for row, (kind, phi, drop_rate, _, _) in tagged:
+        if kind == "async" and (phi == 0 or drop_rate == 0.0):
+            assert row.retried_messages == 0 or drop_rate > 0.0

@@ -77,7 +77,7 @@ from repro.obs import (
 from repro.problems import EDGE_COLORING, MATCHING, MIS, VERTEX_COLORING, get_problem
 from repro.simulator import CONGEST, LOCAL, RunResult, SyncEngine
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "CONGEST",

@@ -190,6 +190,10 @@ def cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         max_rounds=args.max_rounds,
         schedule=args.schedule,
+        phi=args.phi,
+        send_timeout=args.send_timeout,
+        deadline_s=args.deadline_s,
+        on_round_limit="partial" if args.schedule == "async" else "raise",
     )
     violations = problem.verify_solution(graph, result.outputs)
     error = eta1(graph, predictions, problem.name)
@@ -199,6 +203,12 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(f"eta1       : {error}")
     print(f"rounds     : {result.rounds}")
     print(f"messages   : {result.message_count} ({result.total_bits} bits)")
+    if args.schedule == "async":
+        print(f"async      : phi={args.phi} delayed={result.delayed_messages} "
+              f"retried={result.retried_messages} "
+              f"pulses={result.recovery_pulses}")
+    if result.stuck is not None:
+        print(f"stuck      : {result.stuck.summary()}")
     print(f"max msg    : {result.max_message_bits} bits "
           f"(CONGEST-ok: {result.congest_compatible(graph.n)})")
     print(f"valid      : {not violations}")
@@ -231,6 +241,9 @@ def cmd_profile(args: argparse.Namespace) -> int:
         max_rounds=args.max_rounds,
         profile=True,
         schedule=args.schedule,
+        phi=args.phi,
+        send_timeout=args.send_timeout,
+        deadline_s=args.deadline_s,
     )
     violations = problem.verify_solution(graph, result.outputs)
     print(f"instance   : {graph.name} (n={graph.n}, m={graph.num_edges})")
@@ -268,6 +281,10 @@ def cmd_events(args: argparse.Namespace) -> int:
         max_rounds=args.max_rounds,
         sinks=[sink],
         schedule=args.schedule,
+        phi=args.phi,
+        send_timeout=args.send_timeout,
+        deadline_s=args.deadline_s,
+        on_round_limit="partial" if args.schedule == "async" else "raise",
     )
     entries = sink.entries
     if args.kinds:
@@ -312,10 +329,16 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     graph_spec = GraphSpec.literal(parse_graph(args.graph))
     faulted = bool(args.drop_rate or args.crash_frac)
     config = RunConfig(
-        max_rounds=args.max_rounds, seed=args.seed, schedule=args.schedule
+        max_rounds=args.max_rounds,
+        seed=args.seed,
+        schedule=args.schedule,
+        phi=args.phi,
+        send_timeout=args.send_timeout,
+        deadline_s=args.deadline_s,
     )
-    if faulted:
-        # A starved faulty cell is a data point, not an error.
+    if faulted or args.schedule == "async":
+        # A starved faulty (or stabilized async) cell is a data point,
+        # not an error.
         config = config.with_overrides(on_round_limit="partial")
     sweep = Sweep(name=f"{args.problem}/{args.template}")
     for rate in rates:
@@ -533,10 +556,26 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--max-rounds", type=int, default=None)
         sub.add_argument(
             "--schedule",
-            choices=("eager", "quiescent", "quiescent-debug"),
+            choices=("eager", "quiescent", "quiescent-debug", "async"),
             default="eager",
             help="round scheduling policy (quiescent skips idle nodes; "
-            "observationally identical to eager)",
+            "observationally identical to eager; async adds adversarial "
+            "delivery delays — see --phi)",
+        )
+        sub.add_argument(
+            "--phi", type=int, default=0,
+            help="async delay bound: each message arrives within phi ticks "
+            "(requires --schedule async; 0 = synchronous delivery)",
+        )
+        sub.add_argument(
+            "--send-timeout", type=int, default=None,
+            help="async send timeout in ticks: lost sends are retransmitted "
+            "with exponential backoff (requires --schedule async)",
+        )
+        sub.add_argument(
+            "--deadline-s", type=float, default=None,
+            help="wall-clock budget per run in seconds; exceeding it "
+            "returns a partial result instead of hanging",
         )
     for sub in (run_parser, profile_parser, events_parser):
         sub.add_argument(
@@ -631,7 +670,7 @@ def build_parser() -> argparse.ArgumentParser:
     example_parser.add_argument("name", help=f"one of {sorted(EXAMPLES)}")
 
     reproduce_parser = subparsers.add_parser(
-        "reproduce", help="run the full E1..E25 experiment suite"
+        "reproduce", help="run the full E1..E27 experiment suite"
     )
     reproduce_parser.add_argument("--benchmarks", default="benchmarks")
     reproduce_parser.add_argument(

@@ -59,9 +59,21 @@ class RunConfig:
             every round), ``"quiescent"`` (skip nodes that declare
             ``quiescent_when_idle`` and cannot observably act this
             round; observationally identical, much faster on frontier
-            workloads), or ``"quiescent-debug"`` (run eagerly but raise
+            workloads), ``"quiescent-debug"`` (run eagerly but raise
             :class:`~repro.simulator.engine.QuiescenceViolation` if a
-            node the quiescent schedule would have skipped acts).
+            node the quiescent schedule would have skipped acts), or
+            ``"async"`` (the asynchronous model: adversarial delivery
+            delays up to ``phi`` ticks, fire-on-receipt scheduling,
+            send timeouts and stabilization detection).
+        phi: Delay bound for the ``"async"`` schedule's adversary
+            (``0`` = synchronous delivery; requires
+            ``schedule="async"`` when nonzero).
+        send_timeout: Async sender-side retransmission timeout (ticks);
+            ``None`` disables retries.  Requires ``schedule="async"``.
+        max_retries: Retransmission budget per lost send.
+        deadline_s: Wall-clock budget (seconds) per run; exceeding it
+            returns a partial result with a ``stuck`` report
+            (``reason="deadline"``) instead of hanging.
     """
 
     model: Optional[ExecutionModel] = None
@@ -73,6 +85,10 @@ class RunConfig:
     fast: bool = False
     profile: bool = False
     schedule: str = "eager"
+    phi: int = 0
+    send_timeout: Optional[int] = None
+    max_retries: int = 2
+    deadline_s: Optional[float] = None
 
     @property
     def effective_seed(self) -> int:
@@ -85,10 +101,21 @@ class RunConfig:
                 "on_round_limit must be 'raise' or 'partial', "
                 f"got {self.on_round_limit!r}"
             )
-        if self.schedule not in ("eager", "quiescent", "quiescent-debug"):
+        if self.schedule not in ("eager", "quiescent", "quiescent-debug", "async"):
             raise ValueError(
-                "schedule must be 'eager', 'quiescent' or "
-                f"'quiescent-debug', got {self.schedule!r}"
+                "schedule must be 'eager', 'quiescent', 'quiescent-debug' "
+                f"or 'async', got {self.schedule!r}"
+            )
+        if self.phi < 0:
+            raise ValueError(f"phi must be non-negative, got {self.phi}")
+        if (self.phi or self.send_timeout is not None) and self.schedule != "async":
+            raise ValueError(
+                "phi= and send_timeout= belong to the asynchronous model; "
+                f"pass schedule='async' (got schedule={self.schedule!r})"
+            )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(
+                f"deadline_s must be positive, got {self.deadline_s}"
             )
 
     def with_overrides(self, **overrides: Any) -> "RunConfig":
@@ -135,6 +162,10 @@ def run(
     fast: bool = _UNSET,
     profile: bool = _UNSET,
     schedule: str = _UNSET,
+    phi: int = _UNSET,
+    send_timeout: Optional[int] = _UNSET,
+    max_retries: int = _UNSET,
+    deadline_s: Optional[float] = _UNSET,
     sinks: Optional[Any] = None,
 ) -> RunResult:
     """Run ``algorithm`` on ``graph`` and return the execution record.
@@ -152,7 +183,8 @@ def run(
             declares ``uses_predictions``.
         config: A :class:`RunConfig`; defaults to ``RunConfig()``.
         model, max_rounds, seed, faults, on_round_limit, trace, fast,
-            profile, schedule: Field-level overrides of ``config`` (see
+            profile, schedule, phi, send_timeout, max_retries,
+            deadline_s: Field-level overrides of ``config`` (see
             :class:`RunConfig`).
         sinks: Extra :class:`~repro.obs.events.EventSink` objects
             attached to the engine for this call (not part of the
@@ -179,6 +211,10 @@ def run(
         fast=fast,
         profile=profile,
         schedule=schedule,
+        phi=phi,
+        send_timeout=send_timeout,
+        max_retries=max_retries,
+        deadline_s=deadline_s,
     )
     if crash_rounds:
         config = replace(
@@ -199,6 +235,10 @@ def run(
         on_round_limit=config.on_round_limit,
         fast=config.fast,
         schedule=config.schedule,
+        phi=config.phi,
+        send_timeout=config.send_timeout,
+        max_retries=config.max_retries,
+        deadline_s=config.deadline_s,
     )
     result = engine.run()
     result.trace = recorder

@@ -55,6 +55,19 @@ def _roundup(value: int, interval: int) -> int:
     return -(-value // interval) * interval
 
 
+def _stretch(ctx: NodeContext) -> int:
+    """Slice-duration stretch factor under the asynchronous model.
+
+    A message sent in tick t arrives by tick ``t + phi`` under the async
+    schedule's delay adversary, so a component that needs r synchronous
+    rounds completes within ``(1 + phi) * r`` ticks.  Every node computes
+    the same factor from the shared knowledge ``phi``, so slice boundaries
+    stay aligned.  Under every synchronous schedule ``phi == 0`` and the
+    factor is 1 — bounds are bit-identical to before.
+    """
+    return 1 + max(0, getattr(ctx, "phi", 0))
+
+
 def _required_bound(algorithm: DistributedAlgorithm, ctx: NodeContext) -> int:
     bound = algorithm.round_bound(ctx.n, ctx.delta or 0, ctx.d)
     if bound is None:
@@ -62,7 +75,7 @@ def _required_bound(algorithm: DistributedAlgorithm, ctx: NodeContext) -> int:
             f"{algorithm.name or type(algorithm).__name__} declares no round "
             "bound; templates need node-computable bounds to schedule around it"
         )
-    return bound
+    return bound * _stretch(ctx)
 
 
 class _EmitStoredProgram(NodeProgram):
@@ -261,7 +274,8 @@ class InterleavedTemplate(_TemplateBase):
             while True:
                 phase += 1
                 bound = _roundup(
-                    reference.phase_bound(phase, ctx.n, ctx.delta or 0, ctx.d),
+                    reference.phase_bound(phase, ctx.n, ctx.delta or 0, ctx.d)
+                    * _stretch(ctx),
                     measure_uniform.safe_pause_interval,
                 )
                 yield Slice(
@@ -406,7 +420,8 @@ class ParallelTemplate(_TemplateBase):
                 lambda host: initialization.build_program(),
             )
             part1_bound = _roundup(
-                reference.part1_bound(ctx.n, ctx.delta or 0, ctx.d),
+                reference.part1_bound(ctx.n, ctx.delta or 0, ctx.d)
+                * _stretch(ctx),
                 measure_uniform.safe_pause_interval,
             )
             yield Slice(

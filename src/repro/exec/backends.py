@@ -20,7 +20,8 @@ from __future__ import annotations
 import os
 import time
 import warnings
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.runner import run
@@ -69,6 +70,7 @@ def execute(
             "artifacts on disk, or use backend='serial'"
         )
     events = events or events_path is not None
+    _warn_bare_controllers(sweep)
     tagged = [
         (index, cell, _resolved_seed(sweep, index, cell))
         for index, cell in enumerate(sweep.cells)
@@ -110,6 +112,34 @@ def execute(
     if events_path is not None:
         _write_sweep_events(events_path, rows)
     return result
+
+
+def _warn_bare_controllers(sweep: Sweep) -> None:
+    """Warn (once per sweep) when a cell carries a bare fault controller.
+
+    The engine already deprecates ``faults=<controller instance>``, but
+    when the cell runs inside a pool worker that warning fires in the
+    worker process and never reaches the caller's terminal or an
+    ``-W error::DeprecationWarning`` test run.  Surfacing it here, on
+    the parent side before dispatch, keeps the sweep path as loud as the
+    direct ``run()`` path.
+    """
+    for cell in sweep.cells:
+        for faults in (cell.faults, cell.config.faults):
+            if (
+                faults is not None
+                and not isinstance(faults, Spec)
+                and not hasattr(faults, "build_controller")
+            ):
+                warnings.warn(
+                    "passing a bare fault controller as faults= is "
+                    "deprecated; pass a FaultPlan (or any object with a "
+                    "build_controller() factory) instead "
+                    f"(sweep cell {cell.label!r})",
+                    DeprecationWarning,
+                    stacklevel=3,
+                )
+                return
 
 
 def _write_sweep_events(path: str, rows: List[CellResult]) -> None:
@@ -202,6 +232,8 @@ def _execute_cell(
         error=error,
         message_count=result.message_count,
         dropped_messages=result.dropped_messages,
+        delayed_messages=result.delayed_messages,
+        retried_messages=result.retried_messages,
         stuck=result.stuck is not None,
         solution_size=_solution_size(
             result.outputs, problem.name if problem is not None else None
@@ -237,6 +269,69 @@ def _run_chunk(
     return rows, delta
 
 
+def _failed_cell_result(
+    index: int, cell: Cell, seed: int, exc: BaseException
+) -> CellResult:
+    """A placeholder row for a cell whose worker died (twice).
+
+    Every run-derived field is zero/``None``; ``failure`` records the
+    exception so the sweep table stays complete and diagnosable instead
+    of silently dropping the cell.
+    """
+    return CellResult(
+        index=index,
+        label=cell.label,
+        graph_name="",
+        n=0,
+        seed=seed,
+        rounds=0,
+        rounds_executed=0,
+        failure=f"{type(exc).__name__}: {exc}",
+    )
+
+
+def _drain_pool(
+    chunks: List[Tuple[Sequence[Tuple[int, Cell, int]], bool, bool]],
+    workers: int,
+    cache_size: int,
+    cache_dir: Optional[str],
+    rows: List[CellResult],
+    stats: Dict[str, int],
+) -> List[Tuple[Sequence[Tuple[int, Cell, int]], BaseException]]:
+    """Run chunks on one fresh pool, collecting into ``rows``/``stats``.
+
+    Returns the chunks (with the exception) whose workers the pool lost
+    — a crashed worker poisons the whole executor, so every not-yet-run
+    chunk surfaces as :class:`BrokenProcessPool` while already-completed
+    chunks keep their results.
+    """
+    lost: List[Tuple[Sequence[Tuple[int, Cell, int]], BaseException]] = []
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_init_worker,
+        initargs=(cache_size, cache_dir),
+    ) as pool:
+        futures = {}
+        try:
+            for chunk in chunks:
+                futures[pool.submit(_run_chunk, chunk)] = chunk
+        except BrokenProcessPool as exc:
+            # The pool died while submissions were still going in; every
+            # chunk that never made it to a worker is lost as well.
+            lost.extend((chunk[0], exc) for chunk in chunks[len(futures):])
+        for future in as_completed(futures):
+            chunk = futures[future]
+            try:
+                chunk_rows, chunk_stats = future.result()
+            except BrokenProcessPool as exc:
+                lost.append((chunk[0], exc))
+                continue
+            rows.extend(chunk_rows)
+            for key, value in chunk_stats.items():
+                stats[key] = stats.get(key, 0) + value
+    return lost
+
+
 def _execute_process_pool(
     tagged: List[Tuple[int, Cell, int]],
     *,
@@ -261,15 +356,28 @@ def _execute_process_pool(
     stats: Dict[str, int] = {"hits": 0, "disk_hits": 0, "misses": 0}
     effective = "process"
     try:
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_init_worker,
-            initargs=(cache_size, cache_dir),
-        ) as pool:
-            for chunk_rows, chunk_stats in pool.map(_run_chunk, chunks):
-                rows.extend(chunk_rows)
-                for key, value in chunk_stats.items():
-                    stats[key] = stats.get(key, 0) + value
+        lost = _drain_pool(chunks, workers, cache_size, cache_dir, rows, stats)
+        if lost:
+            # A worker died and took the pool with it.  The completed
+            # chunks' rows are already collected; retry only the lost
+            # cells, once, each on its own fresh single-worker pool —
+            # isolation, so a permanently-poisonous cell can neither
+            # sink its chunk-mates nor the other cells being retried.
+            retry_cells = [cell for chunk, _ in lost for cell in chunk]
+            warnings.warn(
+                f"a sweep worker died ({lost[0][1]}); retrying "
+                f"{len(retry_cells)} affected cell(s) on a fresh pool",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            for tag in retry_cells:
+                still_lost = _drain_pool(
+                    [([tag], profile, events)], 1, cache_size, cache_dir,
+                    rows, stats,
+                )
+                for chunk, exc in still_lost:
+                    for index, cell, seed in chunk:
+                        rows.append(_failed_cell_result(index, cell, seed, exc))
     except (OSError, PermissionError) as exc:
         # Sandboxes and restricted CI runners sometimes forbid spawning
         # worker processes; the sweep still completes, just serially —

@@ -34,6 +34,10 @@ class CellResult:
             predictions).
         message_count: Messages delivered.
         dropped_messages: Messages removed by the cell's adversary.
+        delayed_messages: Messages the async delay adversary held in
+            flight (``schedule="async"`` cells; 0 otherwise).
+        retried_messages: Send-timeout retransmissions the async
+            scheduler fired (``schedule="async"`` cells; 0 otherwise).
         stuck: Whether the run hit its round budget in graceful mode.
         solution_size: Nodes outputting 1 (MIS-style problems), else the
             number of decided nodes.
@@ -45,6 +49,12 @@ class CellResult:
             sweep was executed with profiling, else ``None``.
         events: The cell's event dicts (``MemoryEventSink`` form) when
             the sweep was executed with event capture, else ``None``.
+        failure: ``None`` for a cell that executed; otherwise a one-line
+            ``"ExcType: message"`` describing why the cell could not run
+            (e.g. its worker process died and the retry died too).  A
+            failed row is a placeholder — every run-derived field is
+            zero/``None`` — kept so the sweep table stays complete
+            instead of silently losing cells.
     """
 
     index: int
@@ -58,12 +68,15 @@ class CellResult:
     error: Optional[int] = None
     message_count: int = 0
     dropped_messages: int = 0
+    delayed_messages: int = 0
+    retried_messages: int = 0
     stuck: bool = False
     solution_size: int = 0
     metrics: Dict[str, Any] = field(default_factory=dict)
     elapsed: float = 0.0
     profile: Optional[Dict[str, Any]] = None
     events: Optional[List[Dict[str, Any]]] = None
+    failure: Optional[str] = None
 
     def as_tuple(self) -> Tuple[Any, ...]:
         """Canonical comparison form (used by backend-equivalence tests)."""
@@ -79,9 +92,12 @@ class CellResult:
             self.error,
             self.message_count,
             self.dropped_messages,
+            self.delayed_messages,
+            self.retried_messages,
             self.stuck,
             self.solution_size,
             tuple(sorted(self.metrics.items())),
+            self.failure,
         )
 
 
@@ -176,7 +192,10 @@ class SweepResult:
             "rounds_executed_total": sum(row.rounds_executed for row in rows),
             "messages_total": sum(row.message_count for row in rows),
             "dropped_total": sum(row.dropped_messages for row in rows),
+            "delayed_total": sum(row.delayed_messages for row in rows),
+            "retried_total": sum(row.retried_messages for row in rows),
             "stuck_cells": sum(1 for row in rows if row.stuck),
+            "failed_cells": sum(1 for row in rows if row.failure is not None),
             "valid_cells": sum(1 for row in valid_known if row.valid),
             "invalid_cells": sum(1 for row in valid_known if not row.valid),
             "cache_hit_rate": (lookups - built) / lookups if lookups else 0.0,
@@ -203,7 +222,8 @@ class SweepResult:
                 [
                     "label", "graph", "n", "seed", "rounds",
                     "rounds_executed", "valid", "error", "messages",
-                    "dropped", "stuck", "solution_size", *metric_keys,
+                    "dropped", "delayed", "retried", "stuck",
+                    "solution_size", "failure", *metric_keys,
                 ]
             )
             for row in self.rows:
@@ -212,7 +232,9 @@ class SweepResult:
                         row.label, row.graph_name, row.n, row.seed,
                         row.rounds, row.rounds_executed, row.valid,
                         row.error, row.message_count, row.dropped_messages,
+                        row.delayed_messages, row.retried_messages,
                         row.stuck, row.solution_size,
+                        row.failure or "",
                         *(row.metrics.get(key, "") for key in metric_keys),
                     ]
                 )

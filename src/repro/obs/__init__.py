@@ -38,6 +38,7 @@ from repro.obs.events import (
     EventSink,
     JsonlEventSink,
     MemoryEventSink,
+    async_telemetry,
     event_dict,
     read_jsonl_events,
     write_jsonl_events,
@@ -55,6 +56,7 @@ __all__ = [
     "MemoryEventSink",
     "RoundProfile",
     "RoundSample",
+    "async_telemetry",
     "baseline_payload",
     "diff_payloads",
     "event_dict",

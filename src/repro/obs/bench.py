@@ -18,7 +18,7 @@ Baseline schema (``repro.obs.bench/v1``; documented in
       "telemetry": { ... SweepResult.telemetry() ... },
       "cells": [
         {"label": ..., "seed": ..., "rounds": ..., "rounds_executed": ...,
-         "messages": ..., "valid": ..., "elapsed": ...},
+         "messages": ..., "delayed": ..., "valid": ..., "elapsed": ...},
         ...
       ]
     }
@@ -63,6 +63,7 @@ def baseline_payload(
                 "rounds": row.rounds,
                 "rounds_executed": row.rounds_executed,
                 "messages": row.message_count,
+                "delayed": getattr(row, "delayed_messages", 0),
                 "valid": row.valid,
                 "elapsed": getattr(row, "elapsed", 0.0),
             }
@@ -155,7 +156,11 @@ def diff_payloads(
         if old is None:
             diff.notes.append(f"new cell {label!r} (not in baseline)")
             continue
-        for column in ("rounds", "rounds_executed", "messages", "seed"):
+        for column in ("rounds", "rounds_executed", "messages", "seed", "delayed"):
+            if column not in old:
+                # Baselines recorded by an older version lack newer
+                # columns (e.g. "delayed"); absence is not a break.
+                continue
             if cell.get(column) != old.get(column):
                 diff.determinism_breaks.append(
                     f"cell {label!r}: {column} {old.get(column)} -> {cell.get(column)}"

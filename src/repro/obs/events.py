@@ -48,8 +48,12 @@ class EventSink:
     ``record`` kinds are those of
     :class:`~repro.simulator.trace.TraceEvent`: ``send``, ``output``,
     ``terminate``, ``crash``, ``recover``, ``drop``, ``corrupt``,
-    ``duplicate``.  Round 0 events (setup-phase outputs/terminations)
-    arrive before the first ``on_round_begin``.
+    ``duplicate`` — plus, under ``schedule="async"`` only, ``delay``
+    (a message parked in flight), ``deliver`` (a delayed message
+    landing), ``retry`` (a send-timeout retransmission) and
+    ``stabilize`` (a self-stabilization pulse; ``node`` is ``-1``).
+    Round 0 events (setup-phase outputs/terminations) arrive before the
+    first ``on_round_begin``.
     """
 
     def on_run_begin(self, meta: Mapping[str, Any]) -> None:
@@ -192,6 +196,52 @@ class JsonlEventSink(EventSink):
 
     def __exit__(self, *exc_info: Any) -> None:
         self.close()
+
+
+def async_telemetry(entries: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Summarize the asynchronous-model events of one run.
+
+    Takes any event-dict stream (``MemoryEventSink.entries`` / ``.events``
+    or a loaded JSONL export) and digests the ``schedule="async"`` kinds
+    into a small report::
+
+        {
+            "delayed": <count of delay events>,
+            "delivered_late": <count of deliver events>,
+            "retries": <count of retry events>,
+            "pulses": <count of stabilize events>,
+            "delay_histogram": {delay_ticks: count, ...},
+            "max_delay": <largest assigned delay, 0 if none>,
+            "max_retry_attempt": <largest retry attempt, 0 if none>,
+        }
+
+    On a synchronous run (or an async run at ``phi=0`` with no timeout)
+    every field is zero/empty — the async kinds are never emitted there.
+    """
+    histogram: Dict[int, int] = {}
+    delivered_late = retries = pulses = max_attempt = 0
+    for entry in entries:
+        kind = entry.get("kind")
+        if kind == "delay":
+            delay = int(entry.get("data", {}).get("delay", 0))
+            histogram[delay] = histogram.get(delay, 0) + 1
+        elif kind == "deliver":
+            delivered_late += 1
+        elif kind == "retry":
+            retries += 1
+            attempt = int(entry.get("data", {}).get("attempt", 0))
+            max_attempt = max(max_attempt, attempt)
+        elif kind == "stabilize":
+            pulses += 1
+    return {
+        "delayed": sum(histogram.values()),
+        "delivered_late": delivered_late,
+        "retries": retries,
+        "pulses": pulses,
+        "delay_histogram": dict(sorted(histogram.items())),
+        "max_delay": max(histogram) if histogram else 0,
+        "max_retry_attempt": max_attempt,
+    }
 
 
 def read_jsonl_events(path: str) -> List[Dict[str, Any]]:

@@ -19,7 +19,7 @@ round, exactly when an explicit notification message would have arrived.
 The engine is a thin orchestrator over composable runtime stages — see
 docs/ARCHITECTURE.md: :class:`~repro.simulator.transport.Transport`
 (mailboxes + bit accounting), :class:`~repro.simulator.scheduling.Scheduler`
-(eager / quiescent / quiescent-debug round drives),
+(eager / quiescent / quiescent-debug / async round drives),
 :class:`~repro.simulator.interpose.FaultInterposer` (the fault surface),
 :class:`~repro.simulator.lifecycle.NodeLifecycle` (terminations, crashes,
 recoveries) and :class:`~repro.simulator.obs_dispatch.ObsDispatch` (event
@@ -27,6 +27,7 @@ fan-out + profiling), all over the shared
 :class:`~repro.graphs.csr.CSRTopology` graph core.
 """
 
+from repro.simulator.adversary import DelayAdversary, RetryPolicy
 from repro.simulator.context import NodeContext
 from repro.simulator.engine import (
     BandwidthExceeded,
@@ -47,6 +48,7 @@ from repro.simulator.models import CONGEST, LOCAL, ExecutionModel
 from repro.simulator.obs_dispatch import ObsDispatch
 from repro.simulator.program import NodeProgram
 from repro.simulator.scheduling import (
+    AsyncScheduler,
     EagerScheduler,
     QuiescentDebugScheduler,
     QuiescentScheduler,
@@ -56,8 +58,10 @@ from repro.simulator.trace import TraceEvent, TraceRecorder
 from repro.simulator.transport import Transport
 
 __all__ = [
+    "AsyncScheduler",
     "BandwidthExceeded",
     "CONGEST",
+    "DelayAdversary",
     "EagerScheduler",
     "ExecutionModel",
     "FaultInterposer",
@@ -71,6 +75,7 @@ __all__ = [
     "QuiescenceViolation",
     "QuiescentDebugScheduler",
     "QuiescentScheduler",
+    "RetryPolicy",
     "RoundLimitExceeded",
     "RunResult",
     "Scheduler",

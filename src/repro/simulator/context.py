@@ -50,6 +50,12 @@ class NodeContext:
         crashed_neighbors: Neighbors removed by fault injection.
         rng: Per-node deterministic random stream (for the paper's
             randomized algorithms; deterministic algorithms never use it).
+        phi: The delay bound of the run's asynchronous adversary (0 under
+            every synchronous schedule).  Part of a node's shared
+            knowledge, like ``n`` and ``delta``: delay-aware programs
+            (e.g. the sliced templates) stretch their round bounds by
+            ``1 + phi`` so that slice boundaries outlast the slowest
+            message.
     """
 
     def __init__(
@@ -62,6 +68,7 @@ class NodeContext:
         prediction: Any = None,
         attrs: Optional[Mapping[str, Any]] = None,
         seed: int = 0,
+        phi: int = 0,
     ) -> None:
         self.node_id = node_id
         self.neighbors = frozenset(neighbors)
@@ -74,8 +81,13 @@ class NodeContext:
         self.active_neighbors = set(self.neighbors)
         self.neighbor_outputs: Dict[int, Any] = {}
         self.crashed_neighbors: set = set()
+        self.phi = phi
         self._seed = seed
         self._rng: Optional[random.Random] = None
+        #: Per-node send-timeout override for the async schedule
+        #: (``None`` = use the engine-wide default); see
+        #: :meth:`set_send_timeout`.
+        self._send_timeout: Optional[int] = None
 
         self._output: Any = _UNSET
         self._output_parts: Dict[Any, Any] = {}
@@ -228,3 +240,23 @@ class NodeContext:
                 f"got {delay}"
             )
         self.wake_at(self.round + delay)
+
+    # ------------------------------------------------------------------
+    # Asynchronous model (schedule="async")
+    # ------------------------------------------------------------------
+    def set_send_timeout(self, ticks: Optional[int]) -> None:
+        """Arm (or disarm) this node's send timeout under ``schedule="async"``.
+
+        When one of this node's sends is lost and a timeout is armed,
+        the scheduler retransmits after ``ticks`` ticks with exponential
+        backoff, up to the engine's ``max_retries``.  ``None`` restores
+        the engine-wide default (``send_timeout=``, itself ``None`` —
+        no retries — unless configured).  A no-op under every
+        synchronous schedule, like :meth:`wake_at` under eager.
+        """
+        if ticks is not None and ticks < 1:
+            raise ValueError(
+                f"node {self.node_id}: send timeout must be >= 1 tick, "
+                f"got {ticks}"
+            )
+        self._send_timeout = ticks

@@ -130,7 +130,24 @@ class SyncEngine:
             workloads from Θ(n · rounds) to Θ(total activity) while
             staying observationally identical.  ``"quiescent-debug"``
             executes eagerly but raises :class:`QuiescenceViolation` when
-            an idle node acts.  See docs/PERFORMANCE.md.
+            an idle node acts.  ``"async"`` is the asynchronous execution
+            model of docs/MODEL.md: messages are delayed up to ``phi``
+            ticks by a seeded adversary, nodes fire on receipt, and a
+            stabilization detector quiesces starved runs.  See
+            docs/PERFORMANCE.md.
+        phi: Delay bound (ticks) for the ``"async"`` schedule's
+            adversary; ``0`` (default) degenerates to synchronous
+            delivery.  Only meaningful with ``schedule="async"``.
+        send_timeout: Ticks an async sender waits before retransmitting
+            a lost message (exponential backoff, ``max_retries``
+            attempts); ``None`` (default) disables retries.  Only
+            meaningful with ``schedule="async"``.
+        max_retries: Retransmission budget per original send.
+        deadline_s: Optional wall-clock budget (seconds) for the whole
+            run.  A run that exceeds it stops *gracefully* — whatever
+            ``on_round_limit`` says — and returns the partial result
+            with a ``stuck`` report whose ``reason`` is ``"deadline"``,
+            so a hung cell can never wedge a sweep or CI job.
     """
 
     def __init__(
@@ -150,16 +167,27 @@ class SyncEngine:
         on_round_limit: str = "raise",
         fast: bool = False,
         schedule: str = "eager",
+        phi: int = 0,
+        send_timeout: Optional[int] = None,
+        max_retries: int = 2,
+        deadline_s: Optional[float] = None,
     ) -> None:
         if on_round_limit not in ("raise", "partial"):
             raise ValueError(
                 f"on_round_limit must be 'raise' or 'partial', got {on_round_limit!r}"
             )
         if schedule not in SCHEDULERS:
+            known = ", ".join(repr(name) for name in SCHEDULERS)
+            raise ValueError(f"schedule must be one of {known}, got {schedule!r}")
+        if phi < 0:
+            raise ValueError(f"phi must be non-negative, got {phi}")
+        if (phi or send_timeout is not None) and schedule != "async":
             raise ValueError(
-                "schedule must be 'eager', 'quiescent' or 'quiescent-debug', "
-                f"got {schedule!r}"
+                "phi= and send_timeout= belong to the asynchronous model; "
+                f"pass schedule='async' (got schedule={schedule!r})"
             )
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError(f"deadline_s must be positive, got {deadline_s}")
         if crash_rounds:
             warnings.warn(
                 "crash_rounds= is deprecated; pass "
@@ -176,11 +204,19 @@ class SyncEngine:
         self.on_round_limit = on_round_limit
         self.fast = fast
         self.schedule = schedule
+        #: Async-model knobs (read by the async scheduler at bind time;
+        #: inert under every synchronous policy).
+        self.phi = phi
+        self.send_timeout = send_timeout
+        self.max_retries = max_retries
+        self.deadline_s = deadline_s
         #: The scheduling stage: which nodes run a round, and the
         #: compose/deliver/process drive.
         self._scheduler = SCHEDULERS[schedule]()
         if self.obs.profile is not None and not self._scheduler.supports_profile:
-            raise ValueError("profiling is not supported with schedule='quiescent-debug'")
+            raise ValueError(
+                f"profiling is not supported with schedule={schedule!r}"
+            )
         self._seed = seed
         #: The run's result record, shared with transport and interposer.
         self.result = RunResult(model=model)
@@ -273,6 +309,7 @@ class SyncEngine:
             prediction=self._predictions.get(node),
             attrs=self.graph.node_attrs(node),
             seed=self._seed,
+            phi=self.phi,
         )
 
     # ------------------------------------------------------------------
@@ -308,8 +345,19 @@ class SyncEngine:
             else self._scheduler.run_round
         )
         round_index = 0
+        run_deadline = (
+            None if self.deadline_s is None else perf_counter() + self.deadline_s
+        )
         while self._active or self._has_pending_recoveries(round_index):
             if stop_after is not None and round_index >= stop_after:
+                break
+            if run_deadline is not None and perf_counter() >= run_deadline:
+                # Wall-clock deadlines always degrade gracefully: a hung
+                # cell must never wedge a sweep, whatever on_round_limit
+                # says about round budgets.
+                result.stuck = self._build_stuck_report(
+                    round_index, reason="deadline"
+                )
                 break
             if round_index >= self.max_rounds:
                 if self.on_round_limit == "partial":
@@ -334,6 +382,20 @@ class SyncEngine:
                         "active": len(self._active),
                     },
                 )
+            if self._scheduler.quiesced and self._active:
+                # The async stabilization detector proved nothing can
+                # ever happen again; stop instead of spinning empty
+                # ticks to the round budget.
+                if self.on_round_limit != "partial":
+                    raise RoundLimitExceeded(
+                        f"{len(self._active)} node(s) stabilized without "
+                        f"terminating after {round_index} rounds: "
+                        f"{sorted(self._active)[:10]}"
+                    )
+                result.stuck = self._build_stuck_report(
+                    round_index, reason="stabilized"
+                )
+                break
         result.rounds_executed = round_index
         result.rounds = max(
             (
@@ -400,5 +462,7 @@ class SyncEngine:
         """
         self._lifecycle.finalize_round(round_index, participants)
 
-    def _build_stuck_report(self, round_index: int) -> StuckReport:
-        return self._lifecycle.build_stuck_report(round_index)
+    def _build_stuck_report(
+        self, round_index: int, reason: str = "round-limit"
+    ) -> StuckReport:
+        return self._lifecycle.build_stuck_report(round_index, reason=reason)

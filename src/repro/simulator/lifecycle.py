@@ -181,8 +181,14 @@ class NodeLifecycle:
         if rejoined:
             rt._active_order = sorted(rt._active)
 
-    def build_stuck_report(self, round_index: int) -> StuckReport:
-        """Snapshot every live node when the round budget is blown."""
+    def build_stuck_report(
+        self, round_index: int, reason: str = "round-limit"
+    ) -> StuckReport:
+        """Snapshot every live node when a run is cut short.
+
+        ``reason`` records *which* budget cut it: the round limit, the
+        wall-clock ``deadline_s``, or async stabilization.
+        """
         rt = self.rt
         live = sorted(rt._active)
         processed = rt._scheduler.processed_last_round
@@ -211,4 +217,5 @@ class NodeLifecycle:
             live_nodes=live,
             total_nodes=rt.graph.n,
             snapshots=snapshots,
+            reason=reason,
         )

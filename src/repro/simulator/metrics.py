@@ -74,18 +74,23 @@ class StuckReport:
         live_nodes: Nodes still active when the run was cut, sorted.
         total_nodes: Number of nodes in the instance.
         snapshots: Per-live-node :class:`NodeSnapshot`.
+        reason: Why the run was cut short — ``"round-limit"`` (the round
+            budget), ``"deadline"`` (the wall-clock budget of
+            ``deadline_s``), or ``"stabilized"`` (the async scheduler's
+            stabilization detector proved nothing can ever happen again).
     """
 
     round: int
     live_nodes: List[int] = field(default_factory=list)
     total_nodes: int = 0
     snapshots: Dict[int, NodeSnapshot] = field(default_factory=dict)
+    reason: str = "round-limit"
 
     def summary(self) -> str:
         """One-line human-readable description."""
         return (
             f"{len(self.live_nodes)}/{self.total_nodes} node(s) still live "
-            f"after {self.round} round(s): {self.live_nodes[:10]}"
+            f"after {self.round} round(s) [{self.reason}]: {self.live_nodes[:10]}"
         )
 
 
@@ -112,8 +117,15 @@ class RunResult:
         duplicated_messages: Adversarial replay deliveries (a copy of a
             previous-round message delivered one round late).
         corrupted_messages: Messages whose payload an adversary mangled.
-        stuck: :class:`StuckReport` when the run hit its round budget in
-            ``on_round_limit="partial"`` mode, else ``None``.
+        delayed_messages: Messages the async delay adversary held in
+            flight for at least one tick (``schedule="async"`` only).
+        retried_messages: Retransmissions of lost sends fired by the
+            async send-timeout machinery.
+        recovery_pulses: Self-stabilization pulses the async scheduler
+            injected to re-probe an apparently stalled execution.
+        stuck: :class:`StuckReport` when the run was cut short in
+            graceful mode (round budget, wall-clock deadline, or async
+            stabilization — see ``StuckReport.reason``), else ``None``.
         model: The execution model the run was accounted against.
         trace: The :class:`~repro.simulator.trace.TraceRecorder` of the
             run when tracing was requested (``run(..., trace=True)``),
@@ -134,6 +146,9 @@ class RunResult:
     dropped_messages: int = 0
     duplicated_messages: int = 0
     corrupted_messages: int = 0
+    delayed_messages: int = 0
+    retried_messages: int = 0
+    recovery_pulses: int = 0
     stuck: Optional[StuckReport] = None
     model: Optional[ExecutionModel] = None
     trace: Optional[Any] = None

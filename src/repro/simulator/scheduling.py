@@ -16,6 +16,13 @@ loop are now three implementations of one protocol:
 * :class:`QuiescentDebugScheduler` — executes eagerly while tracking the
   hypothetical wake-set and raises :class:`QuiescenceViolation` the
   moment a supposedly idle node acts.
+* :class:`AsyncScheduler` — the asynchronous execution model: a seeded
+  :class:`~repro.simulator.adversary.DelayAdversary` assigns each message
+  a delivery delay of up to ``phi`` ticks, nodes fire on receipt rather
+  than in lockstep, lost sends can be retransmitted with bounded backoff,
+  and a stabilization detector quiesces the run when nothing can ever
+  happen again.  At ``phi = 0`` with no send timeout it is bit-identical
+  to the quiescent (and hence the eager) schedule.
 
 Each scheduler provides a fused ``run_round`` and (where supported) a
 split ``run_round_profiled`` that times compose/deliver/process/finalize
@@ -33,6 +40,7 @@ from __future__ import annotations
 from time import perf_counter
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.simulator.adversary import DelayAdversary, RetryPolicy
 from repro.simulator.context import NodeContext
 from repro.simulator.interpose import DROPPED
 
@@ -66,10 +74,15 @@ class Scheduler:
         processed_last_round: Nodes the last executed round actually
             processed (``None`` means every active node) — keeps
             stuck-report inbox snapshots identical across schedules.
+        quiesced: Whether the policy's stabilization detector concluded
+            that nothing observable can ever happen again (only the
+            async policy ever sets it); the engine turns it into a
+            partial result instead of spinning to the round budget.
     """
 
     tracks_wakes = False
     supports_profile = True
+    quiesced = False
 
     def __init__(self) -> None:
         self.rt: Any = None
@@ -600,9 +613,261 @@ class QuiescentDebugScheduler(QuiescentScheduler):
         rt.finalize_round(round_index)
 
 
+class AsyncScheduler(QuiescentScheduler):
+    """The asynchronous execution model: delays, timeouts, stabilization.
+
+    Builds on the quiescent wake machinery — a node fires exactly when
+    something can observably reach it (a delivery, a neighbor event, a
+    timed wakeup), which under asynchrony *is* fire-on-receipt — and
+    relaxes lockstep delivery through three mechanisms:
+
+    * **Adversarial delays** — every message that survives the fault
+      interposer is handed to a :class:`~repro.simulator.adversary.
+      DelayAdversary`; a message assigned delay ``delta > 0`` is parked
+      in flight and lands at the start of tick ``tick + delta`` (waking
+      its receiver), charged to the transport at delivery time.
+    * **Send timeouts with bounded retry** — when the interposer drops a
+      send and a send timeout is armed (engine-wide ``send_timeout`` or
+      per-node ``ctx.set_send_timeout``), the sender retransmits after
+      an exponential backoff (``timeout * 2**(attempt-1)`` ticks), up to
+      ``max_retries`` times; the retransmission is re-adjudicated and
+      re-delayed like any fresh send.
+    * **Self-stabilizing recovery** — when active nodes remain but no
+      wake condition, in-flight message, pending retry, replay or
+      scheduled recovery exists anywhere, the scheduler pulses: it wakes
+      every active node once (an idle round is a no-op by the quiescence
+      contract, so the pulse is always safe).  A pulse that provokes no
+      new activity proves the execution has *stabilized*; the scheduler
+      sets :attr:`quiesced` and the engine ends the run with a partial
+      result instead of spinning empty ticks to the round budget.
+
+    At ``phi = 0`` with no send timeout every message lands in its send
+    tick, no retry is ever armed and the stabilization detector stays
+    dormant, so the execution is bit-identical — outputs, counters and
+    the full event stream — to ``schedule="quiescent"`` (and therefore
+    to eager; ``tests/test_engine_fuzz.py`` enforces this
+    differentially).  Profiling is unsupported: with messages in flight
+    the compose/deliver phase split of a tick is not well-defined.
+    """
+
+    supports_profile = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: due tick -> [(sender, receiver, payload)] in dispatch order.
+        self._in_flight: Dict[int, List[Tuple[int, int, Any]]] = {}
+        #: due tick -> [(sender, receiver, payload, attempt)].
+        self._retries: Dict[int, List[Tuple[int, int, Any, int]]] = {}
+        self._adversary = DelayAdversary(0, 0)
+        self._policy = RetryPolicy()
+        #: Whether the previous tick was a stabilization pulse that has
+        #: not yet provoked any activity.
+        self._pulsed = False
+        self.quiesced = False
+
+    def bind(self, rt: Any) -> None:
+        super().bind(rt)
+        self._adversary = DelayAdversary(rt.phi, rt._seed)
+        self._policy = RetryPolicy(rt.send_timeout, rt.max_retries)
+
+    # -- async bookkeeping ----------------------------------------------
+    def _has_future_work(self, round_index: int) -> bool:
+        """Whether anything anywhere can still wake a node later."""
+        if self._in_flight or self._retries or self._timed_wake:
+            return True
+        rt = self.rt
+        interposer = rt.interposer
+        if interposer is not None and interposer.has_pending_replays:
+            return True
+        return rt._has_pending_recoveries(round_index)
+
+    def _dispatch(
+        self,
+        tick: int,
+        sender: int,
+        receiver: int,
+        payload: Any,
+        attempt: int,
+        process_set: set,
+        next_wake: set,
+    ) -> None:
+        """Route one composed (or retransmitted) message.
+
+        Adjudicates faults, then either lands the message now (delay 0 —
+        the synchronous path), parks it in flight (delay > 0), or — on a
+        drop with a timeout armed — schedules a backoff retransmission
+        of the *original* payload.
+        """
+        rt = self.rt
+        interposer = rt.interposer
+        if interposer is not None:
+            adjudicated = interposer.adjudicate(tick, sender, receiver, payload)
+            if adjudicated is DROPPED:
+                next_wake.add(receiver)
+                ctx_timeout = rt.contexts[sender]._send_timeout
+                timeout = (
+                    ctx_timeout
+                    if ctx_timeout is not None
+                    else self._policy.send_timeout
+                )
+                if timeout is not None:
+                    due = self._policy.retry_due(tick, attempt + 1, timeout)
+                    if due is not None:
+                        self._retries.setdefault(due, []).append(
+                            (sender, receiver, payload, attempt + 1)
+                        )
+                return
+            payload = adjudicated
+        delay = self._adversary.delay(tick, sender, receiver)
+        if delay:
+            rt.result.delayed_messages += 1
+            if rt.obs:
+                rt.obs.emit(
+                    tick,
+                    "delay",
+                    sender,
+                    {"to": receiver, "payload": payload, "delay": delay},
+                )
+            self._in_flight.setdefault(tick + delay, []).append(
+                (sender, receiver, payload)
+            )
+            return
+        transport = rt.transport
+        if receiver not in process_set:
+            transport.inboxes[receiver].clear()
+            process_set.add(receiver)
+        transport.deposit(sender, receiver, payload)
+        next_wake.add(receiver)
+
+    # -- round execution ------------------------------------------------
+    def run_round(self, round_index: int) -> None:
+        rt = self.rt
+        rt.apply_recoveries(round_index)
+        scheduled = self.compute_wake_order(round_index)
+        next_wake = self._next_wake
+        active = rt._active
+        programs = rt.programs
+        contexts = rt.contexts
+        transport = rt.transport
+        inboxes = transport.inboxes
+        deposit = transport.deposit
+        emit = rt.obs.emit if rt.obs else None
+        interposer = rt.interposer
+        live_async = (
+            self._adversary.phi > 0 or self._policy.send_timeout is not None
+        )
+
+        if scheduled:
+            self._pulsed = False
+        elif live_async and active and not self._has_future_work(round_index):
+            if self._pulsed:
+                # A full pulse provoked nothing and nothing is in flight
+                # anywhere: the execution has stabilized short of
+                # termination.  Tell the engine instead of spinning.
+                self.quiesced = True
+                self.processed_last_round = set()
+                rt.finalize_round(round_index, participants=[])
+                return
+            # Self-stabilizing recovery: wake everyone once.  An idle
+            # round is a no-op under the quiescence contract, so the
+            # pulse never perturbs a healthy execution.
+            self._pulsed = True
+            rt.result.recovery_pulses += 1
+            if emit is not None:
+                emit(round_index, "stabilize", -1, {"live": len(active)})
+            scheduled = list(rt._active_order)
+
+        process_set = set(scheduled)
+        for node in scheduled:
+            inboxes[node].clear()
+        if interposer is not None and interposer.has_pending_replays:
+            interposer.deliver_replays(
+                round_index, transport, active, awaken=process_set, wake=next_wake
+            )
+
+        # Delayed messages due this tick land before fresh sends — they
+        # are older traffic, the same precedence adversarial replays get.
+        # A receiver that left the computation while the message was in
+        # flight discards it, matching the synchronous rule for sends to
+        # inactive nodes.
+        due = self._in_flight.pop(round_index, None)
+        if due is not None:
+            for sender, receiver, payload in due:
+                if receiver not in active:
+                    continue
+                if emit is not None:
+                    emit(
+                        round_index,
+                        "deliver",
+                        sender,
+                        {"to": receiver, "payload": payload},
+                    )
+                if receiver not in process_set:
+                    inboxes[receiver].clear()
+                    process_set.add(receiver)
+                deposit(sender, receiver, payload)
+                next_wake.add(receiver)
+
+        # Retransmissions whose backoff timer expires this tick.
+        due_retries = self._retries.pop(round_index, None)
+        if due_retries is not None:
+            for sender, receiver, payload, attempt in due_retries:
+                if sender not in active or receiver not in active:
+                    continue
+                rt.result.retried_messages += 1
+                if emit is not None:
+                    emit(
+                        round_index,
+                        "retry",
+                        sender,
+                        {"to": receiver, "payload": payload, "attempt": attempt},
+                    )
+                self._dispatch(
+                    round_index, sender, receiver, payload, attempt,
+                    process_set, next_wake,
+                )
+
+        for node in scheduled:
+            ctx = contexts[node]
+            ctx.round = round_index
+            outbox = programs[node].compose(ctx)
+            if not outbox:
+                continue
+            neighbors = ctx.neighbors
+            for receiver, payload in outbox.items():
+                if receiver not in neighbors:
+                    raise ValueError(
+                        f"node {node} sent to non-neighbor {receiver} "
+                        f"in round {round_index}"
+                    )
+                if emit is not None:
+                    emit(
+                        round_index, "send", node, {"to": receiver, "payload": payload}
+                    )
+                if receiver not in active:
+                    continue
+                self._dispatch(
+                    round_index, node, receiver, payload, 0,
+                    process_set, next_wake,
+                )
+
+        if len(process_set) == len(scheduled):
+            process_order: List[int] = scheduled
+        else:
+            process_order = sorted(process_set)
+        for node in process_order:
+            ctx = contexts[node]
+            ctx.round = round_index
+            programs[node].process(ctx, inboxes[node])
+            self._collect_wake(node, ctx)
+        self.processed_last_round = process_set
+        rt.finalize_round(round_index, participants=process_order)
+
+
 #: Registry mapping the public ``schedule=`` names to implementations.
 SCHEDULERS = {
     "eager": EagerScheduler,
     "quiescent": QuiescentScheduler,
     "quiescent-debug": QuiescentDebugScheduler,
+    "async": AsyncScheduler,
 }

@@ -164,31 +164,35 @@ def _random_plan(rng, graph):
     )
 
 
+def _factories(seed):
+    from repro.algorithms.coloring.greedy import PaletteGreedyColoringProgram
+    from repro.algorithms.matching.greedy import GreedyMatchingProgram
+    from repro.algorithms.mis.greedy import GreedyMISProgram
+
+    def mixed(node):
+        # Quiescent programs interleaved with eager fuzz nodes: the
+        # wake-set must stay exact with always-awake neighbors
+        # injecting arbitrary payloads.
+        if node % 2 == 0:
+            return FuzzProgram(seed, node)
+        return GreedyMISProgram()
+
+    return [
+        ("mis", lambda node: GreedyMISProgram()),
+        ("matching", lambda node: GreedyMatchingProgram()),
+        ("coloring", lambda node: PaletteGreedyColoringProgram()),
+        ("fuzz", lambda node: FuzzProgram(seed, node)),
+        ("mixed", mixed),
+    ]
+
+
 class TestQuiescentDifferentialFuzz:
     """schedule='quiescent' must be observationally identical to eager
     for every algorithm, graph and fault plan — including a profiled
     quiescent run (the third way of the three-way differential)."""
 
     def _factories(self, seed):
-        from repro.algorithms.coloring.greedy import PaletteGreedyColoringProgram
-        from repro.algorithms.matching.greedy import GreedyMatchingProgram
-        from repro.algorithms.mis.greedy import GreedyMISProgram
-
-        def mixed(node):
-            # Quiescent programs interleaved with eager fuzz nodes: the
-            # wake-set must stay exact with always-awake neighbors
-            # injecting arbitrary payloads.
-            if node % 2 == 0:
-                return FuzzProgram(seed, node)
-            return GreedyMISProgram()
-
-        return [
-            ("mis", lambda node: GreedyMISProgram()),
-            ("matching", lambda node: GreedyMatchingProgram()),
-            ("coloring", lambda node: PaletteGreedyColoringProgram()),
-            ("fuzz", lambda node: FuzzProgram(seed, node)),
-            ("mixed", mixed),
-        ]
+        return _factories(seed)
 
     @given(st.integers(min_value=0, max_value=10**6))
     @settings(max_examples=25, deadline=None)
@@ -351,3 +355,94 @@ class TestLayeredRuntimeDifferential:
             )
 
         assert observe(SyncEngine) == observe(ReferenceSyncEngine), name
+
+
+# ----------------------------------------------------------------------
+# Asynchronous-schedule fuzzing
+# ----------------------------------------------------------------------
+
+def _run_async_collect(graph, factory, plan, *, phi, seed=0, send_timeout=None):
+    """One async run returning the full result plus its event sink."""
+    from repro.obs import MemoryEventSink
+
+    sink = MemoryEventSink()
+    engine = SyncEngine(
+        graph,
+        factory,
+        faults=plan,
+        sinks=[sink],
+        schedule="async",
+        phi=phi,
+        send_timeout=send_timeout,
+        seed=seed,
+        max_rounds=200,
+        on_round_limit="partial",
+    )
+    return engine.run(), sink
+
+
+class TestAsyncDifferentialFuzz:
+    """``schedule='async'`` at phi=0 with no send timeouts IS the
+    synchronous model: bit-identical to eager on every observable —
+    outputs, counters, bit accounting and the exact event stream —
+    under random fault plans across every algorithm family."""
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_phi_zero_matches_eager(self, seed):
+        rng = random.Random(f"{seed}:async-phi0-fuzz")
+        graph = erdos_renyi(
+            rng.randint(3, 18), rng.choice([0.15, 0.3, 0.6]), seed=seed
+        )
+        plan = _random_plan(rng, graph)
+        name, factory = _factories(seed)[seed % 5]
+        eager = _run_collect(graph, factory, "eager", plan)
+        phi0 = _run_collect(graph, factory, "async", plan)
+        assert phi0 == eager, name
+
+
+class TestAsyncInvariantFuzz:
+    """phi>0 executions diverge from eager by design (that is the model);
+    what must hold instead are the scheduler's own invariants:
+    determinism per seed, adversary delays bounded by phi, late
+    deliveries never exceeding the number of parked messages, and
+    counters that agree with the event stream."""
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_invariants_under_delays(self, seed):
+        rng = random.Random(f"{seed}:async-phi-fuzz")
+        graph = erdos_renyi(rng.randint(3, 14), 0.3, seed=seed)
+        plan = _random_plan(rng, graph)
+        phi = rng.randint(1, 4)
+        timeout = rng.choice([None, 2])
+        name, factory = _factories(seed)[seed % 5]
+        r1, s1 = _run_async_collect(
+            graph, factory, plan, phi=phi, seed=seed, send_timeout=timeout
+        )
+        r2, s2 = _run_async_collect(
+            graph, factory, plan, phi=phi, seed=seed, send_timeout=timeout
+        )
+
+        # Same seed => identical execution (message events; lifecycle
+        # entries carry wall-clock timings).
+        assert s1.events == s2.events, name
+        assert r1.outputs == r2.outputs, name
+        assert r1.message_count == r2.message_count, name
+        assert r1.rounds_executed == r2.rounds_executed, name
+
+        # Every adversary delay respects the phi bound, and the counters
+        # are exactly the event-stream tallies.
+        delays = [
+            ev["data"]["delay"]
+            for ev in s1.events
+            if ev["kind"] == "delay"
+        ]
+        assert all(1 <= delay <= phi for delay in delays), name
+        assert r1.delayed_messages == len(delays), name
+        delivers = [ev for ev in s1.events if ev["kind"] == "deliver"]
+        assert len(delivers) <= len(delays), name
+        retries = [ev for ev in s1.events if ev["kind"] == "retry"]
+        assert r1.retried_messages == len(retries), name
+        if timeout is None:
+            assert not retries, name

@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import os
 import pickle
+import warnings
 
 import pytest
 
@@ -501,3 +503,121 @@ class TestSweepObservability:
             r.rounds_executed * r.n for r in result.rows
         )
         assert telemetry["node_rounds_per_sec"] > 0
+
+
+# ----------------------------------------------------------------------
+# Worker-death recovery
+# ----------------------------------------------------------------------
+def _killer_ring(n, marker):
+    """``ring(n)``, except building it kills the whole process first —
+    unconditionally when ``marker == "ALWAYS"``, once (recording the kill
+    in the marker file) otherwise.  ``os._exit`` skips all Python-level
+    cleanup, so the pool loses the worker mid-chunk exactly like a
+    segfault or an OOM kill would."""
+    if marker == "ALWAYS":
+        os._exit(1)
+    if not os.path.exists(marker):
+        with open(marker, "w", encoding="utf-8") as handle:
+            handle.write("killed")
+        os._exit(1)
+    return ring(n)
+
+
+def _killer_sweep(marker):
+    sweep = Sweep(name="killer", base_seed=3)
+    for index in range(4):
+        sweep.add(
+            f"ok{index}",
+            GraphSpec.of("ring", 8),
+            "mis_simple",
+            predictions="all_zeros_mis",
+            problem="mis",
+            seed=index,
+        )
+    # Last, alone in its chunk at chunk_size=2: the kill deterministically
+    # hits the chunk holding only this cell.
+    sweep.add(
+        "boom",
+        GraphSpec.of(_killer_ring, 8, marker),
+        "mis_simple",
+        predictions="all_zeros_mis",
+        problem="mis",
+        seed=9,
+    )
+    return sweep
+
+
+class TestBrokenPoolRecovery:
+    def test_worker_death_retried_on_fresh_pool(self, tmp_path):
+        """A transient worker death (here: dies on first build, healthy on
+        retry) loses no cells: the affected cells rerun on a fresh pool and
+        the sweep completes as if nothing happened — plus a warning."""
+        marker = str(tmp_path / "killed-once")
+        with pytest.warns(RuntimeWarning, match="worker died"):
+            result = _killer_sweep(marker).run("process", jobs=2, chunk_size=2)
+        assert len(result) == 5
+        assert [row.index for row in result.rows] == list(range(5))
+        assert all(row.failure is None for row in result.rows)
+        assert result.all_valid
+        assert result.row("boom").rounds > 0
+
+    def test_unrecoverable_cell_becomes_failed_placeholder(self):
+        """A cell whose worker dies on the retry too is recorded as a
+        failed placeholder row; completed cells keep their results and
+        the table stays complete and ordered."""
+        with pytest.warns(RuntimeWarning, match="worker died"):
+            result = _killer_sweep("ALWAYS").run(
+                "process", jobs=2, chunk_size=2
+            )
+        assert len(result) == 5
+        assert [row.index for row in result.rows] == list(range(5))
+        boom = result.row("boom")
+        assert boom.failure is not None
+        assert "BrokenProcessPool" in boom.failure
+        assert boom.rounds == 0
+        assert boom.valid is None
+        others = [row for row in result.rows if row.label != "boom"]
+        assert all(row.failure is None for row in others)
+        assert all(row.valid for row in others)
+        assert result.telemetry()["failed_cells"] == 1
+
+
+# ----------------------------------------------------------------------
+# Bare-controller deprecation through the sweep path
+# ----------------------------------------------------------------------
+class TestSweepBareControllerWarning:
+    def _sweep(self, faults):
+        from repro.faults import FaultPlan  # noqa: F401 (namespace check)
+
+        sweep = Sweep(name="bare", base_seed=1)
+        sweep.add(
+            "a",
+            GraphSpec.of("ring", 6),
+            "mis_simple",
+            predictions="all_zeros_mis",
+            faults=faults,
+            problem="mis",
+            seed=0,
+            config=RunConfig(max_rounds=50, on_round_limit="partial"),
+        )
+        return sweep
+
+    def test_bare_controller_warns_from_sweep(self):
+        """The engine-side deprecation fires inside pool workers where
+        nobody sees it; the sweep path must warn on the parent side."""
+        from repro.faults import FaultPlan
+
+        controller = FaultPlan.crash_stop({1: 2}).build_controller()
+        # Broad capture: the serial run also fires the engine-side
+        # deprecation, which must not leak (and -W error would promote it).
+        with pytest.warns(DeprecationWarning) as record:
+            self._sweep(controller).run("serial")
+        assert any("sweep cell 'a'" in str(w.message) for w in record)
+
+    def test_fault_plan_does_not_warn(self):
+        from repro.faults import FaultPlan
+
+        sweep = self._sweep(FaultPlan.crash_stop({1: 2}))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            sweep.run("serial")
