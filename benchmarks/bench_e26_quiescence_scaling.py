@@ -22,7 +22,7 @@ import time
 
 from repro.algorithms.matching import GreedyMatchingAlgorithm
 from repro.algorithms.mis import GreedyMISAlgorithm
-from repro.core import run
+from repro.core import ExecutionPolicy, run
 from repro.graphs import line, wheel_fk
 from repro.graphs.identifiers import sorted_path_ids
 from repro.problems import MATCHING, MIS
@@ -45,7 +45,8 @@ def _compare(algorithm, graph, **kwargs):
     """Run eager then quiescent; return (eager_s, quiescent_s, result)."""
     eager, eager_s = _timed(lambda: run(algorithm, graph, fast=True, **kwargs))
     quiescent, quiescent_s = _timed(
-        lambda: run(algorithm, graph, fast=True, schedule="quiescent", **kwargs)
+        lambda: run(algorithm, graph, fast=True,
+                    policy=ExecutionPolicy(schedule="quiescent"), **kwargs)
     )
     assert quiescent.outputs == eager.outputs
     assert quiescent.rounds == eager.rounds
@@ -113,7 +114,7 @@ def test_e26_scheduled_node_rounds(once):
 
     def execute():
         return run(GreedyMISAlgorithm(), graph, profile=True,
-                   schedule="quiescent")
+                   policy=ExecutionPolicy(schedule="quiescent"))
 
     result = once(execute)
     summary = result.profile.summary()

@@ -34,7 +34,7 @@ baseline (per-cell determinism plus round throughput).
 
 from repro.bench import Table
 from repro.bench.workloads import noisy_for, perfect_mis
-from repro.core import RunConfig
+from repro.core import ExecutionPolicy, RunConfig
 from repro.exec import FaultSpec, GraphSpec, PredictionSpec, Sweep
 from repro.faults import degradation_metrics
 
@@ -59,9 +59,11 @@ def _add_cells(sweep):
     coordinates = []
     for phi in PHIS:
         config = RunConfig(
-            schedule="async",
-            phi=phi,
-            send_timeout=2 if phi else None,
+            policy=ExecutionPolicy(
+                schedule="async",
+                phi=phi,
+                send_timeout=2 if phi else None,
+            ),
             max_rounds=BUDGET * (1 + phi),
             on_round_limit="partial",
         )

@@ -10,8 +10,9 @@ executor, and the experiment harness that validates every quantitative
 claim.
 
 This module is the stable public surface (see docs/API.md): single runs
-go through :func:`run`/:class:`RunConfig`, grids of runs through
-:class:`Sweep`.
+go through :func:`run`/:class:`RunConfig` (with scheduling described by
+an :class:`ExecutionPolicy`), grids of runs through :class:`Sweep`;
+:func:`schedules` lists the available schedules and their capabilities.
 
 Quickstart::
 
@@ -55,6 +56,7 @@ from repro.core import (
     ConsecutiveTemplate,
     HedgedConsecutiveTemplate,
     DistributedAlgorithm,
+    ExecutionPolicy,
     FunctionalAlgorithm,
     InterleavedTemplate,
     ParallelTemplate,
@@ -68,6 +70,7 @@ from repro.core import (
 from repro.exec import Sweep, SweepResult
 from repro.faults import FaultPlan
 from repro.graphs import DistGraph
+from repro.kernels import UnsupportedScheduleError
 from repro.obs import (
     EventSink,
     JsonlEventSink,
@@ -76,8 +79,27 @@ from repro.obs import (
 )
 from repro.problems import EDGE_COLORING, MATCHING, MIS, VERTEX_COLORING, get_problem
 from repro.simulator import CONGEST, LOCAL, RunResult, SyncEngine
+from repro.simulator import schedule_capabilities as _schedule_capabilities
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
+
+
+def schedules():
+    """Capability map of every ``schedule=`` name, for introspection.
+
+    Returns ``{name: {"quiescence": bool, "async": bool, "profile": bool,
+    "kernels": tuple}}`` — one entry per registered
+    :class:`~repro.simulator.scheduling.Scheduler`.  ``kernels`` lists
+    the compiled whole-frontier kernels a schedule can execute
+    (non-empty only for ``"vectorized"``, and only when numpy is
+    importable).  The CLI's ``--schedule`` choices and
+    :class:`ExecutionPolicy` validation are derived from the same
+    registry, so this is the authoritative list::
+
+        >>> sorted(repro.schedules())
+        ['async', 'eager', 'quiescent', 'quiescent-debug', 'vectorized']
+    """
+    return _schedule_capabilities()
 
 __all__ = [
     "CONGEST",
@@ -86,6 +108,7 @@ __all__ = [
     "DistributedAlgorithm",
     "EDGE_COLORING",
     "EventSink",
+    "ExecutionPolicy",
     "FaultPlan",
     "FunctionalAlgorithm",
     "HedgedConsecutiveTemplate",
@@ -105,6 +128,7 @@ __all__ = [
     "SweepResult",
     "SyncEngine",
     "TwoPartReference",
+    "UnsupportedScheduleError",
     "VERTEX_COLORING",
     "__version__",
     "coloring_simple",
@@ -118,4 +142,5 @@ __all__ = [
     "mis_simple",
     "run",
     "run_with_trace",
+    "schedules",
 ]

@@ -46,8 +46,10 @@ from repro.bench.algorithms import (
 from repro.algorithms.coloring import PaletteGreedyColoringAlgorithm
 from repro.algorithms.matching import GreedyMatchingAlgorithm
 from repro.algorithms.mis import GreedyMISAlgorithm
-from repro.core import run
+from repro.core import ExecutionPolicy, run
 from repro.errors import eta1
+from repro.kernels import UnsupportedScheduleError
+from repro.simulator import schedule_capabilities
 from repro.graphs import (
     DistGraph,
     clique,
@@ -163,6 +165,11 @@ def cmd_list(args: argparse.Namespace) -> int:
     print("graph families: line ring star clique grid gnp regular tree")
     print("                rtree dline wheel paths sortedline")
     print()
+    print("schedules:")
+    for name, caps in sorted(schedule_capabilities().items()):
+        kernels = ", ".join(caps["kernels"]) if caps.get("kernels") else "-"
+        print(f"  {name}: kernels={kernels}")
+    print()
     print(f"examples: {', '.join(sorted(EXAMPLES))}")
     return 0
 
@@ -180,21 +187,35 @@ def _build(args: argparse.Namespace):
     return problem, factory(), parse_graph(args.graph)
 
 
+def _policy_from_args(args: argparse.Namespace) -> ExecutionPolicy:
+    """The :class:`ExecutionPolicy` described by the shared CLI flags."""
+    try:
+        return ExecutionPolicy(
+            schedule=args.schedule,
+            phi=args.phi,
+            send_timeout=args.send_timeout,
+            deadline_s=args.deadline_s,
+            fallback=getattr(args, "fallback", None),
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     problem, algorithm, graph = _build(args)
     predictions = _predictions_for_args(problem, graph, args)
-    result = run(
-        algorithm,
-        graph,
-        predictions,
-        seed=args.seed,
-        max_rounds=args.max_rounds,
-        schedule=args.schedule,
-        phi=args.phi,
-        send_timeout=args.send_timeout,
-        deadline_s=args.deadline_s,
-        on_round_limit="partial" if args.schedule == "async" else "raise",
-    )
+    try:
+        result = run(
+            algorithm,
+            graph,
+            predictions,
+            seed=args.seed,
+            max_rounds=args.max_rounds,
+            policy=_policy_from_args(args),
+            on_round_limit="partial" if args.schedule == "async" else "raise",
+        )
+    except UnsupportedScheduleError as exc:
+        raise SystemExit(f"{exc} (pass --fallback interpret to run anyway)")
     violations = problem.verify_solution(graph, result.outputs)
     error = eta1(graph, predictions, problem.name)
     print(f"instance   : {graph.name} (n={graph.n}, m={graph.num_edges})")
@@ -207,6 +228,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"async      : phi={args.phi} delayed={result.delayed_messages} "
               f"retried={result.retried_messages} "
               f"pulses={result.recovery_pulses}")
+    if result.kernel:
+        print(f"kernel     : {result.kernel}")
     if result.stuck is not None:
         print(f"stuck      : {result.stuck.summary()}")
     print(f"max msg    : {result.max_message_bits} bits "
@@ -233,18 +256,18 @@ def cmd_profile(args: argparse.Namespace) -> int:
     """Run one instance with round profiling and print the phase table."""
     problem, algorithm, graph = _build(args)
     predictions = _predictions_for_args(problem, graph, args)
-    result = run(
-        algorithm,
-        graph,
-        predictions,
-        seed=args.seed,
-        max_rounds=args.max_rounds,
-        profile=True,
-        schedule=args.schedule,
-        phi=args.phi,
-        send_timeout=args.send_timeout,
-        deadline_s=args.deadline_s,
-    )
+    try:
+        result = run(
+            algorithm,
+            graph,
+            predictions,
+            seed=args.seed,
+            max_rounds=args.max_rounds,
+            profile=True,
+            policy=_policy_from_args(args),
+        )
+    except UnsupportedScheduleError as exc:
+        raise SystemExit(f"{exc} (pass --fallback interpret to run anyway)")
     violations = problem.verify_solution(graph, result.outputs)
     print(f"instance   : {graph.name} (n={graph.n}, m={graph.num_edges})")
     print(f"algorithm  : {algorithm.name}")
@@ -255,7 +278,9 @@ def cmd_profile(args: argparse.Namespace) -> int:
     print(result.profile.table())
     summary = result.profile.summary()
     print()
-    for phase in ("compose", "deliver", "process", "finalize"):
+    from repro.obs.profile import PHASES
+
+    for phase in PHASES:
         print(
             f"{phase:>9}: {summary[f'{phase}_s']:.6f}s "
             f"({summary[f'{phase}_share']:.1%})"
@@ -273,19 +298,19 @@ def cmd_events(args: argparse.Namespace) -> int:
     problem, algorithm, graph = _build(args)
     predictions = _predictions_for_args(problem, graph, args)
     sink = MemoryEventSink()
-    result = run(
-        algorithm,
-        graph,
-        predictions,
-        seed=args.seed,
-        max_rounds=args.max_rounds,
-        sinks=[sink],
-        schedule=args.schedule,
-        phi=args.phi,
-        send_timeout=args.send_timeout,
-        deadline_s=args.deadline_s,
-        on_round_limit="partial" if args.schedule == "async" else "raise",
-    )
+    try:
+        result = run(
+            algorithm,
+            graph,
+            predictions,
+            seed=args.seed,
+            max_rounds=args.max_rounds,
+            sinks=[sink],
+            policy=_policy_from_args(args),
+            on_round_limit="partial" if args.schedule == "async" else "raise",
+        )
+    except UnsupportedScheduleError as exc:
+        raise SystemExit(f"{exc} (pass --fallback interpret to run anyway)")
     entries = sink.entries
     if args.kinds:
         wanted = set(args.kinds.split(","))
@@ -331,10 +356,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     config = RunConfig(
         max_rounds=args.max_rounds,
         seed=args.seed,
-        schedule=args.schedule,
-        phi=args.phi,
-        send_timeout=args.send_timeout,
-        deadline_s=args.deadline_s,
+        policy=_policy_from_args(args),
     )
     if faulted or args.schedule == "async":
         # A starved faulty (or stabilized async) cell is a data point,
@@ -385,9 +407,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             f"ran {result.backend}"
         )
     if args.profile:
+        from repro.obs.profile import PHASES
+
         totals: Dict[str, float] = {}
         for row in result.rows:
-            for phase in ("compose", "deliver", "process", "finalize"):
+            for phase in PHASES:
                 key = f"{phase}_s"
                 if row.profile:
                     totals[key] = totals.get(key, 0.0) + row.profile[key]
@@ -500,7 +524,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
 
 
 def cmd_reproduce(args: argparse.Namespace) -> int:
-    """Run the E1..E26 benchmark suite (requires a source checkout)."""
+    """Run the E1..E28 benchmark suite (requires a source checkout)."""
     import os
 
     if not os.path.isdir(args.benchmarks):
@@ -556,11 +580,20 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--max-rounds", type=int, default=None)
         sub.add_argument(
             "--schedule",
-            choices=("eager", "quiescent", "quiescent-debug", "async"),
+            choices=tuple(sorted(schedule_capabilities())),
             default="eager",
             help="round scheduling policy (quiescent skips idle nodes; "
             "observationally identical to eager; async adds adversarial "
-            "delivery delays — see --phi)",
+            "delivery delays — see --phi; vectorized runs whole-frontier "
+            "compiled kernels, bit-identical on registered templates)",
+        )
+        sub.add_argument(
+            "--fallback",
+            choices=("interpret",),
+            default=None,
+            help="what to do when --schedule vectorized cannot run this "
+            "instance: 'interpret' warns and falls back to the "
+            "interpreted quiescent schedule (default: fail loudly)",
         )
         sub.add_argument(
             "--phi", type=int, default=0,
@@ -670,7 +703,7 @@ def build_parser() -> argparse.ArgumentParser:
     example_parser.add_argument("name", help=f"one of {sorted(EXAMPLES)}")
 
     reproduce_parser = subparsers.add_parser(
-        "reproduce", help="run the full E1..E27 experiment suite"
+        "reproduce", help="run the full E1..E28 experiment suite"
     )
     reproduce_parser.add_argument("--benchmarks", default="benchmarks")
     reproduce_parser.add_argument(

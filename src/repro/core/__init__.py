@@ -20,7 +20,7 @@ from repro.core.algorithm import (
     PhasedAlgorithm,
     TwoPartReference,
 )
-from repro.core.runner import RunConfig, run, run_with_trace
+from repro.core.runner import ExecutionPolicy, RunConfig, run, run_with_trace
 from repro.core.templates import (
     ConsecutiveTemplate,
     HedgedConsecutiveTemplate,
@@ -32,6 +32,7 @@ from repro.core.templates import (
 __all__ = [
     "ConsecutiveTemplate",
     "DistributedAlgorithm",
+    "ExecutionPolicy",
     "FunctionalAlgorithm",
     "HedgedConsecutiveTemplate",
     "InterleavedTemplate",

@@ -7,17 +7,24 @@ node, executes the synchronous engine, and returns the
 paper's performance measure.
 
 :class:`RunConfig` is the single, frozen description of *how* to execute
-— model, round budget, seed, fault plan, round-limit policy, tracing and
-the engine's ``fast`` mode — so that a configuration can be hashed,
-compared, stored in a sweep cell and shipped to a worker process.  The
-keyword arguments of :func:`run` are conveniences that build (or
-override) a :class:`RunConfig`.
+— model, round budget, seed, fault plan, round-limit policy, tracing,
+the engine's ``fast`` mode and the :class:`ExecutionPolicy` (scheduling
+and asynchrony knobs) — so that a configuration can be hashed, compared,
+stored in a sweep cell and shipped to a worker process.  The keyword
+arguments of :func:`run` are conveniences that build (or override) a
+:class:`RunConfig`.
+
+The execution knobs (``schedule``/``phi``/``send_timeout``/
+``max_retries``/``deadline_s``/``fallback``) live in
+:class:`ExecutionPolicy`; passing them flat to :func:`run` or
+:class:`RunConfig` still works but emits a :class:`DeprecationWarning`
+(docs/API.md documents the policy surface).
 """
 
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Any, Mapping, Optional, Tuple
 
 from repro.core.algorithm import DistributedAlgorithm
@@ -25,6 +32,7 @@ from repro.graphs.graph import DistGraph
 from repro.simulator.engine import SyncEngine
 from repro.simulator.metrics import RunResult
 from repro.simulator.models import ExecutionModel
+from repro.simulator.scheduling import SCHEDULERS
 from repro.simulator.trace import TraceRecorder
 
 #: Sentinel distinguishing "not passed" from an explicit ``None``/value.
@@ -32,6 +40,100 @@ _UNSET: Any = object()
 
 
 @dataclass(frozen=True)
+class ExecutionPolicy:
+    """How rounds are driven: schedule choice plus its tuning knobs.
+
+    The one structured home for every knob that selects or parameterizes
+    a :class:`~repro.simulator.scheduling.Scheduler` — what used to be
+    five-and-growing flat keywords on :func:`run`.  Frozen and hashable,
+    so policies can be shared across sweep cells and compared;
+    :func:`repro.schedules` lists the valid ``schedule`` names with
+    their capabilities.
+
+    Attributes:
+        schedule: Round scheduling policy — ``"eager"`` (every live node
+            every round), ``"quiescent"`` (skip nodes that declare
+            ``quiescent_when_idle`` and cannot observably act this
+            round; observationally identical, much faster on frontier
+            workloads), ``"quiescent-debug"`` (run eagerly but raise
+            :class:`~repro.simulator.engine.QuiescenceViolation` if a
+            node the quiescent schedule would have skipped acts),
+            ``"async"`` (the asynchronous model: adversarial delivery
+            delays up to ``phi`` ticks, fire-on-receipt scheduling,
+            send timeouts and stabilization detection), or
+            ``"vectorized"`` (compiled whole-frontier NumPy kernels
+            over the CSR buffers — bit-identical to the interpreted
+            engine for the registered greedy families, an order of
+            magnitude faster at scale; see docs/PERFORMANCE.md).
+        phi: Delay bound for the ``"async"`` schedule's adversary
+            (``0`` = synchronous delivery; requires
+            ``schedule="async"`` when nonzero).
+        send_timeout: Async sender-side retransmission timeout (ticks);
+            ``None`` disables retries.  Requires ``schedule="async"``.
+        max_retries: Retransmission budget per lost send.
+        deadline_s: Wall-clock budget (seconds) per run; exceeding it
+            returns a partial result with a ``stuck`` report
+            (``reason="deadline"``) instead of hanging.
+        fallback: For ``schedule="vectorized"`` runs the kernels cannot
+            execute: ``None`` (default) raises
+            :class:`~repro.kernels.UnsupportedScheduleError`;
+            ``"interpret"`` warns and runs the interpreted
+            ``"quiescent"`` schedule instead.
+    """
+
+    schedule: str = "eager"
+    phi: int = 0
+    send_timeout: Optional[int] = None
+    max_retries: int = 2
+    deadline_s: Optional[float] = None
+    fallback: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.schedule not in SCHEDULERS:
+            known = ", ".join(repr(name) for name in SCHEDULERS)
+            raise ValueError(
+                f"schedule must be one of {known}, got {self.schedule!r}"
+            )
+        if self.phi < 0:
+            raise ValueError(f"phi must be non-negative, got {self.phi}")
+        if (self.phi or self.send_timeout is not None) and self.schedule != "async":
+            raise ValueError(
+                "phi= and send_timeout= belong to the asynchronous model; "
+                f"pass schedule='async' (got schedule={self.schedule!r})"
+            )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(
+                f"deadline_s must be positive, got {self.deadline_s}"
+            )
+        if self.fallback not in (None, "interpret"):
+            raise ValueError(
+                f"fallback must be None or 'interpret', got {self.fallback!r}"
+            )
+        if self.fallback is not None and self.schedule != "vectorized":
+            raise ValueError(
+                "fallback= only applies to schedule='vectorized' "
+                f"(got schedule={self.schedule!r})"
+            )
+
+
+#: RunConfig keywords that live on the nested :class:`ExecutionPolicy`.
+_POLICY_FIELDS: Tuple[str, ...] = (
+    "schedule",
+    "phi",
+    "send_timeout",
+    "max_retries",
+    "deadline_s",
+    "fallback",
+)
+
+_FLAT_POLICY_MESSAGE = (
+    "flat execution keywords (schedule=/phi=/send_timeout=/max_retries=/"
+    "deadline_s=/fallback=) are deprecated; pass "
+    "policy=ExecutionPolicy(...) instead"
+)
+
+
+@dataclass(frozen=True, init=False)
 class RunConfig:
     """Frozen description of one engine execution.
 
@@ -52,28 +154,16 @@ class RunConfig:
             to the result as ``result.trace``.
         fast: Engine fast mode — skip per-message bit-size estimation
             (identical outputs and round counts, no bandwidth columns).
-        profile: Record per-round compose/deliver/process/finalize phase
-            timings; the :class:`~repro.obs.profile.RoundProfile` is
-            attached to the result as ``result.profile``.
-        schedule: Round scheduling policy — ``"eager"`` (every live node
-            every round), ``"quiescent"`` (skip nodes that declare
-            ``quiescent_when_idle`` and cannot observably act this
-            round; observationally identical, much faster on frontier
-            workloads), ``"quiescent-debug"`` (run eagerly but raise
-            :class:`~repro.simulator.engine.QuiescenceViolation` if a
-            node the quiescent schedule would have skipped acts), or
-            ``"async"`` (the asynchronous model: adversarial delivery
-            delays up to ``phi`` ticks, fire-on-receipt scheduling,
-            send timeouts and stabilization detection).
-        phi: Delay bound for the ``"async"`` schedule's adversary
-            (``0`` = synchronous delivery; requires
-            ``schedule="async"`` when nonzero).
-        send_timeout: Async sender-side retransmission timeout (ticks);
-            ``None`` disables retries.  Requires ``schedule="async"``.
-        max_retries: Retransmission budget per lost send.
-        deadline_s: Wall-clock budget (seconds) per run; exceeding it
-            returns a partial result with a ``stuck`` report
-            (``reason="deadline"``) instead of hanging.
+        profile: Record per-round phase timings (compose/deliver/
+            process/finalize, plus ``kernel`` under
+            ``schedule="vectorized"``); the
+            :class:`~repro.obs.profile.RoundProfile` is attached to the
+            result as ``result.profile``.
+        policy: The :class:`ExecutionPolicy` — schedule choice and its
+            asynchrony/fallback knobs.  The policy's fields are also
+            readable directly on the config (``config.schedule`` etc.);
+            passing them flat to the constructor still works but is
+            deprecated.
     """
 
     model: Optional[ExecutionModel] = None
@@ -84,45 +174,114 @@ class RunConfig:
     trace: bool = False
     fast: bool = False
     profile: bool = False
-    schedule: str = "eager"
-    phi: int = 0
-    send_timeout: Optional[int] = None
-    max_retries: int = 2
-    deadline_s: Optional[float] = None
+    policy: ExecutionPolicy = field(default_factory=ExecutionPolicy)
+
+    def __init__(
+        self,
+        model: Optional[ExecutionModel] = None,
+        max_rounds: Optional[int] = None,
+        seed: Optional[int] = None,
+        faults: Optional[Any] = None,
+        on_round_limit: str = "raise",
+        trace: bool = False,
+        fast: bool = False,
+        profile: bool = False,
+        policy: Optional[ExecutionPolicy] = None,
+        *,
+        schedule: Any = _UNSET,
+        phi: Any = _UNSET,
+        send_timeout: Any = _UNSET,
+        max_retries: Any = _UNSET,
+        deadline_s: Any = _UNSET,
+        fallback: Any = _UNSET,
+    ) -> None:
+        flat = {
+            name: value
+            for name, value in (
+                ("schedule", schedule),
+                ("phi", phi),
+                ("send_timeout", send_timeout),
+                ("max_retries", max_retries),
+                ("deadline_s", deadline_s),
+                ("fallback", fallback),
+            )
+            if value is not _UNSET
+        }
+        if flat:
+            warnings.warn(
+                _FLAT_POLICY_MESSAGE, DeprecationWarning, stacklevel=2
+            )
+            policy = replace(policy or ExecutionPolicy(), **flat)
+        if on_round_limit not in ("raise", "partial"):
+            raise ValueError(
+                "on_round_limit must be 'raise' or 'partial', "
+                f"got {on_round_limit!r}"
+            )
+        object.__setattr__(self, "model", model)
+        object.__setattr__(self, "max_rounds", max_rounds)
+        object.__setattr__(self, "seed", seed)
+        object.__setattr__(self, "faults", faults)
+        object.__setattr__(self, "on_round_limit", on_round_limit)
+        object.__setattr__(self, "trace", trace)
+        object.__setattr__(self, "fast", fast)
+        object.__setattr__(self, "profile", profile)
+        object.__setattr__(
+            self, "policy", policy if policy is not None else ExecutionPolicy()
+        )
+
+    # -- policy field pass-throughs (the documented read surface) -------
+    @property
+    def schedule(self) -> str:
+        return self.policy.schedule
+
+    @property
+    def phi(self) -> int:
+        return self.policy.phi
+
+    @property
+    def send_timeout(self) -> Optional[int]:
+        return self.policy.send_timeout
+
+    @property
+    def max_retries(self) -> int:
+        return self.policy.max_retries
+
+    @property
+    def deadline_s(self) -> Optional[float]:
+        return self.policy.deadline_s
+
+    @property
+    def fallback(self) -> Optional[str]:
+        return self.policy.fallback
 
     @property
     def effective_seed(self) -> int:
         """The seed a single run uses: the configured one, else 0."""
         return 0 if self.seed is None else self.seed
 
-    def __post_init__(self) -> None:
-        if self.on_round_limit not in ("raise", "partial"):
-            raise ValueError(
-                "on_round_limit must be 'raise' or 'partial', "
-                f"got {self.on_round_limit!r}"
-            )
-        if self.schedule not in ("eager", "quiescent", "quiescent-debug", "async"):
-            raise ValueError(
-                "schedule must be 'eager', 'quiescent', 'quiescent-debug' "
-                f"or 'async', got {self.schedule!r}"
-            )
-        if self.phi < 0:
-            raise ValueError(f"phi must be non-negative, got {self.phi}")
-        if (self.phi or self.send_timeout is not None) and self.schedule != "async":
-            raise ValueError(
-                "phi= and send_timeout= belong to the asynchronous model; "
-                f"pass schedule='async' (got schedule={self.schedule!r})"
-            )
-        if self.deadline_s is not None and self.deadline_s <= 0:
-            raise ValueError(
-                f"deadline_s must be positive, got {self.deadline_s}"
-            )
-
     def with_overrides(self, **overrides: Any) -> "RunConfig":
-        """A copy with the given (non-``_UNSET``) fields replaced."""
+        """A copy with the given (non-``_UNSET``) fields replaced.
+
+        Accepts both config fields (including ``policy=``) and the
+        policy's own field names — the latter are folded into a copy of
+        the effective policy, so internal callers (the :func:`run`
+        shim, sweep backends) can keep passing flat names without
+        duplicating the routing logic.
+        """
         changes = {
             key: value for key, value in overrides.items() if value is not _UNSET
         }
+        policy = changes.pop("policy", None)
+        policy_changes = {
+            key: changes.pop(key)
+            for key in _POLICY_FIELDS
+            if key in changes
+        }
+        if policy is not None or policy_changes:
+            base = policy if policy is not None else self.policy
+            if policy_changes:
+                base = replace(base, **policy_changes)
+            changes["policy"] = base
         return replace(self, **changes) if changes else self
 
 
@@ -161,11 +320,13 @@ def run(
     trace: bool = _UNSET,
     fast: bool = _UNSET,
     profile: bool = _UNSET,
+    policy: Optional[ExecutionPolicy] = None,
     schedule: str = _UNSET,
     phi: int = _UNSET,
     send_timeout: Optional[int] = _UNSET,
     max_retries: int = _UNSET,
     deadline_s: Optional[float] = _UNSET,
+    fallback: Optional[str] = _UNSET,
     sinks: Optional[Any] = None,
 ) -> RunResult:
     """Run ``algorithm`` on ``graph`` and return the execution record.
@@ -183,9 +344,15 @@ def run(
             declares ``uses_predictions``.
         config: A :class:`RunConfig`; defaults to ``RunConfig()``.
         model, max_rounds, seed, faults, on_round_limit, trace, fast,
-            profile, schedule, phi, send_timeout, max_retries,
-            deadline_s: Field-level overrides of ``config`` (see
+            profile: Field-level overrides of ``config`` (see
             :class:`RunConfig`).
+        policy: An :class:`ExecutionPolicy` override — the documented
+            way to choose a schedule and its asynchrony/fallback knobs:
+            ``run(alg, g, policy=ExecutionPolicy(schedule="vectorized"))``.
+        schedule, phi, send_timeout, max_retries, deadline_s, fallback:
+            Deprecated flat spellings of the :class:`ExecutionPolicy`
+            fields; they still work (folded into the effective policy)
+            but emit a :class:`DeprecationWarning`.
         sinks: Extra :class:`~repro.obs.events.EventSink` objects
             attached to the engine for this call (not part of the
             frozen config: sinks hold live resources such as open
@@ -201,6 +368,20 @@ def run(
         raise ValueError(
             f"{algorithm.name or type(algorithm).__name__} requires predictions"
         )
+    flat_policy = {
+        name: value
+        for name, value in (
+            ("schedule", schedule),
+            ("phi", phi),
+            ("send_timeout", send_timeout),
+            ("max_retries", max_retries),
+            ("deadline_s", deadline_s),
+            ("fallback", fallback),
+        )
+        if value is not _UNSET
+    }
+    if flat_policy:
+        warnings.warn(_FLAT_POLICY_MESSAGE, DeprecationWarning, stacklevel=2)
     config = (config or RunConfig()).with_overrides(
         model=model,
         max_rounds=max_rounds,
@@ -210,11 +391,8 @@ def run(
         trace=trace,
         fast=fast,
         profile=profile,
-        schedule=schedule,
-        phi=phi,
-        send_timeout=send_timeout,
-        max_retries=max_retries,
-        deadline_s=deadline_s,
+        policy=policy,
+        **flat_policy,
     )
     if crash_rounds:
         config = replace(
@@ -239,6 +417,7 @@ def run(
         send_timeout=config.send_timeout,
         max_retries=config.max_retries,
         deadline_s=config.deadline_s,
+        fallback=config.fallback,
     )
     result = engine.run()
     result.trace = recorder

@@ -31,12 +31,21 @@ from repro.exec.plan import (
     Sweep,
     derive_cell_seed,
 )
-from repro.exec.results import CellResult, SweepResult
+from repro.exec.results import (
+    CELL_COLUMNS,
+    COMPARE_COLUMNS,
+    CellColumn,
+    CellResult,
+    SweepResult,
+)
 
 __all__ = [
     "AlgorithmSpec",
     "ArtifactCache",
+    "CELL_COLUMNS",
+    "COMPARE_COLUMNS",
     "Cell",
+    "CellColumn",
     "CellResult",
     "FaultSpec",
     "GraphSpec",

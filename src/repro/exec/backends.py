@@ -234,6 +234,7 @@ def _execute_cell(
         dropped_messages=result.dropped_messages,
         delayed_messages=result.delayed_messages,
         retried_messages=result.retried_messages,
+        kernel=getattr(result, "kernel", None),
         stuck=result.stuck is not None,
         solution_size=_solution_size(
             result.outputs, problem.name if problem is not None else None

@@ -31,7 +31,7 @@ import pickle
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Mapping, Optional, Sequence, Tuple, Union
 
-from repro.core.runner import RunConfig
+from repro.core.runner import ExecutionPolicy, RunConfig
 
 #: Sentinel target marking a literal (prebuilt) spec.
 _LITERAL = "<literal>"
@@ -268,10 +268,19 @@ class Sweep:
         problem: Optional[str] = None,
         seed: Optional[int] = None,
         config: Optional[RunConfig] = None,
+        policy: Optional[ExecutionPolicy] = None,
         metrics: Optional[Callable[..., Mapping[str, Any]]] = None,
     ) -> "Sweep":
         """Append one cell; graph/algorithm/predictions accept specs,
-        factories, or prebuilt objects.  Returns ``self`` for chaining."""
+        factories, or prebuilt objects.  Returns ``self`` for chaining.
+
+        ``policy`` overrides the config's :class:`ExecutionPolicy` for
+        this cell — a shorthand for wrapping the policy in a fresh
+        :class:`RunConfig` when everything else is default.
+        """
+        config = config or RunConfig()
+        if policy is not None:
+            config = config.with_overrides(policy=policy)
         cell = Cell(
             label=label,
             graph=_coerce(GraphSpec, graph, "graph spec"),
@@ -284,7 +293,7 @@ class Sweep:
             faults=faults,
             problem=problem,
             seed=seed,
-            config=config or RunConfig(),
+            config=config,
             metrics=metrics,
         )
         self.cells.append(cell)
@@ -299,6 +308,7 @@ class Sweep:
         seeds: Sequence[Optional[int]] = (None,),
         problem: Optional[str] = None,
         config: Optional[RunConfig] = None,
+        policy: Optional[ExecutionPolicy] = None,
         metrics: Optional[Callable[..., Mapping[str, Any]]] = None,
     ) -> "Sweep":
         """Cross product: graphs × predictions × algorithms × seeds.
@@ -325,6 +335,7 @@ class Sweep:
                             problem=problem,
                             seed=seed,
                             config=config,
+                            policy=policy,
                             metrics=metrics,
                         )
         return self

@@ -7,12 +7,68 @@ error, fault counters, custom metrics) without dragging the full
 :class:`SweepResult` collects the rows in cell order, whatever backend or
 chunking produced them, so serial and process-parallel executions of the
 same sweep compare equal row-for-row.
+
+:data:`CELL_COLUMNS` is the canonical per-cell column registry: one
+entry per exported column, in export order.  The sweep CSV header, the
+bench baseline cells (``repro.obs.bench``) and the determinism-compared
+column set are all derived from it, so adding a counter (as PRs 5–7 did
+with ``delayed``/``retried``/``kernel``) is a one-line change here
+instead of three hand-maintained lists drifting apart.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class CellColumn:
+    """One canonical per-cell export column.
+
+    Attributes:
+        name: Column name in CSV headers and baseline cell documents.
+        attr: The :class:`CellResult` attribute the value comes from.
+        compare: Whether the bench diff treats a changed value as a
+            determinism break (see ``repro.obs.bench.diff_payloads``).
+        default: Value used when a (pickled, older) row lacks the
+            attribute — also the value older baselines implicitly carry.
+    """
+
+    name: str
+    attr: str
+    compare: bool = False
+    default: Any = None
+
+    def value_of(self, row: Any) -> Any:
+        """The column's value on one row (``default`` if absent)."""
+        return getattr(row, self.attr, self.default)
+
+
+#: Canonical per-cell columns, in export (CSV) order.
+CELL_COLUMNS: Tuple[CellColumn, ...] = (
+    CellColumn("label", "label"),
+    CellColumn("graph", "graph_name"),
+    CellColumn("n", "n", default=0),
+    CellColumn("seed", "seed", compare=True, default=0),
+    CellColumn("rounds", "rounds", compare=True, default=0),
+    CellColumn("rounds_executed", "rounds_executed", compare=True, default=0),
+    CellColumn("valid", "valid"),
+    CellColumn("error", "error"),
+    CellColumn("messages", "message_count", compare=True, default=0),
+    CellColumn("dropped", "dropped_messages", default=0),
+    CellColumn("delayed", "delayed_messages", compare=True, default=0),
+    CellColumn("retried", "retried_messages", compare=True, default=0),
+    CellColumn("kernel", "kernel", compare=True),
+    CellColumn("stuck", "stuck", default=False),
+    CellColumn("solution_size", "solution_size", default=0),
+    CellColumn("failure", "failure"),
+)
+
+#: Names of the columns whose per-cell change is a determinism break.
+COMPARE_COLUMNS: Tuple[str, ...] = tuple(
+    column.name for column in CELL_COLUMNS if column.compare
+)
 
 
 @dataclass
@@ -38,6 +94,10 @@ class CellResult:
             flight (``schedule="async"`` cells; 0 otherwise).
         retried_messages: Send-timeout retransmissions the async
             scheduler fired (``schedule="async"`` cells; 0 otherwise).
+        kernel: Name of the compiled whole-frontier kernel that executed
+            the cell (``schedule="vectorized"`` cells; ``None``
+            otherwise, including after a ``fallback="interpret"``
+            downgrade).
         stuck: Whether the run hit its round budget in graceful mode.
         solution_size: Nodes outputting 1 (MIS-style problems), else the
             number of decided nodes.
@@ -70,6 +130,7 @@ class CellResult:
     dropped_messages: int = 0
     delayed_messages: int = 0
     retried_messages: int = 0
+    kernel: Optional[str] = None
     stuck: bool = False
     solution_size: int = 0
     metrics: Dict[str, Any] = field(default_factory=dict)
@@ -79,25 +140,15 @@ class CellResult:
     failure: Optional[str] = None
 
     def as_tuple(self) -> Tuple[Any, ...]:
-        """Canonical comparison form (used by backend-equivalence tests)."""
+        """Canonical comparison form (used by backend-equivalence tests).
+
+        ``index`` plus every registry column plus the custom metrics —
+        everything semantic, nothing timing-derived.
+        """
         return (
             self.index,
-            self.label,
-            self.graph_name,
-            self.n,
-            self.seed,
-            self.rounds,
-            self.rounds_executed,
-            self.valid,
-            self.error,
-            self.message_count,
-            self.dropped_messages,
-            self.delayed_messages,
-            self.retried_messages,
-            self.stuck,
-            self.solution_size,
+            *(column.value_of(self) for column in CELL_COLUMNS),
             tuple(sorted(self.metrics.items())),
-            self.failure,
         )
 
 
@@ -195,6 +246,7 @@ class SweepResult:
             "delayed_total": sum(row.delayed_messages for row in rows),
             "retried_total": sum(row.retried_messages for row in rows),
             "stuck_cells": sum(1 for row in rows if row.stuck),
+            "vectorized_cells": sum(1 for row in rows if row.kernel is not None),
             "failed_cells": sum(1 for row in rows if row.failure is not None),
             "valid_cells": sum(1 for row in valid_known if row.valid),
             "invalid_cells": sum(1 for row in valid_known if not row.valid),
@@ -212,29 +264,20 @@ class SweepResult:
 
     # ------------------------------------------------------------------
     def to_csv(self, path: str) -> None:
-        """Write the rows as CSV (custom metrics flattened into columns)."""
+        """Write the rows as CSV, one :data:`CELL_COLUMNS` column each
+        (custom metrics flattened into extra columns)."""
         import csv
 
         metric_keys = sorted({key for row in self.rows for key in row.metrics})
         with open(path, "w", newline="") as handle:
             writer = csv.writer(handle)
             writer.writerow(
-                [
-                    "label", "graph", "n", "seed", "rounds",
-                    "rounds_executed", "valid", "error", "messages",
-                    "dropped", "delayed", "retried", "stuck",
-                    "solution_size", "failure", *metric_keys,
-                ]
+                [*(column.name for column in CELL_COLUMNS), *metric_keys]
             )
             for row in self.rows:
                 writer.writerow(
                     [
-                        row.label, row.graph_name, row.n, row.seed,
-                        row.rounds, row.rounds_executed, row.valid,
-                        row.error, row.message_count, row.dropped_messages,
-                        row.delayed_messages, row.retried_messages,
-                        row.stuck, row.solution_size,
-                        row.failure or "",
+                        *(column.value_of(row) for column in CELL_COLUMNS),
                         *(row.metrics.get(key, "") for key in metric_keys),
                     ]
                 )

@@ -1,0 +1,270 @@
+"""Shared machinery for whole-frontier kernels.
+
+A :class:`FrontierKernel` executes one algorithm family's rounds as
+array programs over the run's :class:`~repro.graphs.csr.CSRTopology`
+buffers.  The engine's loop, round numbering, stop conditions and result
+surface are untouched — the kernel only replaces the per-node
+compose/deliver/process/finalize interpretation with whole-frontier
+NumPy operations, and keeps the Python-side ``_active`` set in step so
+the engine's ``while self._active`` condition still drives the run.
+
+Counter parity is a hard contract, fuzz-checked against the interpreted
+engine: ``message_count``, ``total_bits``, ``max_message_bits``,
+``bandwidth_violations`` (and strict-CONGEST raising) must come out
+bit-identical, so the accounting helpers here mirror
+:meth:`repro.simulator.transport.Transport.account` in batch form.
+
+Per-node results are buffered in flat arrays during the run and written
+back into ``result.records``/``result.outputs`` once, in :meth:`flush`
+(called from the scheduler's ``finish`` hook) — at n≈10⁶ the round loop
+never touches a Python object per node.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.graphs.csr import ensure_topology
+from repro.simulator.metrics import NodeSnapshot, StuckReport
+from repro.simulator.transport import BandwidthExceeded
+
+
+class FrontierKernel:
+    """Base class: CSR views, segment reductions, batched accounting.
+
+    Subclasses set :attr:`name` (the template name the registry is keyed
+    by) and :attr:`program_class` (the exact per-node program class the
+    kernel replaces), and implement :meth:`run_round`,
+    :meth:`output_value` and :meth:`state_snapshot`.
+    """
+
+    name: str = ""
+    program_class: Optional[type] = None
+
+    # ------------------------------------------------------------------
+    # Binding
+    # ------------------------------------------------------------------
+    def bind(self, rt: Any) -> None:
+        """Attach the engine and materialize the CSR array views."""
+        self.rt = rt
+        self.result = rt.result
+        self.model = rt.model
+        self.fast = rt.fast
+        csr = ensure_topology(rt.graph)
+        self.csr = csr
+        self.n = csr.n
+        #: External node ids by internal index (ascending, so id order
+        #: and index order agree — ``is_local_maximum`` comparisons can
+        #: use indices directly).
+        self.ids = np.asarray(csr.ids, dtype=np.int64)
+        self.indptr = np.frombuffer(csr.indptr, dtype=np.int64)
+        #: Neighbor *internal indices*, row-sorted ascending.
+        self.nbr = np.frombuffer(csr.indices, dtype=np.int64)
+        self.deg = self.indptr[1:] - self.indptr[:-1]
+        #: Source node (internal index) of every CSR entry.
+        self.edge_src = np.repeat(np.arange(self.n, dtype=np.int64), self.deg)
+        #: Edge mask: the neighbor has the larger identifier.
+        self.higher = self.nbr > self.edge_src
+        nonempty = self.deg > 0
+        self._nonempty = nonempty
+        self._row_starts = self.indptr[:-1][nonempty]
+        #: CONGEST budget in bits, or ``None`` under LOCAL.
+        self.bits_budget = self.model.bandwidth_bits(self.n)
+        self.active = np.ones(self.n, dtype=bool)
+        #: Termination round per node, -1 while still running.
+        self.term_round = np.full(self.n, -1, dtype=np.int64)
+        self._flushed = False
+
+    # ------------------------------------------------------------------
+    # Segment reductions over CSR rows
+    # ------------------------------------------------------------------
+    def segment_any(self, edge_flags: np.ndarray) -> np.ndarray:
+        """Per-node OR of a boolean edge array (False for empty rows)."""
+        out = np.zeros(self.n, dtype=bool)
+        if edge_flags.size:
+            out[self._nonempty] = np.logical_or.reduceat(
+                edge_flags, self._row_starts
+            )
+        return out
+
+    def segment_count(self, edge_flags: np.ndarray) -> np.ndarray:
+        """Per-node count of set flags in a boolean edge array."""
+        out = np.zeros(self.n, dtype=np.int64)
+        if edge_flags.size:
+            out[self._nonempty] = np.add.reduceat(
+                edge_flags.astype(np.int64), self._row_starts
+            )
+        return out
+
+    def segment_min(
+        self, edge_values: np.ndarray, default: int
+    ) -> np.ndarray:
+        """Per-node minimum of an integer edge array (``default`` when
+        the row is empty or every entry was masked to ``default``)."""
+        out = np.full(self.n, default, dtype=np.int64)
+        if edge_values.size:
+            out[self._nonempty] = np.minimum.reduceat(
+                edge_values, self._row_starts
+            )
+        return out
+
+    def active_neighbor_flags(self) -> np.ndarray:
+        """Edge mask: the neighbor endpoint is still active."""
+        return self.active[self.nbr]
+
+    def local_maxima(self, nb_act: np.ndarray) -> np.ndarray:
+        """Active nodes with no active higher-id neighbor.
+
+        Vacuously true for isolated/orphaned active nodes — matching
+        :meth:`NodeContext.is_local_maximum`.
+        """
+        return self.active & ~self.segment_any(nb_act & self.higher)
+
+    # ------------------------------------------------------------------
+    # Termination
+    # ------------------------------------------------------------------
+    def retire(self, idx: np.ndarray, round_index: int) -> None:
+        """Mark ``idx`` (internal indices) terminated this round.
+
+        Updates both the kernel's active mask and the engine's
+        ``_active`` set — the latter is what the engine's run loop and
+        round-limit diagnostics read.
+        """
+        if idx.size == 0:
+            return
+        self.term_round[idx] = round_index
+        self.active[idx] = False
+        self.rt._active.difference_update(self.ids[idx].tolist())
+
+    # ------------------------------------------------------------------
+    # Batched message accounting (Transport.account, vectorized)
+    # ------------------------------------------------------------------
+    def account_uniform(self, count: int, bits: int) -> None:
+        """Charge ``count`` messages of identical ``bits`` width."""
+        count = int(count)
+        if count == 0:
+            return
+        result = self.result
+        result.message_count += count
+        if self.fast:
+            return
+        result.total_bits += count * bits
+        if bits > result.max_message_bits:
+            result.max_message_bits = bits
+        if self.bits_budget is not None and bits > self.bits_budget:
+            result.bandwidth_violations += count
+            if self.model.strict:
+                raise BandwidthExceeded(
+                    f"{bits}-bit message exceeds "
+                    f"{self.bits_budget}-bit budget"
+                )
+
+    def account_varying(
+        self, counts: np.ndarray, bits: np.ndarray
+    ) -> None:
+        """Charge ``counts[i]`` messages of ``bits[i]`` width each."""
+        total = int(counts.sum())
+        if total == 0:
+            return
+        result = self.result
+        result.message_count += total
+        if self.fast:
+            return
+        result.total_bits += int((counts * bits).sum())
+        sent = counts > 0
+        if sent.any():
+            widest = int(bits[sent].max())
+            if widest > result.max_message_bits:
+                result.max_message_bits = widest
+            if self.bits_budget is not None and widest > self.bits_budget:
+                over = sent & (bits > self.bits_budget)
+                result.bandwidth_violations += int(counts[over].sum())
+                if self.model.strict:
+                    raise BandwidthExceeded(
+                        f"{widest}-bit message exceeds "
+                        f"{self.bits_budget}-bit budget"
+                    )
+
+    # ------------------------------------------------------------------
+    # Family hooks
+    # ------------------------------------------------------------------
+    def setup(self) -> None:
+        """Round 0: the programs' ``setup`` phase (default: no-op)."""
+
+    def run_round(self, round_index: int) -> int:
+        """Execute one whole-frontier round; return nodes that acted."""
+        raise NotImplementedError
+
+    def output_value(self, index: int) -> Any:
+        """The final output of a terminated node (internal ``index``)."""
+        raise NotImplementedError
+
+    def state_snapshot(self, index: int) -> Dict[str, str]:
+        """Repr-ized program state of a live node, for stuck reports."""
+        return {}
+
+    # ------------------------------------------------------------------
+    # Result write-back
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Write buffered terminations into the engine's result record.
+
+        Idempotent; called from the scheduler's ``finish`` hook after
+        the round loop, and again defensively from stuck-report paths.
+        """
+        if self._flushed:
+            return
+        self._flushed = True
+        result = self.result
+        result.kernel = self.name
+        records = result.records
+        outputs = result.outputs
+        done = np.flatnonzero(self.term_round >= 0)
+        node_ids = self.ids[done].tolist()
+        rounds = self.term_round[done].tolist()
+        for index, node, round_index in zip(
+            done.tolist(), node_ids, rounds
+        ):
+            value = self.output_value(index)
+            record = records[node]
+            record.output = value
+            record.termination_round = round_index
+            outputs[node] = value
+
+    def stuck_report(self, round_index: int, reason: str) -> StuckReport:
+        """Diagnose a cut-short run from the kernel's arrays."""
+        self.flush()
+        live: List[int] = sorted(self.rt._active)
+        index_of = self.csr.index_of
+        snapshots = {
+            node: NodeSnapshot(
+                node_id=node,
+                round=round_index,
+                last_inbox={},
+                state=self.state_snapshot(index_of[node]),
+                has_output=False,
+            )
+            for node in live
+        }
+        return StuckReport(
+            round=round_index,
+            live_nodes=live,
+            total_nodes=self.n,
+            snapshots=snapshots,
+            reason=reason,
+        )
+
+
+class EmptyGraphKernel(FrontierKernel):
+    """Degenerate kernel for zero-node graphs (nothing to schedule)."""
+
+    name = "empty"
+    program_class = None
+
+    def run_round(self, round_index: int) -> int:  # pragma: no cover
+        return 0
+
+    def output_value(self, index: int) -> Any:  # pragma: no cover
+        return None

@@ -18,10 +18,18 @@ Baseline schema (``repro.obs.bench/v1``; documented in
       "telemetry": { ... SweepResult.telemetry() ... },
       "cells": [
         {"label": ..., "seed": ..., "rounds": ..., "rounds_executed": ...,
-         "messages": ..., "delayed": ..., "valid": ..., "elapsed": ...},
+         "messages": ..., "delayed": ..., "retried": ..., "kernel": ...,
+         "valid": ..., "elapsed": ...},
         ...
       ]
     }
+
+The per-cell columns come from the canonical registry
+(``repro.exec.results.CELL_COLUMNS``): the compared set is exactly the
+registry's ``compare=True`` columns, and a column a *previous* baseline
+lacks (recorded by an older version, before that column existed) is
+skipped rather than treated as a break — the one place that older-schema
+tolerance lives.
 
 The diff separates **determinism breaks** (per-cell rounds or message
 counts changed — always a regression, timings are irrelevant) from
@@ -49,8 +57,13 @@ def baseline_payload(
     """The baseline document for one executed sweep.
 
     ``result`` is a :class:`~repro.exec.results.SweepResult` (duck-typed:
-    anything with ``name``, ``rows`` and ``telemetry()``).
+    anything with ``name``, ``rows`` and ``telemetry()``).  Each cell
+    document carries the registry's compared columns plus ``label``,
+    ``valid`` and ``elapsed`` (identification and timing context).
     """
+    from repro.exec.results import CELL_COLUMNS
+
+    compared = [column for column in CELL_COLUMNS if column.compare]
     return {
         "schema": SCHEMA,
         "name": name or result.name or "sweep",
@@ -59,11 +72,7 @@ def baseline_payload(
         "cells": [
             {
                 "label": row.label,
-                "seed": row.seed,
-                "rounds": row.rounds,
-                "rounds_executed": row.rounds_executed,
-                "messages": row.message_count,
-                "delayed": getattr(row, "delayed_messages", 0),
+                **{column.name: column.value_of(row) for column in compared},
                 "valid": row.valid,
                 "elapsed": getattr(row, "elapsed", 0.0),
             }
@@ -147,6 +156,8 @@ def diff_payloads(
     gate: float = DEFAULT_GATE,
 ) -> BaselineDiff:
     """Compare a fresh baseline payload against the previous one."""
+    from repro.exec.results import COMPARE_COLUMNS
+
     diff = BaselineDiff(name=previous.get("name", "baseline"), gate=gate)
 
     previous_cells = {cell["label"]: cell for cell in previous.get("cells", [])}
@@ -156,10 +167,11 @@ def diff_payloads(
         if old is None:
             diff.notes.append(f"new cell {label!r} (not in baseline)")
             continue
-        for column in ("rounds", "rounds_executed", "messages", "seed", "delayed"):
+        for column in COMPARE_COLUMNS:
             if column not in old:
                 # Baselines recorded by an older version lack newer
-                # columns (e.g. "delayed"); absence is not a break.
+                # columns (e.g. "delayed", "retried", "kernel");
+                # absence is not a break.
                 continue
             if cell.get(column) != old.get(column):
                 diff.determinism_breaks.append(

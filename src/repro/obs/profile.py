@@ -23,7 +23,16 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Sequence, Tuple
 
 #: Phase names in schedule order (also the column order of tables).
-PHASES: Tuple[str, ...] = ("compose", "deliver", "process", "finalize")
+#: ``kernel`` is the whole-frontier phase of ``schedule="vectorized"``
+#: rounds, which have no interpreted compose/deliver/process/finalize
+#: split; interpreted rounds record it as zero.
+PHASES: Tuple[str, ...] = (
+    "compose",
+    "deliver",
+    "process",
+    "finalize",
+    "kernel",
+)
 
 
 @dataclass(frozen=True)
@@ -38,6 +47,8 @@ class RoundSample:
         process: Seconds spent in the programs' ``process`` phase.
         finalize: Seconds spent applying terminations/crashes and
             publishing neighbor outputs.
+        kernel: Seconds spent in the whole-frontier compiled kernel
+            (``schedule="vectorized"`` rounds only; zero elsewhere).
         messages: Messages delivered this round.
         active: Nodes that were live (not terminated/crashed) this round.
         scheduled: Nodes the scheduler actually ran this round.  Equal to
@@ -56,6 +67,7 @@ class RoundSample:
     messages: int
     active: int
     scheduled: int = -1
+    kernel: float = 0.0
 
     def __post_init__(self) -> None:
         if self.scheduled < 0:
@@ -63,8 +75,8 @@ class RoundSample:
 
     @property
     def elapsed(self) -> float:
-        """Total wall-clock of the round (sum of the four phases)."""
-        return self.compose + self.deliver + self.process + self.finalize
+        """Total wall-clock of the round (sum of all phases)."""
+        return sum(getattr(self, phase) for phase in PHASES)
 
 
 @dataclass
@@ -93,12 +105,14 @@ class RoundProfile:
         messages: int,
         active: int,
         scheduled: int = -1,
+        kernel: float = 0.0,
     ) -> None:
         """Append one round's sample (called by the engine).
 
         ``scheduled`` defaults to ``active`` (the eager schedule runs
         every live node); the quiescent profiled path passes the wake-set
-        size instead.
+        size instead, and the vectorized path passes the count of nodes
+        that observably acted together with the round's ``kernel`` time.
         """
         self.samples.append(
             RoundSample(
@@ -110,6 +124,7 @@ class RoundProfile:
                 messages=messages,
                 active=active,
                 scheduled=scheduled,
+                kernel=kernel,
             )
         )
 

@@ -19,7 +19,7 @@ round, exactly when an explicit notification message would have arrived.
 The engine is a thin orchestrator over composable runtime stages — see
 docs/ARCHITECTURE.md: :class:`~repro.simulator.transport.Transport`
 (mailboxes + bit accounting), :class:`~repro.simulator.scheduling.Scheduler`
-(eager / quiescent / quiescent-debug / async round drives),
+(eager / quiescent / quiescent-debug / async / vectorized round drives),
 :class:`~repro.simulator.interpose.FaultInterposer` (the fault surface),
 :class:`~repro.simulator.lifecycle.NodeLifecycle` (terminations, crashes,
 recoveries) and :class:`~repro.simulator.obs_dispatch.ObsDispatch` (event
@@ -53,6 +53,8 @@ from repro.simulator.scheduling import (
     QuiescentDebugScheduler,
     QuiescentScheduler,
     Scheduler,
+    VectorizedScheduler,
+    schedule_capabilities,
 )
 from repro.simulator.trace import TraceEvent, TraceRecorder
 from repro.simulator.transport import Transport
@@ -84,5 +86,7 @@ __all__ = [
     "TraceEvent",
     "TraceRecorder",
     "Transport",
+    "VectorizedScheduler",
     "estimate_bits",
+    "schedule_capabilities",
 ]

@@ -133,8 +133,14 @@ class SyncEngine:
             an idle node acts.  ``"async"`` is the asynchronous execution
             model of docs/MODEL.md: messages are delayed up to ``phi``
             ticks by a seeded adversary, nodes fire on receipt, and a
-            stabilization detector quiesces starved runs.  See
-            docs/PERFORMANCE.md.
+            stabilization detector quiesces starved runs.
+            ``"vectorized"`` executes compiled whole-frontier NumPy
+            kernels (:mod:`repro.kernels`) over the CSR buffers instead
+            of interpreting per-node programs — bit-identical outputs
+            and counters for the registered greedy families, an order
+            of magnitude faster at scale; unsupported runs raise
+            :class:`~repro.kernels.UnsupportedScheduleError` (see
+            ``fallback``).  See docs/PERFORMANCE.md.
         phi: Delay bound (ticks) for the ``"async"`` schedule's
             adversary; ``0`` (default) degenerates to synchronous
             delivery.  Only meaningful with ``schedule="async"``.
@@ -148,6 +154,13 @@ class SyncEngine:
             ``on_round_limit`` says — and returns the partial result
             with a ``stuck`` report whose ``reason`` is ``"deadline"``,
             so a hung cell can never wedge a sweep or CI job.
+        fallback: What to do when ``schedule="vectorized"`` cannot run
+            this instance (no kernel for the program family, fault
+            injection, event sinks, per-node program mappings).
+            ``None`` (default) raises
+            :class:`~repro.kernels.UnsupportedScheduleError`;
+            ``"interpret"`` warns and downgrades to the interpreted
+            ``"quiescent"`` schedule, which accepts any program.
     """
 
     def __init__(
@@ -171,6 +184,7 @@ class SyncEngine:
         send_timeout: Optional[int] = None,
         max_retries: int = 2,
         deadline_s: Optional[float] = None,
+        fallback: Optional[str] = None,
     ) -> None:
         if on_round_limit not in ("raise", "partial"):
             raise ValueError(
@@ -188,6 +202,10 @@ class SyncEngine:
             )
         if deadline_s is not None and deadline_s <= 0:
             raise ValueError(f"deadline_s must be positive, got {deadline_s}")
+        if fallback not in (None, "interpret"):
+            raise ValueError(
+                f"fallback must be None or 'interpret', got {fallback!r}"
+            )
         if crash_rounds:
             warnings.warn(
                 "crash_rounds= is deprecated; pass "
@@ -235,15 +253,46 @@ class SyncEngine:
         self._predictions = predictions
         self._program_source = programs
 
+        #: The compiled whole-frontier kernel when this run executes
+        #: under ``schedule="vectorized"``, else ``None``.  Resolving it
+        #: is the capability handshake: runs the kernels cannot
+        #: reproduce bit-identically (faults, sinks, unregistered
+        #: program families, per-node mappings) raise
+        #: ``UnsupportedScheduleError`` here — or, under
+        #: ``fallback="interpret"``, warn and downgrade to the
+        #: interpreted quiescent schedule, which accepts any program.
+        self._kernel = None
+        if self._scheduler.uses_kernels:
+            from repro.kernels import UnsupportedScheduleError, resolve_kernel
+
+            try:
+                self._kernel = resolve_kernel(self, programs)
+            except UnsupportedScheduleError as exc:
+                if fallback != "interpret":
+                    raise
+                warnings.warn(
+                    f"schedule='vectorized' cannot run this instance "
+                    f"({exc}); falling back to the interpreted "
+                    f"'quiescent' schedule",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                self.schedule = schedule = "quiescent"
+                self._scheduler = SCHEDULERS[schedule]()
+
         self.programs: Dict[int, NodeProgram] = {}
         self.contexts: Dict[int, NodeContext] = {}
-        for node in sorted(graph.nodes):
-            if callable(programs):
-                program = programs(node)
-            else:
-                program = programs[node]
-            self.programs[node] = program
-            self.contexts[node] = self._build_context(node)
+        if self._kernel is None:
+            # The kernel path never touches per-node programs/contexts/
+            # inboxes; skipping them keeps construction O(1) per node in
+            # arrays rather than Python objects at n ≈ 10⁶.
+            for node in sorted(graph.nodes):
+                if callable(programs):
+                    program = programs(node)
+                else:
+                    program = programs[node]
+                self.programs[node] = program
+                self.contexts[node] = self._build_context(node)
 
         self._active = set(self.graph.nodes)
         #: Sorted view of ``_active``, rebuilt only when membership changes
@@ -252,7 +301,13 @@ class SyncEngine:
         for node in self.graph.nodes:
             self.result.records[node] = NodeRecord(node_id=node)
         #: The transport stage: mailboxes, delivery and bit accounting.
-        self.transport = Transport(self.graph.nodes, self.result, model, graph.n, fast)
+        self.transport = Transport(
+            self.graph.nodes if self._kernel is None else (),
+            self.result,
+            model,
+            graph.n,
+            fast,
+        )
         #: The lifecycle stage: terminations, crashes, recoveries.
         self._lifecycle = NodeLifecycle(self)
         self._scheduler.bind(self)
@@ -396,6 +451,10 @@ class SyncEngine:
                     round_index, reason="stabilized"
                 )
                 break
+        # Batched schedulers (vectorized kernels) write their buffered
+        # per-node outcomes into ``result`` here; interpreted schedulers
+        # already wrote through and this is a no-op.
+        self._scheduler.finish()
         result.rounds_executed = round_index
         result.rounds = max(
             (
@@ -440,6 +499,9 @@ class SyncEngine:
     # ------------------------------------------------------------------
     def _setup_phase(self) -> None:
         scheduler = self._scheduler
+        if scheduler.handles_setup:
+            scheduler.run_setup()
+            return
         for node in self._active_order:
             ctx = self.contexts[node]
             ctx.round = 0
@@ -465,4 +527,7 @@ class SyncEngine:
     def _build_stuck_report(
         self, round_index: int, reason: str = "round-limit"
     ) -> StuckReport:
+        report = self._scheduler.build_stuck_report(round_index, reason)
+        if report is not None:
+            return report
         return self._lifecycle.build_stuck_report(round_index, reason=reason)

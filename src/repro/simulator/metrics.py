@@ -133,6 +133,11 @@ class RunResult:
         profile: The :class:`~repro.obs.profile.RoundProfile` with
             per-round phase timings when profiling was requested
             (``run(..., profile=True)``), else ``None``.
+        kernel: Name of the compiled whole-frontier kernel that executed
+            the run under ``schedule="vectorized"`` (e.g.
+            ``"greedy-mis"``), else ``None`` — including when a
+            ``fallback="interpret"`` run downgraded to an interpreted
+            schedule.
     """
 
     outputs: Dict[int, Any] = field(default_factory=dict)
@@ -153,6 +158,7 @@ class RunResult:
     model: Optional[ExecutionModel] = None
     trace: Optional[Any] = None
     profile: Optional[Any] = None
+    kernel: Optional[str] = None
 
     def termination_round(self, node_id: int) -> Optional[int]:
         """Round in which ``node_id`` terminated, or ``None``."""

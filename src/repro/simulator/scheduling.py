@@ -78,15 +78,41 @@ class Scheduler:
             that nothing observable can ever happen again (only the
             async policy ever sets it); the engine turns it into a
             partial result instead of spinning to the round budget.
+        is_async: Whether the policy implements the asynchronous model
+            (and therefore honors ``phi``/``send_timeout``).
+        handles_setup: Whether the policy runs round 0 itself via
+            :meth:`run_setup` instead of the engine's per-node loop.
+        uses_kernels: Whether the policy executes compiled
+            whole-frontier kernels (:mod:`repro.kernels`) — the engine
+            performs the kernel-capability handshake for such policies.
     """
 
     tracks_wakes = False
     supports_profile = True
     quiesced = False
+    is_async = False
+    handles_setup = False
+    uses_kernels = False
 
     def __init__(self) -> None:
         self.rt: Any = None
         self.processed_last_round: Optional[set] = None
+
+    @classmethod
+    def capabilities(cls) -> Dict[str, Any]:
+        """Introspectable capability record (see :func:`repro.schedules`)."""
+        if cls.uses_kernels:
+            from repro.kernels import available_kernels
+
+            kernels: Tuple[str, ...] = available_kernels()
+        else:
+            kernels = ()
+        return {
+            "quiescence": cls.tracks_wakes,
+            "async": cls.is_async,
+            "profile": cls.supports_profile,
+            "kernels": kernels,
+        }
 
     def bind(self, rt: Any) -> None:
         """Attach the runtime (the engine) this scheduler drives."""
@@ -111,11 +137,28 @@ class Scheduler:
         """A rejoined node terminated straight from its recovery setup."""
 
     # -- round execution ------------------------------------------------
+    def run_setup(self) -> None:
+        """Round 0 for policies with ``handles_setup = True``."""
+        raise NotImplementedError
+
     def run_round(self, round_index: int) -> None:
         raise NotImplementedError
 
     def run_round_profiled(self, round_index: int) -> None:
         raise NotImplementedError
+
+    def finish(self) -> None:
+        """Called once after the round loop, before result aggregation.
+
+        Batched policies flush buffered per-node results here; the
+        interpreted policies write through per round and need nothing.
+        """
+
+    def build_stuck_report(
+        self, round_index: int, reason: str
+    ) -> Optional[Any]:
+        """Policy-built stuck report, or ``None`` to use the lifecycle's."""
+        return None
 
 
 class EagerScheduler(Scheduler):
@@ -651,6 +694,7 @@ class AsyncScheduler(QuiescentScheduler):
     """
 
     supports_profile = False
+    is_async = True
 
     def __init__(self) -> None:
         super().__init__()
@@ -864,10 +908,94 @@ class AsyncScheduler(QuiescentScheduler):
         rt.finalize_round(round_index, participants=process_order)
 
 
+class VectorizedScheduler(Scheduler):
+    """Runs whole-frontier compiled kernels (:mod:`repro.kernels`).
+
+    Instead of interpreting compose/deliver/process per node, every
+    round executes as NumPy array operations over the run's CSR buffers
+    — one :class:`~repro.kernels.base.FrontierKernel` per algorithm
+    family, resolved by the engine's capability handshake at
+    construction time (unsupported runs raise
+    :class:`~repro.kernels.UnsupportedScheduleError` there, or fall
+    back to the interpreted quiescent schedule under
+    ``fallback="interpret"``).
+
+    The kernel keeps the engine's ``_active`` set, result counters and
+    per-node records bit-identical to the interpreted schedules
+    (fuzz-checked in tests/test_vectorized.py); per-node record
+    write-back is batched into :meth:`finish`, so the round loop does
+    O(frontier) array work and no per-node Python at all.
+    """
+
+    handles_setup = True
+    uses_kernels = True
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.kernel: Any = None
+
+    def bind(self, rt: Any) -> None:
+        self.rt = rt
+        self.kernel = rt._kernel
+        self.kernel.bind(rt)
+
+    def run_setup(self) -> None:
+        self.kernel.setup()
+
+    def run_round(self, round_index: int) -> None:
+        self.kernel.run_round(round_index)
+
+    def run_round_profiled(self, round_index: int) -> None:
+        """One timed kernel invocation per round.
+
+        The interpreted phase split does not exist here; the whole
+        round is charged to the ``kernel`` profile phase, and
+        ``scheduled`` records how many nodes observably acted (the
+        vectorized analogue of the quiescent wake-set size).
+        """
+        rt = self.rt
+        profile = rt.obs.profile
+        messages_before = rt.result.message_count
+        active_before = len(rt._active)
+        start = perf_counter()
+        acted = self.kernel.run_round(round_index)
+        elapsed = perf_counter() - start
+        profile.add_round(
+            round_index,
+            compose=0.0,
+            deliver=0.0,
+            process=0.0,
+            finalize=0.0,
+            kernel=elapsed,
+            messages=rt.result.message_count - messages_before,
+            active=active_before,
+            scheduled=int(acted),
+        )
+
+    def finish(self) -> None:
+        self.kernel.flush()
+
+    def build_stuck_report(self, round_index: int, reason: str) -> Any:
+        return self.kernel.stuck_report(round_index, reason)
+
+
 #: Registry mapping the public ``schedule=`` names to implementations.
 SCHEDULERS = {
     "eager": EagerScheduler,
     "quiescent": QuiescentScheduler,
     "quiescent-debug": QuiescentDebugScheduler,
     "async": AsyncScheduler,
+    "vectorized": VectorizedScheduler,
 }
+
+
+def schedule_capabilities() -> Dict[str, Dict[str, Any]]:
+    """Name -> capability record for every registered schedule.
+
+    The single source of truth behind :func:`repro.schedules` and the
+    CLI's ``--schedule`` choices: a scheduler registered here is
+    immediately selectable everywhere, with its capabilities
+    (quiescence tracking, asynchrony, profiling support, compiled
+    kernel availability) introspectable instead of hand-maintained.
+    """
+    return {name: cls.capabilities() for name, cls in SCHEDULERS.items()}

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import RunConfig, run
+from repro.core import ExecutionPolicy, RunConfig, run
 from repro.faults import FaultPlan
 from repro.faults.plan import MessageAdversary
 from repro.graphs import erdos_renyi, line, ring
@@ -159,15 +159,15 @@ class TestAsyncConfig:
         with pytest.raises(ValueError, match="async"):
             SyncEngine(graph, lambda n: WaiterProgram(), phi=2)
         with pytest.raises(ValueError, match="async"):
-            RunConfig(phi=2, schedule="eager")
+            ExecutionPolicy(phi=2, schedule="eager")
 
     def test_send_timeout_requires_async_schedule(self):
         with pytest.raises(ValueError, match="async"):
-            RunConfig(send_timeout=2, schedule="quiescent")
+            ExecutionPolicy(send_timeout=2, schedule="quiescent")
 
     def test_negative_phi_rejected(self):
         with pytest.raises(ValueError, match="phi"):
-            RunConfig(phi=-1, schedule="async")
+            ExecutionPolicy(phi=-1, schedule="async")
         with pytest.raises(ValueError, match="phi"):
             SyncEngine(ring(4), lambda n: WaiterProgram(),
                        schedule="async", phi=-1)
@@ -179,7 +179,7 @@ class TestAsyncConfig:
 
     def test_deadline_validation(self):
         with pytest.raises(ValueError, match="deadline"):
-            RunConfig(deadline_s=0)
+            ExecutionPolicy(deadline_s=0)
         with pytest.raises(ValueError, match="deadline"):
             SyncEngine(ring(4), lambda n: WaiterProgram(), deadline_s=-1.0)
 
@@ -187,7 +187,8 @@ class TestAsyncConfig:
         from repro.algorithms.mis.greedy import GreedyMISAlgorithm
 
         graph = erdos_renyi(12, 0.3, seed=1)
-        result = run(GreedyMISAlgorithm(), graph, schedule="async", phi=1,
+        result = run(GreedyMISAlgorithm(), graph,
+                     policy=ExecutionPolicy(schedule="async", phi=1),
                      on_round_limit="partial")
         assert result.all_terminated
 
@@ -439,7 +440,7 @@ class TestDeadline:
 
         graph = erdos_renyi(10, 0.3, seed=0)
         result = run(GreedyMISAlgorithm(), graph,
-                     config=RunConfig(deadline_s=30.0))
+                     config=RunConfig(policy=ExecutionPolicy(deadline_s=30.0)))
         assert result.stuck is None
 
 
@@ -471,8 +472,8 @@ class TestTemplateStretch:
         graph = erdos_renyi(16, 0.25, seed=5)
         algorithm = mis_simple()
         result = run(algorithm, graph, all_zeros_mis(graph),
-                     schedule="async", phi=2, on_round_limit="partial",
-                     max_rounds=400)
+                     policy=ExecutionPolicy(schedule="async", phi=2),
+                     on_round_limit="partial", max_rounds=400)
         assert result.rounds_executed > 0
         # Bookkeeping invariant: exactly the terminated nodes have outputs.
         terminated = {

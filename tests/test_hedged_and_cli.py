@@ -171,7 +171,8 @@ class TestCLI:
         content = csv_path.read_text().splitlines()
         assert content[0] == (
             "label,graph,n,seed,rounds,rounds_executed,valid,error,"
-            "messages,dropped,delayed,retried,stuck,solution_size,failure"
+            "messages,dropped,delayed,retried,kernel,stuck,solution_size,"
+            "failure"
         )
         assert len(content) == 3
 

@@ -28,7 +28,7 @@ from repro.algorithms.mis import (
     GreedyMISAlgorithm,
     MISInitializationAlgorithm,
 )
-from repro.core import RunConfig, SimpleTemplate, run
+from repro.core import ExecutionPolicy, RunConfig, SimpleTemplate, run
 from repro.faults.plan import CrashFault, FaultPlan, MessageAdversary
 from repro.graphs import erdos_renyi, grid2d, line, star
 from repro.graphs.identifiers import sorted_path_ids
@@ -54,7 +54,7 @@ def _run_with_events(algorithm, graph, schedule, predictions=None, **kwargs):
         algorithm,
         graph,
         predictions,
-        schedule=schedule,
+        policy=ExecutionPolicy(schedule=schedule),
         sinks=[sink],
         on_round_limit="partial",
         **kwargs,
@@ -137,7 +137,8 @@ class TestObservationalIdentity:
     def test_profiled_quiescent_matches(self):
         graph = sorted_path_ids(line(40))
         eager = run(MIS_ALG, graph)
-        profiled = run(MIS_ALG, graph, schedule="quiescent", profile=True)
+        profiled = run(MIS_ALG, graph, profile=True,
+                       policy=ExecutionPolicy(schedule="quiescent"))
         assert profiled.outputs == eager.outputs
         assert profiled.rounds == eager.rounds
         assert profiled.message_count == eager.message_count
@@ -208,27 +209,29 @@ class TestQuiescenceViolation:
 
     def test_honest_programs_pass_debug(self):
         graph = sorted_path_ids(line(12))
-        result = run(MIS_ALG, graph, schedule="quiescent-debug")
+        result = run(MIS_ALG, graph,
+                     policy=ExecutionPolicy(schedule="quiescent-debug"))
         assert result.all_terminated
 
 
 class TestScheduleConfig:
     def test_unknown_schedule_rejected(self):
         with pytest.raises(ValueError, match="schedule"):
-            RunConfig(schedule="lazy")
+            ExecutionPolicy(schedule="lazy")
         with pytest.raises(ValueError, match="schedule"):
             SyncEngine(line(3), lambda node: _SilentLiar(), schedule="lazy")
 
     def test_debug_excludes_profiling(self):
         with pytest.raises(ValueError, match="profil"):
-            run(MIS_ALG, line(4), profile=True, schedule="quiescent-debug")
+            run(MIS_ALG, line(4), profile=True,
+                policy=ExecutionPolicy(schedule="quiescent-debug"))
 
     def test_round_limit_partial_still_works(self):
         for schedule in ("eager", "quiescent"):
             result = run(
                 _SleeperAlgorithm(),
                 line(5),
-                schedule=schedule,
+                policy=ExecutionPolicy(schedule=schedule),
                 max_rounds=7,
                 on_round_limit="partial",
             )
