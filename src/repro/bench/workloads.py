@@ -26,7 +26,12 @@ from repro.graphs import (
     sorted_path_ids,
     star,
 )
-from repro.predictions import noisy_predictions, perfect_predictions
+from repro.graphs.churn import perturb_edges, perturb_nodes
+from repro.predictions import (
+    noisy_predictions,
+    perfect_predictions,
+    stale_predictions,
+)
 from repro.problems import MIS, get_problem
 from repro.problems.base import GraphProblem
 
@@ -49,6 +54,39 @@ def perfect_for(graph: DistGraph, problem: str, seed: Optional[int] = None):
 def noisy_for(graph: DistGraph, problem: str, rate: float, seed: int = 0):
     """Graph-first wrapper around :func:`noisy_predictions`."""
     return noisy_predictions(get_problem(problem), graph, rate, seed=seed)
+
+
+def churned_gnp(
+    n: int,
+    p: float,
+    seed: int = 0,
+    add: int = 0,
+    remove: int = 0,
+    node_add: int = 0,
+    node_remove: int = 0,
+    churn_seed: int = 0,
+) -> DistGraph:
+    """A G(n, p) instance after one round of edge (and optional node)
+    churn — the "related network" a dynamic sweep cell solves.
+
+    All randomness is string-key seeded (graph seed, churn seed), so the
+    cell builds bit-identically on every backend and process.
+    """
+    graph = erdos_renyi(n, p, seed=seed)
+    graph = perturb_edges(graph, add=add, remove=remove, seed=churn_seed)
+    if node_add or node_remove:
+        graph = perturb_nodes(
+            graph, remove=node_remove, add=node_add, seed=churn_seed
+        )
+    return graph
+
+
+def stale_for(graph: DistGraph, problem: str, n: int, p: float, seed: int = 0):
+    """Stale predictions for a :func:`churned_gnp` cell: solve the
+    *pre-churn* G(n, p) instance (same ``n``/``p``/``seed``) and carry
+    the solution onto the churned graph."""
+    old = erdos_renyi(n, p, seed=seed)
+    return stale_predictions(get_problem(problem), old, graph)
 
 
 def perfect_mis(graph: DistGraph, seed: Optional[int] = None):

@@ -12,6 +12,9 @@ Examples::
     python -m repro profile --problem mis --template parallel \
         --graph gnp:100:0.05 --noise 0.2
     python -m repro events --graph grid:5:5 --out events.jsonl
+    python -m repro dynamic --problem mis --template simple \
+        --graph gnp:80:0.06 --epochs 6 --churn-add 5 --churn-remove 5
+    python -m repro dynamic --dataset collegemsg --window 3 --epochs 8
     python -m repro example robustness
 
 Graph specs: ``line:N``, ``ring:N``, ``star:N``, ``clique:N``,
@@ -445,6 +448,96 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return status
 
 
+def cmd_dynamic(args: argparse.Namespace) -> int:
+    """Replay a dynamic epoch stream with warm-started predictions."""
+    from repro.core import RunConfig
+    from repro.dynamic import DynamicRunner, SyntheticChurnStream, temporal_stream
+
+    problem = PROBLEMS.get(args.problem)
+    if problem is None:
+        raise SystemExit(f"unknown problem {args.problem!r}")
+    factory = TEMPLATES[args.problem].get(args.template)
+    if factory is None:
+        raise SystemExit(
+            f"unknown template {args.template!r} for {args.problem} "
+            f"(choose from {sorted(TEMPLATES[args.problem])})"
+        )
+    if args.dataset:
+        stream = temporal_stream(
+            args.dataset,
+            epochs=args.epochs,
+            data_dir=args.data_dir,
+            window=args.window,
+            limit=args.limit,
+            seed=args.seed,
+        )
+    else:
+        stream = SyntheticChurnStream(
+            parse_graph(args.graph),
+            args.epochs,
+            add=args.churn_add,
+            remove=args.churn_remove,
+            add_nodes=args.node_add,
+            remove_nodes=args.node_remove,
+            seed=args.seed,
+        )
+    config = RunConfig(
+        max_rounds=args.max_rounds,
+        policy=_policy_from_args(args),
+    )
+    runner = DynamicRunner(
+        factory,
+        problem,
+        stream,
+        config=config,
+        scratch=not args.no_scratch,
+        seed=args.seed,
+    )
+    try:
+        result = runner.run()
+    except UnsupportedScheduleError as exc:
+        raise SystemExit(f"{exc} (pass --fallback interpret to run anyway)")
+    print(f"stream     : {stream.name} (epochs={stream.epochs})")
+    print(f"algorithm  : {args.problem}/{args.template}")
+    print()
+    print(
+        f"{'epoch':>5}  {'n':>6}  {'+e':>5}  {'-e':>5}  {'eta1':>5}  "
+        f"{'rounds':>6}  {'scratch':>7}  {'recourse':>8}  {'valid':>5}"
+    )
+    for row in result.rows:
+        scratch = row.scratch_rounds if row.scratch_rounds is not None else "-"
+        recourse = row.recourse if row.recourse is not None else "-"
+        print(
+            f"{row.epoch:>5}  {row.n:>6}  "
+            f"{row.metrics.get('inserted_edges', 0):>5}  "
+            f"{row.metrics.get('deleted_edges', 0):>5}  "
+            f"{row.error if row.error is not None else '-':>5}  "
+            f"{row.rounds:>6}  {scratch:>7}  {recourse:>8}  "
+            f"{str(bool(row.valid)):>5}"
+        )
+    status = 0 if result.all_valid else 1
+    if args.csv:
+        result.to_csv(args.csv)
+        print(f"wrote {args.csv}")
+    if args.bench_out:
+        from repro.obs.bench import record_run
+
+        payload, diff = record_run(args.bench_out, result, gate=args.bench_gate)
+        telemetry = payload["telemetry"]
+        print(
+            f"\nbench baseline {args.bench_out}: "
+            f"{telemetry['node_rounds_per_sec']:.0f} node-rounds/s, "
+            f"recourse_total={telemetry['recourse_total']}"
+        )
+        if diff is None:
+            print("no previous baseline; recorded this run as the baseline")
+        else:
+            print(diff.summary())
+            if not diff.ok:
+                status = 1
+    return status
+
+
 def cmd_faults(args: argparse.Namespace) -> int:
     """Degradation sweep under fault injection (message loss + crashes)."""
     from repro.faults import degradation_sweep, summarize_points
@@ -524,7 +617,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
 
 
 def cmd_reproduce(args: argparse.Namespace) -> int:
-    """Run the E1..E28 benchmark suite (requires a source checkout)."""
+    """Run the E1..E29 benchmark suite (requires a source checkout)."""
     import os
 
     if not os.path.isdir(args.benchmarks):
@@ -572,7 +665,13 @@ def build_parser() -> argparse.ArgumentParser:
     events_parser = subparsers.add_parser(
         "events", help="run one instance and export structured events"
     )
-    for sub in (run_parser, sweep_parser, profile_parser, events_parser):
+    dynamic_parser = subparsers.add_parser(
+        "dynamic",
+        help="replay an epoch stream with warm-started predictions",
+    )
+    for sub in (
+        run_parser, sweep_parser, profile_parser, events_parser, dynamic_parser
+    ):
         sub.add_argument("--problem", default="mis", help="problem name")
         sub.add_argument("--template", default="simple", help="template name")
         sub.add_argument("--graph", default="gnp:60:0.08", help="graph spec")
@@ -668,6 +767,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="throughput regression gate for --bench-out (default 2.0x)",
     )
 
+    dynamic_parser.add_argument(
+        "--epochs", type=int, default=6, help="number of update epochs"
+    )
+    dynamic_parser.add_argument(
+        "--churn-add", type=int, default=4,
+        help="edges inserted per synthetic epoch",
+    )
+    dynamic_parser.add_argument(
+        "--churn-remove", type=int, default=4,
+        help="edges deleted per synthetic epoch",
+    )
+    dynamic_parser.add_argument(
+        "--node-add", type=int, default=0,
+        help="nodes arriving per synthetic epoch",
+    )
+    dynamic_parser.add_argument(
+        "--node-remove", type=int, default=0,
+        help="nodes departing per synthetic epoch",
+    )
+    dynamic_parser.add_argument(
+        "--dataset", default=None,
+        help="temporal dataset name (collegemsg, email-eu-core, "
+        "mathoverflow, or a file name); replaces --graph with a "
+        "timestamp-bucketed stream, synthetic fallback when the file "
+        "is missing",
+    )
+    dynamic_parser.add_argument(
+        "--data-dir", default="data",
+        help="directory holding temporal dataset files (default: data)",
+    )
+    dynamic_parser.add_argument(
+        "--window", type=int, default=None,
+        help="age edges out of a temporal stream after this many epochs",
+    )
+    dynamic_parser.add_argument(
+        "--limit", type=int, default=None,
+        help="truncate the temporal event list to this many events",
+    )
+    dynamic_parser.add_argument(
+        "--no-scratch", action="store_true",
+        help="skip the per-epoch solve-from-scratch comparison runs",
+    )
+    dynamic_parser.add_argument("--csv", default=None, help="write CSV here")
+    dynamic_parser.add_argument(
+        "--bench-out", default=None,
+        help="record a BENCH baseline JSON here and diff against the "
+        "previous one (exits nonzero on regression)",
+    )
+    dynamic_parser.add_argument(
+        "--bench-gate", type=float, default=2.0,
+        help="throughput regression gate for --bench-out (default 2.0x)",
+    )
+
     faults_parser = subparsers.add_parser(
         "faults", help="degradation sweep under fault injection"
     )
@@ -703,7 +855,7 @@ def build_parser() -> argparse.ArgumentParser:
     example_parser.add_argument("name", help=f"one of {sorted(EXAMPLES)}")
 
     reproduce_parser = subparsers.add_parser(
-        "reproduce", help="run the full E1..E28 experiment suite"
+        "reproduce", help="run the full E1..E29 experiment suite"
     )
     reproduce_parser.add_argument("--benchmarks", default="benchmarks")
     reproduce_parser.add_argument(
@@ -722,6 +874,7 @@ def main(argv=None) -> int:
         "sweep": cmd_sweep,
         "profile": cmd_profile,
         "events": cmd_events,
+        "dynamic": cmd_dynamic,
         "faults": cmd_faults,
         "example": cmd_example,
         "reproduce": cmd_reproduce,

@@ -1,0 +1,40 @@
+"""Dynamic-graph workloads: epoch streams, warm starts, recourse.
+
+The paper's motivating scenario (Section 1.1) — a solution computed on
+one network reused as a prediction on a related one — iterated into a
+pipeline: an :class:`EpochStream` yields per-epoch insert/delete
+batches, and a :class:`DynamicRunner` replays them through ``run()``,
+feeding epoch ``t``'s outputs into epoch ``t+1`` as predictions and
+recording recourse, rounds-to-repair vs. solve-from-scratch, and η₁ per
+epoch.  See docs/MODEL.md ("Dynamic model") and EXPERIMENTS.md (E29).
+"""
+
+from repro.dynamic.datasets import (
+    TEMPORAL_DATASETS,
+    TemporalStream,
+    parse_temporal_events,
+    synthetic_temporal_events,
+    temporal_stream,
+)
+from repro.dynamic.runner import DynamicResult, DynamicRunner, recourse_between
+from repro.dynamic.stream import (
+    EpochBatch,
+    EpochStream,
+    SyntheticChurnStream,
+    apply_batch,
+)
+
+__all__ = [
+    "DynamicResult",
+    "DynamicRunner",
+    "EpochBatch",
+    "EpochStream",
+    "SyntheticChurnStream",
+    "TEMPORAL_DATASETS",
+    "TemporalStream",
+    "apply_batch",
+    "parse_temporal_events",
+    "recourse_between",
+    "synthetic_temporal_events",
+    "temporal_stream",
+]

@@ -60,6 +60,9 @@ CELL_COLUMNS: Tuple[CellColumn, ...] = (
     CellColumn("delayed", "delayed_messages", compare=True, default=0),
     CellColumn("retried", "retried_messages", compare=True, default=0),
     CellColumn("kernel", "kernel", compare=True),
+    CellColumn("epoch", "epoch", compare=True),
+    CellColumn("recourse", "recourse", compare=True),
+    CellColumn("scratch_rounds", "scratch_rounds", compare=True),
     CellColumn("stuck", "stuck", default=False),
     CellColumn("solution_size", "solution_size", default=0),
     CellColumn("failure", "failure"),
@@ -98,6 +101,15 @@ class CellResult:
             the cell (``schedule="vectorized"`` cells; ``None``
             otherwise, including after a ``fallback="interpret"``
             downgrade).
+        epoch: Position of the cell in a dynamic epoch stream
+            (``repro.dynamic`` rows; ``None`` for static cells).
+        recourse: Number of surviving nodes whose output changed from
+            the previous epoch (dynamic rows from epoch 1 on; ``None``
+            otherwise).
+        scratch_rounds: Rounds a solve-from-scratch run (default
+            predictions, same instance/seed) took, recorded alongside
+            the warm-start ``rounds`` (dynamic rows executed with the
+            scratch comparison enabled; ``None`` otherwise).
         stuck: Whether the run hit its round budget in graceful mode.
         solution_size: Nodes outputting 1 (MIS-style problems), else the
             number of decided nodes.
@@ -131,6 +143,9 @@ class CellResult:
     delayed_messages: int = 0
     retried_messages: int = 0
     kernel: Optional[str] = None
+    epoch: Optional[int] = None
+    recourse: Optional[int] = None
+    scratch_rounds: Optional[int] = None
     stuck: bool = False
     solution_size: int = 0
     metrics: Dict[str, Any] = field(default_factory=dict)
@@ -247,6 +262,15 @@ class SweepResult:
             "retried_total": sum(row.retried_messages for row in rows),
             "stuck_cells": sum(1 for row in rows if row.stuck),
             "vectorized_cells": sum(1 for row in rows if row.kernel is not None),
+            "epochs": sum(
+                1 for row in rows if getattr(row, "epoch", None) is not None
+            ),
+            "recourse_total": sum(
+                getattr(row, "recourse", None) or 0 for row in rows
+            ),
+            "scratch_rounds_total": sum(
+                getattr(row, "scratch_rounds", None) or 0 for row in rows
+            ),
             "failed_cells": sum(1 for row in rows if row.failure is not None),
             "valid_cells": sum(1 for row in valid_known if row.valid),
             "invalid_cells": sum(1 for row in valid_known if not row.valid),

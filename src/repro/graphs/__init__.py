@@ -44,7 +44,12 @@ from repro.graphs.identifiers import (
     sequential_ids,
     sorted_path_ids,
 )
-from repro.graphs.churn import perturb_edges, perturb_nodes
+from repro.graphs.churn import (
+    node_churn_plan,
+    perturb_edges,
+    perturb_nodes,
+    sample_non_edges,
+)
 from repro.graphs.validation import validate_instance
 
 __all__ = [
@@ -64,6 +69,7 @@ __all__ = [
     "grid2d",
     "hypercube",
     "line",
+    "node_churn_plan",
     "path_forest",
     "perturb_edges",
     "perturb_nodes",
@@ -73,6 +79,7 @@ __all__ = [
     "random_tree",
     "relabel",
     "ring",
+    "sample_non_edges",
     "sequential_ids",
     "sorted_path_ids",
     "star",

@@ -8,15 +8,82 @@ The paper motivates predictions with exactly this scenario (Section 1.1):
     added or removed.
 
 These helpers produce the perturbed network; the old solution becomes the
-prediction via :mod:`repro.predictions.stale`.
+prediction via :mod:`repro.predictions.stale`.  The epoch-stream layer
+(:mod:`repro.dynamic`) builds per-epoch insert/delete batches out of the
+same sampling primitives, so a one-shot perturbation and one epoch of a
+dynamic stream draw from identical distributions.
+
+Delivery contract: both perturbers deliver *exactly* what they promise or
+say so.  ``perturb_edges`` adds exactly ``min(add, available non-edges)``
+edges (falling back from rejection sampling to explicit enumeration on
+dense graphs) and warns when the graph cannot absorb the request;
+``perturb_nodes`` documents its keep-one-survivor clamp, warns when it
+engages, and exposes the realized removal on the returned graph.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Set, Tuple
+import warnings
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
 from repro.graphs.graph import DistGraph
+
+Edge = Tuple[int, int]
+
+
+def sample_non_edges(
+    nodes: Sequence[int],
+    existing: Set[Edge],
+    count: int,
+    rng: random.Random,
+    *,
+    attempt_factor: int = 50,
+) -> List[Edge]:
+    """Exactly ``min(count, available)`` distinct non-edges, seeded.
+
+    Rejection-samples pairs first (cheap on sparse graphs); if the
+    attempt budget runs dry — the near-complete-graph regime where
+    almost every pair is already an edge — it falls back to enumerating
+    the remaining non-edges and sampling the shortfall exactly.  The
+    result is deterministic for a given ``rng`` state and never silently
+    under-delivers: fewer than ``count`` edges come back only when the
+    graph has fewer than ``count`` non-edges left.
+
+    ``existing`` is the set of ``(min, max)`` pairs that may not be
+    produced (it is not mutated).
+    """
+    if count <= 0 or len(nodes) < 2:
+        return []
+    total_pairs = len(nodes) * (len(nodes) - 1) // 2
+    available = total_pairs - len(existing)
+    target = min(count, available)
+    chosen: Set[Edge] = set()
+    picked: List[Edge] = []
+    attempts = 0
+    budget = attempt_factor * max(1, count)
+    node_list = list(nodes)
+    while len(picked) < target and attempts < budget:
+        attempts += 1
+        u, v = rng.sample(node_list, 2)
+        edge = (min(u, v), max(u, v))
+        if edge in existing or edge in chosen:
+            continue
+        chosen.add(edge)
+        picked.append(edge)
+    if len(picked) < target:
+        # Dense/small regime: enumerate what is left and sample exactly.
+        remaining = [
+            (u, v)
+            for i, u in enumerate(node_list)
+            for v in node_list[i + 1 :]
+            if (min(u, v), max(u, v)) not in existing
+            and (min(u, v), max(u, v)) not in chosen
+        ]
+        remaining = [(min(u, v), max(u, v)) for u, v in remaining]
+        remaining.sort()
+        picked.extend(rng.sample(remaining, target - len(picked)))
+    return picked
 
 
 def perturb_edges(
@@ -27,8 +94,13 @@ def perturb_edges(
 ) -> DistGraph:
     """Add and remove random edges (node set unchanged).
 
-    ``add`` random non-edges become edges and ``remove`` random existing
-    edges disappear (clamped to availability).  Deterministic per seed.
+    ``remove`` random existing edges disappear (clamped to the number of
+    edges present) and exactly ``min(add, available non-edges)`` random
+    non-edges become edges.  Removed edges are never re-added within the
+    same call.  When the graph is too close to complete to absorb the
+    full ``add`` request, a :class:`UserWarning` records the shortfall —
+    the returned graph is still exactly as large as announced, never
+    silently smaller.  Deterministic per seed.
     """
     rng = random.Random(f"{seed}:edge-churn")
     edges = set(graph.edges())
@@ -38,19 +110,16 @@ def perturb_edges(
     for edge in removable[: min(remove, len(removable))]:
         edges.discard(edge)
 
-    chosen: Set[Tuple[int, int]] = set()
-    nodes = list(graph.nodes)
-    # For large graphs, rejection-sample rather than materializing all
-    # non-edges.  ``existing`` keeps removed edges from being re-added.
-    attempts = 0
+    # ``existing`` keeps removed edges from being re-added.
     existing = set(graph.edges())
-    while len(chosen) < add and attempts < 50 * max(1, add):
-        attempts += 1
-        u, v = rng.sample(nodes, 2)
-        edge = (min(u, v), max(u, v))
-        if edge in existing or edge in chosen:
-            continue
-        chosen.add(edge)
+    chosen = sample_non_edges(graph.nodes, existing, add, rng)
+    if len(chosen) < add:
+        warnings.warn(
+            f"perturb_edges: requested add={add} but the graph has only "
+            f"{len(chosen)} non-edges available (shortfall "
+            f"{add - len(chosen)}); delivering {len(chosen)}",
+            stacklevel=2,
+        )
     edges.update(chosen)
 
     adjacency: Dict[int, List[int]] = {node: [] for node in graph.nodes}
@@ -64,6 +133,29 @@ def perturb_edges(
     return DistGraph(adjacency, d=graph.d, attrs=attrs, name=f"{graph.name}+churn")
 
 
+def node_churn_plan(
+    graph: DistGraph,
+    remove: int = 0,
+    add: int = 0,
+    seed: int = 0,
+) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+    """The ``(removed ids, added ids)`` a :func:`perturb_nodes` call realizes.
+
+    Deterministic per ``(graph, remove, add, seed)`` and shared with
+    :func:`perturb_nodes` itself, so callers can learn the exact churn a
+    perturbation applied without re-deriving it from set differences.
+    The removal is clamped to ``len(graph.nodes) - 1`` (see
+    :func:`perturb_nodes`).
+    """
+    rng = random.Random(f"{seed}:node-churn")
+    survivors = list(graph.nodes)
+    rng.shuffle(survivors)
+    removed = tuple(sorted(survivors[: min(remove, max(0, len(survivors) - 1))]))
+    next_id = (max(graph.nodes) if graph.nodes else 0) + 1
+    added = tuple(range(next_id, next_id + max(0, add)))
+    return removed, added
+
+
 def perturb_nodes(
     graph: DistGraph,
     remove: int = 0,
@@ -75,11 +167,34 @@ def perturb_nodes(
 
     New nodes receive identifiers above the current maximum (``d`` grows
     accordingly) and attach to ``attach_degree`` random existing nodes.
+
+    **Clamp:** removal never empties the graph — at most
+    ``len(graph.nodes) - 1`` nodes are removed, so one survivor always
+    remains (an empty instance has no distributed execution to speak
+    of).  A request for ``remove >= len(graph.nodes)`` engages the clamp
+    and emits a :class:`UserWarning` naming the realized removal.
+
+    The realized churn is exposed two ways: the returned graph's name
+    records the actual counts (``...+nodechurn[-R+A]``) and its
+    ``churn_removed`` attribute carries the exact tuple of removed
+    identifiers (also available up front via :func:`node_churn_plan`).
+
+    ``remove=0, add=0`` is the identity: the input graph is returned
+    unchanged.
     """
+    if remove == 0 and add == 0:
+        return graph
     rng = random.Random(f"{seed}:node-churn")
     survivors = list(graph.nodes)
     rng.shuffle(survivors)
-    removed = set(survivors[: min(remove, max(0, len(survivors) - 1))])
+    clamp = max(0, len(survivors) - 1)
+    if remove > clamp:
+        warnings.warn(
+            f"perturb_nodes: requested remove={remove} of {len(survivors)} "
+            f"nodes; clamped to {clamp} so one survivor remains",
+            stacklevel=2,
+        )
+    removed = set(survivors[: min(remove, clamp)])
     keep = [node for node in graph.nodes if node not in removed]
 
     adjacency: Dict[int, List[int]] = {
@@ -99,4 +214,7 @@ def perturb_nodes(
         if node in graph and graph.node_attrs(node)
     }
     d = max(graph.d, next_id - 1)
-    return DistGraph(adjacency, d=d, attrs=attrs, name=f"{graph.name}+nodechurn")
+    name = f"{graph.name}+nodechurn[-{len(removed)}+{add}]"
+    perturbed = DistGraph(adjacency, d=d, attrs=attrs, name=name)
+    perturbed.churn_removed = tuple(sorted(removed))
+    return perturbed

@@ -19,11 +19,17 @@ from repro.predictions.generators import (
     perfect_predictions,
 )
 from repro.predictions.learned import ensemble_predictions
-from repro.predictions.stale import stale_predictions
+from repro.predictions.stale import (
+    carry_predictions,
+    default_predictions,
+    stale_predictions,
+)
 
 __all__ = [
     "all_ones_mis",
     "all_zeros_mis",
+    "carry_predictions",
+    "default_predictions",
     "directed_line_pattern",
     "ensemble_predictions",
     "grid_blackwhite_predictions",

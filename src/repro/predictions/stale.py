@@ -7,6 +7,29 @@ Solve the problem on the *old* network, perturb the network (see
 :mod:`repro.graphs.churn`), and hand the old solution to the new
 instance as its predictions.  Nodes that did not exist in the old network
 receive a problem-appropriate default.
+
+The carry rule lives in :func:`carry_predictions` so the dynamic
+epoch-stream runner (:mod:`repro.dynamic`) can reuse it directly on a
+previous epoch's *computed outputs* instead of re-solving the old graph.
+
+Out-of-universe audit (node churn).  After ``perturb_nodes`` a stale
+value can reference an identifier that is not merely a non-neighbor but
+absent from the new graph entirely (removed, or above the new ``d``).
+All four families were audited under combined edge+node churn:
+
+* **mis / vertex-coloring** carry scalars, so no foreign id can appear.
+* **edge-coloring** filters its per-edge map to surviving neighbors,
+  which removes out-of-universe keys as a side effect.
+* **matching** carries the partner id itself.  A partner that survives
+  but is no longer a neighbor is kept verbatim — that is precisely the
+  prediction error churn causes, and every initializer guards with
+  ``predicted in ctx.neighbors``.  A partner that left the universe
+  altogether is *not* a plausible prediction (no oracle can nominate a
+  node that does not exist), so it is mapped to the UNMATCHED default
+  here rather than leaking ghost ids into runs, CSVs, and telemetry.
+
+The tolerated behavior is pinned by tests in
+``tests/test_predictions.py`` (``TestStaleUniverse``).
 """
 
 from __future__ import annotations
@@ -30,22 +53,37 @@ def _default_prediction(problem: GraphProblem, graph: DistGraph, node: int):
     raise ValueError(f"no default prediction for problem {problem.name!r}")
 
 
-def stale_predictions(
-    problem: GraphProblem,
-    old_graph: DistGraph,
-    new_graph: DistGraph,
-    seed: Optional[int] = None,
-) -> Outputs:
-    """Solve on ``old_graph`` and reuse the solution on ``new_graph``.
+def default_predictions(problem: GraphProblem, graph: DistGraph) -> Outputs:
+    """A cold start: every node gets the problem's default prediction.
 
-    For edge coloring, only entries for edges that still exist survive;
-    for matching, a stale partner that is no longer a neighbor is kept
-    verbatim (the initialization algorithms tolerate illegal predictions,
-    and a vanished partner is precisely the kind of error churn causes).
+    This is what a node "knows" with no oracle at all — the baseline the
+    dynamic runner uses for epoch 0 and for its solve-from-scratch
+    comparison runs.
     """
-    from repro.predictions.generators import perfect_predictions
+    return {
+        node: _default_prediction(problem, graph, node) for node in graph.nodes
+    }
 
-    old_solution = perfect_predictions(problem, old_graph, seed=seed)
+
+def carry_predictions(
+    problem: GraphProblem,
+    old_solution: Outputs,
+    new_graph: DistGraph,
+) -> Outputs:
+    """Reuse ``old_solution`` as predictions on ``new_graph``.
+
+    The carry rule, per family:
+
+    * nodes absent from ``old_solution`` (newly added) get the default;
+    * **edge-coloring** maps are filtered to edges that still exist;
+    * **matching** partners that left the new graph's universe entirely
+      (removed by node churn) become UNMATCHED; surviving partners are
+      kept verbatim even when no longer neighbors — that stale pointer
+      is the prediction error the paper studies;
+    * **mis** / **vertex-coloring** scalars are kept verbatim (a color
+      may exceed the new palette; initializers tolerate and repair it).
+    """
+    universe = set(new_graph.nodes)
     predictions: Outputs = {}
     for node in new_graph.nodes:
         if node not in old_solution:
@@ -58,5 +96,28 @@ def stale_predictions(
                 for other, color in (value or {}).items()
                 if other in new_graph.neighbors(node)
             }
+        elif problem.name == "matching":
+            if value != UNMATCHED and value not in universe:
+                value = UNMATCHED
         predictions[node] = value
     return predictions
+
+
+def stale_predictions(
+    problem: GraphProblem,
+    old_graph: DistGraph,
+    new_graph: DistGraph,
+    seed: Optional[int] = None,
+) -> Outputs:
+    """Solve on ``old_graph`` and reuse the solution on ``new_graph``.
+
+    Equivalent to :func:`carry_predictions` applied to a perfect
+    solution of the old graph; see that function for the per-family
+    carry rule (edge-coloring filtered to surviving edges, matching
+    partners kept verbatim while in-universe, out-of-universe partners
+    mapped to UNMATCHED).
+    """
+    from repro.predictions.generators import perfect_predictions
+
+    old_solution = perfect_predictions(problem, old_graph, seed=seed)
+    return carry_predictions(problem, old_solution, new_graph)

@@ -3,8 +3,10 @@
 import pytest
 
 from repro.graphs import (
+    clique,
     erdos_renyi,
     line,
+    node_churn_plan,
     perturb_edges,
     perturb_nodes,
     random_ids_from_domain,
@@ -104,3 +106,66 @@ class TestChurn:
         assert perturbed.n == 13
         assert max(perturbed.nodes) == 13
         assert perturbed.d >= 13
+
+    def test_near_complete_graph_delivers_exactly(self):
+        # 10 nodes, complete minus 3 edges: rejection sampling alone
+        # cannot find the few remaining non-edges reliably, but the
+        # enumeration fallback must deliver all 3 exactly.
+        full = clique(10)
+        graph = perturb_edges(full, remove=3, seed=5)
+        assert graph.num_edges == full.num_edges - 3
+        refilled = perturb_edges(graph, add=3, seed=6)
+        assert refilled.num_edges == full.num_edges
+        assert sorted(refilled.edges()) == sorted(full.edges())
+
+    def test_add_shortfall_warns_and_saturates(self):
+        full = clique(8)
+        graph = perturb_edges(full, remove=2, seed=1)
+        with pytest.warns(UserWarning, match="shortfall 3"):
+            refilled = perturb_edges(graph, add=5, seed=2)
+        # Exactly the 2 available non-edges were added, never fewer.
+        assert refilled.num_edges == full.num_edges
+
+    def test_add_on_complete_graph_warns(self):
+        with pytest.warns(UserWarning, match="shortfall"):
+            perturbed = perturb_edges(clique(6), add=1, seed=0)
+        assert perturbed.num_edges == clique(6).num_edges
+
+    def test_exact_delivery_is_seeded(self):
+        graph = perturb_edges(clique(9), remove=4, seed=3)
+        a = perturb_edges(graph, add=4, seed=7)
+        b = perturb_edges(graph, add=4, seed=7)
+        assert a.edges() == b.edges()
+
+    def test_remove_all_nodes_clamps_with_warning(self):
+        graph = erdos_renyi(12, 0.3, seed=1)
+        with pytest.warns(UserWarning, match="one survivor"):
+            perturbed = perturb_nodes(graph, remove=12, seed=2)
+        assert perturbed.n == 1
+        assert perturbed.churn_removed == tuple(
+            sorted(set(graph.nodes) - set(perturbed.nodes))
+        )
+        assert len(perturbed.churn_removed) == 11
+        assert "+nodechurn[-11+0]" in perturbed.name
+
+    def test_remove_beyond_size_clamps_identically(self):
+        graph = line(5)
+        with pytest.warns(UserWarning):
+            perturbed = perturb_nodes(graph, remove=100, seed=3)
+        assert perturbed.n == 1
+
+    def test_zero_churn_is_identity(self):
+        graph = erdos_renyi(15, 0.2, seed=6)
+        assert perturb_nodes(graph, remove=0, add=0, seed=9) is graph
+
+    def test_removed_set_exposed(self):
+        graph = erdos_renyi(20, 0.2, seed=7)
+        perturbed = perturb_nodes(graph, remove=4, add=2, seed=11)
+        assert len(perturbed.churn_removed) == 4
+        assert all(node not in perturbed for node in perturbed.churn_removed)
+        assert "+nodechurn[-4+2]" in perturbed.name
+        planned_removed, planned_added = node_churn_plan(
+            graph, remove=4, add=2, seed=11
+        )
+        assert planned_removed == perturbed.churn_removed
+        assert all(node in perturbed for node in planned_added)

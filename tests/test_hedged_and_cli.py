@@ -171,10 +171,54 @@ class TestCLI:
         content = csv_path.read_text().splitlines()
         assert content[0] == (
             "label,graph,n,seed,rounds,rounds_executed,valid,error,"
-            "messages,dropped,delayed,retried,kernel,stuck,solution_size,"
-            "failure"
+            "messages,dropped,delayed,retried,kernel,epoch,recourse,"
+            "scratch_rounds,stuck,solution_size,failure"
         )
         assert len(content) == 3
+
+    def test_dynamic_synthetic(self, tmp_path, capsys):
+        from repro.cli import main
+
+        csv_path = tmp_path / "dyn.csv"
+        code = main(
+            [
+                "dynamic",
+                "--problem", "mis",
+                "--template", "simple",
+                "--graph", "gnp:30:0.12:2",
+                "--epochs", "3",
+                "--churn-add", "3",
+                "--churn-remove", "3",
+                "--csv", str(csv_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "recourse" in out
+        lines = csv_path.read_text().splitlines()
+        assert len(lines) == 5  # header + epochs 0..3
+        assert "epoch,recourse,scratch_rounds" in lines[0]
+
+    def test_dynamic_temporal_fallback(self, capsys):
+        import warnings
+
+        from repro.cli import main
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            code = main(
+                [
+                    "dynamic",
+                    "--dataset", "collegemsg",
+                    "--epochs", "2",
+                    "--window", "1",
+                    "--limit", "200",
+                    "--no-scratch",
+                ]
+            )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "collegemsg-synthetic" in out
 
     def test_graph_spec_errors(self):
         from repro.cli import parse_graph

@@ -4,15 +4,18 @@ import pytest
 
 from repro.errors import eta1
 from repro.graphs import (
+    DistGraph,
     directed_line,
     erdos_renyi,
     grid2d,
     line,
     perturb_edges,
+    perturb_nodes,
 )
 from repro.predictions import (
     all_ones_mis,
     all_zeros_mis,
+    carry_predictions,
     directed_line_pattern,
     grid_blackwhite_predictions,
     noisy_predictions,
@@ -159,3 +162,86 @@ class TestStale:
         predictions = stale_predictions(EDGE_COLORING, graph, churned)
         for node, entry in predictions.items():
             assert set(entry) <= set(churned.neighbors(node))
+
+
+class TestStaleUniverse:
+    """Out-of-universe audit (ISSUE 8 satellite): after node churn a
+    stale value may reference an id that is gone from the new graph
+    entirely.  The carry rule's tolerated behavior, pinned per family."""
+
+    PROBLEMS = (MIS, MATCHING, VERTEX_COLORING, EDGE_COLORING)
+
+    @staticmethod
+    def _combined_churn(graph, seed):
+        churned = perturb_edges(graph, add=5, remove=5, seed=seed)
+        return perturb_nodes(churned, remove=6, add=4, seed=seed)
+
+    def test_no_out_of_universe_ids_after_combined_churn(self):
+        graph = erdos_renyi(30, 0.15, seed=2)
+        churned = self._combined_churn(graph, seed=3)
+        universe = set(churned.nodes)
+        for problem in self.PROBLEMS:
+            predictions = stale_predictions(problem, graph, churned, seed=1)
+            assert set(predictions) == universe, problem.name
+            if problem.name == "matching":
+                partners = {
+                    value for value in predictions.values() if value != UNMATCHED
+                }
+                assert partners <= universe
+            if problem.name == "edge-coloring":
+                for node, entry in predictions.items():
+                    assert set(entry) <= set(churned.neighbors(node))
+
+    def test_matching_removed_partner_becomes_unmatched(self):
+        graph = line(6)
+        # Remove node 2: its partner (whoever matched with it) now holds
+        # a pointer to an id outside the new universe.
+        churned = graph.subgraph(set(graph.nodes) - {2}, name="line-6-minus-2")
+        old_solution = perfect_predictions(MATCHING, graph)
+        orphaned = [v for v, p in old_solution.items() if p == 2 and v != 2]
+        assert orphaned, "node 2 should have been matched"
+        predictions = carry_predictions(MATCHING, old_solution, churned)
+        for node in orphaned:
+            assert predictions[node] == UNMATCHED
+
+    def test_matching_surviving_non_neighbor_kept_verbatim(self):
+        # Partner survives but the edge is gone: that stale pointer is
+        # the prediction error churn causes — kept, not sanitized.
+        graph = line(4)
+        old_solution = {1: 2, 2: 1, 3: 4, 4: 3}
+        churned = DistGraph({1: [3], 2: [4], 3: [1], 4: [2]}, name="rewired")
+        predictions = carry_predictions(MATCHING, old_solution, churned)
+        assert predictions == old_solution
+
+    def test_all_families_run_to_valid_solutions_under_combined_churn(self):
+        from repro.bench.algorithms import (
+            coloring_simple,
+            edge_coloring_simple,
+            matching_simple,
+            mis_simple,
+        )
+        from repro.core import run
+
+        graph = erdos_renyi(28, 0.15, seed=5)
+        churned = self._combined_churn(graph, seed=7)
+        factories = {
+            "mis": mis_simple,
+            "matching": matching_simple,
+            "vertex-coloring": coloring_simple,
+            "edge-coloring": edge_coloring_simple,
+        }
+        for problem in self.PROBLEMS:
+            predictions = stale_predictions(problem, graph, churned, seed=2)
+            assert eta1(churned, predictions, problem.name) >= 0
+            result = run(factories[problem.name](), churned, predictions, seed=4)
+            assert problem.verify_solution(churned, result.outputs) == [], (
+                problem.name
+            )
+
+    def test_vertex_coloring_colors_kept_verbatim_beyond_palette(self):
+        # A carried color may exceed the new graph's Delta+1 palette;
+        # the carry rule keeps it (initializers repair it).
+        old_solution = {1: 5, 2: 1, 3: 2}
+        churned = DistGraph({1: [2], 2: [1, 3], 3: [2]}, name="path3")
+        predictions = carry_predictions(VERTEX_COLORING, old_solution, churned)
+        assert predictions[1] == 5
