@@ -241,3 +241,47 @@ def test_e22_topology_csr_neighbor_sweep(benchmark):
 
     expected = dict_sweep()
     assert benchmark(sweep) == expected
+
+
+# ----------------------------------------------------------------------
+# Pool-boundary serialization (what the process backend ships per cell)
+# ----------------------------------------------------------------------
+def test_e22_pickle_bytes_per_cell_flat(benchmark):
+    """Flat serialization of a literal-graph work item — the bytes every
+    chunk dispatch shipped per cell before the shared-memory store."""
+    import pickle
+
+    from repro.core import RunConfig
+    from repro.exec import GraphSpec, Sweep
+
+    sweep = Sweep(name="e22")
+    sweep.add(
+        "cell", GraphSpec.literal(random_regular(1600, 4, seed=1)), mis_parallel
+    )
+    item = ("cell", 0, sweep.cells[0], 1, False, False)
+
+    size = benchmark(lambda: len(pickle.dumps(item, pickle.HIGHEST_PROTOCOL)))
+    assert size > 8 * 1600  # the CSR buffers dominate a flat item
+
+
+def test_e22_pickle_bytes_per_cell_shared(benchmark):
+    """The same item while a SharedCSRStore is active: the topology
+    reduces to a ~100-byte segment handle, so per-cell pool traffic is
+    spec overhead, independent of n."""
+    import pickle
+
+    from repro.exec import GraphSpec, Sweep
+    from repro.shard import SharedCSRStore
+
+    sweep = Sweep(name="e22")
+    graph = random_regular(1600, 4, seed=1)
+    sweep.add("cell", GraphSpec.literal(graph), mis_parallel)
+    item = ("cell", 0, sweep.cells[0], 1, False, False)
+    flat = len(pickle.dumps(item, pickle.HIGHEST_PROTOCOL))
+
+    with SharedCSRStore() as store:
+        store.publish(graph.csr)  # first publish paid outside the loop
+        size = benchmark(
+            lambda: len(pickle.dumps(item, pickle.HIGHEST_PROTOCOL))
+        )
+    assert size * 5 <= flat  # the handle path ships >= 5x fewer bytes

@@ -1,0 +1,178 @@
+"""E30 — Shared-memory store + component sharding (engineering).
+
+The process-pool backend used to serialize a full flat copy of the graph
+into every dispatched work item: at n=10^6 the CSR buffers are tens of
+megabytes, and a grid of k cells shipped them k times.  With
+``ExecutionPolicy(share_graph=True)`` the sweep publishes the topology
+into one :class:`~repro.shard.store.SharedCSRStore` segment and every
+item crosses the pool as a ~100-byte handle; with ``shard="components"``
+a many-component cell additionally splits into per-worker sub-cells that
+merge back **bit-identically** (nodes in different components never
+exchange messages; every ambient quantity — n, Δ, round budgets, CONGEST
+bandwidth — is pinned to the parent graph's value, and per-node
+randomness is keyed by ``(seed, node_id)`` alone).
+
+Every workload here asserts the sharded ≡ unsharded identity before
+trusting a byte count, then asserts the headline: per-cell graph ship
+bytes drop **>= 5x** at the full scale, with an absolute ceiling that
+catches any accidental reintroduction of buffer shipping.
+
+Set ``REPRO_E30_N`` to scale the headline run (default 1_000_000; CI
+uses a reduced n to keep the job fast — the ratio *grows* with n, since
+the handle is O(1) while flat buffers are O(n + m), so the floor holds
+a fortiori at full size).  The committed baseline artifact is
+``benchmarks/BENCH_e30_sharded.json`` (see docs/PERFORMANCE.md).
+"""
+
+import os
+import pickle
+
+from repro.core import ExecutionPolicy
+from repro.exec import GraphSpec, Sweep
+from repro.graphs import path_forest
+from repro.shard import SharedCSRStore
+
+#: Headline scale of the ship-bytes measurement (nodes).
+N = int(os.environ.get("REPRO_E30_N", "1000000"))
+
+#: Nodes per disjoint path in the many-component instance.
+PATH_LEN = 100
+
+#: Ship-bytes reduction floor at the headline scale (flat / shared).
+MIN_REDUCTION = 5.0
+
+#: Absolute per-cell ship ceiling with the store active: a handle plus
+#: spec overhead, never buffers.  Flat items at N=10^6 are ~25 MB.
+SHIP_CEILING_BYTES = 65_536
+
+
+def _forest(n):
+    return path_forest(max(1, n // PATH_LEN), PATH_LEN)
+
+
+def _sweep(graph, *, shard=None, share=False, seeds=(11, 12)):
+    sweep = Sweep(name="e30", base_seed=7)
+    policy = ExecutionPolicy(
+        schedule="vectorized", shard=shard, share_graph=share
+    )
+    spec = GraphSpec.literal(graph)
+    for seed in seeds:
+        sweep.add(
+            f"greedy-s{seed}",
+            spec,
+            "greedy_mis_reference",
+            predictions="all_zeros_mis",
+            problem="mis",
+            seed=seed,
+            policy=policy,
+        )
+    return sweep
+
+
+def test_e30_identity_fuzz(once):
+    """Sharded runs are bit-identical to unsharded runs — across
+    schedules, shard counts and backends — before any byte counting."""
+    graph = _forest(min(N, 30_000))
+
+    def execute():
+        outcomes = []
+        for schedule in ("eager", "quiescent", "vectorized"):
+            base = Sweep(name="e30", base_seed=7)
+            base.add(
+                "greedy",
+                GraphSpec.literal(graph),
+                "greedy_mis_reference",
+                predictions="all_zeros_mis",
+                problem="mis",
+                policy=ExecutionPolicy(schedule=schedule),
+            )
+            reference = base.run("serial")
+            for jobs in (2, 5):
+                sharded = Sweep(name="e30", base_seed=7)
+                sharded.add(
+                    "greedy",
+                    GraphSpec.literal(graph),
+                    "greedy_mis_reference",
+                    predictions="all_zeros_mis",
+                    problem="mis",
+                    policy=ExecutionPolicy(
+                        schedule=schedule, shard="components"
+                    ),
+                )
+                outcomes.append(
+                    (schedule, jobs, sharded.run("serial", jobs=jobs), reference)
+                )
+        return outcomes
+
+    for schedule, jobs, sharded, reference in once(execute):
+        assert sharded.equivalent_to(reference), (
+            f"sharded ({schedule}, jobs={jobs}) diverged from unsharded"
+        )
+        assert all(row.valid for row in sharded.rows)
+
+
+def test_e30_ship_bytes_reduction(once):
+    """The tentpole number: per-cell graph ship bytes drop >= 5x at the
+    headline scale on the process-pool backend (identity asserted on the
+    same run)."""
+    graph = _forest(N)
+
+    def execute():
+        flat_item = (
+            "cell",
+            0,
+            _sweep(graph).cells[0],
+            11,
+            False,
+            False,
+        )
+        flat_bytes = len(pickle.dumps(flat_item, pickle.HIGHEST_PROTOCOL))
+        reference = _sweep(graph).run("serial")
+        shared = _sweep(graph, shard="components", share=True).run(
+            "process", jobs=2
+        )
+        return flat_bytes, reference, shared
+
+    flat_bytes, reference, shared = once(execute)
+    assert shared.equivalent_to(reference)
+    assert shared.shared_bytes > 0
+    for row in shared.rows:
+        assert row.ship_bytes is not None
+        reduction = flat_bytes / row.ship_bytes
+        print(
+            f"\nE30 {row.label}: n={graph.n} flat={flat_bytes}B "
+            f"shipped={row.ship_bytes}B reduction={reduction:.0f}x "
+            f"shards={row.shards}"
+        )
+        assert reduction >= MIN_REDUCTION, (
+            f"per-cell ship bytes {row.ship_bytes} only "
+            f"{reduction:.1f}x below the flat {flat_bytes} "
+            f"(floor {MIN_REDUCTION:.0f}x)"
+        )
+        assert row.ship_bytes <= SHIP_CEILING_BYTES, (
+            f"per-cell ship bytes {row.ship_bytes} above the "
+            f"{SHIP_CEILING_BYTES} ceiling — are buffers crossing the "
+            "pool again?"
+        )
+    telemetry = shared.telemetry()
+    assert telemetry["sharded_cells"] == len(shared.rows)
+    assert telemetry["shared_bytes"] == shared.shared_bytes
+
+
+def test_e30_store_publish_overhead(once):
+    """Publishing the headline graph into the store is a one-time copy:
+    segment bytes equal the CSR payload exactly, and re-publishing is
+    free (same handle, one segment)."""
+    graph = _forest(min(N, 200_000))
+
+    def execute():
+        with SharedCSRStore() as store:
+            first = store.publish(graph.csr)
+            second = store.publish(graph.csr)
+            return first, second, len(store), store.total_bytes
+
+    first, second, segments, total = once(execute)
+    assert first == second
+    assert segments == 1
+    n, nnz = graph.csr.n, len(graph.csr.indices)
+    assert total == 8 * (2 * n + 1 + nnz)

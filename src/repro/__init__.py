@@ -81,7 +81,7 @@ from repro.problems import EDGE_COLORING, MATCHING, MIS, VERTEX_COLORING, get_pr
 from repro.simulator import CONGEST, LOCAL, RunResult, SyncEngine
 from repro.simulator import schedule_capabilities as _schedule_capabilities
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 
 def schedules():

@@ -199,6 +199,8 @@ def _policy_from_args(args: argparse.Namespace) -> ExecutionPolicy:
             send_timeout=args.send_timeout,
             deadline_s=args.deadline_s,
             fallback=getattr(args, "fallback", None),
+            share_graph=getattr(args, "share_graph", False),
+            shard=getattr(args, "shard", None),
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
@@ -408,6 +410,18 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print(
             f"note: requested {result.requested_backend} backend, "
             f"ran {result.backend}"
+        )
+    telemetry = result.telemetry()
+    if telemetry["sharded_cells"]:
+        print(
+            f"sharded: {telemetry['sharded_cells']} cell(s) across "
+            f"{telemetry['shards_total']} shard(s)"
+        )
+    if result.shared_bytes:
+        print(
+            f"shared-memory store: {result.shared_bytes} bytes resident, "
+            f"{telemetry['ship_bytes_total']} bytes shipped across "
+            f"{len(result)} cells"
         )
     if args.profile:
         from repro.obs.profile import PHASES
@@ -740,6 +754,17 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--cache-dir", default=None,
         help="on-disk artifact cache directory (e.g. .repro_cache)",
+    )
+    sweep_parser.add_argument(
+        "--share-graph", action="store_true",
+        help="publish CSR buffers into a shared-memory store so the "
+        "process backend ships each graph once as a ~100-byte handle "
+        "instead of flat buffers per chunk",
+    )
+    sweep_parser.add_argument(
+        "--shard", choices=("components",), default=None,
+        help="split each cell's graph by connected components across "
+        "workers and merge the shard results into one bit-identical row",
     )
     sweep_parser.add_argument(
         "--drop-rate", type=float, default=0.0,

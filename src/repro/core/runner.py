@@ -79,6 +79,18 @@ class ExecutionPolicy:
             :class:`~repro.kernels.UnsupportedScheduleError`;
             ``"interpret"`` warns and runs the interpreted
             ``"quiescent"`` schedule instead.
+        share_graph: Sweep-level zero-copy flag — the process-pool
+            backend activates a :class:`~repro.shard.store.SharedCSRStore`
+            when any cell requests it, so CSR buffers cross the pool
+            boundary once as shared segments instead of per-chunk
+            pickles.  A no-op for single runs and the serial backend
+            (nothing ships).
+        shard: ``"components"`` splits the cell's graph by connected
+            components across pool workers and merges the shard results
+            into one bit-identical row (see :mod:`repro.shard`).
+            ``None`` (default) runs unsharded.  Incompatible with
+            ``schedule="async"``: the delay adversary draws from
+            tick-global streams, so component isolation does not hold.
     """
 
     schedule: str = "eager"
@@ -87,6 +99,8 @@ class ExecutionPolicy:
     max_retries: int = 2
     deadline_s: Optional[float] = None
     fallback: Optional[str] = None
+    share_graph: bool = False
+    shard: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.schedule not in SCHEDULERS:
@@ -114,6 +128,16 @@ class ExecutionPolicy:
                 "fallback= only applies to schedule='vectorized' "
                 f"(got schedule={self.schedule!r})"
             )
+        if self.shard not in (None, "components"):
+            raise ValueError(
+                f"shard must be None or 'components', got {self.shard!r}"
+            )
+        if self.shard is not None and self.schedule == "async":
+            raise ValueError(
+                "shard='components' cannot run under schedule='async': "
+                "the asynchronous delay adversary draws from tick-global "
+                "streams, so sharded and unsharded runs would diverge"
+            )
 
 
 #: RunConfig keywords that live on the nested :class:`ExecutionPolicy`.
@@ -124,6 +148,8 @@ _POLICY_FIELDS: Tuple[str, ...] = (
     "max_retries",
     "deadline_s",
     "fallback",
+    "share_graph",
+    "shard",
 )
 
 _FLAT_POLICY_MESSAGE = (

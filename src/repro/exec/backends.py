@@ -13,16 +13,30 @@ Chunked dispatch matters for throughput twice over: it amortizes the
 pickle/IPC overhead of small cells, and — because chunks keep grid order,
 which groups cells sharing a graph spec — it turns most per-worker
 artifact-cache lookups into hits.
+
+Two :class:`~repro.core.runner.ExecutionPolicy` knobs change what a
+dispatched work item *is*:
+
+* ``share_graph=True`` — the process backend activates a
+  :class:`~repro.shard.store.SharedCSRStore` around dispatch, so every
+  CSR topology crossing the pool boundary ships once as a shared-memory
+  segment and each cell pickles down to a ~100-byte handle (measured
+  into the rows' ``ship_bytes``/``shared_bytes`` columns).
+* ``shard="components"`` — eligible cells (see
+  :func:`repro.shard.plan.shard_mode`) expand into one work item per
+  component shard, spreading a single huge-graph cell across the pool;
+  the partials merge back into one bit-identical row.
 """
 
 from __future__ import annotations
 
 import os
+import pickle
 import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.runner import run
 from repro.exec.cache import (
@@ -33,6 +47,18 @@ from repro.exec.cache import (
 from repro.exec.plan import Cell, FaultSpec, Spec, Sweep, derive_cell_seed
 from repro.exec.results import CellResult, SweepResult
 from repro.obs.events import MemoryEventSink, write_jsonl_events
+from repro.shard.plan import (
+    ShardPartial,
+    execute_shard,
+    merge_partials,
+    shard_mode,
+)
+from repro.shard.store import SharedCSRStore, reset_worker_state
+
+#: A dispatched unit of work: an entire cell, or one component shard.
+#: ``("cell", index, cell, seed)`` /
+#: ``("shard", index, cell, seed, shard, shard_count)``.
+WorkItem = Tuple[Any, ...]
 
 
 def execute(
@@ -71,11 +97,14 @@ def execute(
         )
     events = events or events_path is not None
     _warn_bare_controllers(sweep)
+    _warn_unshardable(sweep, profile=profile, events=events)
     tagged = [
         (index, cell, _resolved_seed(sweep, index, cell))
         for index, cell in enumerate(sweep.cells)
     ]
+    shard_count = max(1, jobs or os.cpu_count() or 2)
     start = time.perf_counter()
+    shared_bytes = 0
     if backend == "serial" or len(tagged) <= 1:
         effective = "serial"
         # ``is not None``, not truthiness: a fresh caller-supplied cache
@@ -86,20 +115,35 @@ def execute(
             else ArtifactCache(maxsize=cache_size, disk_dir=cache_dir)
         )
         rows = [
-            _execute_cell(index, cell, seed, local_cache, profile, events)
+            _execute_cell_any(
+                index, cell, seed, local_cache, profile, events, shard_count
+            )
             for index, cell, seed in tagged
         ]
         stats = local_cache.stats()
     else:
-        rows, stats, effective = _execute_process_pool(
-            tagged,
-            jobs=jobs,
-            chunk_size=chunk_size,
-            cache_dir=cache_dir,
-            cache_size=cache_size,
-            profile=profile,
-            events=events,
-        )
+        store = None
+        if any(cell.config.policy.share_graph for _, cell, _ in tagged):
+            store = SharedCSRStore(directory=cache_dir)
+        try:
+            if store is not None:
+                store.activate()
+            rows, stats, effective = _execute_process_pool(
+                tagged,
+                jobs=jobs,
+                chunk_size=chunk_size,
+                cache_dir=cache_dir,
+                cache_size=cache_size,
+                profile=profile,
+                events=events,
+                shard_count=shard_count,
+                store=store,
+            )
+            if store is not None:
+                shared_bytes = store.total_bytes
+        finally:
+            if store is not None:
+                store.close()
     rows.sort(key=lambda row: row.index)
     result = SweepResult(
         name=sweep.name,
@@ -108,6 +152,7 @@ def execute(
         requested_backend=backend,
         elapsed=time.perf_counter() - start,
         cache_stats=stats,
+        shared_bytes=shared_bytes,
     )
     if events_path is not None:
         _write_sweep_events(events_path, rows)
@@ -140,6 +185,29 @@ def _warn_bare_controllers(sweep: Sweep) -> None:
                     stacklevel=3,
                 )
                 return
+
+
+def _warn_unshardable(sweep: Sweep, *, profile: bool, events: bool) -> None:
+    """Warn (once per sweep) when ``shard=`` is requested but gated off.
+
+    Fault plans, custom metrics, profiling and event capture all need
+    the whole graph in one engine; such cells silently running unsharded
+    would misreport the sweep's parallelism, so say it out loud.
+    """
+    for cell in sweep.cells:
+        if (
+            cell.config.policy.shard is not None
+            and shard_mode(cell, profile=profile, events=events) is None
+        ):
+            warnings.warn(
+                f"cell {cell.label!r} requested shard="
+                f"{cell.config.policy.shard!r} but carries a feature that "
+                "needs the whole graph in one engine (faults, custom "
+                "metrics, profiling or event capture); running unsharded",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return
 
 
 def _write_sweep_events(path: str, rows: List[CellResult]) -> None:
@@ -246,39 +314,84 @@ def _execute_cell(
     )
 
 
+def _execute_cell_any(
+    index: int,
+    cell: Cell,
+    seed: int,
+    cache: ArtifactCache,
+    profile: bool,
+    events: bool,
+    shard_count: int,
+) -> CellResult:
+    """One cell on the current process: sharded (run + merge in place)
+    when its policy and features allow, unsharded otherwise.
+
+    The serial spelling of the sharded path — same split, same merge —
+    so ``backend="serial"`` stays row-for-row identical to the pool and
+    the differential fuzz can compare all four combinations cheaply.
+    """
+    if shard_mode(cell, profile=profile, events=events) is None:
+        return _execute_cell(index, cell, seed, cache, profile, events)
+    partials = [
+        execute_shard(index, cell, seed, shard, shard_count, cache)
+        for shard in range(shard_count)
+    ]
+    return merge_partials(index, cell, seed, partials)
+
+
 # ----------------------------------------------------------------------
 # Process-pool backend
 # ----------------------------------------------------------------------
 def _init_worker(cache_size: int, cache_dir: Optional[str]) -> None:
-    """Pool initializer: one artifact cache per worker process."""
+    """Pool initializer: one artifact cache per worker process.
+
+    Also clears any fork-inherited :class:`SharedCSRStore` reduce hook —
+    workers attach segments, they must never publish them.
+    """
+    reset_worker_state()
     configure_process_cache(maxsize=cache_size, disk_dir=cache_dir)
 
 
+def _execute_item(item: WorkItem, cache: ArtifactCache) -> Any:
+    """One work item in a worker: a full cell row, or a shard partial."""
+    kind = item[0]
+    if kind == "cell":
+        _, index, cell, seed, profile, events = item
+        return _execute_cell(index, cell, seed, cache, profile, events)
+    _, index, cell, seed, shard, shard_count = item
+    return execute_shard(index, cell, seed, shard, shard_count, cache)
+
+
 def _run_chunk(
-    task: Tuple[Sequence[Tuple[int, Cell, int]], bool, bool]
-) -> Tuple[List[CellResult], Dict[str, int]]:
-    """Execute one chunk in a worker; returns rows + cache counters."""
-    chunk, profile, events = task
+    task: Tuple[List[WorkItem], ...]
+) -> Tuple[List[Any], Dict[str, int]]:
+    """Execute one chunk in a worker; returns outputs + cache counters.
+
+    Outputs are heterogeneous — :class:`CellResult` rows for ``"cell"``
+    items, :class:`ShardPartial` for ``"shard"`` items; the parent
+    separates and merges.
+    """
+    (items,) = task
     cache = process_cache()
     before = cache.stats()
-    rows = [
-        _execute_cell(index, cell, seed, cache, profile, events)
-        for index, cell, seed in chunk
-    ]
+    outputs = [_execute_item(item, cache) for item in items]
     after = cache.stats()
-    delta = {key: after[key] - before.get(key, 0) for key in ("hits", "disk_hits", "misses")}
-    return rows, delta
+    delta = {
+        key: after[key] - before.get(key, 0)
+        for key in ("hits", "disk_hits", "misses", "corrupt")
+    }
+    return outputs, delta
 
 
-def _failed_cell_result(
-    index: int, cell: Cell, seed: int, exc: BaseException
-) -> CellResult:
-    """A placeholder row for a cell whose worker died (twice).
+def _failed_cell_result(item: WorkItem, exc: BaseException) -> CellResult:
+    """A placeholder row for a work item whose worker died (twice).
 
     Every run-derived field is zero/``None``; ``failure`` records the
     exception so the sweep table stays complete and diagnosable instead
-    of silently dropping the cell.
+    of silently dropping the cell.  A failed *shard* fails its whole
+    cell — partial rows would not be comparable.
     """
+    _kind, index, cell, seed = item[:4]
     return CellResult(
         index=index,
         label=cell.label,
@@ -292,21 +405,21 @@ def _failed_cell_result(
 
 
 def _drain_pool(
-    chunks: List[Tuple[Sequence[Tuple[int, Cell, int]], bool, bool]],
+    chunks: List[Tuple[List[WorkItem]]],
     workers: int,
     cache_size: int,
     cache_dir: Optional[str],
-    rows: List[CellResult],
+    outputs: List[Any],
     stats: Dict[str, int],
-) -> List[Tuple[Sequence[Tuple[int, Cell, int]], BaseException]]:
-    """Run chunks on one fresh pool, collecting into ``rows``/``stats``.
+) -> List[Tuple[List[WorkItem], BaseException]]:
+    """Run chunks on one fresh pool, collecting into ``outputs``/``stats``.
 
     Returns the chunks (with the exception) whose workers the pool lost
     — a crashed worker poisons the whole executor, so every not-yet-run
     chunk surfaces as :class:`BrokenProcessPool` while already-completed
     chunks keep their results.
     """
-    lost: List[Tuple[Sequence[Tuple[int, Cell, int]], BaseException]] = []
+    lost: List[Tuple[List[WorkItem], BaseException]] = []
     with ProcessPoolExecutor(
         max_workers=workers,
         initializer=_init_worker,
@@ -323,14 +436,88 @@ def _drain_pool(
         for future in as_completed(futures):
             chunk = futures[future]
             try:
-                chunk_rows, chunk_stats = future.result()
+                chunk_outputs, chunk_stats = future.result()
             except BrokenProcessPool as exc:
                 lost.append((chunk[0], exc))
                 continue
-            rows.extend(chunk_rows)
+            outputs.extend(chunk_outputs)
             for key, value in chunk_stats.items():
                 stats[key] = stats.get(key, 0) + value
     return lost
+
+
+def _expand_items(
+    tagged: List[Tuple[int, Cell, int]],
+    shard_count: int,
+    profile: bool,
+    events: bool,
+) -> List[WorkItem]:
+    """Work items in grid order: one per cell, or one per shard for
+    shardable cells (sharding only pays off across ≥ 2 workers)."""
+    items: List[WorkItem] = []
+    for index, cell, seed in tagged:
+        if shard_mode(cell, profile=profile, events=events) is not None:
+            items.extend(
+                ("shard", index, cell, seed, shard, shard_count)
+                for shard in range(shard_count)
+            )
+        else:
+            items.append(("cell", index, cell, seed, profile, events))
+    return items
+
+
+def _measure_shipping(
+    items: List[WorkItem], store: SharedCSRStore
+) -> Dict[int, int]:
+    """Per-cell dispatched-pickle bytes, measured under the active store.
+
+    The measurement pickle is also the store's publication pass: the
+    first ``dumps`` of each topology creates its segment, so by the time
+    the pool pickles the same items only handles cross the boundary.
+    Only taken when a store is active — the handles make it cheap; with
+    flat buffers it would double the dominant serialization cost.
+    """
+    ship: Dict[int, int] = {}
+    for item in items:
+        index = item[1]
+        size = len(pickle.dumps(item, protocol=pickle.HIGHEST_PROTOCOL))
+        ship[index] = ship.get(index, 0) + size
+    return ship
+
+
+def _shared_bytes_for(cell: Cell, store: SharedCSRStore) -> Optional[int]:
+    """Segment bytes behind the cell's literal graph, if published."""
+    csr = getattr(cell.graph.value, "csr", None)
+    if csr is None:
+        return None
+    handle = store.handle_for(csr)
+    return handle.nbytes if handle is not None else None
+
+
+def _collect_rows(
+    tagged: List[Tuple[int, Cell, int]],
+    outputs: List[Any],
+    failed: List[CellResult],
+) -> List[CellResult]:
+    """Fold worker outputs into final rows: pass cell rows through,
+    merge shard partials per cell, let a failed shard fail its cell."""
+    rows: List[CellResult] = []
+    partials: Dict[int, List[ShardPartial]] = {}
+    for output in outputs:
+        if isinstance(output, ShardPartial):
+            partials.setdefault(output.index, []).append(output)
+        else:
+            rows.append(output)
+    failed_indexes = {row.index for row in failed}
+    by_index = {index: (cell, seed) for index, cell, seed in tagged}
+    for index, parts in partials.items():
+        if index in failed_indexes:
+            continue  # a lost shard already failed the whole cell
+        cell, seed = by_index[index]
+        rows.append(merge_partials(index, cell, seed, parts))
+    seen = {row.index for row in rows}
+    rows.extend(row for row in failed if row.index not in seen)
+    return rows
 
 
 def _execute_process_pool(
@@ -342,43 +529,61 @@ def _execute_process_pool(
     cache_size: int,
     profile: bool = False,
     events: bool = False,
+    shard_count: int = 1,
+    store: Optional[SharedCSRStore] = None,
 ) -> Tuple[List[CellResult], Dict[str, int], str]:
     """Rows, cache counters and the backend that actually ran them."""
     workers = jobs or os.cpu_count() or 2
     workers = max(1, min(workers, len(tagged)))
+    items = _expand_items(tagged, shard_count, profile, events)
+    ship = _measure_shipping(items, store) if store is not None else {}
     if chunk_size is None:
         # ~4 waves per worker balances scheduling slack against IPC cost.
-        chunk_size = max(1, len(tagged) // (workers * 4) or 1)
+        chunk_size = max(1, len(items) // (workers * 4) or 1)
     chunks = [
-        (tagged[i : i + chunk_size], profile, events)
-        for i in range(0, len(tagged), chunk_size)
+        (items[i : i + chunk_size],)
+        for i in range(0, len(items), chunk_size)
     ]
-    rows: List[CellResult] = []
-    stats: Dict[str, int] = {"hits": 0, "disk_hits": 0, "misses": 0}
+    outputs: List[Any] = []
+    failed: List[CellResult] = []
+    stats: Dict[str, int] = {
+        "hits": 0, "disk_hits": 0, "misses": 0, "corrupt": 0,
+    }
     effective = "process"
     try:
-        lost = _drain_pool(chunks, workers, cache_size, cache_dir, rows, stats)
+        lost = _drain_pool(
+            chunks, workers, cache_size, cache_dir, outputs, stats
+        )
         if lost:
             # A worker died and took the pool with it.  The completed
-            # chunks' rows are already collected; retry only the lost
-            # cells, once, each on its own fresh single-worker pool —
+            # chunks' outputs are already collected; retry only the lost
+            # items, once, each on its own fresh single-worker pool —
             # isolation, so a permanently-poisonous cell can neither
             # sink its chunk-mates nor the other cells being retried.
-            retry_cells = [cell for chunk, _ in lost for cell in chunk]
+            retry_items = [item for chunk, _ in lost for item in chunk]
             warnings.warn(
                 f"a sweep worker died ({lost[0][1]}); retrying "
-                f"{len(retry_cells)} affected cell(s) on a fresh pool",
+                f"{len(retry_items)} affected work item(s) on a fresh pool",
                 RuntimeWarning,
                 stacklevel=3,
             )
-            for tag in retry_cells:
+            for item in retry_items:
                 still_lost = _drain_pool(
-                    [([tag], profile, events)], 1, cache_size, cache_dir,
-                    rows, stats,
+                    [([item],)], 1, cache_size, cache_dir, outputs, stats
                 )
                 for chunk, exc in still_lost:
-                    for index, cell, seed in chunk:
-                        rows.append(_failed_cell_result(index, cell, seed, exc))
+                    failed.extend(
+                        _failed_cell_result(lost_item, exc)
+                        for lost_item in chunk
+                    )
+        rows = _collect_rows(tagged, outputs, failed)
+        if store is not None:
+            # Tagged is enumerate-ordered, so ``tagged[i] == (i, cell, seed)``.
+            for row in rows:
+                if row.failure is not None:
+                    continue
+                row.ship_bytes = ship.get(row.index)
+                row.shared_bytes = _shared_bytes_for(tagged[row.index][1], store)
     except (OSError, PermissionError) as exc:
         # Sandboxes and restricted CI runners sometimes forbid spawning
         # worker processes; the sweep still completes, just serially —
@@ -391,7 +596,9 @@ def _execute_process_pool(
         effective = "serial"
         cache = ArtifactCache(maxsize=cache_size, disk_dir=cache_dir)
         rows = [
-            _execute_cell(index, cell, seed, cache, profile, events)
+            _execute_cell_any(
+                index, cell, seed, cache, profile, events, shard_count
+            )
             for index, cell, seed in tagged
         ]
         stats = cache.stats()

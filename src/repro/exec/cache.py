@@ -23,8 +23,11 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import warnings
 from collections import OrderedDict
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional
+
+from repro.graphs.csr import plain_reduce
 
 
 def content_hash(key: str) -> str:
@@ -58,6 +61,7 @@ class ArtifactCache:
         self.hits = 0
         self.misses = 0
         self.disk_hits = 0
+        self.corrupt = 0
 
     # ------------------------------------------------------------------
     def get_or_build(self, key: str, builder: Callable[[], Any]) -> Any:
@@ -82,11 +86,13 @@ class ArtifactCache:
         return value
 
     def stats(self) -> Dict[str, int]:
-        """Counters: memory hits, disk hits, builds and current size."""
+        """Counters: memory hits, disk hits, builds, corrupt disk
+        entries evicted, and current size."""
         return {
             "hits": self.hits,
             "disk_hits": self.disk_hits,
             "misses": self.misses,
+            "corrupt": self.corrupt,
             "size": len(self._entries),
         }
 
@@ -123,8 +129,25 @@ class ArtifactCache:
         try:
             with open(path, "rb") as handle:
                 stored_key, value = pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ValueError):
-            return _ABSENT  # truncated or stale entry: rebuild
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ValueError) as exc:
+            # A corrupt entry (truncated write, stale class layout, a
+            # partially-copied cache directory) rebuilds — but loudly:
+            # silent swallowing hid real corruption for an entire sweep.
+            # The broken file is evicted so the warning fires once, not
+            # on every lookup.
+            self.corrupt += 1
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            warnings.warn(
+                f"evicting corrupt artifact-cache entry {path} "
+                f"({type(exc).__name__}: {exc}); the artifact will be "
+                "rebuilt",
+                UserWarning,
+                stacklevel=4,
+            )
+            return _ABSENT
         # The full key is stored alongside the artifact so a (vanishingly
         # unlikely) digest collision rebuilds instead of aliasing.
         if stored_key != key:
@@ -138,7 +161,17 @@ class ArtifactCache:
         try:
             os.makedirs(self.disk_dir, exist_ok=True)
             tmp = f"{path}.tmp.{os.getpid()}"
-            with open(tmp, "wb") as handle:
+            # HIGHEST_PROTOCOL is a *storage* choice, free to vary per
+            # interpreter: entries are looked up by content key, never
+            # re-hashed, so the on-disk byte stream does not participate
+            # in identity.  Content keys, by contrast, pin protocol=4
+            # (see repro.exec.plan._literal_key) — the two sites may
+            # legitimately disagree, and neither may influence the
+            # other.  ``plain_reduce`` keeps the pickle self-contained:
+            # a CSR topology must land here as flat buffers even while a
+            # SharedCSRStore is active, because the cache entry outlives
+            # the store's segments.
+            with plain_reduce(), open(tmp, "wb") as handle:
                 pickle.dump((key, value), handle, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, path)  # atomic: concurrent workers never clash
         except (OSError, pickle.PicklingError):

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.runner import ExecutionPolicy, RunConfig
+from repro.graphs.csr import plain_reduce
 
 #: Sentinel target marking a literal (prebuilt) spec.
 _LITERAL = "<literal>"
@@ -53,9 +54,26 @@ def _stable_repr(value: Any) -> str:
 
 
 def _literal_key(value: Any) -> str:
-    """Content key for a prebuilt artifact (hash of its pickle)."""
+    """Content key for a prebuilt artifact (hash of its pickle).
+
+    Two invariants keep literal keys stable identity, not storage
+    accident:
+
+    * ``protocol=4`` is **pinned** — a content key must hash to the same
+      digest on every interpreter, while the disk cache's byte stream
+      (``pickle.HIGHEST_PROTOCOL`` in
+      :meth:`repro.exec.cache.ArtifactCache._store_to_disk`) is free to
+      vary per Python version.  The two choices may legitimately differ;
+      neither is allowed to leak into the other.
+    * :func:`~repro.graphs.csr.plain_reduce` suspends any active
+      :class:`~repro.shard.store.SharedCSRStore` reduce hook — the key
+      of a graph must hash its flat CSR buffers, never a transient
+      shared-memory segment name, so the same graph keys identically
+      with and without a store.
+    """
     try:
-        payload = pickle.dumps(value, protocol=4)
+        with plain_reduce():
+            payload = pickle.dumps(value, protocol=4)
     except Exception:  # unpicklable literals can't be cached or shipped
         return f"unpicklable:{id(value)}"
     return hashlib.sha256(payload).hexdigest()[:32]

@@ -33,12 +33,19 @@ class CellColumn:
             determinism break (see ``repro.obs.bench.diff_payloads``).
         default: Value used when a (pickled, older) row lacks the
             attribute — also the value older baselines implicitly carry.
+        semantic: Whether the column describes the run's *outcome*
+            (included in :meth:`CellResult.as_tuple`, hence in
+            backend/shard equivalence checks) rather than transport
+            provenance — shard counts and ship/shared byte measurements
+            legitimately differ between backends that produced
+            identical results.
     """
 
     name: str
     attr: str
     compare: bool = False
     default: Any = None
+    semantic: bool = True
 
     def value_of(self, row: Any) -> Any:
         """The column's value on one row (``default`` if absent)."""
@@ -65,6 +72,9 @@ CELL_COLUMNS: Tuple[CellColumn, ...] = (
     CellColumn("scratch_rounds", "scratch_rounds", compare=True),
     CellColumn("stuck", "stuck", default=False),
     CellColumn("solution_size", "solution_size", default=0),
+    CellColumn("shards", "shards", semantic=False),
+    CellColumn("shared_bytes", "shared_bytes", semantic=False),
+    CellColumn("ship_bytes", "ship_bytes", semantic=False),
     CellColumn("failure", "failure"),
 )
 
@@ -113,6 +123,16 @@ class CellResult:
         stuck: Whether the run hit its round budget in graceful mode.
         solution_size: Nodes outputting 1 (MIS-style problems), else the
             number of decided nodes.
+        shards: Number of component shards merged into this row
+            (``shard="components"`` cells; ``None`` for unsharded).
+        shared_bytes: Bytes of this cell's graph resident in the sweep's
+            :class:`~repro.shard.store.SharedCSRStore` segment (``None``
+            when no store was active or the graph wasn't published).
+        ship_bytes: Pickled size of the dispatched cell — the bytes that
+            actually crossed the pool boundary, measured when a store is
+            active (``None`` otherwise).  With zero-copy sharing this is
+            the ~100-byte handle plus specs instead of the flat CSR
+            buffers.
         metrics: Output of the cell's custom metrics callable, if any.
         elapsed: Wall-clock seconds this cell took to execute (artifact
             builds included).  Excluded from :meth:`as_tuple`: timings
@@ -148,6 +168,9 @@ class CellResult:
     scratch_rounds: Optional[int] = None
     stuck: bool = False
     solution_size: int = 0
+    shards: Optional[int] = None
+    shared_bytes: Optional[int] = None
+    ship_bytes: Optional[int] = None
     metrics: Dict[str, Any] = field(default_factory=dict)
     elapsed: float = 0.0
     profile: Optional[Dict[str, Any]] = None
@@ -157,12 +180,17 @@ class CellResult:
     def as_tuple(self) -> Tuple[Any, ...]:
         """Canonical comparison form (used by backend-equivalence tests).
 
-        ``index`` plus every registry column plus the custom metrics —
-        everything semantic, nothing timing-derived.
+        ``index`` plus every *semantic* registry column plus the custom
+        metrics — outcomes, nothing timing- or transport-derived (shard
+        counts and ship/shared bytes vary across equivalent backends).
         """
         return (
             self.index,
-            *(column.value_of(self) for column in CELL_COLUMNS),
+            *(
+                column.value_of(self)
+                for column in CELL_COLUMNS
+                if column.semantic
+            ),
             tuple(sorted(self.metrics.items())),
         )
 
@@ -183,6 +211,10 @@ class SweepResult:
         elapsed: Wall-clock seconds for the whole execution.
         cache_stats: Aggregated artifact-cache counters (summed over
             worker processes for the process backend).
+        shared_bytes: Total bytes the sweep's
+            :class:`~repro.shard.store.SharedCSRStore` held across all
+            published segments (0 when no store was active) — the one
+            resident graph copy all workers attached.
     """
 
     name: str = ""
@@ -191,6 +223,7 @@ class SweepResult:
     requested_backend: str = ""
     elapsed: float = 0.0
     cache_stats: Dict[str, int] = field(default_factory=dict)
+    shared_bytes: int = 0
 
     def __post_init__(self) -> None:
         if not self.requested_backend:
@@ -271,6 +304,17 @@ class SweepResult:
             "scratch_rounds_total": sum(
                 getattr(row, "scratch_rounds", None) or 0 for row in rows
             ),
+            "sharded_cells": sum(
+                1 for row in rows if getattr(row, "shards", None) is not None
+            ),
+            "shards_total": sum(
+                getattr(row, "shards", None) or 0 for row in rows
+            ),
+            "ship_bytes_total": sum(
+                getattr(row, "ship_bytes", None) or 0 for row in rows
+            ),
+            "shared_bytes": getattr(self, "shared_bytes", 0),
+            "cache_corrupt": self.cache_stats.get("corrupt", 0),
             "failed_cells": sum(1 for row in rows if row.failure is not None),
             "valid_cells": sum(1 for row in valid_known if row.valid),
             "invalid_cells": sum(1 for row in valid_known if not row.valid),

@@ -30,8 +30,10 @@ from __future__ import annotations
 
 from array import array
 from bisect import bisect_left
+from contextlib import contextmanager
 from typing import (
     Any,
+    Callable,
     Dict,
     Iterator,
     List,
@@ -39,6 +41,41 @@ from typing import (
     Optional,
     Tuple,
 )
+
+#: Optional hook consulted by :meth:`CSRTopology.__reduce__`.  When a
+#: :class:`repro.shard.store.SharedCSRStore` is active it installs a
+#: reducer here that publishes the buffers into shared memory and returns
+#: a tiny attach-handle reduce tuple; ``None`` (the default) pickles the
+#: flat buffers.  Kept as a module-level hook so :mod:`repro.graphs` never
+#: imports :mod:`repro.shard` (the dependency points the other way).
+_SHARED_REDUCER: Optional[Callable[["CSRTopology"], Optional[tuple]]] = None
+
+
+def set_shared_reducer(
+    reducer: Optional[Callable[["CSRTopology"], Optional[tuple]]]
+) -> None:
+    """Install (or clear, with ``None``) the shared-memory reduce hook."""
+    global _SHARED_REDUCER
+    _SHARED_REDUCER = reducer
+
+
+@contextmanager
+def plain_reduce() -> Iterator[None]:
+    """Suspend the shared-memory reduce hook for the enclosed pickling.
+
+    Content keys (:func:`repro.exec.plan._literal_key`) and disk-cache
+    pickles must be self-contained and identical whether or not a store
+    is active — a key must never encode a transient segment name, and a
+    cached artifact must outlive the store that was active when it was
+    written.  Both sites wrap their ``pickle.dumps`` in this context.
+    """
+    global _SHARED_REDUCER
+    saved = _SHARED_REDUCER
+    _SHARED_REDUCER = None
+    try:
+        yield
+    finally:
+        _SHARED_REDUCER = saved
 
 
 class CSRTopology:
@@ -66,6 +103,7 @@ class CSRTopology:
         "_index_of",
         "_max_degree",
         "_edges",
+        "_components",
     )
 
     def __init__(
@@ -79,6 +117,7 @@ class CSRTopology:
         self._index_of: Optional[Dict[int, int]] = None
         self._max_degree: Optional[int] = None
         self._edges: Optional[Tuple[Tuple[int, int], ...]] = None
+        self._components: Optional[Tuple[Tuple[int, ...], ...]] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -213,13 +252,55 @@ class CSRTopology:
         indptr = self.indptr
         return [indptr[i + 1] - indptr[i] for i in range(self.n)]
 
+    def components(self) -> Tuple[Tuple[int, ...], ...]:
+        """Connected components as tuples of internal *indices*.
+
+        Each component's indices ascend, and components are ordered by
+        their smallest index — which, because identifiers ascend with
+        indices, is also ascending-min-identifier order.  Computed once
+        and cached (the shard planner asks per shard task; workers that
+        attach the same shared topology share the cached answer).
+        """
+        if self._components is None:
+            indptr = self.indptr
+            indices = self.indices
+            seen = bytearray(self.n)
+            parts: List[Tuple[int, ...]] = []
+            for start in range(self.n):
+                if seen[start]:
+                    continue
+                seen[start] = 1
+                stack = [start]
+                members = [start]
+                while stack:
+                    index = stack.pop()
+                    for position in range(indptr[index], indptr[index + 1]):
+                        other = indices[position]
+                        if not seen[other]:
+                            seen[other] = 1
+                            members.append(other)
+                            stack.append(other)
+                members.sort()
+                parts.append(tuple(members))
+            self._components = tuple(parts)
+        return self._components
+
     # ------------------------------------------------------------------
     # Pickling (process-pool sweeps ship topologies to workers)
     # ------------------------------------------------------------------
     def __getstate__(self) -> Tuple[Tuple[int, ...], array, array]:
         # Ship only the flat buffers; the interning dict and cached
-        # derived views are rebuilt lazily on the other side.
-        return (self.ids, self.indptr, self.indices)
+        # derived views are rebuilt lazily on the other side.  A topology
+        # attached from a shared-memory segment holds memoryviews rather
+        # than arrays — materialize them so the pickle is self-contained
+        # (the flat-buffer fallback when no store is active).
+        indptr = self.indptr
+        indices = self.indices
+        if not isinstance(indptr, array):
+            indptr = array("q", indptr)
+        if not isinstance(indices, array):
+            indices = array("q", indices)
+        return (self.ids, indptr, indices)
 
     def __setstate__(
         self, state: Tuple[Tuple[int, ...], array, array]
@@ -233,8 +314,14 @@ class CSRTopology:
         self._index_of = None
         self._max_degree = None
         self._edges = None
+        self._components = None
 
     def __reduce__(self):
+        reducer = _SHARED_REDUCER
+        if reducer is not None:
+            reduced = reducer(self)
+            if reduced is not None:
+                return reduced
         return (_rebuild_csr, self.__getstate__())
 
     def __repr__(self) -> str:

@@ -100,6 +100,12 @@ class DistGraph:
         #: request and shared with every consumer (node contexts hold the
         #: same frozensets rather than private copies).
         self._neighbor_cache: Dict[int, FrozenSet[int]] = {}
+        #: Ambient maximum-degree override.  ``None`` for ordinary graphs
+        #: (``delta`` reads the topology's max degree); a component-shard
+        #: view (:func:`repro.shard.plan.shard_view`) pins the *parent*
+        #: graph's Δ here so palette sizes and template bounds match the
+        #: unsharded run exactly.
+        self._delta_override: Optional[int] = None
 
     @classmethod
     def _from_csr(
@@ -142,7 +148,13 @@ class DistGraph:
 
     @property
     def delta(self) -> int:
-        """Maximum degree of the graph (0 for the empty graph)."""
+        """Maximum degree of the graph (0 for the empty graph).
+
+        Shard views report their *parent* graph's Δ (the ambient bound a
+        node would know in the unsharded run); see ``_delta_override``.
+        """
+        if self._delta_override is not None:
+            return self._delta_override
         return self._csr.max_degree
 
     def node_attrs(self, node: int) -> Mapping[str, Any]:
@@ -181,6 +193,38 @@ class DistGraph:
         return f"<DistGraph{label} n={self.n} m={self.num_edges} d={self.d}>"
 
     # ------------------------------------------------------------------
+    # Pickling (sweep cells carrying literal graphs cross process pools)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> Dict[str, Any]:
+        # Ship structure + declared data only: the node tuple, interning
+        # dict and neighbor frozensets are all rebuildable from the CSR
+        # topology, and shipping them would dwarf the topology itself
+        # (and defeat the shared-memory handle path entirely).
+        return {
+            "csr": self._csr,
+            "d": self.d,
+            "attrs": self._attrs,
+            "name": self.name,
+            "n": self.n,
+            "delta_override": self._delta_override,
+        }
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        # Assign directly instead of re-running construction validation:
+        # the pickled state came from an already-validated graph, and
+        # per-chunk unpickles at n=10⁷ cannot afford O(n) re-checks.
+        csr = state["csr"]
+        self._csr = csr
+        self.nodes = csr.ids
+        self.d = state["d"]
+        self._attrs = state["attrs"]
+        self.name = state["name"]
+        self._neighbor_cache = {}
+        # Shard views pin ambient quantities from their parent graph.
+        self.n = state["n"]
+        self._delta_override = state["delta_override"]
+
+    # ------------------------------------------------------------------
     # Derived graphs
     # ------------------------------------------------------------------
     def subgraph(self, nodes: Iterable[int], name: str = "") -> "DistGraph":
@@ -211,31 +255,18 @@ class DistGraph:
         return DistGraph(adjacency, d=self.d, attrs=attrs, name=name or self.name)
 
     def components(self) -> List[FrozenSet[int]]:
-        """Connected components, each as a frozenset, sorted by min id."""
-        csr = self._csr
-        ids = csr.ids
-        indptr = csr.indptr
-        indices = csr.indices
-        seen = bytearray(csr.n)
-        components: List[FrozenSet[int]] = []
-        for start in range(csr.n):
-            if seen[start]:
-                continue
-            queue = deque([start])
-            seen[start] = 1
-            members = [start]
-            while queue:
-                index = queue.popleft()
-                for position in range(indptr[index], indptr[index + 1]):
-                    other = indices[position]
-                    if not seen[other]:
-                        seen[other] = 1
-                        members.append(other)
-                        queue.append(other)
-            components.append(frozenset(ids[index] for index in members))
-        # Scanning start nodes in ascending index order already yields
-        # components in ascending-min-id order (ids ascend with indices).
-        return components
+        """Connected components, each as a frozenset, sorted by min id.
+
+        Delegates to :meth:`CSRTopology.components` (computed once and
+        cached on the shared topology — index tuples there, identifier
+        frozensets here); ascending-min-index order is ascending-min-id
+        order because identifiers ascend with indices.
+        """
+        ids = self._csr.ids
+        return [
+            frozenset(ids[index] for index in part)
+            for part in self._csr.components()
+        ]
 
     def is_connected(self) -> bool:
         """Whether the graph has at most one component."""

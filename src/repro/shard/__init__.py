@@ -1,0 +1,50 @@
+"""Zero-copy shared-memory graph store + component-sharded execution.
+
+Two pieces, both serving sweeps whose graphs dwarf their cells:
+
+* :class:`SharedCSRStore` — while active, pickling a
+  :class:`~repro.graphs.csr.CSRTopology` publishes its buffers into a
+  :mod:`multiprocessing.shared_memory` segment (mmap'd-file fallback)
+  exactly once and ships a ~100-byte :class:`SharedCSRHandle`; workers
+  attach zero-copy.  Activated by the process-pool backend when a cell's
+  :class:`~repro.core.runner.ExecutionPolicy` sets ``share_graph=True``.
+* Component sharding (:func:`execute_shard` / :func:`merge_partials`) —
+  cells whose policy sets ``shard="components"`` split by connected
+  components across workers and merge back into one
+  :class:`~repro.exec.results.CellResult` bit-identical to the unsharded
+  run.
+
+See docs/PERFORMANCE.md ("Sharded execution") and docs/ARCHITECTURE.md.
+"""
+
+from repro.shard.plan import (
+    ShardPartial,
+    execute_shard,
+    merge_partials,
+    shard_mode,
+    shard_node_ids,
+    shard_view,
+)
+from repro.shard.store import (
+    SharedCSRHandle,
+    SharedCSRStore,
+    SharedCSRStoreError,
+    attach_csr,
+    detach_all,
+    reset_worker_state,
+)
+
+__all__ = [
+    "ShardPartial",
+    "SharedCSRHandle",
+    "SharedCSRStore",
+    "SharedCSRStoreError",
+    "attach_csr",
+    "detach_all",
+    "execute_shard",
+    "merge_partials",
+    "reset_worker_state",
+    "shard_mode",
+    "shard_node_ids",
+    "shard_view",
+]

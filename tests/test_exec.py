@@ -135,7 +135,26 @@ class TestArtifactCache:
         cache.get_or_build("key", lambda: 7)
         path = tmp_path / "cache" / f"{content_hash('key')}.pkl"
         path.write_bytes(b"not a pickle")
-        assert cache.get_or_build("key", lambda: 7) == 7
+        with pytest.warns(UserWarning, match="corrupt artifact-cache entry"):
+            assert cache.get_or_build("key", lambda: 7) == 7
+
+    def test_corrupt_disk_entry_warns_evicts_and_counts(self, tmp_path):
+        disk = str(tmp_path / "cache")
+        cache = ArtifactCache(maxsize=0, disk_dir=disk)
+        cache.get_or_build("key", lambda: 7)
+        path = tmp_path / "cache" / f"{content_hash('key')}.pkl"
+        path.write_bytes(b"not a pickle")
+        with pytest.warns(UserWarning) as caught:
+            assert cache.get_or_build("key", lambda: 7) == 7
+        messages = [str(w.message) for w in caught]
+        assert any(str(path) in message for message in messages)
+        # The poisoned file is evicted (the rebuild re-stores a clean one),
+        # so the *next* load round-trips without warning.
+        assert cache.stats()["corrupt"] == 1
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert cache.get_or_build("key", lambda: 7) == 7
+        assert cache.stats()["corrupt"] == 1
 
 
 # ----------------------------------------------------------------------

@@ -172,7 +172,8 @@ class TestCLI:
         assert content[0] == (
             "label,graph,n,seed,rounds,rounds_executed,valid,error,"
             "messages,dropped,delayed,retried,kernel,epoch,recourse,"
-            "scratch_rounds,stuck,solution_size,failure"
+            "scratch_rounds,stuck,solution_size,shards,shared_bytes,"
+            "ship_bytes,failure"
         )
         assert len(content) == 3
 
