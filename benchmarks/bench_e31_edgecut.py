@@ -1,0 +1,183 @@
+"""E31 — Edge-cut sharding and boundary-message exchange (engineering).
+
+Component sharding (E30) cannot touch a *connected* graph: one component
+means one shard means no parallel decomposition.  ``shard="edgecut"``
+removes that restriction by block-partitioning the identifier space and
+exchanging cut-crossing messages through a per-round barrier — the
+result must stay **bit-identical** to the unsharded run (same
+adjudication order, same CONGEST bit accounting, same failure sites; see
+``tests/test_edgecut.py`` for the exception-parity fuzz).
+
+The workload is a ``preorder_kary_tree``: a complete 10-ary tree whose
+ids are assigned in DFS preorder, so every subtree is one contiguous id
+block.  Two properties make it the edge-cut headline family:
+
+* the block partition cuts only ~``shards × height`` parent edges, so
+  boundary traffic measures the *cut*, not the graph — the ceiling
+  asserted below is a few kilobytes against a multi-gigabyte instance;
+* every parent id precedes its children's, so greedy MIS adjudication
+  sweeps the tree in ~``height`` waves regardless of ``n`` — the run
+  finishes in ~16 rounds at n = 11,111,111 where a line graph would
+  need 10^7.
+
+Every workload asserts the sharded ≡ unsharded identity at a reduced n
+before trusting a byte count, then the headline demonstrates a connected
+n≈10^7 instance end to end with the boundary-bytes ceiling enforced.
+
+Set ``REPRO_E31_N`` to scale the headline run (default 11_111_111, a
+height-7 tree; CI uses a reduced n — the boundary ceiling holds a
+fortiori at full size, since the cut grows with ``log n`` while the
+graph grows linearly).  The committed baseline artifact is
+``benchmarks/BENCH_e31_edgecut.json`` (see docs/PERFORMANCE.md).
+"""
+
+import os
+
+from repro.core import ExecutionPolicy, RunConfig
+from repro.exec import GraphSpec, Sweep
+from repro.graphs import preorder_kary_tree
+
+#: Headline scale of the edge-cut measurement (nodes; the build rounds
+#: down to the largest complete 10-ary tree that fits).
+N = int(os.environ.get("REPRO_E31_N", "11111111"))
+
+ARITY = 10
+
+#: Shard count of the headline run (>= 2: a real cut, a real barrier).
+SHARDS = 2
+
+#: Absolute per-cell boundary-bytes ceiling at the headline scale.  The
+#: cut is ~SHARDS * height edges and each carries a few id-sized
+#: messages per wave, so genuine boundary traffic is a few KB; crossing
+#: this ceiling means whole-frontier state is leaking across the cut.
+BOUNDARY_CEILING_BYTES = 262_144
+
+#: Boundary bytes must grow with the cut (~height, i.e. ~log n), not
+#: with n.  Growing the tree 10x may multiply boundary traffic by at
+#: most this factor — O(n) leakage would show up as ~10x.
+MAX_BOUNDARY_GROWTH = 4.0
+
+
+def _height_for(n_target):
+    height = 1
+    while ((ARITY ** (height + 2) - 1) // (ARITY - 1)) <= n_target:
+        height += 1
+    return height
+
+
+def _tree(n_target):
+    return preorder_kary_tree(ARITY, _height_for(n_target))
+
+
+def _sweep(graph, *, shard=None, schedule="quiescent", fast=False, seeds=(11,)):
+    sweep = Sweep(name="e31", base_seed=7)
+    policy = ExecutionPolicy(schedule=schedule, shard=shard)
+    config = RunConfig(fast=fast, policy=policy)
+    spec = GraphSpec.literal(graph)
+    for seed in seeds:
+        sweep.add(
+            f"greedy-s{seed}",
+            spec,
+            "greedy_mis_reference",
+            problem="mis",
+            seed=seed,
+            config=config,
+        )
+    return sweep
+
+
+def test_e31_identity_fuzz(once):
+    """Edge-cut runs are bit-identical to unsharded runs — across
+    schedules, shard counts and backends — before any byte counting."""
+    graph = _tree(min(N, 20_000))
+
+    def execute():
+        outcomes = []
+        for schedule in ("eager", "quiescent"):
+            reference = _sweep(graph, schedule=schedule).run("serial")
+            for jobs in (2, 4):
+                sharded = _sweep(
+                    graph, shard="edgecut", schedule=schedule
+                ).run("serial", jobs=jobs)
+                outcomes.append((schedule, jobs, sharded, reference))
+        process = _sweep(graph, shard="edgecut").run("process", jobs=2)
+        outcomes.append(("quiescent/process", 2, process, _sweep(graph).run("serial")))
+        return outcomes
+
+    for schedule, jobs, sharded, reference in once(execute):
+        assert sharded.equivalent_to(reference), (
+            f"edge-cut ({schedule}, jobs={jobs}) diverged from unsharded"
+        )
+        assert all(row.valid for row in sharded.rows)
+        for row in sharded.rows:
+            assert row.shards == jobs
+            assert row.boundary_msgs > 0
+            assert row.boundary_bytes > 0
+
+
+def test_e31_boundary_bytes_track_the_cut(once):
+    """Boundary traffic measures the cut (~height edges), not the graph:
+    a 10x larger tree may not multiply boundary bytes by more than
+    MAX_BOUNDARY_GROWTH (O(n) leakage would show ~10x)."""
+    small = _tree(min(N, 1_500))
+    large = _tree(min(N, 15_000))
+    assert large.n >= 10 * small.n - ARITY
+
+    def execute():
+        small_run = _sweep(small, shard="edgecut").run("serial", jobs=SHARDS)
+        large_run = _sweep(large, shard="edgecut").run("serial", jobs=SHARDS)
+        return small_run, large_run
+
+    small_run, large_run = once(execute)
+    small_bytes = small_run.rows[0].boundary_bytes
+    large_bytes = large_run.rows[0].boundary_bytes
+    growth = large_bytes / small_bytes
+    print(
+        f"\nE31 cut-tracking: n={small.n}->{large.n} boundary "
+        f"{small_bytes}B->{large_bytes}B growth={growth:.2f}x"
+    )
+    assert growth <= MAX_BOUNDARY_GROWTH, (
+        f"boundary bytes grew {growth:.1f}x for a 10x larger tree — "
+        "whole-frontier state is leaking across the cut"
+    )
+
+
+def test_e31_headline_scale(once):
+    """The tentpole number: a *connected* instance at the headline scale
+    runs end to end under shard='edgecut', valid and round-bounded, with
+    per-cell boundary bytes recorded and under the absolute ceiling."""
+    graph = _tree(N)
+    height = _height_for(N)
+
+    def execute():
+        return _sweep(graph, shard="edgecut", fast=True).run(
+            "serial", jobs=SHARDS
+        )
+
+    result = once(execute)
+    assert all(row.valid for row in result.rows)
+    telemetry = result.telemetry()
+    for row in result.rows:
+        print(
+            f"\nE31 {row.label}: n={graph.n} shards={row.shards} "
+            f"rounds={row.rounds} boundary_msgs={row.boundary_msgs} "
+            f"boundary_bytes={row.boundary_bytes}B "
+            f"elapsed={row.elapsed:.2f}s "
+            f"({telemetry['node_rounds_per_sec']:.0f} node-rounds/s)"
+        )
+        assert row.shards == SHARDS
+        # Greedy MIS sweeps the tree in ~2 waves per level.
+        assert height <= row.rounds <= 3 * height + 4
+        assert row.boundary_msgs > 0
+        assert row.boundary_bytes > 0
+        assert row.boundary_bytes <= BOUNDARY_CEILING_BYTES, (
+            f"boundary bytes {row.boundary_bytes} above the "
+            f"{BOUNDARY_CEILING_BYTES} ceiling — whole-frontier state is "
+            "crossing the cut"
+        )
+    assert telemetry["boundary_msgs_total"] == sum(
+        row.boundary_msgs for row in result.rows
+    )
+    assert telemetry["boundary_bytes_total"] == sum(
+        row.boundary_bytes for row in result.rows
+    )

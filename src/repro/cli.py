@@ -20,7 +20,7 @@ Examples::
 Graph specs: ``line:N``, ``ring:N``, ``star:N``, ``clique:N``,
 ``grid:R:C``, ``gnp:N:P[:SEED]``, ``regular:N:DEG[:SEED]``, ``tree:N``,
 ``rtree:N[:SEED]``, ``dline:N``, ``wheel:K``, ``paths:COUNT:LEN``,
-``sortedline:N``.
+``ptree:ARITY:HEIGHT``, ``sortedline:N``.
 """
 
 from __future__ import annotations
@@ -61,6 +61,7 @@ from repro.graphs import (
     grid2d,
     line,
     path_forest,
+    preorder_kary_tree,
     random_regular,
     random_rooted_tree,
     random_tree,
@@ -157,6 +158,8 @@ def parse_graph(spec: str) -> DistGraph:
         return wheel_fk(arg(0))
     if family == "paths":
         return path_forest(arg(0), arg(1))
+    if family == "ptree":
+        return preorder_kary_tree(arg(0), arg(1))
     raise SystemExit(f"unknown graph family {family!r}")
 
 
@@ -166,7 +169,7 @@ def cmd_list(args: argparse.Namespace) -> int:
         print(f"  {problem}: {', '.join(sorted(templates))}")
     print()
     print("graph families: line ring star clique grid gnp regular tree")
-    print("                rtree dline wheel paths sortedline")
+    print("                rtree dline wheel paths sortedline ptree")
     print()
     print("schedules:")
     for name, caps in sorted(schedule_capabilities().items()):
@@ -417,6 +420,12 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             f"sharded: {telemetry['sharded_cells']} cell(s) across "
             f"{telemetry['shards_total']} shard(s)"
         )
+    if telemetry["boundary_msgs_total"]:
+        print(
+            f"edge-cut boundary: {telemetry['boundary_msgs_total']} "
+            f"message(s), {telemetry['boundary_bytes_total']} bytes "
+            "exchanged between shards"
+        )
     if result.shared_bytes:
         print(
             f"shared-memory store: {result.shared_bytes} bytes resident, "
@@ -647,6 +656,50 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
     return pytest.main(argv)
 
 
+def cmd_datasets(args: argparse.Namespace) -> int:
+    """List or download the temporal dataset files (E29 workloads)."""
+    import os
+
+    from repro.dynamic.datasets import (
+        DATASET_SHA256,
+        DATASET_URLS,
+        DatasetFetchError,
+        TEMPORAL_DATASETS,
+        fetch_dataset,
+    )
+
+    if args.action == "list":
+        for key in sorted(TEMPORAL_DATASETS):
+            path = os.path.join(args.data_dir, TEMPORAL_DATASETS[key])
+            status = "present" if os.path.exists(path) else "missing"
+            pinned = DATASET_SHA256[key] or "unpinned"
+            print(f"{key:>14}: {status:>7}  {path}")
+            print(f"{'':>14}  url    {DATASET_URLS[key]}")
+            print(f"{'':>14}  sha256 {pinned}")
+        return 0
+
+    names = args.names or sorted(TEMPORAL_DATASETS)
+    if args.sha256 and len(names) != 1:
+        raise SystemExit("--sha256 pins one digest; name exactly one dataset")
+    failed = 0
+    for name in names:
+        try:
+            outcome = fetch_dataset(
+                name,
+                data_dir=args.data_dir,
+                sha256=args.sha256,
+                force=args.force,
+            )
+        except DatasetFetchError as exc:
+            print(f"{name}: FAILED — {exc}")
+            failed += 1
+            continue
+        verb = "downloaded" if outcome.downloaded else "already present"
+        print(f"{outcome.name}: {verb} -> {outcome.path}")
+        print(f"{'':>{len(outcome.name)}}  sha256 {outcome.sha256}")
+    return 1 if failed else 0
+
+
 def cmd_example(args: argparse.Namespace) -> int:
     module_name = EXAMPLES.get(args.name)
     if module_name is None:
@@ -762,9 +815,12 @@ def build_parser() -> argparse.ArgumentParser:
         "instead of flat buffers per chunk",
     )
     sweep_parser.add_argument(
-        "--shard", choices=("components",), default=None,
-        help="split each cell's graph by connected components across "
-        "workers and merge the shard results into one bit-identical row",
+        "--shard", choices=("components", "edgecut"), default=None,
+        help="split each cell's graph across workers and merge the shard "
+        "results into one bit-identical row: 'components' farms out "
+        "connected components independently; 'edgecut' block-partitions "
+        "the id space of a connected graph and exchanges cut-crossing "
+        "messages through a per-round barrier",
     )
     sweep_parser.add_argument(
         "--drop-rate", type=float, default=0.0,
@@ -876,6 +932,34 @@ def build_parser() -> argparse.ArgumentParser:
     faults_parser.add_argument("--max-rounds", type=int, default=None)
     faults_parser.add_argument("--csv", default=None, help="write CSV here")
 
+    datasets_parser = subparsers.add_parser(
+        "datasets",
+        help="list or download the temporal dataset files (SNAP dumps)",
+    )
+    datasets_parser.add_argument(
+        "action", choices=("list", "fetch"),
+        help="'list' shows status and pinned digests; 'fetch' downloads, "
+        "decompresses and checksum-verifies into --data-dir (the only "
+        "command that touches the network — loading never does)",
+    )
+    datasets_parser.add_argument(
+        "names", nargs="*",
+        help="dataset names to fetch (default: all known datasets)",
+    )
+    datasets_parser.add_argument(
+        "--data-dir", default="data",
+        help="directory to place dataset files in (default: data)",
+    )
+    datasets_parser.add_argument(
+        "--force", action="store_true",
+        help="re-download even when a verified local copy exists",
+    )
+    datasets_parser.add_argument(
+        "--sha256", default=None,
+        help="expected digest of the decompressed file (overrides the "
+        "pinned registry entry; requires naming exactly one dataset)",
+    )
+
     example_parser = subparsers.add_parser("example", help="run a bundled example")
     example_parser.add_argument("name", help=f"one of {sorted(EXAMPLES)}")
 
@@ -900,6 +984,7 @@ def main(argv=None) -> int:
         "profile": cmd_profile,
         "events": cmd_events,
         "dynamic": cmd_dynamic,
+        "datasets": cmd_datasets,
         "faults": cmd_faults,
         "example": cmd_example,
         "reproduce": cmd_reproduce,

@@ -88,9 +88,13 @@ class ExecutionPolicy:
         shard: ``"components"`` splits the cell's graph by connected
             components across pool workers and merges the shard results
             into one bit-identical row (see :mod:`repro.shard`).
+            ``"edgecut"`` block-partitions the identifier space of a
+            (possibly connected) graph and runs one engine per block,
+            exchanging boundary messages at a per-round barrier
+            (see :mod:`repro.shard.edgecut`) — also bit-identical.
             ``None`` (default) runs unsharded.  Incompatible with
             ``schedule="async"``: the delay adversary draws from
-            tick-global streams, so component isolation does not hold.
+            tick-global streams, so isolation does not hold.
     """
 
     schedule: str = "eager"
@@ -128,13 +132,14 @@ class ExecutionPolicy:
                 "fallback= only applies to schedule='vectorized' "
                 f"(got schedule={self.schedule!r})"
             )
-        if self.shard not in (None, "components"):
+        if self.shard not in (None, "components", "edgecut"):
             raise ValueError(
-                f"shard must be None or 'components', got {self.shard!r}"
+                "shard must be None, 'components' or 'edgecut', "
+                f"got {self.shard!r}"
             )
         if self.shard is not None and self.schedule == "async":
             raise ValueError(
-                "shard='components' cannot run under schedule='async': "
+                f"shard={self.shard!r} cannot run under schedule='async': "
                 "the asynchronous delay adversary draws from tick-global "
                 "streams, so sharded and unsharded runs would diverge"
             )

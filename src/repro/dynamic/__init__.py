@@ -10,8 +10,13 @@ epoch.  See docs/MODEL.md ("Dynamic model") and EXPERIMENTS.md (E29).
 """
 
 from repro.dynamic.datasets import (
+    DATASET_SHA256,
+    DATASET_URLS,
+    DatasetFetchError,
+    FetchResult,
     TEMPORAL_DATASETS,
     TemporalStream,
+    fetch_dataset,
     parse_temporal_events,
     synthetic_temporal_events,
     temporal_stream,
@@ -25,14 +30,19 @@ from repro.dynamic.stream import (
 )
 
 __all__ = [
+    "DATASET_SHA256",
+    "DATASET_URLS",
+    "DatasetFetchError",
     "DynamicResult",
     "DynamicRunner",
     "EpochBatch",
     "EpochStream",
+    "FetchResult",
     "SyntheticChurnStream",
     "TEMPORAL_DATASETS",
     "TemporalStream",
     "apply_batch",
+    "fetch_dataset",
     "parse_temporal_events",
     "recourse_between",
     "synthetic_temporal_events",

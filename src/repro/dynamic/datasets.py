@@ -11,12 +11,16 @@ bucketed into equal-count insertion epochs.  An optional sliding
 edges inserted at epoch ``t - window`` — which is what produces genuine
 deletions (the raw datasets only ever add).
 
-No download machinery lives here: if the file is absent, a deterministic
-seeded synthetic event stream with the same shape (timestamped pair
-events, duplicates included) is generated and fed through the *same*
-bucketing path, with a warning.  CI and offline runs therefore exercise
-every code path without network access; drop the real file into
-``data_dir`` to run the genuine dataset.
+Loading never touches the network: if the file is absent, a
+deterministic seeded synthetic event stream with the same shape
+(timestamped pair events, duplicates included) is generated and fed
+through the *same* bucketing path, with a warning.  CI and offline runs
+therefore exercise every code path without network access.  To run the
+genuine datasets, :func:`fetch_dataset` (the ``repro datasets fetch``
+subcommand) downloads the SNAP dumps into ``data_dir``, decompresses
+them, and verifies a pinned sha256 before anything is written — it is
+the only function here that opens a socket, and nothing calls it
+implicitly.
 
 Raw ids are 0-based in the SNAP dumps; the repo's instances are 1-based
 (Section 2: identifiers from ``{1, ..., d}``), so ids are shifted by +1.
@@ -28,10 +32,13 @@ stream's job.
 
 from __future__ import annotations
 
+import gzip
+import hashlib
 import os
 import random
 import warnings
-from typing import Iterator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional, Tuple
 
 from repro.dynamic.stream import EpochBatch, EpochStream
 from repro.graphs.graph import DistGraph
@@ -45,6 +52,125 @@ TEMPORAL_DATASETS = {
     "email-eu-core": "email-Eu-core-temporal.txt",
     "mathoverflow": "sx-mathoverflow-a2q.txt",
 }
+
+#: Dataset name -> canonical SNAP download URL (gzipped text).
+DATASET_URLS = {
+    "collegemsg": "https://snap.stanford.edu/data/CollegeMsg.txt.gz",
+    "email-eu-core": (
+        "https://snap.stanford.edu/data/email-Eu-core-temporal.txt.gz"
+    ),
+    "mathoverflow": "https://snap.stanford.edu/data/sx-mathoverflow-a2q.txt.gz",
+}
+
+#: Dataset name -> pinned sha256 of the *decompressed* text file.  SNAP
+#: re-gzips its dumps from time to time, so digests over the ``.gz``
+#: payload are not stable; the text payload is.  ``None`` means no digest
+#: has been pinned yet: :func:`fetch_dataset` then records and reports
+#: the observed digest instead of verifying (pass ``sha256=`` or edit
+#: this table to pin it).
+DATASET_SHA256: dict = {
+    "collegemsg": None,
+    "email-eu-core": None,
+    "mathoverflow": None,
+}
+
+
+class DatasetFetchError(RuntimeError):
+    """A dataset download failed or its checksum did not match."""
+
+
+@dataclass(frozen=True)
+class FetchResult:
+    """Outcome of one :func:`fetch_dataset` call."""
+
+    name: str
+    path: str
+    sha256: str
+    downloaded: bool  #: False when a verified local copy already existed.
+
+
+def _sha256(payload: bytes) -> str:
+    return hashlib.sha256(payload).hexdigest()
+
+
+def fetch_dataset(
+    name: str,
+    *,
+    data_dir: str = "data",
+    sha256: Optional[str] = None,
+    force: bool = False,
+    opener: Optional[Callable[[str], bytes]] = None,
+) -> FetchResult:
+    """Download one temporal dataset into ``data_dir``, checksum-verified.
+
+    ``name`` is a key of :data:`TEMPORAL_DATASETS`.  The expected digest
+    is the ``sha256`` argument if given, else the pinned entry in
+    :data:`DATASET_SHA256`.  On mismatch a :class:`DatasetFetchError` is
+    raised and **nothing is written** — the file lands atomically (temp
+    file + rename) only after verification, so a failed fetch can never
+    poison the loader's offline fallback.  An existing file is re-verified
+    and kept unless ``force`` is set.
+
+    ``opener`` maps a URL to raw response bytes; it defaults to
+    :mod:`urllib.request` and exists so tests (and mirrors) can inject a
+    fetcher without patching the network stack.
+    """
+    key = name.lower()
+    if key not in TEMPORAL_DATASETS:
+        raise DatasetFetchError(
+            f"unknown dataset {name!r} (choose from {sorted(TEMPORAL_DATASETS)})"
+        )
+    url = DATASET_URLS[key]
+    expected = sha256 if sha256 is not None else DATASET_SHA256[key]
+    path = os.path.join(data_dir, TEMPORAL_DATASETS[key])
+
+    if os.path.exists(path) and not force:
+        digest = _sha256(open(path, "rb").read())
+        if expected is not None and digest != expected:
+            raise DatasetFetchError(
+                f"existing {path!r} has sha256 {digest}, expected {expected} "
+                "(pass force=True / --force to re-download)"
+            )
+        return FetchResult(key, path, digest, downloaded=False)
+
+    if opener is None:
+        def opener(target: str) -> bytes:
+            from urllib.request import urlopen
+
+            with urlopen(target) as response:  # noqa: S310 — pinned https
+                return response.read()
+
+    try:
+        payload = opener(url)
+    except DatasetFetchError:
+        raise
+    except Exception as exc:
+        raise DatasetFetchError(f"download of {url} failed: {exc}") from exc
+    if url.endswith(".gz"):
+        try:
+            payload = gzip.decompress(payload)
+        except OSError as exc:
+            raise DatasetFetchError(
+                f"response from {url} is not valid gzip: {exc}"
+            ) from exc
+    digest = _sha256(payload)
+    if expected is not None and digest != expected:
+        raise DatasetFetchError(
+            f"{url} decompressed to sha256 {digest}, expected {expected} — "
+            "refusing to write a corrupt or tampered file"
+        )
+    if expected is None:
+        warnings.warn(
+            f"no pinned sha256 for dataset {key!r}; observed {digest} — "
+            "pin it via DATASET_SHA256 or --sha256 to verify future fetches",
+            stacklevel=2,
+        )
+    os.makedirs(data_dir, exist_ok=True)
+    tmp_path = f"{path}.part"
+    with open(tmp_path, "wb") as handle:
+        handle.write(payload)
+    os.replace(tmp_path, path)
+    return FetchResult(key, path, digest, downloaded=True)
 
 
 def parse_temporal_events(path: str) -> List[Event]:

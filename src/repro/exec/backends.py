@@ -47,6 +47,7 @@ from repro.exec.cache import (
 from repro.exec.plan import Cell, FaultSpec, Spec, Sweep, derive_cell_seed
 from repro.exec.results import CellResult, SweepResult
 from repro.obs.events import MemoryEventSink, write_jsonl_events
+from repro.shard.edgecut import execute_edgecut_cell
 from repro.shard.plan import (
     ShardPartial,
     execute_shard,
@@ -58,6 +59,10 @@ from repro.shard.store import SharedCSRStore, reset_worker_state
 #: A dispatched unit of work: an entire cell, or one component shard.
 #: ``("cell", index, cell, seed)`` /
 #: ``("shard", index, cell, seed, shard, shard_count)``.
+#: ``shard="edgecut"`` cells never become pool items — their shards are
+#: coupled by a per-round barrier, so they run as one unit (threads on
+#: the serial backend, dedicated processes driven by the parent on the
+#: process backend; see :mod:`repro.shard.edgecut`).
 WorkItem = Tuple[Any, ...]
 
 
@@ -330,13 +335,54 @@ def _execute_cell_any(
     so ``backend="serial"`` stays row-for-row identical to the pool and
     the differential fuzz can compare all four combinations cheaply.
     """
-    if shard_mode(cell, profile=profile, events=events) is None:
+    mode = shard_mode(cell, profile=profile, events=events)
+    if mode is None:
         return _execute_cell(index, cell, seed, cache, profile, events)
+    if mode == "edgecut":
+        return _execute_edgecut_any(
+            index, cell, seed, cache, shard_count, "thread", profile, events
+        )
     partials = [
         execute_shard(index, cell, seed, shard, shard_count, cache)
         for shard in range(shard_count)
     ]
     return merge_partials(index, cell, seed, partials)
+
+
+def _execute_edgecut_any(
+    index: int,
+    cell: Cell,
+    seed: int,
+    cache: ArtifactCache,
+    shard_count: int,
+    mode: str,
+    profile: bool,
+    events: bool,
+) -> CellResult:
+    """One ``shard="edgecut"`` cell, degrading gracefully to unsharded.
+
+    A single shard (``jobs=1``) or a trace request needs the whole graph
+    in one engine anyway, so those cells take the ordinary path; the
+    process mode additionally falls back to in-process threads when the
+    platform cannot spawn workers (same contract as the pool itself).
+    """
+    if shard_count < 2 or cell.config.trace:
+        return _execute_cell(index, cell, seed, cache, profile, events)
+    if mode == "process":
+        try:
+            return execute_edgecut_cell(
+                index, cell, seed, shard_count, mode="process", cache=cache
+            )
+        except (OSError, PermissionError) as exc:
+            warnings.warn(
+                f"edge-cut shard processes unavailable ({exc}); "
+                f"running cell {cell.label!r} on in-process threads",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    return execute_edgecut_cell(
+        index, cell, seed, shard_count, mode="thread", cache=cache
+    )
 
 
 # ----------------------------------------------------------------------
@@ -453,10 +499,12 @@ def _expand_items(
     events: bool,
 ) -> List[WorkItem]:
     """Work items in grid order: one per cell, or one per shard for
-    shardable cells (sharding only pays off across ≥ 2 workers)."""
+    component-shardable cells (sharding only pays off across ≥ 2
+    workers).  Edge-cut cells are absent by construction — the caller
+    routes them to the parent-driven barrier execution instead."""
     items: List[WorkItem] = []
     for index, cell, seed in tagged:
-        if shard_mode(cell, profile=profile, events=events) is not None:
+        if shard_mode(cell, profile=profile, events=events) == "components":
             items.extend(
                 ("shard", index, cell, seed, shard, shard_count)
                 for shard in range(shard_count)
@@ -535,7 +583,14 @@ def _execute_process_pool(
     """Rows, cache counters and the backend that actually ran them."""
     workers = jobs or os.cpu_count() or 2
     workers = max(1, min(workers, len(tagged)))
-    items = _expand_items(tagged, shard_count, profile, events)
+    edgecut_indexes = {
+        index
+        for index, cell, _ in tagged
+        if shard_mode(cell, profile=profile, events=events) == "edgecut"
+    }
+    edgecut_tagged = [e for e in tagged if e[0] in edgecut_indexes]
+    pool_tagged = [e for e in tagged if e[0] not in edgecut_indexes]
+    items = _expand_items(pool_tagged, shard_count, profile, events)
     ship = _measure_shipping(items, store) if store is not None else {}
     if chunk_size is None:
         # ~4 waves per worker balances scheduling slack against IPC cost.
@@ -576,7 +631,21 @@ def _execute_process_pool(
                         _failed_cell_result(lost_item, exc)
                         for lost_item in chunk
                     )
-        rows = _collect_rows(tagged, outputs, failed)
+        rows = _collect_rows(pool_tagged, outputs, failed)
+        if edgecut_tagged:
+            # Edge-cut cells run here in the parent: their shards are one
+            # barrier-coupled unit (dedicated worker processes, parent as
+            # router), not independent pool items.
+            parent_cache = ArtifactCache(maxsize=cache_size, disk_dir=cache_dir)
+            rows.extend(
+                _execute_edgecut_any(
+                    index, cell, seed, parent_cache, shard_count,
+                    "process", profile, events,
+                )
+                for index, cell, seed in edgecut_tagged
+            )
+            for key, value in parent_cache.stats().items():
+                stats[key] = stats.get(key, 0) + value
         if store is not None:
             # Tagged is enumerate-ordered, so ``tagged[i] == (i, cell, seed)``.
             for row in rows:

@@ -75,6 +75,8 @@ CELL_COLUMNS: Tuple[CellColumn, ...] = (
     CellColumn("shards", "shards", semantic=False),
     CellColumn("shared_bytes", "shared_bytes", semantic=False),
     CellColumn("ship_bytes", "ship_bytes", semantic=False),
+    CellColumn("boundary_msgs", "boundary_msgs", semantic=False),
+    CellColumn("boundary_bytes", "boundary_bytes", semantic=False),
     CellColumn("failure", "failure"),
 )
 
@@ -133,6 +135,12 @@ class CellResult:
             active (``None`` otherwise).  With zero-copy sharing this is
             the ~100-byte handle plus specs instead of the flat CSR
             buffers.
+        boundary_msgs: Cut-crossing messages exchanged through the
+            edge-cut barrier over the whole run (``shard="edgecut"``
+            cells; ``None`` otherwise).
+        boundary_bytes: Serialized size of those boundary batches —
+            the actual inter-shard traffic an edge-cut run pays
+            (``shard="edgecut"`` cells; ``None`` otherwise).
         metrics: Output of the cell's custom metrics callable, if any.
         elapsed: Wall-clock seconds this cell took to execute (artifact
             builds included).  Excluded from :meth:`as_tuple`: timings
@@ -171,6 +179,8 @@ class CellResult:
     shards: Optional[int] = None
     shared_bytes: Optional[int] = None
     ship_bytes: Optional[int] = None
+    boundary_msgs: Optional[int] = None
+    boundary_bytes: Optional[int] = None
     metrics: Dict[str, Any] = field(default_factory=dict)
     elapsed: float = 0.0
     profile: Optional[Dict[str, Any]] = None
@@ -312,6 +322,12 @@ class SweepResult:
             ),
             "ship_bytes_total": sum(
                 getattr(row, "ship_bytes", None) or 0 for row in rows
+            ),
+            "boundary_msgs_total": sum(
+                getattr(row, "boundary_msgs", None) or 0 for row in rows
+            ),
+            "boundary_bytes_total": sum(
+                getattr(row, "boundary_bytes", None) or 0 for row in rows
             ),
             "shared_bytes": getattr(self, "shared_bytes", 0),
             "cache_corrupt": self.cache_stats.get("corrupt", 0),

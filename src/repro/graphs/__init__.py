@@ -20,6 +20,7 @@ from repro.graphs.generators import (
     hypercube,
     line,
     path_forest,
+    preorder_kary_tree,
     ring,
     star,
     torus,
@@ -73,6 +74,7 @@ __all__ = [
     "path_forest",
     "perturb_edges",
     "perturb_nodes",
+    "preorder_kary_tree",
     "random_ids_from_domain",
     "random_regular",
     "random_rooted_tree",

@@ -210,6 +210,44 @@ def complete_kary_tree(arity: int, height: int) -> DistGraph:
     return DistGraph(adjacency, name=f"karytree-{arity}-h{height}")
 
 
+def preorder_kary_tree(arity: int, height: int) -> DistGraph:
+    """A complete ``arity``-ary tree with DFS-preorder identifiers (root 1).
+
+    Same topology as :func:`complete_kary_tree` (which numbers nodes in
+    BFS order) but every node's id is smaller than all ids in its
+    subtree, so each subtree occupies one contiguous identifier block.
+    Two consequences make this the edge-cut benchmark family:
+
+    * block-partitioning the id space (``shard="edgecut"``) cuts only
+      ~``shards * height`` parent edges — the cut is the path from each
+      block boundary back to the root, not a constant fraction of ``m``;
+    * each parent's id is smaller than its children's, so every leaf is
+      a local maximum and greedy symmetry-breaking finishes in
+      ~``height`` adjudication waves regardless of ``n``.
+    """
+    if arity < 1:
+        raise ValueError("arity must be at least 1")
+    if height < 0:
+        raise ValueError("height must be non-negative")
+    # Subtree size at each depth: 1 at the leaves, else 1 + arity * below.
+    sizes = [1] * (height + 1)
+    for depth in range(height - 1, -1, -1):
+        sizes[depth] = 1 + arity * sizes[depth + 1]
+    adjacency: Dict[int, List[int]] = {1: []}
+    stack = [(1, 0)]
+    while stack:
+        node, depth = stack.pop()
+        if depth == height:
+            continue
+        child = node + 1
+        step = sizes[depth + 1]
+        for _ in range(arity):
+            adjacency[child] = [node]
+            stack.append((child, depth + 1))
+            child += step
+    return DistGraph(adjacency, name=f"preorder-karytree-{arity}-h{height}")
+
+
 def caterpillar(spine: int, legs_per_node: int) -> DistGraph:
     """A caterpillar: a spine path with ``legs_per_node`` leaves per node.
 

@@ -124,6 +124,12 @@ def resolve_kernel(rt: Any, programs: Any) -> Any:
             "fault injection (faults=/crash_rounds=) is interpreted-only; "
             "vectorized kernels have no per-message fault surface"
         )
+    if getattr(rt.graph, "is_edgecut", False):
+        raise UnsupportedScheduleError(
+            "edge-cut shards are interpreted-only: compiled kernels index "
+            "dense whole-graph arrays and have no boundary exchange; use "
+            "schedule='eager'/'quiescent' or fallback='interpret'"
+        )
     if rt.obs:
         raise UnsupportedScheduleError(
             "event sinks and traces observe per-node phases the vectorized "

@@ -1,6 +1,6 @@
-"""Zero-copy shared-memory graph store + component-sharded execution.
+"""Zero-copy shared-memory graph store + sharded execution.
 
-Two pieces, both serving sweeps whose graphs dwarf their cells:
+Three pieces, all serving sweeps whose graphs dwarf their cells:
 
 * :class:`SharedCSRStore` — while active, pickling a
   :class:`~repro.graphs.csr.CSRTopology` publishes its buffers into a
@@ -13,12 +13,26 @@ Two pieces, both serving sweeps whose graphs dwarf their cells:
   components across workers and merge back into one
   :class:`~repro.exec.results.CellResult` bit-identical to the unsharded
   run.
+* Edge-cut sharding (:func:`run_edgecut` / :func:`execute_edgecut_cell`)
+  — cells whose policy sets ``shard="edgecut"`` block-partition the
+  identifier space of a *connected* graph; one engine per block runs in
+  lockstep, exchanging cut-crossing messages through a per-round barrier
+  (:class:`~repro.simulator.transport.BoundaryTransport`), still
+  bit-identical to the unsharded run.
 
 See docs/PERFORMANCE.md ("Sharded execution") and docs/ARCHITECTURE.md.
 """
 
+from repro.shard.edgecut import (
+    EdgecutPlan,
+    execute_edgecut_cell,
+    run_edgecut,
+)
 from repro.shard.plan import (
+    EdgecutView,
     ShardPartial,
+    edgecut_bounds,
+    edgecut_node_ids,
     execute_shard,
     merge_partials,
     shard_mode,
@@ -35,15 +49,21 @@ from repro.shard.store import (
 )
 
 __all__ = [
+    "EdgecutPlan",
+    "EdgecutView",
     "ShardPartial",
     "SharedCSRHandle",
     "SharedCSRStore",
     "SharedCSRStoreError",
     "attach_csr",
     "detach_all",
+    "edgecut_bounds",
+    "edgecut_node_ids",
+    "execute_edgecut_cell",
     "execute_shard",
     "merge_partials",
     "reset_worker_state",
+    "run_edgecut",
     "shard_mode",
     "shard_node_ids",
     "shard_view",

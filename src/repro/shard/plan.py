@@ -117,6 +117,91 @@ def shard_node_ids(graph: DistGraph, shard: int, shard_count: int) -> List[int]:
     ]
 
 
+def edgecut_bounds(n_nodes: int, shard_count: int) -> List[int]:
+    """Block boundaries of the edge-cut partition: ``shard_count + 1``
+    positions into the sorted identifier sequence.
+
+    Shard ``s`` owns the contiguous slice ``[bounds[s], bounds[s+1])`` of
+    the ascending node ids — a BFS/DFS-block partition for generators that
+    number locality-contiguously (preorder trees, rings, grids), and a
+    balanced ±1 split for any graph.
+    """
+    if shard_count < 1:
+        raise ValueError(f"shard_count must be >= 1, got {shard_count}")
+    return [(n_nodes * s) // shard_count for s in range(shard_count + 1)]
+
+
+def edgecut_node_ids(
+    graph: DistGraph, shard: int, shard_count: int
+) -> List[int]:
+    """Identifiers owned by ``shard`` under the edge-cut block partition."""
+    nodes = graph.nodes
+    bounds = edgecut_bounds(len(nodes), shard_count)
+    return list(nodes[bounds[shard] : bounds[shard + 1]])
+
+
+class EdgecutView:
+    """One edge-cut shard's window onto the *full* parent graph.
+
+    Unlike :func:`shard_view` (components), no subgraph is built: an
+    owned node keeps its complete adjacency — including neighbors whose
+    mailboxes live on other shards — because the paper's algorithms act
+    on full local views and only the *delivery* of cut messages moves to
+    the :class:`~repro.simulator.transport.BoundaryTransport`.  ``nodes``
+    is the owned contiguous block; every ambient quantity (``n``, ``d``,
+    ``Δ``, attrs) delegates to the parent, so round budgets, CONGEST
+    bandwidth and palette sizes match the unsharded run exactly.
+    """
+
+    __slots__ = ("parent", "shard", "shard_count", "nodes")
+
+    #: Marker the kernel resolver checks: compiled whole-frontier kernels
+    #: index dense per-node arrays and have no halo exchange, so they
+    #: reject edge-cut views loudly (``UnsupportedScheduleError``).
+    is_edgecut = True
+
+    def __init__(
+        self, parent: DistGraph, shard: int, shard_count: int
+    ) -> None:
+        if not 0 <= shard < shard_count:
+            raise ValueError(
+                f"shard must be in [0, {shard_count}), got {shard}"
+            )
+        self.parent = parent
+        self.shard = shard
+        self.shard_count = shard_count
+        self.nodes = tuple(edgecut_node_ids(parent, shard, shard_count))
+
+    def __reduce__(self) -> tuple:
+        # Rebuild from the parent (which ships zero-copy under an active
+        # SharedCSRStore) instead of pickling the owned-id tuple.
+        return (type(self), (self.parent, self.shard, self.shard_count))
+
+    @property
+    def n(self) -> int:
+        return self.parent.n
+
+    @property
+    def d(self) -> int:
+        return self.parent.d
+
+    @property
+    def delta(self) -> Optional[int]:
+        return self.parent.delta
+
+    @property
+    def name(self) -> str:
+        return (
+            f"{self.parent.name}[edgecut {self.shard}/{self.shard_count}]"
+        )
+
+    def neighbors(self, node: int):
+        return self.parent.neighbors(node)
+
+    def node_attrs(self, node: int):
+        return self.parent.node_attrs(node)
+
+
 def execute_shard(
     index: int,
     cell: "Cell",

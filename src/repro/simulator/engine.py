@@ -53,7 +53,11 @@ from repro.simulator.obs_dispatch import ObsDispatch
 from repro.simulator.program import NodeProgram
 from repro.simulator.scheduling import SCHEDULERS, QuiescenceViolation
 from repro.simulator.trace import TraceRecorder
-from repro.simulator.transport import BandwidthExceeded, Transport
+from repro.simulator.transport import (
+    BandwidthExceeded,
+    LocalTransport,
+    Transport,
+)
 
 __all__ = [
     "BandwidthExceeded",
@@ -76,6 +80,10 @@ class RoundLimitExceeded(RuntimeError):
 
 
 ProgramSource = Union[Mapping[int, NodeProgram], Callable[[int], NodeProgram]]
+
+#: Transport constructor signature the engine injects at build time:
+#: ``(nodes, result, model, n, fast) -> Transport``.
+TransportFactory = Callable[..., Transport]
 
 
 class SyncEngine:
@@ -161,6 +169,12 @@ class SyncEngine:
             :class:`~repro.kernels.UnsupportedScheduleError`;
             ``"interpret"`` warns and downgrades to the interpreted
             ``"quiescent"`` schedule, which accepts any program.
+        transport: Optional transport factory ``(nodes, result, model,
+            n, fast) -> Transport``; ``None`` builds the default
+            :class:`~repro.simulator.transport.LocalTransport`.  The
+            edge-cut shard driver injects a
+            :class:`~repro.simulator.transport.BoundaryTransport`
+            bound to its coordinator here.
     """
 
     def __init__(
@@ -185,6 +199,7 @@ class SyncEngine:
         max_retries: int = 2,
         deadline_s: Optional[float] = None,
         fallback: Optional[str] = None,
+        transport: Optional[TransportFactory] = None,
     ) -> None:
         if on_round_limit not in ("raise", "partial"):
             raise ValueError(
@@ -301,7 +316,12 @@ class SyncEngine:
         for node in self.graph.nodes:
             self.result.records[node] = NodeRecord(node_id=node)
         #: The transport stage: mailboxes, delivery and bit accounting.
-        self.transport = Transport(
+        #: Injected — :class:`~repro.simulator.transport.LocalTransport`
+        #: unless the caller (e.g. the edge-cut shard driver) provides a
+        #: factory with the same ``(nodes, result, model, n, fast)``
+        #: signature.
+        factory = LocalTransport if transport is None else transport
+        self.transport = factory(
             self.graph.nodes if self._kernel is None else (),
             self.result,
             model,
@@ -386,6 +406,7 @@ class SyncEngine:
                     "max_rounds": self.max_rounds,
                     "seed": self._seed,
                     "fast": self.fast,
+                    "transport": type(self.transport).__name__,
                 }
             )
         if profile is not None:

@@ -101,6 +101,19 @@ class NodeLifecycle:
         # Under quiescent scheduling that observation is a wake condition
         # (the scheduler hooks; no-ops under the eager policy).
         scheduler = rt._scheduler
+        transport = rt.transport
+        if transport.remote:
+            # Edge-cut shard: publication is deferred to the round barrier,
+            # where the driver applies every shard's events in one global
+            # ascending order — the same per-round ``neighbor_outputs``
+            # insertion order an unsharded run produces (some neighbors
+            # live on other shards, so no context exists for them here;
+            # see :mod:`repro.shard.edgecut`).
+            for node in terminated:
+                transport.export_event("terminate", node, contexts[node].output)
+            for node in crashed:
+                transport.export_event("crash", node, None)
+            return
         for node in terminated:
             output = contexts[node].output
             neighbors = contexts[node].neighbors

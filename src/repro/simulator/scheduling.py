@@ -180,6 +180,8 @@ class EagerScheduler(Scheduler):
         deposit = transport.deposit
         emit = rt.obs.emit if rt.obs else None
         interposer = rt.interposer
+        transport.round = round_index
+        remote = transport.remote
 
         for node in order:
             inboxes[node].clear()
@@ -208,8 +210,12 @@ class EagerScheduler(Scheduler):
                 # Messages to nodes that already terminated or crashed are
                 # dropped: the recipient no longer participates.  (A sender
                 # learns of a neighbor's termination only in the following
-                # round, so such sends are legitimate.)
+                # round, so such sends are legitimate.)  A receiver whose
+                # mailbox lives on another shard is handed to the boundary
+                # instead; the owning shard applies the same rules.
                 if receiver not in active:
+                    if receiver in remote:
+                        transport.export(node, receiver, payload)
                     continue
                 if interposer is not None:
                     payload = interposer.adjudicate(
@@ -218,6 +224,10 @@ class EagerScheduler(Scheduler):
                     if payload is DROPPED:
                         continue
                 deposit(node, receiver, payload)
+
+        # Boundary barrier: merge cut messages before any node processes
+        # (a no-op under the local transport).
+        transport.sync(round_index, active)
 
         # Process phase: every active node consumes its inbox.
         for node in order:
@@ -247,6 +257,8 @@ class EagerScheduler(Scheduler):
         deposit = transport.deposit
         emit = rt.obs.emit if rt.obs else None
         interposer = rt.interposer
+        transport.round = round_index
+        remote = transport.remote
         messages_before = rt.result.message_count
         participants = len(order)
 
@@ -278,6 +290,8 @@ class EagerScheduler(Scheduler):
                         round_index, "send", node, {"to": receiver, "payload": payload}
                     )
                 if receiver not in active:
+                    if receiver in remote:
+                        transport.export(node, receiver, payload)
                     continue
                 if interposer is not None:
                     payload = interposer.adjudicate(
@@ -286,6 +300,7 @@ class EagerScheduler(Scheduler):
                     if payload is DROPPED:
                         continue
                 deposit(node, receiver, payload)
+        transport.sync(round_index, active)
 
         process_start = perf_counter()
         for node in order:
@@ -411,6 +426,8 @@ class QuiescentScheduler(Scheduler):
         deposit = transport.deposit
         emit = rt.obs.emit if rt.obs else None
         interposer = rt.interposer
+        transport.round = round_index
+        remote = transport.remote
         #: Nodes to run in the process phase; sleeping nodes keep stale
         #: inboxes, cleared lazily when a delivery first wakes them.
         process_set = set(scheduled)
@@ -440,6 +457,8 @@ class QuiescentScheduler(Scheduler):
                         round_index, "send", node, {"to": receiver, "payload": payload}
                     )
                 if receiver not in active:
+                    if receiver in remote:
+                        transport.export(node, receiver, payload)
                     continue
                 if interposer is not None:
                     payload = interposer.adjudicate(
@@ -456,6 +475,11 @@ class QuiescentScheduler(Scheduler):
                     process_set.add(receiver)
                 deposit(node, receiver, payload)
                 next_wake.add(receiver)
+
+        # Boundary barrier: inbound cut messages wake their receivers and
+        # join the process phase exactly as local deliveries would have
+        # (a no-op under the local transport).
+        transport.sync(round_index, active, process_set, next_wake)
 
         if len(process_set) == len(scheduled):
             process_order: List[int] = scheduled
@@ -488,6 +512,8 @@ class QuiescentScheduler(Scheduler):
         deposit = transport.deposit
         emit = rt.obs.emit if rt.obs else None
         interposer = rt.interposer
+        transport.round = round_index
+        remote = transport.remote
         messages_before = rt.result.message_count
         participants = len(rt._active_order)
 
@@ -524,6 +550,8 @@ class QuiescentScheduler(Scheduler):
                         round_index, "send", node, {"to": receiver, "payload": payload}
                     )
                 if receiver not in active:
+                    if receiver in remote:
+                        transport.export(node, receiver, payload)
                     continue
                 if interposer is not None:
                     payload = interposer.adjudicate(
@@ -537,6 +565,7 @@ class QuiescentScheduler(Scheduler):
                     process_set.add(receiver)
                 deposit(node, receiver, payload)
                 next_wake.add(receiver)
+        transport.sync(round_index, active, process_set, next_wake)
 
         process_start = perf_counter()
         if len(process_set) == len(scheduled):
@@ -592,6 +621,8 @@ class QuiescentDebugScheduler(QuiescentScheduler):
         deposit = transport.deposit
         emit = rt.obs.emit if rt.obs else None
         interposer = rt.interposer
+        transport.round = round_index
+        remote = transport.remote
 
         for node in order:
             inboxes[node].clear()
@@ -624,6 +655,8 @@ class QuiescentDebugScheduler(QuiescentScheduler):
                         round_index, "send", node, {"to": receiver, "payload": payload}
                     )
                 if receiver not in active:
+                    if receiver in remote:
+                        transport.export(node, receiver, payload)
                     continue
                 if interposer is not None:
                     payload = interposer.adjudicate(
@@ -634,6 +667,7 @@ class QuiescentDebugScheduler(QuiescentScheduler):
                         continue
                 deposit(node, receiver, payload)
                 next_wake.add(receiver)
+        transport.sync(round_index, active, None, next_wake)
 
         for node in order:
             ctx = contexts[node]

@@ -1,4 +1,4 @@
-"""The transport stage: mailboxes, delivery and bit accounting.
+"""The transport stage: mailboxes, delivery, bit accounting, boundaries.
 
 :class:`Transport` owns the per-node inboxes and is the only layer that
 writes to them or to the :class:`~repro.simulator.metrics.RunResult`'s
@@ -6,6 +6,17 @@ message counters.  Schedulers decide *which* messages exist and *when*
 they land; the transport decides what a delivery costs — per-message bit
 estimation (:func:`~repro.simulator.message.estimate_bits`) and CONGEST
 budget enforcement, or a bare count in ``fast`` mode.
+
+The transport is also the seam along which a run shards: the engine no
+longer assumes every mailbox lives in one process.  :class:`LocalTransport`
+(the default) keeps the classic single-process behavior, with no-op
+boundary hooks that cost one attribute store and one method call per
+round.  :class:`BoundaryTransport` owns the mailboxes of one *edge-cut
+shard* — a contiguous block of the identifier space — and exchanges the
+messages that cross the cut through a per-round coordinator barrier (see
+:mod:`repro.shard.edgecut`), reproducing the unsharded run bit for bit:
+same ascending-sender inbox order, same CONGEST accounting at the
+receiving shard, same drop-unaccounted rule for terminated receivers.
 
 Inboxes are allocated once and cleared between rounds rather than
 reallocated: programs consume their inbox during ``process`` and never
@@ -15,7 +26,7 @@ churn.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.simulator.message import estimate_bits
 from repro.simulator.metrics import RunResult
@@ -26,11 +37,34 @@ class BandwidthExceeded(RuntimeError):
     """Raised in strict CONGEST mode when a message exceeds the budget."""
 
 
+def bandwidth_error(
+    bits: int, budget: int, sender: int, receiver: int, round_index: int
+) -> BandwidthExceeded:
+    """The canonical strict-CONGEST violation, naming the round and edge.
+
+    Built here so the unsharded transport and the edge-cut driver (which
+    defers violations to the round barrier) raise byte-identical text for
+    the same offending message.
+    """
+    return BandwidthExceeded(
+        f"{bits}-bit message from {sender} to {receiver} in round "
+        f"{round_index} exceeds {budget}-bit budget"
+    )
+
+
 class Transport:
     """Owns mailbox state and message/bit accounting for one run.
 
+    This base class *is* the protocol: the engine and schedulers program
+    against its surface (``inboxes``/``deposit``/``clear_inbox`` plus the
+    boundary hooks ``remote``/``export``/``export_event``/``sync``) and the
+    engine injects a concrete transport at construction.  The base
+    behavior is fully local; :class:`LocalTransport` is its alias-like
+    subclass, and :class:`BoundaryTransport` overrides the hooks to speak
+    to a shard coordinator.
+
     Args:
-        nodes: Every node of the instance (one inbox each).
+        nodes: Every node owned by this transport (one inbox each).
         result: The run's result record; the transport is the only
             writer of its ``message_count``/``total_bits``/
             ``max_message_bits``/``bandwidth_violations`` fields.
@@ -40,7 +74,12 @@ class Transport:
             is maintained.
     """
 
-    __slots__ = ("inboxes", "result", "model", "n", "fast")
+    __slots__ = ("inboxes", "result", "model", "n", "fast", "round")
+
+    #: Nodes whose mailboxes live on another shard.  Empty (falsy) for the
+    #: local transport, so the schedulers' boundary branches cost a single
+    #: containment test against an empty frozenset.
+    remote: Any = frozenset()
 
     def __init__(
         self,
@@ -57,6 +96,9 @@ class Transport:
         self.model = model
         self.n = n
         self.fast = fast
+        #: Current round, stored by the scheduler at the top of each round
+        #: so violations can name the round they happened in.
+        self.round = 0
 
     # ------------------------------------------------------------------
     # Delivery
@@ -75,13 +117,15 @@ class Transport:
         if self.fast:
             self.result.message_count += 1
         else:
-            self.account(payload)
+            self.account(payload, sender, receiver)
         self.inboxes[receiver][sender] = payload
 
     # ------------------------------------------------------------------
     # Accounting
     # ------------------------------------------------------------------
-    def account(self, payload: Any) -> None:
+    def account(
+        self, payload: Any, sender: int = -1, receiver: int = -1
+    ) -> None:
         """Charge one message's bits against the run and the model."""
         bits = estimate_bits(payload)
         result = self.result
@@ -92,7 +136,226 @@ class Transport:
         if not self.model.allows(bits, self.n):
             result.bandwidth_violations += 1
             if self.model.strict:
-                raise BandwidthExceeded(
-                    f"{bits}-bit message exceeds "
-                    f"{self.model.bandwidth_bits(self.n)}-bit budget"
+                raise bandwidth_error(
+                    bits,
+                    self.model.bandwidth_bits(self.n),
+                    sender,
+                    receiver,
+                    self.round,
                 )
+
+    # ------------------------------------------------------------------
+    # Boundary hooks (no-ops for a fully local run)
+    # ------------------------------------------------------------------
+    def export(self, sender: int, receiver: int, payload: Any) -> None:
+        """Hand a message addressed to a remote node to the boundary.
+
+        Never reached locally: ``remote`` is empty, so the schedulers'
+        export branch is dead code under this transport.
+        """
+        raise RuntimeError(
+            f"local transport cannot export {sender}->{receiver}: "
+            "no remote nodes"
+        )
+
+    def export_event(self, kind: str, node: int, output: Any) -> None:
+        """Announce a local termination/crash to remote neighbors."""
+        raise RuntimeError(
+            f"local transport cannot export {kind} event for node {node}"
+        )
+
+    def sync(
+        self,
+        round_index: int,
+        active: Set[int],
+        process_set: Optional[Set[int]] = None,
+        wake: Optional[Set[int]] = None,
+    ) -> None:
+        """Per-round boundary barrier, between compose and process.
+
+        A local run has no boundary; the hook exists so schedulers can
+        call it unconditionally.
+        """
+
+
+class LocalTransport(Transport):
+    """The default transport: every mailbox lives in this process."""
+
+    __slots__ = ()
+
+
+class _RemoteSet:
+    """Complement-of-owned membership: ``node in remote`` ⇔ not owned.
+
+    An edge-cut shard at n = 10⁷ would otherwise materialize a frozenset
+    of every *other* shard's nodes; the owned set already exists, so
+    remoteness is just its complement (every identifier is one or the
+    other — the schedulers only probe identifiers from real edges).
+    """
+
+    __slots__ = ("owned",)
+
+    def __init__(self, owned: Any) -> None:
+        self.owned = owned
+
+    def __contains__(self, node: int) -> bool:
+        return node not in self.owned
+
+    def __bool__(self) -> bool:
+        return True
+
+    def isdisjoint(self, nodes: Iterable[int]) -> bool:
+        owned = self.owned
+        return all(node in owned for node in nodes)
+
+
+class BoundaryTransport(Transport):
+    """Transport of one edge-cut shard, exchanging cut messages at a barrier.
+
+    The scheduler runs unmodified against this transport: it composes the
+    owned nodes in ascending order, exports any send whose receiver is
+    remote, then calls :meth:`sync`, which blocks on the shard
+    coordinator until every shard has composed the round, and merges the
+    inbound cut messages into the local inboxes.  Two invariants keep the
+    merged run bit-identical to the unsharded one:
+
+    * **Inbox order** — unsharded inboxes are filled in ascending-sender
+      order (compose iterates sorted identifiers), so after merging
+      remote senders each touched inbox is re-sorted by sender id.
+    * **Violation order** — strict CONGEST must abort on the *globally
+      first* over-budget message (compose order: ascending sender, then
+      outbox position).  A shard cannot know whether another shard holds
+      an earlier violation, so every violation — local or inbound — is
+      deferred and keyed by ``(sender, seq)``, where ``seq`` is the
+      sender shard's compose-order counter; the driver raises the
+      minimum-keyed one at the round barrier
+      (:func:`bandwidth_error` text, identical to the unsharded raise).
+    """
+
+    __slots__ = (
+        "remote",
+        "shard",
+        "coordinator",
+        "outbound",
+        "events",
+        "violations",
+        "_seq",
+    )
+
+    def __init__(
+        self,
+        nodes: Iterable[int],
+        result: RunResult,
+        model: ExecutionModel,
+        n: int,
+        fast: bool,
+        *,
+        owned: Any,
+        shard: int,
+        coordinator: Any,
+    ) -> None:
+        super().__init__(nodes, result, model, n, fast)
+        self.remote = _RemoteSet(owned)
+        self.shard = shard
+        self.coordinator = coordinator
+        #: Cut messages composed this round: ``(sender, seq, receiver,
+        #: payload)`` in compose order.
+        self.outbound: List[Tuple[int, int, int, Any]] = []
+        #: Termination/crash announcements owed to remote neighbors.
+        self.events: List[Tuple[str, int, Any]] = []
+        #: Deferred strict-CONGEST violations: ``(sender, seq, receiver,
+        #: bits)``; adjudicated globally by the driver.
+        self.violations: List[Tuple[int, int, int, int]] = []
+        self._seq = 0
+
+    # -- sends ----------------------------------------------------------
+    def deposit(self, sender: int, receiver: int, payload: Any) -> None:
+        self._seq += 1
+        if self.fast:
+            self.result.message_count += 1
+        else:
+            self._account_deferred(payload, sender, receiver, self._seq)
+        self.inboxes[receiver][sender] = payload
+
+    def export(self, sender: int, receiver: int, payload: Any) -> None:
+        self._seq += 1
+        self.outbound.append((sender, self._seq, receiver, payload))
+
+    def export_event(self, kind: str, node: int, output: Any) -> None:
+        self.events.append((kind, node, output))
+
+    def take_events(self) -> List[Tuple[str, int, Any]]:
+        """Drain the pending boundary events (driver, at the barrier)."""
+        events, self.events = self.events, []
+        return events
+
+    def take_violations(self) -> List[Tuple[int, int, int, int]]:
+        """Drain the deferred violations (driver, at the barrier)."""
+        violations, self.violations = self.violations, []
+        return violations
+
+    # -- accounting -----------------------------------------------------
+    def _account_deferred(
+        self, payload: Any, sender: int, receiver: int, seq: int
+    ) -> None:
+        """:meth:`Transport.account`, but strict raises are deferred.
+
+        The counters update exactly as locally; only the abort moves to
+        the round barrier where the globally-first violation is known.
+        """
+        bits = estimate_bits(payload)
+        result = self.result
+        result.message_count += 1
+        result.total_bits += bits
+        if bits > result.max_message_bits:
+            result.max_message_bits = bits
+        if not self.model.allows(bits, self.n):
+            result.bandwidth_violations += 1
+            if self.model.strict:
+                self.violations.append((sender, seq, receiver, bits))
+
+    # -- the barrier ----------------------------------------------------
+    def sync(
+        self,
+        round_index: int,
+        active: Set[int],
+        process_set: Optional[Set[int]] = None,
+        wake: Optional[Set[int]] = None,
+    ) -> None:
+        """Exchange this round's cut messages and merge the inbound ones.
+
+        Blocks until every shard has submitted its outbound batch.  Each
+        inbound message lands exactly as a local send would have: dropped
+        unaccounted if the receiver already terminated, lazily clearing a
+        sleeping receiver's inbox and waking it under the quiescent
+        schedule, and charged to this (receiving) shard's counters.
+        """
+        outbound, self.outbound = self.outbound, []
+        inbound = self.coordinator.exchange_messages(
+            self.shard, round_index, outbound
+        )
+        if not inbound:
+            return
+        inboxes = self.inboxes
+        touched = set()
+        for sender, seq, receiver, payload in inbound:
+            if receiver not in active:
+                continue
+            inbox = inboxes[receiver]
+            if process_set is not None and receiver not in process_set:
+                inbox.clear()
+                process_set.add(receiver)
+            if wake is not None:
+                wake.add(receiver)
+            if self.fast:
+                self.result.message_count += 1
+            else:
+                self._account_deferred(payload, sender, receiver, seq)
+            inbox[sender] = payload
+            touched.add(receiver)
+        for receiver in touched:
+            inbox = inboxes[receiver]
+            if len(inbox) > 1:
+                entries = sorted(inbox.items())
+                inbox.clear()
+                inbox.update(entries)

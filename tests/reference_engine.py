@@ -315,6 +315,7 @@ class ReferenceSyncEngine:
                 "max_rounds": self.max_rounds,
                 "seed": self._seed,
                 "fast": self.fast,
+                "transport": "LocalTransport",
             }
             for sink in sinks:
                 sink.on_run_begin(meta)

@@ -8,11 +8,16 @@ import pytest
 
 from repro.bench.algorithms import matching_simple, mis_simple
 from repro.dynamic import (
+    DATASET_SHA256,
+    DATASET_URLS,
+    DatasetFetchError,
     DynamicRunner,
     EpochBatch,
     SyntheticChurnStream,
+    TEMPORAL_DATASETS,
     TemporalStream,
     apply_batch,
+    fetch_dataset,
     parse_temporal_events,
     recourse_between,
     synthetic_temporal_events,
@@ -187,6 +192,192 @@ class TestTemporalStream:
                 "my-custom.txt", epochs=2, data_dir=str(tmp_path), seed=1
             )
         assert stream.epochs == 2
+
+
+class TestDatasetFetch:
+    """The ``repro datasets fetch`` machinery — checksum-verified
+    downloads that can never poison the loader's offline fallback."""
+
+    PAYLOAD = b"0 1 100\n1 2 200\n2 3 300\n"
+
+    @staticmethod
+    def _digest(payload):
+        import hashlib
+
+        return hashlib.sha256(payload).hexdigest()
+
+    def _opener(self, calls=None):
+        import gzip
+
+        payload = gzip.compress(self.PAYLOAD)
+
+        def opener(url):
+            if calls is not None:
+                calls.append(url)
+            return payload
+
+        return opener
+
+    def test_registry_covers_every_dataset(self):
+        assert set(DATASET_URLS) == set(TEMPORAL_DATASETS)
+        assert set(DATASET_SHA256) == set(TEMPORAL_DATASETS)
+        for url in DATASET_URLS.values():
+            assert url.startswith("https://snap.stanford.edu/data/")
+
+    def test_fetch_decompresses_verifies_and_writes(self, tmp_path):
+        calls = []
+        outcome = fetch_dataset(
+            "collegemsg",
+            data_dir=str(tmp_path),
+            sha256=self._digest(self.PAYLOAD),
+            opener=self._opener(calls),
+        )
+        assert outcome.downloaded
+        assert calls == [DATASET_URLS["collegemsg"]]
+        assert outcome.path == str(tmp_path / "CollegeMsg.txt")
+        assert open(outcome.path, "rb").read() == self.PAYLOAD
+        # The fetched file feeds straight into the loader, no fallback.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            stream = temporal_stream(
+                "collegemsg", epochs=2, data_dir=str(tmp_path)
+            )
+        assert stream.name == "CollegeMsg"
+
+    def test_bad_checksum_rejected_and_nothing_written(self, tmp_path):
+        with pytest.raises(DatasetFetchError, match="sha256"):
+            fetch_dataset(
+                "collegemsg",
+                data_dir=str(tmp_path),
+                sha256="0" * 64,
+                opener=self._opener(),
+            )
+        assert list(tmp_path.iterdir()) == []  # no file, no .part debris
+
+    def test_existing_verified_copy_skips_the_network(self, tmp_path):
+        digest = self._digest(self.PAYLOAD)
+        (tmp_path / "CollegeMsg.txt").write_bytes(self.PAYLOAD)
+
+        def no_network(url):
+            raise AssertionError("fetch must not touch the network")
+
+        outcome = fetch_dataset(
+            "collegemsg",
+            data_dir=str(tmp_path),
+            sha256=digest,
+            opener=no_network,
+        )
+        assert not outcome.downloaded
+        assert outcome.sha256 == digest
+
+    def test_corrupt_existing_copy_reported_without_overwrite(self, tmp_path):
+        (tmp_path / "CollegeMsg.txt").write_bytes(b"tampered\n")
+        with pytest.raises(DatasetFetchError, match="force"):
+            fetch_dataset(
+                "collegemsg",
+                data_dir=str(tmp_path),
+                sha256=self._digest(self.PAYLOAD),
+                opener=self._opener(),
+            )
+        # force=True re-downloads and repairs it.
+        outcome = fetch_dataset(
+            "collegemsg",
+            data_dir=str(tmp_path),
+            sha256=self._digest(self.PAYLOAD),
+            force=True,
+            opener=self._opener(),
+        )
+        assert outcome.downloaded
+        assert open(outcome.path, "rb").read() == self.PAYLOAD
+
+    def test_unpinned_digest_warns_and_records(self, tmp_path):
+        with pytest.warns(UserWarning, match="pin"):
+            outcome = fetch_dataset(
+                "mathoverflow",
+                data_dir=str(tmp_path),
+                opener=self._opener(),
+            )
+        assert outcome.sha256 == self._digest(self.PAYLOAD)
+
+    def test_unknown_dataset_rejected(self, tmp_path):
+        with pytest.raises(DatasetFetchError, match="unknown dataset"):
+            fetch_dataset("not-a-dataset", data_dir=str(tmp_path))
+
+    def test_download_failure_wrapped(self, tmp_path):
+        def broken(url):
+            raise OSError("connection refused")
+
+        with pytest.raises(DatasetFetchError, match="download"):
+            fetch_dataset(
+                "collegemsg", data_dir=str(tmp_path), opener=broken
+            )
+        assert list(tmp_path.iterdir()) == []
+
+    def test_loading_never_touches_the_network(self, tmp_path, monkeypatch):
+        """The offline-fallback contract: ``temporal_stream`` on a missing
+        file synthesizes — it must never import-and-call urllib."""
+        import urllib.request
+
+        def poisoned(*args, **kwargs):
+            raise AssertionError("temporal_stream opened a socket")
+
+        monkeypatch.setattr(urllib.request, "urlopen", poisoned)
+        with pytest.warns(UserWarning, match="fallback"):
+            stream = temporal_stream(
+                "collegemsg", epochs=2, data_dir=str(tmp_path), seed=3
+            )
+        assert stream.name == "collegemsg-synthetic"
+
+    def test_cli_fetch_and_list(self, tmp_path, capsys, monkeypatch):
+        import gzip
+
+        from repro.cli import main
+        from repro.dynamic import datasets as datasets_module
+
+        payload = gzip.compress(self.PAYLOAD)
+
+        class _Response:
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def read(self):
+                return payload
+
+        monkeypatch.setattr(
+            "urllib.request.urlopen", lambda url: _Response()
+        )
+        monkeypatch.setitem(
+            datasets_module.DATASET_SHA256,
+            "collegemsg",
+            self._digest(self.PAYLOAD),
+        )
+        code = main(
+            ["datasets", "fetch", "collegemsg", "--data-dir", str(tmp_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "downloaded" in out
+        assert (tmp_path / "CollegeMsg.txt").read_bytes() == self.PAYLOAD
+
+        code = main(["datasets", "list", "--data-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "present" in out and "missing" in out
+
+        # A digest mismatch surfaces as a nonzero exit.
+        code = main(
+            [
+                "datasets", "fetch", "email-eu-core",
+                "--data-dir", str(tmp_path),
+                "--sha256", "0" * 64,
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAILED" in out
 
 
 class TestRecourse:

@@ -173,7 +173,7 @@ class TestCLI:
             "label,graph,n,seed,rounds,rounds_executed,valid,error,"
             "messages,dropped,delayed,retried,kernel,epoch,recourse,"
             "scratch_rounds,stuck,solution_size,shards,shared_bytes,"
-            "ship_bytes,failure"
+            "ship_bytes,boundary_msgs,boundary_bytes,failure"
         )
         assert len(content) == 3
 
@@ -237,6 +237,7 @@ class TestCLI:
         assert parse_graph("wheel:6").n == 13
         assert parse_graph("gnp:10:0.5:3").n == 10
         assert parse_graph("paths:3:4").n == 12
+        assert parse_graph("ptree:3:2").n == 13
 
     def test_unknown_template_rejected(self):
         from repro.cli import main

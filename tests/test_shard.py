@@ -123,6 +123,55 @@ class TestSharedCSRStore:
         with pytest.raises(ValueError, match="backend"):
             SharedCSRStore(backend="carrier-pigeon")
 
+    def test_auto_backend_falls_back_to_files_on_eacces(
+        self, forest, tmp_path, monkeypatch
+    ):
+        """A sandbox denying POSIX shared memory (EACCES on segment
+        creation) must silently degrade ``"auto"`` to the mmap'd-file
+        backend — and the refcounted release path must leave no stray
+        segment files under the cache directory."""
+        import errno
+        from multiprocessing import shared_memory
+
+        def denied(*args, **kwargs):
+            raise PermissionError(errno.EACCES, "shm denied by sandbox")
+
+        monkeypatch.setattr(shared_memory, "SharedMemory", denied)
+        directory = str(tmp_path / "cache")
+        with SharedCSRStore(directory=directory) as store:
+            blob = pickle.dumps(forest)
+            handle = store.handle_for(forest.csr)
+            assert handle is not None and handle.kind == "file"
+            assert os.path.dirname(handle.name) == directory
+            clone = pickle.loads(blob)  # attach path never touches shm
+            assert clone.edges() == forest.edges()
+            store.publish(forest.csr)  # second pin
+            store.release(forest.csr)  # drops to one: file stays
+            assert os.path.exists(handle.name)
+            store.release(forest.csr)  # last pin: unlinked early
+            assert not os.path.exists(handle.name)
+            assert os.listdir(directory) == []
+        assert os.listdir(directory) == []
+
+    def test_shm_backend_surfaces_eacces_instead_of_falling_back(
+        self, forest, monkeypatch
+    ):
+        """An explicit ``backend="shm"`` request must fail loudly when
+        shared memory is denied, not quietly switch to files."""
+        import errno
+        from multiprocessing import shared_memory
+
+        def denied(*args, **kwargs):
+            raise PermissionError(errno.EACCES, "shm denied by sandbox")
+
+        monkeypatch.setattr(shared_memory, "SharedMemory", denied)
+        store = SharedCSRStore(backend="shm")
+        try:
+            with pytest.raises(PermissionError):
+                store.publish(forest.csr)
+        finally:
+            store.close()
+
 
 # ----------------------------------------------------------------------
 # Content-key and pickle-protocol invariants
